@@ -1,0 +1,98 @@
+// Reproduces the Figure 2 data flow as a timing profile: for each TPC-H
+// query, the wall time of every pipeline stage — (1) PDW parse, (2) "SQL
+// Server" compilation (bind + normalize + memo exploration), (3) XML
+// export, (4a) PDW memo parse, (4b) bottom-up parallel optimization, and
+// DSQL generation. Shows where compilation time goes and that the XML
+// interface overhead is tolerable.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "optimizer/serial_optimizer.h"
+#include "pdw/compiler.h"
+#include "pdw/dsql.h"
+#include "sql/parser.h"
+#include "xmlio/memo_xml.h"
+
+namespace pdw {
+namespace {
+
+void Run() {
+  bench::Header("FIG2: query optimization pipeline stage timings");
+  auto appliance = bench::MakeTpchAppliance(8, 0.1);
+  const Catalog& shell = appliance->shell();
+
+  std::printf("\n%-5s | %9s %9s %9s %9s %9s %9s | %9s | %7s %7s\n", "query",
+              "parse ms", "compile", "xml out", "xml in", "pdw opt",
+              "dsql gen", "total", "groups", "xml KB");
+
+  for (const auto& q : tpch::Queries()) {
+    constexpr int kReps = 5;
+    double t_parse = 0, t_compile = 0, t_export = 0, t_import = 0,
+           t_pdw = 0, t_dsql = 0;
+    int groups = 0;
+    size_t xml_bytes = 0;
+    bool failed = false;
+    for (int rep = 0; rep < kReps && !failed; ++rep) {
+      std::unique_ptr<sql::SelectStatement> stmt;
+      t_parse += bench::TimeMs([&]() {
+        auto r = sql::ParseSelect(q.sql);
+        if (r.ok()) stmt = std::move(r).ValueOrDie();
+      });
+      if (!stmt) { failed = true; break; }
+
+      CompilationResult comp;
+      t_compile += bench::TimeMs([&]() {
+        auto r = CompileSelect(shell, *stmt);
+        if (r.ok()) comp = std::move(r).ValueOrDie();
+      });
+      if (!comp.memo) { failed = true; break; }
+      groups = comp.memo->num_groups();
+
+      std::string xml_text;
+      t_export += bench::TimeMs(
+          [&]() { xml_text = MemoToXml(*comp.memo, *comp.stats); });
+      xml_bytes = xml_text.size();
+
+      ImportedMemo imported;
+      t_import += bench::TimeMs([&]() {
+        auto r = MemoFromXml(xml_text, shell);
+        if (r.ok()) imported = std::move(r).ValueOrDie();
+      });
+      if (!imported.memo) { failed = true; break; }
+
+      PdwPlanResult plan;
+      t_pdw += bench::TimeMs([&]() {
+        PdwOptimizer opt(imported.memo.get(), shell.topology());
+        auto r = opt.Optimize();
+        if (r.ok()) plan = std::move(r).ValueOrDie();
+      });
+      if (!plan.plan) { failed = true; break; }
+
+      t_dsql += bench::TimeMs([&]() {
+        auto r = GenerateDsql(*plan.plan, comp.output_names);
+        (void)r;
+      });
+    }
+    if (failed) {
+      std::printf("%-5s | compile failed\n", q.name.c_str());
+      continue;
+    }
+    double inv = 1.0 / kReps;
+    double total = (t_parse + t_compile + t_export + t_import + t_pdw +
+                    t_dsql) * inv;
+    std::printf(
+        "%-5s | %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f | %9.3f | %7d %7.1f\n",
+        q.name.c_str(), t_parse * inv, t_compile * inv, t_export * inv,
+        t_import * inv, t_pdw * inv, t_dsql * inv, total, groups,
+        static_cast<double>(xml_bytes) / 1024.0);
+  }
+}
+
+}  // namespace
+}  // namespace pdw
+
+int main() {
+  pdw::Run();
+  return 0;
+}

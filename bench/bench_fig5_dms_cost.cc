@@ -1,0 +1,132 @@
+// Reproduces Figure 5 / §3.3.3: the DMS operator cost structure and the λ
+// calibration. Part 1 calibrates the per-byte λ constants against the DMS
+// simulator's component implementations. Part 2 runs each of the 7 DMS
+// operations end-to-end and compares measured component times against the
+// model's predictions (shape check: which component dominates, how costs
+// scale with rows and nodes).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "dms/dms_service.h"
+#include "pdw/cost_model.h"
+
+namespace pdw {
+namespace {
+
+RowVector SyntheticRows(int count) {
+  RowVector rows;
+  rows.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    rows.push_back(Row{Datum::Int(i), Datum::Double(i * 1.5),
+                       Datum::Varchar("payload-" + std::to_string(i % 89)),
+                       Datum::Date(9000 + i % 700)});
+  }
+  return rows;
+}
+
+void Run() {
+  bench::Header("FIG5: DMS operator cost components and calibration");
+
+  // --- Part 1: λ calibration (§3.3.3 "cost calibration") ---
+  DmsCostParameters lambdas = CalibrateCostModel(50000);
+  std::printf("\ncalibrated per-byte constants (seconds/byte):\n");
+  std::printf("  lambda_reader_direct = %.3e\n", lambdas.lambda_reader_direct);
+  std::printf("  lambda_reader_hash   = %.3e  (hash overhead: %.2fx)\n",
+              lambdas.lambda_reader_hash,
+              lambdas.lambda_reader_hash / lambdas.lambda_reader_direct);
+  std::printf("  lambda_network       = %.3e\n", lambdas.lambda_network);
+  std::printf("  lambda_writer        = %.3e\n", lambdas.lambda_writer);
+  std::printf("  lambda_bulkcopy      = %.3e  (dominant, as in the paper)\n",
+              lambdas.lambda_bulkcopy);
+
+  // --- Part 2: measured vs modeled per operation ---
+  const int kNodes = 8;
+  DmsService dms(kNodes);
+  DmsCostModel model(lambdas, kNodes);
+  const int kRows = 40000;
+
+  std::printf("\n%-22s | %10s %10s %10s %10s | %10s %10s\n", "operation",
+              "reader s", "network s", "writer s", "blkcpy s", "meas wall",
+              "model");
+  struct Case {
+    DmsOpKind kind;
+    bool replicated_source;
+    bool single_source;
+  };
+  for (const Case& c : {Case{DmsOpKind::kShuffle, false, false},
+                        Case{DmsOpKind::kPartitionMove, false, false},
+                        Case{DmsOpKind::kBroadcastMove, false, false},
+                        Case{DmsOpKind::kTrimMove, true, false},
+                        Case{DmsOpKind::kControlNodeMove, false, true},
+                        Case{DmsOpKind::kReplicatedBroadcast, false, true},
+                        Case{DmsOpKind::kRemoteCopyToSingle, false, false}}) {
+    std::vector<RowVector> slots(static_cast<size_t>(kNodes + 1));
+    double width = 0;
+    if (c.replicated_source) {
+      RowVector replica = SyntheticRows(kRows);
+      width = static_cast<double>(RowWidth(replica[0]));
+      for (int n = 0; n < kNodes; ++n) slots[static_cast<size_t>(n)] = replica;
+    } else if (c.single_source) {
+      int slot = c.kind == DmsOpKind::kControlNodeMove ? kNodes : 0;
+      slots[static_cast<size_t>(slot)] = SyntheticRows(kRows);
+      width = static_cast<double>(RowWidth(slots[static_cast<size_t>(slot)][0]));
+    } else {
+      for (int n = 0; n < kNodes; ++n) {
+        slots[static_cast<size_t>(n)] = SyntheticRows(kRows / kNodes);
+      }
+      width = static_cast<double>(RowWidth(slots[0][0]));
+    }
+    DmsRunMetrics m;
+    std::vector<int> hash_cols = {0};
+    auto out = dms.Execute(c.kind, std::move(slots), hash_cols, &m);
+    if (!out.ok()) {
+      std::printf("%-22s FAILED: %s\n", DmsOpKindToString(c.kind),
+                  out.status().ToString().c_str());
+      continue;
+    }
+    double modeled = model.Cost(c.kind, kRows, width);
+    std::printf("%-22s | %10.4f %10.4f %10.4f %10.4f | %10.4f %10.4f\n",
+                DmsOpKindToString(c.kind), m.reader.seconds,
+                m.network.seconds, m.writer.seconds, m.bulkcopy.seconds,
+                m.wall_seconds, modeled);
+  }
+
+  // --- Part 3: model scaling in rows (linearity) and nodes ---
+  std::printf("\nmodeled shuffle cost vs rows (width=32, nodes=8):\n");
+  for (double rows : {1e4, 1e5, 1e6, 1e7}) {
+    std::printf("  rows=%8.0f  cost=%.5f\n", rows,
+                model.Cost(DmsOpKind::kShuffle, rows, 32));
+  }
+  std::printf("\nmodeled cost vs nodes (1e6 rows, width=32):\n");
+  std::printf("  %-8s %12s %12s %12s\n", "nodes", "shuffle", "broadcast",
+              "gather");
+  for (int n : {2, 4, 8, 16, 32}) {
+    DmsCostModel m(lambdas, n);
+    std::printf("  %-8d %12.5f %12.5f %12.5f\n", n,
+                m.Cost(DmsOpKind::kShuffle, 1e6, 32),
+                m.Cost(DmsOpKind::kBroadcastMove, 1e6, 32),
+                m.Cost(DmsOpKind::kPartitionMove, 1e6, 32));
+  }
+  std::printf(
+      "\nbroadcast/shuffle crossover: broadcast wins when the broadcast "
+      "side is ~N times smaller.\n");
+  DmsCostModel m8(lambdas, 8);
+  for (double small_rows : {1e4, 5e4, 1e5, 1.25e5, 2e5}) {
+    double broadcast = m8.Cost(DmsOpKind::kBroadcastMove, small_rows, 32);
+    double shuffle_both = m8.Cost(DmsOpKind::kShuffle, 1e6, 32) +
+                          m8.Cost(DmsOpKind::kShuffle, small_rows, 32);
+    std::printf("  small side=%8.0f rows: broadcast=%.5f vs shuffle both="
+                "%.5f -> %s\n",
+                small_rows, broadcast, shuffle_both,
+                broadcast < shuffle_both ? "BROADCAST" : "SHUFFLE");
+  }
+}
+
+}  // namespace
+}  // namespace pdw
+
+int main() {
+  pdw::Run();
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Component microbenchmarks (google-benchmark): throughput of the
+// individual stages that the end-to-end numbers aggregate — lexing,
+// parsing, binding+normalizing, memo construction, parallel optimization,
+// SQL generation, DMS row packing, and executor operators.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "dms/dms_service.h"
+#include "engine/executor.h"
+#include "engine/local_engine.h"
+#include "pdw/compiler.h"
+#include "pdw/dsql.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace pdw {
+namespace {
+
+const char* kJoinQuery =
+    "SELECT c_name, SUM(o_totalprice) AS total FROM customer, orders "
+    "WHERE c_custkey = o_custkey AND o_orderdate >= DATE '1995-01-01' "
+    "GROUP BY c_name ORDER BY total DESC LIMIT 10";
+
+Appliance* SharedAppliance() {
+  static Appliance* appliance = [] {
+    auto* a = new Appliance(Topology{8});
+    (void)tpch::CreateTpchTables(a);
+    tpch::TpchConfig cfg;
+    cfg.scale = 0.1;
+    (void)tpch::LoadTpch(a, cfg);
+    return a;
+  }();
+  return appliance;
+}
+
+void BM_Lexer(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tokens = sql::Tokenize(kJoinQuery);
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_Lexer);
+
+void BM_Parser(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = sql::ParseSelect(kJoinQuery);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_Parser);
+
+void BM_CompileSerial(benchmark::State& state) {
+  Appliance* a = SharedAppliance();
+  for (auto _ : state) {
+    auto comp = CompileQuery(a->shell(), kJoinQuery);
+    benchmark::DoNotOptimize(comp);
+  }
+}
+BENCHMARK(BM_CompileSerial);
+
+void BM_FullPdwCompilation(benchmark::State& state) {
+  Appliance* a = SharedAppliance();
+  PdwCompilerOptions opts;
+  opts.build_baseline = false;
+  for (auto _ : state) {
+    auto comp = CompilePdwQuery(a->shell(), kJoinQuery, opts);
+    benchmark::DoNotOptimize(comp);
+  }
+}
+BENCHMARK(BM_FullPdwCompilation);
+
+void BM_ParallelOptimizeOnly(benchmark::State& state) {
+  Appliance* a = SharedAppliance();
+  auto comp = CompilePdwQuery(a->shell(), kJoinQuery);
+  for (auto _ : state) {
+    PdwOptimizer opt(comp->imported.memo.get(), a->shell().topology());
+    auto plan = opt.Optimize();
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ParallelOptimizeOnly);
+
+void BM_DsqlGeneration(benchmark::State& state) {
+  Appliance* a = SharedAppliance();
+  auto comp = CompilePdwQuery(a->shell(), kJoinQuery);
+  for (auto _ : state) {
+    auto dsql = GenerateDsql(*comp->parallel.plan, comp->output_names);
+    benchmark::DoNotOptimize(dsql);
+  }
+}
+BENCHMARK(BM_DsqlGeneration);
+
+void BM_DmsPackUnpack(benchmark::State& state) {
+  Row row = {Datum::Int(42), Datum::Double(3.5),
+             Datum::Varchar("some payload text"), Datum::Date(9131)};
+  for (auto _ : state) {
+    std::vector<uint8_t> buf;
+    PackRow(row, &buf);
+    size_t offset = 0;
+    auto out = UnpackRow(buf, &offset);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 40);
+}
+BENCHMARK(BM_DmsPackUnpack);
+
+void BM_DmsShuffle(benchmark::State& state) {
+  DmsService dms(8);
+  RowVector rows;
+  for (int i = 0; i < 1000; ++i) {
+    rows.push_back({Datum::Int(i), Datum::Varchar("row-payload")});
+  }
+  for (auto _ : state) {
+    std::vector<RowVector> slots(9);
+    for (int n = 0; n < 8; ++n) slots[static_cast<size_t>(n)] = rows;
+    auto out = dms.Execute(DmsOpKind::kShuffle, std::move(slots), {0});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 8000);
+}
+BENCHMARK(BM_DmsShuffle);
+
+void BM_ExecutorHashJoin(benchmark::State& state) {
+  LocalEngine engine;
+  (void)engine.ExecuteSql("CREATE TABLE l (a INT, v INT)");
+  (void)engine.ExecuteSql("CREATE TABLE r (b INT, w INT)");
+  for (int batch = 0; batch < 20; ++batch) {
+    std::string values = "INSERT INTO l VALUES ";
+    std::string values_r = "INSERT INTO r VALUES ";
+    for (int i = 0; i < 100; ++i) {
+      int k = batch * 100 + i;
+      if (i > 0) {
+        values += ", ";
+        values_r += ", ";
+      }
+      values += "(" + std::to_string(k % 500) + ", " + std::to_string(k) + ")";
+      values_r += "(" + std::to_string(k % 500) + ", " + std::to_string(k) + ")";
+    }
+    (void)engine.ExecuteSql(values);
+    (void)engine.ExecuteSql(values_r);
+  }
+  for (auto _ : state) {
+    auto rows = engine.ExecuteSql(
+        "SELECT l.v, r.w FROM l, r WHERE l.a = r.b AND l.v < 1000");
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_ExecutorHashJoin);
+
+void BM_DistributedQueryEndToEnd(benchmark::State& state) {
+  Appliance* a = SharedAppliance();
+  for (auto _ : state) {
+    auto result = a->Execute(kJoinQuery);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DistributedQueryEndToEnd);
+
+}  // namespace
+}  // namespace pdw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// §3.3.1 assumption check: the cost model assumes *uniform distribution of
+// data across nodes*, costing only one node per side. This bench loads
+// TPC-H with increasing foreign-key skew and compares, for a
+// shuffle-dominated query, (a) the model's uniform per-node byte estimate
+// against (b) the actual maximum per-node bytes ingested, showing how the
+// single-node simplification degrades as uniformity erodes — and that plan
+// *correctness* never depends on it.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "pdw/compiler.h"
+
+namespace pdw {
+namespace {
+
+void Run() {
+  bench::Header("UNIFORMITY (§3.3.1): cost model vs skewed data");
+  const char* sql =
+      "SELECT c_custkey, COUNT(*) AS orders_count "
+      "FROM customer, orders WHERE c_custkey = o_custkey "
+      "GROUP BY c_custkey";
+
+  std::printf("\n%-6s | %12s %12s %8s | %14s %14s %8s | %7s\n", "skew",
+              "rows moved", "bytes moved", "", "uniform/node", "max node est",
+              "error", "correct");
+  for (double skew : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    auto appliance = bench::MakeTpchAppliance(8, 0.2, skew);
+    auto result = appliance->Execute(sql);
+    if (!result.ok()) {
+      std::printf("%-6.1f | execution failed: %s\n", skew,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    auto ref = appliance->ExecuteReference(sql);
+    bool correct = ref.ok() && RowSetsEqual(result->rows, ref->rows);
+
+    // The model charges per-node work as total/N (uniformity). Replay the
+    // first DMS step's routing to measure the true hottest node, counting
+    // the same bytes on both sides of the comparison.
+    double total_bytes = 0;
+    double max_node_bytes = 0;
+    const DsqlStep* shuffle_step = nullptr;
+    for (const auto& st : result->dsql.steps) {
+      // Replayable = a shuffle whose source reads base tables only (temp
+      // tables are dropped after execution).
+      if (st.kind == DsqlStepKind::kDms &&
+          st.move_kind == DmsOpKind::kShuffle &&
+          st.sql.find("[tempdb]") == std::string::npos) {
+        shuffle_step = &st;
+        break;
+      }
+    }
+    if (shuffle_step != nullptr) {
+      const DsqlStep& step = *shuffle_step;
+      std::vector<double> per_node(
+          static_cast<size_t>(appliance->num_compute_nodes()), 0.0);
+      for (int n = 0; n < appliance->num_compute_nodes(); ++n) {
+        auto rows = appliance->compute_node(n).ExecuteSql(step.sql);
+        if (!rows.ok()) continue;
+        for (const Row& r : rows->rows) {
+          int target =
+              appliance->dms().TargetNode(r, step.hash_column_ordinals);
+          double w = static_cast<double>(RowWidth(r));
+          per_node[static_cast<size_t>(target)] += w;
+          total_bytes += w;
+        }
+      }
+      max_node_bytes = *std::max_element(per_node.begin(), per_node.end());
+    }
+    if (shuffle_step == nullptr) {
+      std::printf("%-6.1f | no replayable base-table shuffle in this plan; "
+                  "correct=%s\n",
+                  skew, correct ? "YES" : "NO");
+      continue;
+    }
+    double uniform_per_node = total_bytes / appliance->num_compute_nodes();
+    double err = uniform_per_node > 0
+                     ? (max_node_bytes - uniform_per_node) / uniform_per_node
+                     : 0;
+    std::printf("%-6.1f | %12.0f %12.0f %8s | %14.0f %14.0f %7.0f%% | %7s\n",
+                skew, result->dms_metrics.rows_moved, total_bytes, "",
+                uniform_per_node, max_node_bytes, err * 100,
+                correct ? "YES" : "NO");
+  }
+  std::printf(
+      "\ninterpretation: with uniform keys the hottest node matches the\n"
+      "model's per-node estimate; as skew grows the model underestimates\n"
+      "the response-time-critical node — the price of the paper's\n"
+      "uniformity assumption. Results remain correct regardless: the\n"
+      "assumption is a costing simplification, not a correctness one.\n");
+}
+
+}  // namespace
+}  // namespace pdw
+
+int main() {
+  pdw::Run();
+  return 0;
+}

@@ -1,0 +1,57 @@
+#ifndef PDW_BENCH_BENCH_UTIL_H_
+#define PDW_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "appliance/appliance.h"
+#include "tpch/tpch.h"
+
+namespace pdw::bench {
+
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times one callable in milliseconds.
+template <typename F>
+double TimeMs(F&& f) {
+  double t0 = NowSeconds();
+  f();
+  return (NowSeconds() - t0) * 1e3;
+}
+
+/// Builds a loaded TPC-H appliance.
+inline std::unique_ptr<Appliance> MakeTpchAppliance(int nodes = 8,
+                                                    double scale = 0.1,
+                                                    double skew = 0) {
+  auto appliance = std::make_unique<Appliance>(Topology{nodes});
+  Status s = tpch::CreateTpchTables(appliance.get());
+  if (!s.ok()) {
+    std::fprintf(stderr, "create tables: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  tpch::TpchConfig cfg;
+  cfg.scale = scale;
+  cfg.skew = skew;
+  s = tpch::LoadTpch(appliance.get(), cfg);
+  if (!s.ok()) {
+    std::fprintf(stderr, "load: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  return appliance;
+}
+
+inline void Header(const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace pdw::bench
+
+#endif  // PDW_BENCH_BENCH_UTIL_H_

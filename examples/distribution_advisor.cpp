@@ -1,0 +1,89 @@
+// What-if distribution design: the cost-based optimizer doubles as a
+// partitioning advisor (the direction of the paper's reference [10],
+// Nehme & Bruno, "Automated partitioning design in parallel database
+// systems"). For each candidate distribution of the orders table, compile
+// a small workload against an alternative shell database and compare total
+// modeled DMS cost — metadata-only, no data movement needed to evaluate a
+// design.
+//
+//   $ ./build/examples/distribution_advisor
+
+#include <cstdio>
+#include <vector>
+
+#include "pdw/compiler.h"
+#include "tpch/tpch.h"
+
+using namespace pdw;
+
+int main() {
+  // Build one loaded appliance only to obtain realistic merged statistics.
+  Appliance appliance(Topology{8});
+  Status s = tpch::CreateTpchTables(&appliance);
+  if (!s.ok()) { std::printf("%s\n", s.ToString().c_str()); return 1; }
+  tpch::TpchConfig cfg;
+  cfg.scale = 0.2;
+  s = tpch::LoadTpch(&appliance, cfg);
+  if (!s.ok()) { std::printf("%s\n", s.ToString().c_str()); return 1; }
+
+  const std::vector<std::string> workload = {
+      // Orders-lineitem heavy:
+      "SELECT o_orderkey, COUNT(*) AS c FROM orders, lineitem "
+      "WHERE o_orderkey = l_orderkey GROUP BY o_orderkey",
+      // Customer-orders heavy:
+      "SELECT c_name, SUM(o_totalprice) AS total FROM customer, orders "
+      "WHERE c_custkey = o_custkey GROUP BY c_name",
+      // Aggregation by customer:
+      "SELECT o_custkey, COUNT(*) AS c FROM orders GROUP BY o_custkey",
+  };
+
+  struct Design {
+    const char* label;
+    DistributionSpec spec;
+  };
+  const std::vector<Design> designs = {
+      {"HASH(o_orderkey)  [paper default]",
+       DistributionSpec::HashOn("o_orderkey")},
+      {"HASH(o_custkey)", DistributionSpec::HashOn("o_custkey")},
+      {"REPLICATE", DistributionSpec::Replicated()},
+  };
+
+  std::printf("what-if analysis: distribution of ORDERS vs workload DMS "
+              "cost (8 nodes, shell-database only)\n\n");
+  std::printf("%-36s", "design");
+  for (size_t q = 0; q < workload.size(); ++q) {
+    std::printf(" %10s", ("query" + std::to_string(q + 1)).c_str());
+  }
+  std::printf(" %10s\n", "TOTAL");
+
+  for (const Design& d : designs) {
+    // Copy the shell database and re-declare orders with the candidate
+    // distribution — the essence of what-if: optimize against metadata.
+    Catalog shell = appliance.shell();
+    auto orders = shell.GetMutableTable("orders");
+    if (!orders.ok()) continue;
+    (*orders)->distribution = d.spec;
+
+    double total = 0;
+    std::printf("%-36s", d.label);
+    for (const std::string& sql : workload) {
+      PdwCompilerOptions opts;
+      opts.build_baseline = false;
+      auto comp = CompilePdwQuery(shell, sql, opts);
+      if (!comp.ok()) {
+        std::printf(" %10s", "ERR");
+        continue;
+      }
+      std::printf(" %10.5f", comp->parallel.cost);
+      total += comp->parallel.cost;
+    }
+    std::printf(" %10.5f\n", total);
+  }
+
+  std::printf(
+      "\nreading: HASH(o_orderkey) wins orders-lineitem work, "
+      "HASH(o_custkey) wins customer-centric work, REPLICATE trades load-"
+      "time copies for zero query-time movement — the trade-off space the "
+      "automated partitioning paper [10] searches.\n");
+  return 0;
+}

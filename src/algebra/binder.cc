@@ -1,0 +1,1015 @@
+#include "algebra/binder.h"
+
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+namespace {
+
+/// One visible relation (base table or derived table) in a FROM scope.
+struct TableScopeEntry {
+  std::string alias;  ///< Lowercased alias or table name.
+  std::vector<ColumnBinding> columns;
+};
+
+/// A name-resolution scope; `parent` links to the enclosing query's scope
+/// for correlated sub-queries.
+struct Scope {
+  std::vector<TableScopeEntry> tables;
+  Scope* parent = nullptr;
+};
+
+/// Collects the set of ColumnIds produced anywhere inside a subtree (used
+/// to distinguish local from correlated/outer references).
+void ProducedIds(const LogicalOp& op, std::set<ColumnId>* out) {
+  switch (op.kind()) {
+    case LogicalOpKind::kGet: {
+      for (const auto& b : static_cast<const LogicalGet&>(op).bindings()) {
+        out->insert(b.id);
+      }
+      break;
+    }
+    case LogicalOpKind::kEmpty: {
+      for (const auto& b : op.ComputeOutput({})) out->insert(b.id);
+      break;
+    }
+    case LogicalOpKind::kProject: {
+      for (const auto& item : static_cast<const LogicalProject&>(op).items()) {
+        out->insert(item.output.id);
+      }
+      break;
+    }
+    case LogicalOpKind::kAggregate: {
+      for (const auto& a :
+           static_cast<const LogicalAggregate&>(op).aggregates()) {
+        out->insert(a.output.id);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (const auto& c : op.children()) ProducedIds(*c, out);
+}
+
+}  // namespace
+
+/// The actual binder; separated from the public Binder facade so the header
+/// stays free of scope/context plumbing.
+class BinderImpl {
+ public:
+  BinderImpl(const Catalog& catalog, ColumnId* next_id)
+      : catalog_(catalog), next_id_(next_id) {}
+
+  Result<BoundQuery> BindTopLevel(const sql::SelectStatement& stmt) {
+    BoundQuery out;
+    PDW_ASSIGN_OR_RETURN(out.root, BindSelect(stmt, nullptr, &out.output_names,
+                                              &out.visible_columns));
+    return out;
+  }
+
+ private:
+  ColumnId NewId() { return (*next_id_)++; }
+
+  // -------------------------------------------------------------------
+  // Name resolution.
+  // -------------------------------------------------------------------
+
+  Result<ColumnBinding> ResolveColumn(Scope* scope, const std::string& table,
+                                      const std::string& column) {
+    for (Scope* s = scope; s != nullptr; s = s->parent) {
+      std::vector<ColumnBinding> matches;
+      for (const auto& entry : s->tables) {
+        if (!table.empty() && !EqualsIgnoreCase(entry.alias, table)) continue;
+        for (const auto& col : entry.columns) {
+          if (EqualsIgnoreCase(col.name, column)) matches.push_back(col);
+        }
+      }
+      if (matches.size() == 1) return matches[0];
+      if (matches.size() > 1) {
+        return Status::InvalidArgument("ambiguous column '" + column + "'");
+      }
+    }
+    std::string qual = table.empty() ? column : table + "." + column;
+    return Status::NotFound("column '" + qual + "' not found");
+  }
+
+  // -------------------------------------------------------------------
+  // Scalar expression binding.
+  // -------------------------------------------------------------------
+
+  /// Context for binding one scalar expression. When `aggregates` is
+  /// non-null, aggregate function calls are collected there and replaced
+  /// with references to their output columns.
+  struct ExprCtx {
+    Scope* scope = nullptr;
+    std::vector<AggregateItem>* aggregates = nullptr;
+  };
+
+  Result<ScalarExprPtr> BindScalar(const sql::Expr& e, ExprCtx* ctx) {
+    using sql::ExprKind;
+    switch (e.kind) {
+      case ExprKind::kColumnRef: {
+        const auto& c = static_cast<const sql::ColumnRefExpr&>(e);
+        PDW_ASSIGN_OR_RETURN(ColumnBinding b,
+                             ResolveColumn(ctx->scope, c.table, c.column));
+        return MakeColumn(b);
+      }
+      case ExprKind::kLiteral:
+        return MakeLiteral(static_cast<const sql::LiteralExpr&>(e).value);
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const sql::BinaryExpr&>(e);
+        PDW_ASSIGN_OR_RETURN(ScalarExprPtr l, BindScalar(*b.left, ctx));
+        PDW_ASSIGN_OR_RETURN(ScalarExprPtr r, BindScalar(*b.right, ctx));
+        return MakeBinary(b.op, std::move(l), std::move(r));
+      }
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const sql::UnaryExpr&>(e);
+        PDW_ASSIGN_OR_RETURN(ScalarExprPtr v, BindScalar(*u.operand, ctx));
+        TypeId t = u.op == sql::UnaryOp::kNot ? TypeId::kBool : v->type();
+        return ScalarExprPtr(std::make_shared<UnaryExprB>(u.op, std::move(v), t));
+      }
+      case ExprKind::kIsNull: {
+        const auto& n = static_cast<const sql::IsNullExpr&>(e);
+        PDW_ASSIGN_OR_RETURN(ScalarExprPtr v, BindScalar(*n.operand, ctx));
+        return ScalarExprPtr(std::make_shared<IsNullExprB>(std::move(v),
+                                                           n.negated));
+      }
+      case ExprKind::kBetween: {
+        const auto& b = static_cast<const sql::BetweenExpr&>(e);
+        PDW_ASSIGN_OR_RETURN(ScalarExprPtr v, BindScalar(*b.value, ctx));
+        PDW_ASSIGN_OR_RETURN(ScalarExprPtr lo, BindScalar(*b.low, ctx));
+        PDW_ASSIGN_OR_RETURN(ScalarExprPtr hi, BindScalar(*b.high, ctx));
+        ScalarExprPtr ge = MakeBinary(sql::BinaryOp::kGe, v, lo);
+        ScalarExprPtr le = MakeBinary(sql::BinaryOp::kLe, v, hi);
+        ScalarExprPtr both = MakeBinary(sql::BinaryOp::kAnd, ge, le);
+        return b.negated ? MakeNot(both) : both;
+      }
+      case ExprKind::kInList: {
+        const auto& in = static_cast<const sql::InListExpr&>(e);
+        PDW_ASSIGN_OR_RETURN(ScalarExprPtr v, BindScalar(*in.value, ctx));
+        ScalarExprPtr disjunction;
+        for (const auto& item : in.items) {
+          PDW_ASSIGN_OR_RETURN(ScalarExprPtr rhs, BindScalar(*item, ctx));
+          ScalarExprPtr eq = MakeBinary(sql::BinaryOp::kEq, v, rhs);
+          disjunction = disjunction
+                            ? MakeBinary(sql::BinaryOp::kOr, disjunction, eq)
+                            : eq;
+        }
+        if (!disjunction) disjunction = MakeLiteral(Datum::Bool(false));
+        return in.negated ? MakeNot(disjunction) : disjunction;
+      }
+      case ExprKind::kCase: {
+        const auto& c = static_cast<const sql::CaseExpr&>(e);
+        std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> whens;
+        TypeId type = TypeId::kInvalid;
+        for (const auto& [w, t] : c.whens) {
+          PDW_ASSIGN_OR_RETURN(ScalarExprPtr bw, BindScalar(*w, ctx));
+          PDW_ASSIGN_OR_RETURN(ScalarExprPtr bt, BindScalar(*t, ctx));
+          if (type == TypeId::kInvalid) type = bt->type();
+          whens.emplace_back(std::move(bw), std::move(bt));
+        }
+        ScalarExprPtr else_expr;
+        if (c.else_expr) {
+          PDW_ASSIGN_OR_RETURN(else_expr, BindScalar(*c.else_expr, ctx));
+          if (type == TypeId::kInvalid) type = else_expr->type();
+        }
+        return ScalarExprPtr(std::make_shared<CaseExprB>(
+            std::move(whens), std::move(else_expr), type));
+      }
+      case ExprKind::kCast: {
+        const auto& c = static_cast<const sql::CastExpr&>(e);
+        PDW_ASSIGN_OR_RETURN(ScalarExprPtr v, BindScalar(*c.operand, ctx));
+        return ScalarExprPtr(std::make_shared<CastExprB>(std::move(v),
+                                                         c.target));
+      }
+      case ExprKind::kFunction: {
+        const auto& f = static_cast<const sql::FunctionExpr&>(e);
+        AggFunc agg;
+        if (IsAggregateName(f.name, &agg)) {
+          if (ctx->aggregates == nullptr) {
+            return Status::InvalidArgument(
+                "aggregate " + f.name + " not allowed in this context");
+          }
+          return BindAggregateCall(f, agg, ctx);
+        }
+        std::vector<ScalarExprPtr> args;
+        for (const auto& a : f.args) {
+          PDW_ASSIGN_OR_RETURN(ScalarExprPtr b, BindScalar(*a, ctx));
+          args.push_back(std::move(b));
+        }
+        TypeId type = ScalarFunctionType(f.name, args);
+        if (type == TypeId::kInvalid) {
+          return Status::NotFound("unknown function '" + f.name + "'");
+        }
+        return ScalarExprPtr(std::make_shared<FunctionExprB>(
+            f.name, std::move(args), type));
+      }
+      case ExprKind::kStar:
+        return Status::InvalidArgument("'*' is only valid in a SELECT list");
+      case ExprKind::kInSubquery:
+      case ExprKind::kExistsSubquery:
+      case ExprKind::kScalarSubquery:
+        return Status::InvalidArgument(
+            "sub-query is only supported in WHERE conjuncts");
+    }
+    return Status::Internal("unreachable expression kind");
+  }
+
+  static bool IsAggregateName(const std::string& name, AggFunc* out) {
+    if (name == "COUNT") { *out = AggFunc::kCount; return true; }
+    if (name == "SUM") { *out = AggFunc::kSum; return true; }
+    if (name == "AVG") { *out = AggFunc::kAvg; return true; }
+    if (name == "MIN") { *out = AggFunc::kMin; return true; }
+    if (name == "MAX") { *out = AggFunc::kMax; return true; }
+    return false;
+  }
+
+  static TypeId ScalarFunctionType(const std::string& name,
+                                   const std::vector<ScalarExprPtr>& args) {
+    if (name == "DATEADD") return TypeId::kDate;
+    if (name == "ABS") return args.empty() ? TypeId::kDouble : args[0]->type();
+    if (name == "SUBSTRING") return TypeId::kVarchar;
+    return TypeId::kInvalid;
+  }
+
+  Result<ScalarExprPtr> BindAggregateCall(const sql::FunctionExpr& f,
+                                          AggFunc func, ExprCtx* ctx) {
+    // AVG(x) is rewritten to SUM(x)/COUNT(x) (guarded against empty input),
+    // so every surviving aggregate is two-phase splittable for distributed
+    // local/global aggregation. DISTINCT AVG keeps its distinct flag on
+    // both halves.
+    if (func == AggFunc::kAvg) {
+      if (f.args.size() != 1) {
+        return Status::InvalidArgument("AVG expects one argument");
+      }
+      PDW_ASSIGN_OR_RETURN(ScalarExprPtr sum_col,
+                           BindSimpleAggregate(AggFunc::kSum, f, ctx));
+      PDW_ASSIGN_OR_RETURN(ScalarExprPtr cnt_col,
+                           BindSimpleAggregate(AggFunc::kCount, f, ctx));
+      ScalarExprPtr zero = MakeLiteral(Datum::Int(0));
+      ScalarExprPtr is_zero = MakeBinary(sql::BinaryOp::kEq, cnt_col, zero);
+      ScalarExprPtr ratio = MakeBinary(sql::BinaryOp::kDiv, sum_col, cnt_col);
+      std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> whens;
+      whens.emplace_back(is_zero, MakeLiteral(Datum::Null()));
+      return ScalarExprPtr(std::make_shared<CaseExprB>(
+          std::move(whens), std::move(ratio), TypeId::kDouble));
+    }
+    return BindSimpleAggregate(func, f, ctx);
+  }
+
+  Result<ScalarExprPtr> BindSimpleAggregate(AggFunc func,
+                                            const sql::FunctionExpr& f,
+                                            ExprCtx* ctx) {
+    AggregateItem item;
+    item.distinct = f.distinct;
+    if (f.star_arg || (func == AggFunc::kCount && f.args.empty())) {
+      item.func = AggFunc::kCountStar;
+    } else {
+      if (f.args.size() != 1) {
+        return Status::InvalidArgument(f.name + " expects one argument");
+      }
+      item.func = func;
+      // Aggregate arguments must not themselves contain aggregates.
+      ExprCtx arg_ctx;
+      arg_ctx.scope = ctx->scope;
+      PDW_ASSIGN_OR_RETURN(item.arg, BindScalar(*f.args[0], &arg_ctx));
+    }
+    TypeId out_type;
+    switch (item.func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        out_type = TypeId::kInt;
+        break;
+      case AggFunc::kAvg:
+        out_type = TypeId::kDouble;
+        break;
+      default:
+        out_type = item.arg->type();
+    }
+    // Reuse an identical aggregate already collected for this query block.
+    for (const auto& existing : *ctx->aggregates) {
+      if (existing.func == item.func && existing.distinct == item.distinct) {
+        bool same_arg = (existing.arg == nullptr && item.arg == nullptr) ||
+                        (existing.arg && item.arg &&
+                         existing.arg->Equals(*item.arg));
+        if (same_arg) return MakeColumn(existing.output);
+      }
+    }
+    item.output = ColumnBinding{NewId(), ToLower(f.name), out_type};
+    ctx->aggregates->push_back(item);
+    return MakeColumn(item.output);
+  }
+
+  // -------------------------------------------------------------------
+  // FROM clause.
+  // -------------------------------------------------------------------
+
+  Result<LogicalOpPtr> BindTableRef(const sql::TableRef& ref, Scope* scope) {
+    switch (ref.kind) {
+      case sql::TableRefKind::kBase: {
+        const auto& base = static_cast<const sql::BaseTableRef&>(ref);
+        PDW_ASSIGN_OR_RETURN(const TableDef* def,
+                             catalog_.GetTable(base.table));
+        std::vector<ColumnBinding> bindings;
+        for (const auto& col : def->schema.columns()) {
+          bindings.push_back(ColumnBinding{NewId(), col.name, col.type});
+        }
+        std::string alias = base.alias.empty() ? base.table : base.alias;
+        scope->tables.push_back(TableScopeEntry{alias, bindings});
+        return LogicalOpPtr(std::make_shared<LogicalGet>(
+            def->name, alias, def, std::move(bindings)));
+      }
+      case sql::TableRefKind::kJoin: {
+        const auto& join = static_cast<const sql::JoinTableRef&>(ref);
+        PDW_ASSIGN_OR_RETURN(LogicalOpPtr left, BindTableRef(*join.left, scope));
+        PDW_ASSIGN_OR_RETURN(LogicalOpPtr right,
+                             BindTableRef(*join.right, scope));
+        std::vector<ScalarExprPtr> conditions;
+        if (join.condition) {
+          ExprCtx ctx;
+          ctx.scope = scope;
+          PDW_ASSIGN_OR_RETURN(ScalarExprPtr cond,
+                               BindScalar(*join.condition, &ctx));
+          SplitConjuncts(cond, &conditions);
+        }
+        LogicalJoinType jt = LogicalJoinType::kInner;
+        switch (join.join_type) {
+          case sql::JoinType::kInner: jt = LogicalJoinType::kInner; break;
+          case sql::JoinType::kLeft: jt = LogicalJoinType::kLeftOuter; break;
+          case sql::JoinType::kCross: jt = LogicalJoinType::kCross; break;
+        }
+        return LogicalOpPtr(std::make_shared<LogicalJoin>(
+            jt, std::move(conditions), std::move(left), std::move(right)));
+      }
+      case sql::TableRefKind::kDerived: {
+        const auto& derived = static_cast<const sql::DerivedTableRef&>(ref);
+        std::vector<std::string> names;
+        int ignore_visible = -1;
+        // Derived tables see the *outer* query's scope chain, not siblings.
+        PDW_ASSIGN_OR_RETURN(
+            LogicalOpPtr sub,
+            BindSelect(*derived.subquery, scope->parent, &names,
+                       &ignore_visible));
+        std::vector<ColumnBinding> cols = sub->OutputBindings();
+        for (size_t i = 0; i < cols.size() && i < names.size(); ++i) {
+          cols[i].name = names[i];
+        }
+        scope->tables.push_back(TableScopeEntry{derived.alias, cols});
+        return sub;
+      }
+    }
+    return Status::Internal("unreachable table ref kind");
+  }
+
+  // -------------------------------------------------------------------
+  // Sub-query unnesting (paper: "sub-query removal, sub-query into join").
+  // -------------------------------------------------------------------
+
+  /// Removes correlated conjuncts (those referencing columns not produced
+  /// inside `op`'s subtree) from the subtree's filters and returns them.
+  /// Columns the lifted conjuncts need are re-exposed through Projects and
+  /// added to Aggregate group-by lists on the way up — the classic
+  /// correlated-scalar-aggregate-to-join transformation.
+  Result<LogicalOpPtr> Decorrelate(LogicalOpPtr op,
+                                   const std::set<ColumnId>& local_ids,
+                                   std::vector<ScalarExprPtr>* lifted) {
+    switch (op->kind()) {
+      case LogicalOpKind::kFilter: {
+        const auto& f = static_cast<const LogicalFilter&>(*op);
+        PDW_ASSIGN_OR_RETURN(
+            LogicalOpPtr child,
+            Decorrelate(op->children()[0], local_ids, lifted));
+        std::vector<ScalarExprPtr> local;
+        for (const auto& c : f.conjuncts()) {
+          if (ExprCoveredBy(c, local_ids)) {
+            local.push_back(c);
+          } else {
+            lifted->push_back(c);
+          }
+        }
+        if (local.empty()) return child;
+        return LogicalOpPtr(
+            std::make_shared<LogicalFilter>(std::move(local), std::move(child)));
+      }
+      case LogicalOpKind::kProject: {
+        const auto& p = static_cast<const LogicalProject&>(*op);
+        PDW_ASSIGN_OR_RETURN(
+            LogicalOpPtr child,
+            Decorrelate(op->children()[0], local_ids, lifted));
+        // Re-expose any local columns the lifted conjuncts reference.
+        std::set<ColumnId> needed;
+        for (const auto& c : *lifted) CollectColumns(c, &needed);
+        std::vector<ProjectItem> items = p.items();
+        std::vector<ColumnBinding> child_cols = child->OutputBindings();
+        for (ColumnId id : needed) {
+          int in_child = FindBinding(child_cols, id);
+          if (in_child < 0) continue;  // outer column, not ours to expose
+          bool already = false;
+          for (const auto& item : items) {
+            if (item.output.id == id) already = true;
+          }
+          if (!already) {
+            const ColumnBinding& b = child_cols[static_cast<size_t>(in_child)];
+            items.push_back(ProjectItem{MakeColumn(b), b});
+          }
+        }
+        return LogicalOpPtr(
+            std::make_shared<LogicalProject>(std::move(items), std::move(child)));
+      }
+      case LogicalOpKind::kAggregate: {
+        const auto& a = static_cast<const LogicalAggregate&>(*op);
+        PDW_ASSIGN_OR_RETURN(
+            LogicalOpPtr child,
+            Decorrelate(op->children()[0], local_ids, lifted));
+        std::set<ColumnId> needed;
+        for (const auto& c : *lifted) CollectColumns(c, &needed);
+        std::vector<ColumnId> group_by = a.group_by();
+        std::vector<ColumnBinding> child_cols = child->OutputBindings();
+        for (ColumnId id : needed) {
+          if (FindBinding(child_cols, id) < 0) continue;
+          bool already = false;
+          for (ColumnId g : group_by) {
+            if (g == id) already = true;
+          }
+          if (!already) group_by.push_back(id);
+        }
+        return LogicalOpPtr(std::make_shared<LogicalAggregate>(
+            std::move(group_by), a.aggregates(), std::move(child)));
+      }
+      case LogicalOpKind::kJoin: {
+        const auto& j = static_cast<const LogicalJoin&>(*op);
+        PDW_ASSIGN_OR_RETURN(
+            LogicalOpPtr left, Decorrelate(op->children()[0], local_ids, lifted));
+        PDW_ASSIGN_OR_RETURN(
+            LogicalOpPtr right,
+            Decorrelate(op->children()[1], local_ids, lifted));
+        // The join's own conditions may be correlated too.
+        std::vector<ScalarExprPtr> local;
+        for (const auto& c : j.conditions()) {
+          if (ExprCoveredBy(c, local_ids)) {
+            local.push_back(c);
+          } else {
+            lifted->push_back(c);
+          }
+        }
+        return LogicalOpPtr(std::make_shared<LogicalJoin>(
+            j.join_type(), std::move(local), std::move(left), std::move(right)));
+      }
+      case LogicalOpKind::kGet:
+      case LogicalOpKind::kEmpty:
+      case LogicalOpKind::kUnionAll:
+        return op;
+      case LogicalOpKind::kSort:
+      case LogicalOpKind::kLimit: {
+        std::vector<ScalarExprPtr> below;
+        PDW_ASSIGN_OR_RETURN(
+            LogicalOpPtr child,
+            Decorrelate(op->children()[0], local_ids, &below));
+        if (!below.empty()) {
+          return Status::NotImplemented(
+              "correlated sub-query under ORDER BY/LIMIT");
+        }
+        return op->WithChildren({std::move(child)});
+      }
+    }
+    return Status::Internal("unreachable op kind in Decorrelate");
+  }
+
+  /// Binds a sub-query appearing in a WHERE conjunct and attaches it to
+  /// `input` as a semi/anti/inner join. `value` is the left operand for IN,
+  /// `cmp_lhs`/`cmp_op` describe a scalar comparison context.
+  Result<LogicalOpPtr> ApplySubqueryConjunct(LogicalOpPtr input, Scope* scope,
+                                             const sql::Expr& conjunct,
+                                             bool negated) {
+    using sql::ExprKind;
+    if (conjunct.kind == ExprKind::kInSubquery ||
+        conjunct.kind == ExprKind::kExistsSubquery) {
+      const auto& sq = static_cast<const sql::SubqueryExpr&>(conjunct);
+      bool neg = negated != sq.negated;
+      std::vector<std::string> names;
+      int ignore_visible = -1;
+      PDW_ASSIGN_OR_RETURN(LogicalOpPtr sub,
+                           BindSelect(*sq.subquery, scope, &names,
+                                      &ignore_visible));
+      std::set<ColumnId> local;
+      ProducedIds(*sub, &local);
+      std::vector<ScalarExprPtr> lifted;
+      PDW_ASSIGN_OR_RETURN(sub, Decorrelate(std::move(sub), local, &lifted));
+      std::vector<ScalarExprPtr> conditions = std::move(lifted);
+      if (conjunct.kind == ExprKind::kInSubquery) {
+        ExprCtx ctx;
+        ctx.scope = scope;
+        PDW_ASSIGN_OR_RETURN(ScalarExprPtr lhs, BindScalar(*sq.value, &ctx));
+        std::vector<ColumnBinding> sub_cols = sub->OutputBindings();
+        if (sub_cols.empty()) {
+          return Status::InvalidArgument("IN sub-query returns no columns");
+        }
+        conditions.push_back(MakeBinary(sql::BinaryOp::kEq, lhs,
+                                        MakeColumn(sub_cols[0])));
+      }
+      LogicalJoinType jt = neg ? LogicalJoinType::kAnti : LogicalJoinType::kSemi;
+      return LogicalOpPtr(std::make_shared<LogicalJoin>(
+          jt, std::move(conditions), std::move(input), std::move(sub)));
+    }
+    return Status::Internal("not a sub-query conjunct");
+  }
+
+  /// Handles `lhs CMP (SELECT agg ...)` conjuncts by joining against the
+  /// (possibly decorrelated, grouped) sub-query.
+  Result<LogicalOpPtr> ApplyScalarSubqueryComparison(
+      LogicalOpPtr input, Scope* scope, const sql::BinaryExpr& cmp) {
+    const sql::Expr* scalar_side = nullptr;
+    const sql::Expr* other_side = nullptr;
+    bool subquery_on_right = false;
+    if (cmp.right->kind == sql::ExprKind::kScalarSubquery) {
+      scalar_side = cmp.right.get();
+      other_side = cmp.left.get();
+      subquery_on_right = true;
+    } else {
+      scalar_side = cmp.left.get();
+      other_side = cmp.right.get();
+    }
+    const auto& sq = static_cast<const sql::SubqueryExpr&>(*scalar_side);
+    std::vector<std::string> names;
+    int ignore_visible = -1;
+    PDW_ASSIGN_OR_RETURN(LogicalOpPtr sub,
+                         BindSelect(*sq.subquery, scope, &names,
+                                    &ignore_visible));
+    std::set<ColumnId> local;
+    ProducedIds(*sub, &local);
+    std::vector<ScalarExprPtr> lifted;
+    PDW_ASSIGN_OR_RETURN(sub, Decorrelate(std::move(sub), local, &lifted));
+
+    // Guarantee single-row semantics: require an aggregate core.
+    if (!HasScalarAggregateCore(*sub) && lifted.empty()) {
+      return Status::NotImplemented(
+          "scalar sub-query without aggregate is not supported");
+    }
+    std::vector<ColumnBinding> sub_cols = sub->OutputBindings();
+    if (sub_cols.empty()) {
+      return Status::InvalidArgument("scalar sub-query returns no columns");
+    }
+    ExprCtx ctx;
+    ctx.scope = scope;
+    PDW_ASSIGN_OR_RETURN(ScalarExprPtr outer_expr, BindScalar(*other_side, &ctx));
+    ScalarExprPtr sub_col = MakeColumn(sub_cols[0]);
+    ScalarExprPtr l = subquery_on_right ? outer_expr : sub_col;
+    ScalarExprPtr r = subquery_on_right ? sub_col : outer_expr;
+    std::vector<ScalarExprPtr> conditions = std::move(lifted);
+    conditions.push_back(MakeBinary(cmp.op, std::move(l), std::move(r)));
+    return LogicalOpPtr(std::make_shared<LogicalJoin>(
+        LogicalJoinType::kInner, std::move(conditions), std::move(input),
+        std::move(sub)));
+  }
+
+  static bool HasScalarAggregateCore(const LogicalOp& op) {
+    if (op.kind() == LogicalOpKind::kAggregate) return true;
+    if (op.children().size() == 1) {
+      return HasScalarAggregateCore(*op.children()[0]);
+    }
+    return false;
+  }
+
+  static bool ContainsSubquery(const sql::Expr& e) {
+    using sql::ExprKind;
+    switch (e.kind) {
+      case ExprKind::kInSubquery:
+      case ExprKind::kExistsSubquery:
+      case ExprKind::kScalarSubquery:
+        return true;
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const sql::BinaryExpr&>(e);
+        return ContainsSubquery(*b.left) || ContainsSubquery(*b.right);
+      }
+      case ExprKind::kUnary:
+        return ContainsSubquery(*static_cast<const sql::UnaryExpr&>(e).operand);
+      default:
+        return false;
+    }
+  }
+
+  /// Splits a WHERE AST on AND, routes sub-query conjuncts through the
+  /// unnesting paths, binds the rest, and wraps `input` accordingly.
+  Result<LogicalOpPtr> BindWhere(const sql::Expr& where, LogicalOpPtr input,
+                                 Scope* scope) {
+    // AST-level conjunct split.
+    std::vector<const sql::Expr*> conjuncts;
+    CollectAstConjuncts(where, &conjuncts);
+
+    std::vector<ScalarExprPtr> plain;
+    for (const sql::Expr* c : conjuncts) {
+      const sql::Expr* inner = c;
+      bool negated = false;
+      while (inner->kind == sql::ExprKind::kUnary &&
+             static_cast<const sql::UnaryExpr&>(*inner).op ==
+                 sql::UnaryOp::kNot) {
+        negated = !negated;
+        inner = static_cast<const sql::UnaryExpr&>(*inner).operand.get();
+      }
+      if (inner->kind == sql::ExprKind::kInSubquery ||
+          inner->kind == sql::ExprKind::kExistsSubquery) {
+        PDW_ASSIGN_OR_RETURN(
+            input, ApplySubqueryConjunct(std::move(input), scope, *inner,
+                                         negated));
+        continue;
+      }
+      if (inner->kind == sql::ExprKind::kBinary) {
+        const auto& b = static_cast<const sql::BinaryExpr&>(*inner);
+        bool is_cmp = b.op == sql::BinaryOp::kEq || b.op == sql::BinaryOp::kNe ||
+                      b.op == sql::BinaryOp::kLt || b.op == sql::BinaryOp::kLe ||
+                      b.op == sql::BinaryOp::kGt || b.op == sql::BinaryOp::kGe;
+        bool has_scalar_sub =
+            b.left->kind == sql::ExprKind::kScalarSubquery ||
+            b.right->kind == sql::ExprKind::kScalarSubquery;
+        if (is_cmp && has_scalar_sub) {
+          if (negated) {
+            return Status::NotImplemented(
+                "negated scalar sub-query comparison");
+          }
+          PDW_ASSIGN_OR_RETURN(
+              input, ApplyScalarSubqueryComparison(std::move(input), scope, b));
+          continue;
+        }
+      }
+      if (ContainsSubquery(*inner)) {
+        return Status::NotImplemented(
+            "sub-query in unsupported predicate position: " + inner->ToString());
+      }
+      ExprCtx ctx;
+      ctx.scope = scope;
+      PDW_ASSIGN_OR_RETURN(ScalarExprPtr bound, BindScalar(*inner, &ctx));
+      plain.push_back(negated ? MakeNot(bound) : bound);
+    }
+    if (plain.empty()) return input;
+    return LogicalOpPtr(
+        std::make_shared<LogicalFilter>(std::move(plain), std::move(input)));
+  }
+
+  static void CollectAstConjuncts(const sql::Expr& e,
+                                  std::vector<const sql::Expr*>* out) {
+    if (e.kind == sql::ExprKind::kBinary) {
+      const auto& b = static_cast<const sql::BinaryExpr&>(e);
+      if (b.op == sql::BinaryOp::kAnd) {
+        CollectAstConjuncts(*b.left, out);
+        CollectAstConjuncts(*b.right, out);
+        return;
+      }
+    }
+    out->push_back(&e);
+  }
+
+  // -------------------------------------------------------------------
+  // SELECT statement binding.
+  // -------------------------------------------------------------------
+
+  /// Binds a UNION [ALL] chain: operands bind independently and align
+  /// positionally; plain UNION adds a dedup aggregate; the last operand's
+  /// ORDER BY / LIMIT apply to the whole union (resolved by output name).
+  Result<LogicalOpPtr> BindUnion(const sql::SelectStatement& stmt,
+                                 Scope* outer,
+                                 std::vector<std::string>* output_names,
+                                 int* visible_columns) {
+    std::vector<LogicalOpPtr> children;
+    std::vector<std::string> first_names;
+    bool distinct_union = false;
+    const sql::SelectStatement* last = &stmt;
+    for (const sql::SelectStatement* cur = &stmt; cur != nullptr;
+         cur = cur->union_next.get()) {
+      std::vector<std::string> child_names;
+      int ignore = -1;
+      PDW_ASSIGN_OR_RETURN(
+          LogicalOpPtr child,
+          BindSelect(*cur, outer, &child_names, &ignore,
+                     /*as_union_operand=*/true));
+      if (children.empty()) first_names = child_names;
+      if (cur->union_next != nullptr && cur->union_distinct) {
+        distinct_union = true;
+      }
+      children.push_back(std::move(child));
+      last = cur;
+    }
+
+    std::vector<ColumnBinding> first_out = children[0]->OutputBindings();
+    size_t arity = first_out.size();
+    std::vector<std::vector<ColumnId>> child_cols;
+    for (const auto& child : children) {
+      std::vector<ColumnBinding> out = child->OutputBindings();
+      if (out.size() != arity) {
+        return Status::InvalidArgument(
+            "UNION operands have different column counts");
+      }
+      std::vector<ColumnId> ids;
+      for (size_t p = 0; p < arity; ++p) {
+        TypeId a = first_out[p].type;
+        TypeId b = out[p].type;
+        bool compatible = a == b || (IsNumericType(a) && IsNumericType(b));
+        if (!compatible) {
+          return Status::InvalidArgument(
+              "UNION operand column types are incompatible at position " +
+              std::to_string(p + 1));
+        }
+        ids.push_back(out[p].id);
+      }
+      child_cols.push_back(std::move(ids));
+    }
+    std::vector<ColumnBinding> outputs;
+    for (size_t p = 0; p < arity; ++p) {
+      std::string name = p < first_names.size() ? first_names[p]
+                                                : first_out[p].name;
+      outputs.push_back(ColumnBinding{NewId(), name, first_out[p].type});
+    }
+    *output_names = first_names;
+
+    LogicalOpPtr plan = std::make_shared<LogicalUnionAll>(
+        outputs, std::move(child_cols), std::move(children));
+    if (distinct_union) {
+      std::vector<ColumnId> all_ids;
+      for (const auto& b : outputs) all_ids.push_back(b.id);
+      plan = std::make_shared<LogicalAggregate>(
+          all_ids, std::vector<AggregateItem>{}, std::move(plan));
+    }
+    // Whole-union ORDER BY / LIMIT from the last operand.
+    if (!last->order_by.empty()) {
+      std::vector<SortItem> sort_items;
+      for (const auto& ob : last->order_by) {
+        if (ob.expr->kind != sql::ExprKind::kColumnRef) {
+          return Status::NotImplemented(
+              "UNION ORDER BY must name an output column");
+        }
+        const auto& cr = static_cast<const sql::ColumnRefExpr&>(*ob.expr);
+        ColumnId resolved = kInvalidColumnId;
+        for (const auto& b : outputs) {
+          if (EqualsIgnoreCase(b.name, cr.column)) resolved = b.id;
+        }
+        if (resolved == kInvalidColumnId) {
+          return Status::InvalidArgument(
+              "UNION ORDER BY column '" + cr.column + "' not in output");
+        }
+        sort_items.push_back(SortItem{resolved, ob.ascending});
+      }
+      plan = std::make_shared<LogicalSort>(std::move(sort_items),
+                                           std::move(plan));
+    }
+    if (last->limit >= 0) {
+      plan = std::make_shared<LogicalLimit>(last->limit, std::move(plan));
+    }
+    (void)visible_columns;
+    return plan;
+  }
+
+  Result<LogicalOpPtr> BindSelect(const sql::SelectStatement& stmt,
+                                  Scope* outer,
+                                  std::vector<std::string>* output_names,
+                                  int* visible_columns,
+                                  bool as_union_operand = false) {
+    if (!as_union_operand && stmt.union_next != nullptr) {
+      return BindUnion(stmt, outer, output_names, visible_columns);
+    }
+    Scope scope;
+    scope.parent = outer;
+
+    if (stmt.from.empty()) {
+      return Status::NotImplemented("SELECT without FROM");
+    }
+    // FROM: comma entries become cross joins (normalizer converts to inner
+    // joins once WHERE equi-conjuncts are pushed into them).
+    LogicalOpPtr plan;
+    for (const auto& tr : stmt.from) {
+      PDW_ASSIGN_OR_RETURN(LogicalOpPtr t, BindTableRef(*tr, &scope));
+      plan = plan ? LogicalOpPtr(std::make_shared<LogicalJoin>(
+                        LogicalJoinType::kCross, std::vector<ScalarExprPtr>{},
+                        std::move(plan), std::move(t)))
+                  : std::move(t);
+    }
+
+    if (stmt.where) {
+      PDW_ASSIGN_OR_RETURN(plan, BindWhere(*stmt.where, std::move(plan), &scope));
+    }
+
+    // Group-by expressions: bare columns stay columns, computed expressions
+    // go through a pre-projection.
+    std::vector<ColumnId> group_ids;
+    std::vector<ProjectItem> pre_projection;
+    std::vector<std::pair<ScalarExprPtr, ColumnBinding>> group_exprs;
+    for (const auto& g : stmt.group_by) {
+      ExprCtx ctx;
+      ctx.scope = &scope;
+      PDW_ASSIGN_OR_RETURN(ScalarExprPtr bound, BindScalar(*g, &ctx));
+      if (bound->kind() == ScalarKind::kColumn) {
+        const auto& col = static_cast<const ColumnExpr&>(*bound);
+        group_ids.push_back(col.id());
+        group_exprs.emplace_back(bound,
+                                 ColumnBinding{col.id(), col.name(), col.type()});
+      } else {
+        ColumnId gid = NewId();
+        ColumnBinding out{gid, "gexpr" + std::to_string(gid), bound->type()};
+        pre_projection.push_back(ProjectItem{bound, out});
+        group_ids.push_back(out.id);
+        group_exprs.emplace_back(bound, out);
+      }
+    }
+
+    // SELECT list with aggregate collection. Star expansion first.
+    std::vector<AggregateItem> aggregates;
+    std::vector<ProjectItem> select_items;
+    output_names->clear();
+    for (const auto& item : stmt.items) {
+      if (item.expr->kind == sql::ExprKind::kStar) {
+        const auto& star = static_cast<const sql::StarExpr&>(*item.expr);
+        for (const auto& entry : scope.tables) {
+          if (!star.table.empty() &&
+              !EqualsIgnoreCase(entry.alias, star.table)) {
+            continue;
+          }
+          for (const auto& col : entry.columns) {
+            select_items.push_back(ProjectItem{MakeColumn(col), col});
+            output_names->push_back(col.name);
+          }
+        }
+        continue;
+      }
+      ExprCtx ctx;
+      ctx.scope = &scope;
+      ctx.aggregates = &aggregates;
+      PDW_ASSIGN_OR_RETURN(ScalarExprPtr bound, BindScalar(*item.expr, &ctx));
+      std::string name = item.alias;
+      if (name.empty()) {
+        if (bound->kind() == ScalarKind::kColumn) {
+          name = static_cast<const ColumnExpr&>(*bound).name();
+        } else {
+          name = "col" + std::to_string(select_items.size() + 1);
+        }
+      }
+      ColumnBinding out{NewId(), name, bound->type()};
+      select_items.push_back(ProjectItem{bound, out});
+      output_names->push_back(name);
+    }
+
+    // HAVING (may add aggregates).
+    ScalarExprPtr having;
+    if (stmt.having) {
+      ExprCtx ctx;
+      ctx.scope = &scope;
+      ctx.aggregates = &aggregates;
+      PDW_ASSIGN_OR_RETURN(having, BindScalar(*stmt.having, &ctx));
+    }
+
+    bool has_agg = !aggregates.empty() || !group_ids.empty();
+    if (has_agg) {
+      if (!pre_projection.empty()) {
+        // Pre-projection must also pass through every column the aggregate
+        // arguments and group-by need.
+        std::set<ColumnId> needed;
+        for (const auto& a : aggregates) CollectColumns(a.arg, &needed);
+        std::vector<ColumnBinding> child_cols = plan->OutputBindings();
+        for (ColumnId id : needed) {
+          int pos = FindBinding(child_cols, id);
+          if (pos < 0) continue;
+          bool present = false;
+          for (const auto& p : pre_projection) {
+            if (p.output.id == id) present = true;
+          }
+          if (!present) {
+            const auto& b = child_cols[static_cast<size_t>(pos)];
+            pre_projection.push_back(ProjectItem{MakeColumn(b), b});
+          }
+        }
+        plan = std::make_shared<LogicalProject>(pre_projection, std::move(plan));
+      }
+      plan = std::make_shared<LogicalAggregate>(group_ids, aggregates,
+                                                std::move(plan));
+      // Substitute computed group expressions in SELECT/HAVING with their
+      // group columns, then validate everything resolves post-aggregate.
+      std::set<ColumnId> available;
+      for (const auto& b : plan->OutputBindings()) available.insert(b.id);
+      for (auto& item : select_items) {
+        for (const auto& [gexpr, gcol] : group_exprs) {
+          if (gexpr->kind() != ScalarKind::kColumn) {
+            item.expr = ReplaceSubtree(item.expr, gexpr, MakeColumn(gcol));
+          }
+        }
+        if (!ExprCoveredBy(item.expr, available)) {
+          return Status::InvalidArgument(
+              "SELECT item '" + item.output.name +
+              "' references columns that are neither grouped nor aggregated");
+        }
+      }
+      if (having && !ExprCoveredBy(having, available)) {
+        return Status::InvalidArgument(
+            "HAVING references columns that are neither grouped nor aggregated");
+      }
+      if (having) {
+        std::vector<ScalarExprPtr> conjuncts;
+        SplitConjuncts(having, &conjuncts);
+        plan = std::make_shared<LogicalFilter>(std::move(conjuncts),
+                                               std::move(plan));
+      }
+    } else if (having) {
+      return Status::InvalidArgument("HAVING without GROUP BY or aggregates");
+    }
+
+    plan = std::make_shared<LogicalProject>(select_items, std::move(plan));
+
+    if (stmt.distinct) {
+      std::vector<ColumnId> all_ids;
+      for (const auto& b : plan->OutputBindings()) all_ids.push_back(b.id);
+      plan = std::make_shared<LogicalAggregate>(
+          all_ids, std::vector<AggregateItem>{}, std::move(plan));
+    }
+
+    // ORDER BY: keys resolve by select alias, by equality with a select
+    // expression, by a surviving output column, or — SQL-style — by an
+    // input column not in the SELECT list, which rides along as a hidden
+    // projection and is trimmed after the sort.
+    if (!stmt.order_by.empty() && !as_union_operand) {
+      std::vector<SortItem> sort_items;
+      size_t visible_count = select_items.size();
+      for (const auto& ob : stmt.order_by) {
+        std::vector<ColumnBinding> out_cols = plan->OutputBindings();
+        SortItem si;
+        si.ascending = ob.ascending;
+        ColumnId resolved = kInvalidColumnId;
+        // Bare identifier matching a select alias.
+        if (ob.expr->kind == sql::ExprKind::kColumnRef) {
+          const auto& cr = static_cast<const sql::ColumnRefExpr&>(*ob.expr);
+          if (cr.table.empty()) {
+            for (size_t i = 0; i < select_items.size(); ++i) {
+              if (EqualsIgnoreCase(select_items[i].output.name, cr.column)) {
+                resolved = select_items[i].output.id;
+                break;
+              }
+            }
+          }
+        }
+        ScalarExprPtr bound;
+        if (resolved == kInvalidColumnId) {
+          ExprCtx ctx;
+          ctx.scope = &scope;
+          ctx.aggregates = nullptr;
+          auto bound_or = BindScalar(*ob.expr, &ctx);
+          if (bound_or.ok()) {
+            bound = std::move(bound_or).ValueOrDie();
+            // Equal to a select expression?
+            for (const auto& item : select_items) {
+              if (item.expr->Equals(*bound)) {
+                resolved = item.output.id;
+                break;
+              }
+            }
+            if (resolved == kInvalidColumnId &&
+                bound->kind() == ScalarKind::kColumn) {
+              ColumnId id = static_cast<const ColumnExpr&>(*bound).id();
+              if (FindBinding(out_cols, id) >= 0) resolved = id;
+            }
+          }
+        }
+        if (resolved == kInvalidColumnId && bound != nullptr && !has_agg &&
+            !stmt.distinct && plan->kind() == LogicalOpKind::kProject) {
+          // Hidden sort column: extend the projection.
+          const auto& proj = static_cast<const LogicalProject&>(*plan);
+          std::vector<ProjectItem> items = proj.items();
+          ColumnId hid = NewId();
+          ColumnBinding hidden{hid, "sortkey" + std::to_string(hid),
+                               bound->type()};
+          items.push_back(ProjectItem{bound, hidden});
+          plan = std::make_shared<LogicalProject>(std::move(items),
+                                                  plan->children()[0]);
+          resolved = hid;
+        }
+        if (resolved == kInvalidColumnId) {
+          return Status::InvalidArgument(
+              "ORDER BY expression must appear in the SELECT list or "
+              "reference an input column");
+        }
+        si.column = resolved;
+        sort_items.push_back(si);
+      }
+      plan = std::make_shared<LogicalSort>(std::move(sort_items),
+                                           std::move(plan));
+      // Hidden sort columns stay in the plan so distributed merge can use
+      // them; the result assembly trims rows to `visible_columns`.
+      if (plan->OutputBindings().size() > visible_count) {
+        *visible_columns = static_cast<int>(visible_count);
+      }
+    }
+
+    if (stmt.limit >= 0 && !as_union_operand) {
+      plan = std::make_shared<LogicalLimit>(stmt.limit, std::move(plan));
+    }
+    return plan;
+  }
+
+  const Catalog& catalog_;
+  ColumnId* next_id_;
+};
+
+Result<BoundQuery> Binder::BindSelect(const sql::SelectStatement& stmt) {
+  BinderImpl impl(catalog_, &next_id_);
+  return impl.BindTopLevel(stmt);
+}
+
+}  // namespace pdw

@@ -1,0 +1,57 @@
+#ifndef PDW_ALGEBRA_BINDER_H_
+#define PDW_ALGEBRA_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/logical_op.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace pdw {
+
+/// A bound query: the logical operator tree plus client-facing column names.
+struct BoundQuery {
+  LogicalOpPtr root;
+  std::vector<std::string> output_names;
+  /// Number of client-visible leading output columns; -1 = all. Hidden
+  /// trailing columns carry ORDER BY keys that are not in the SELECT list
+  /// through the distributed merge, then get trimmed.
+  int visible_columns = -1;
+};
+
+/// Resolves names in a parsed SELECT against the catalog and produces a
+/// logical operator tree (the "algebrizer" role in the paper's Fig. 2).
+///
+/// Sub-queries are unnested during binding, which covers the paper's
+/// "sub-query removal / sub-query into join transformation" repertoire:
+///  * [NOT] IN (SELECT ...)  -> semi/anti join, correlated equality
+///    conjuncts lifted into the join condition;
+///  * [NOT] EXISTS (SELECT ...) -> semi/anti join;
+///  * scalar aggregate sub-queries in comparisons -> join against a
+///    GROUP BY on the correlation columns (SQL's empty-group NULL semantics
+///    coincide with join semantics for comparison predicates).
+/// NOT IN is translated as an anti join, which assumes the sub-query column
+/// is non-NULL (true throughout TPC-H); see README for the caveat.
+class Binder {
+ public:
+  explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<BoundQuery> BindSelect(const sql::SelectStatement& stmt);
+
+  /// Number of column ids handed out so far; the serial optimizer continues
+  /// from here when synthesizing columns.
+  ColumnId next_column_id() const { return next_id_; }
+
+ private:
+  friend class BinderImpl;
+
+  const Catalog& catalog_;
+  ColumnId next_id_ = 1;
+};
+
+}  // namespace pdw
+
+#endif  // PDW_ALGEBRA_BINDER_H_

@@ -1,0 +1,33 @@
+#ifndef PDW_ALGEBRA_COLUMN_H_
+#define PDW_ALGEBRA_COLUMN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pdw {
+
+/// Stable identity of a column instance within one query compilation. The
+/// binder assigns ids sequentially; expressions reference ids rather than
+/// ordinals, so reordering joins never requires rebinding. Physical plan
+/// construction resolves ids to row ordinals at the end.
+using ColumnId = int32_t;
+
+inline constexpr ColumnId kInvalidColumnId = -1;
+
+/// A column exposed by an operator: identity plus display metadata.
+struct ColumnBinding {
+  ColumnId id = kInvalidColumnId;
+  std::string name;  ///< Unqualified display name (for EXPLAIN / SQL gen).
+  TypeId type = TypeId::kInvalid;
+
+  bool operator==(const ColumnBinding& other) const { return id == other.id; }
+};
+
+/// Returns the position of `id` in `cols`, or -1.
+int FindBinding(const std::vector<ColumnBinding>& cols, ColumnId id);
+
+}  // namespace pdw
+
+#endif  // PDW_ALGEBRA_COLUMN_H_

@@ -1,0 +1,56 @@
+#include "algebra/equivalence.h"
+
+namespace pdw {
+
+ColumnId ColumnEquivalence::FindRoot(ColumnId id) const {
+  auto it = parent_.find(id);
+  if (it == parent_.end()) return id;
+  if (it->second == id) return id;
+  ColumnId root = FindRoot(it->second);
+  parent_[id] = root;  // path compression
+  return root;
+}
+
+void ColumnEquivalence::AddEquality(ColumnId a, ColumnId b) {
+  if (parent_.find(a) == parent_.end()) parent_[a] = a;
+  if (parent_.find(b) == parent_.end()) parent_[b] = b;
+  ColumnId ra = FindRoot(a);
+  ColumnId rb = FindRoot(b);
+  if (ra != rb) {
+    // Smaller id wins as representative for determinism.
+    if (ra < rb) {
+      parent_[rb] = ra;
+    } else {
+      parent_[ra] = rb;
+    }
+  }
+}
+
+ColumnId ColumnEquivalence::Find(ColumnId id) const { return FindRoot(id); }
+
+bool ColumnEquivalence::AreEquivalent(ColumnId a, ColumnId b) const {
+  return FindRoot(a) == FindRoot(b);
+}
+
+std::set<ColumnId> ColumnEquivalence::ClassOf(ColumnId id) const {
+  std::set<ColumnId> out{id};
+  ColumnId root = FindRoot(id);
+  for (const auto& [member, parent] : parent_) {
+    if (FindRoot(member) == root) out.insert(member);
+  }
+  return out;
+}
+
+std::vector<std::set<ColumnId>> ColumnEquivalence::NonTrivialClasses() const {
+  std::map<ColumnId, std::set<ColumnId>> classes;
+  for (const auto& [member, parent] : parent_) {
+    classes[FindRoot(member)].insert(member);
+  }
+  std::vector<std::set<ColumnId>> out;
+  for (auto& [root, members] : classes) {
+    if (members.size() >= 2) out.push_back(std::move(members));
+  }
+  return out;
+}
+
+}  // namespace pdw

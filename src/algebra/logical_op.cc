@@ -1,0 +1,432 @@
+#include "algebra/logical_op.h"
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+namespace {
+
+size_t HashCombine(size_t a, size_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+size_t HashExprs(const std::vector<ScalarExprPtr>& exprs, size_t seed) {
+  size_t h = seed;
+  for (const auto& e : exprs) h = HashCombine(h, e->Hash());
+  return h;
+}
+
+bool ExprsEqual(const std::vector<ScalarExprPtr>& a,
+                const std::vector<ScalarExprPtr>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]->Equals(*b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* LogicalJoinTypeToString(LogicalJoinType t) {
+  switch (t) {
+    case LogicalJoinType::kInner: return "Inner";
+    case LogicalJoinType::kLeftOuter: return "LeftOuter";
+    case LogicalJoinType::kSemi: return "Semi";
+    case LogicalJoinType::kAnti: return "Anti";
+    case LogicalJoinType::kCross: return "Cross";
+  }
+  return "?";
+}
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar: return "COUNT(*)";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+  }
+  return "?";
+}
+
+std::vector<ColumnBinding> LogicalOp::OutputBindings() const {
+  std::vector<std::vector<ColumnBinding>> child_outputs;
+  child_outputs.reserve(children_.size());
+  for (const auto& c : children_) child_outputs.push_back(c->OutputBindings());
+  return ComputeOutput(child_outputs);
+}
+
+namespace {
+
+void TreeToString(const LogicalOp& op, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(op.ToString());
+  out->push_back('\n');
+  for (const auto& c : op.children()) TreeToString(*c, indent + 1, out);
+}
+
+}  // namespace
+
+std::string LogicalTreeToString(const LogicalOp& root) {
+  std::string out;
+  TreeToString(root, 0, &out);
+  return out;
+}
+
+// --- LogicalGet ---
+
+std::string LogicalGet::ToString() const {
+  std::string out = "Get " + table_name_;
+  if (!alias_.empty() && !EqualsIgnoreCase(alias_, table_name_)) {
+    out += " AS " + alias_;
+  }
+  return out;
+}
+
+size_t LogicalGet::PayloadHash() const {
+  size_t h = HashCombine(11, std::hash<std::string>()(ToLower(table_name_)));
+  for (const auto& b : bindings_) {
+    h = HashCombine(h, std::hash<int32_t>()(b.id));
+  }
+  return h;
+}
+
+bool LogicalGet::PayloadEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kGet) return false;
+  const auto& o = static_cast<const LogicalGet&>(other);
+  if (!EqualsIgnoreCase(table_name_, o.table_name())) return false;
+  if (bindings_.size() != o.bindings().size()) return false;
+  // Two Gets of the same table are the same operator only if they are the
+  // same *instance* (same column ids) — self-joins stay distinct.
+  for (size_t i = 0; i < bindings_.size(); ++i) {
+    if (bindings_[i].id != o.bindings()[i].id) return false;
+  }
+  return true;
+}
+
+LogicalOpPtr LogicalGet::WithChildren(std::vector<LogicalOpPtr>) const {
+  return std::make_shared<LogicalGet>(table_name_, alias_, table_, bindings_);
+}
+
+// --- LogicalEmpty ---
+
+size_t LogicalEmpty::PayloadHash() const {
+  size_t h = 12;
+  for (const auto& b : bindings_) h = HashCombine(h, std::hash<int32_t>()(b.id));
+  return h;
+}
+
+bool LogicalEmpty::PayloadEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kEmpty) return false;
+  const auto& o = static_cast<const LogicalEmpty&>(other);
+  if (bindings_.size() != o.ComputeOutput({}).size()) return false;
+  auto ob = o.ComputeOutput({});
+  for (size_t i = 0; i < bindings_.size(); ++i) {
+    if (bindings_[i].id != ob[i].id) return false;
+  }
+  return true;
+}
+
+LogicalOpPtr LogicalEmpty::WithChildren(std::vector<LogicalOpPtr>) const {
+  return std::make_shared<LogicalEmpty>(bindings_);
+}
+
+// --- LogicalFilter ---
+
+std::string LogicalFilter::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& c : conjuncts_) parts.push_back(c->ToString());
+  return "Filter [" + Join(parts, " AND ") + "]";
+}
+
+size_t LogicalFilter::PayloadHash() const { return HashExprs(conjuncts_, 13); }
+
+bool LogicalFilter::PayloadEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kFilter) return false;
+  return ExprsEqual(conjuncts_,
+                    static_cast<const LogicalFilter&>(other).conjuncts());
+}
+
+LogicalOpPtr LogicalFilter::WithChildren(
+    std::vector<LogicalOpPtr> children) const {
+  return std::make_shared<LogicalFilter>(
+      conjuncts_, children.empty() ? nullptr : std::move(children[0]));
+}
+
+// --- LogicalProject ---
+
+std::vector<ColumnBinding> LogicalProject::ComputeOutput(
+    const std::vector<std::vector<ColumnBinding>>&) const {
+  std::vector<ColumnBinding> out;
+  out.reserve(items_.size());
+  for (const auto& item : items_) out.push_back(item.output);
+  return out;
+}
+
+std::string LogicalProject::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& item : items_) {
+    parts.push_back(item.expr->ToString() + " AS " + item.output.name + "#" +
+                    std::to_string(item.output.id));
+  }
+  return "Project [" + Join(parts, ", ") + "]";
+}
+
+size_t LogicalProject::PayloadHash() const {
+  size_t h = 14;
+  for (const auto& item : items_) {
+    h = HashCombine(h, item.expr->Hash());
+    h = HashCombine(h, std::hash<int32_t>()(item.output.id));
+  }
+  return h;
+}
+
+bool LogicalProject::PayloadEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kProject) return false;
+  const auto& o = static_cast<const LogicalProject&>(other);
+  if (items_.size() != o.items().size()) return false;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].output.id != o.items()[i].output.id ||
+        !items_[i].expr->Equals(*o.items()[i].expr)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LogicalOpPtr LogicalProject::WithChildren(
+    std::vector<LogicalOpPtr> children) const {
+  return std::make_shared<LogicalProject>(
+      items_, children.empty() ? nullptr : std::move(children[0]));
+}
+
+// --- LogicalJoin ---
+
+std::vector<std::pair<ColumnId, ColumnId>> LogicalJoin::EquiKeys(
+    const std::vector<ColumnBinding>& left_cols,
+    const std::vector<ColumnBinding>& right_cols) const {
+  std::vector<std::pair<ColumnId, ColumnId>> keys;
+  for (const auto& cond : conditions_) {
+    ColumnId a, b;
+    if (!IsColumnEquality(cond, &a, &b)) continue;
+    bool a_left = FindBinding(left_cols, a) >= 0;
+    bool a_right = FindBinding(right_cols, a) >= 0;
+    bool b_left = FindBinding(left_cols, b) >= 0;
+    bool b_right = FindBinding(right_cols, b) >= 0;
+    if (a_left && b_right) {
+      keys.emplace_back(a, b);
+    } else if (b_left && a_right) {
+      keys.emplace_back(b, a);
+    }
+  }
+  return keys;
+}
+
+std::vector<ColumnBinding> LogicalJoin::ComputeOutput(
+    const std::vector<std::vector<ColumnBinding>>& child_outputs) const {
+  std::vector<ColumnBinding> out = child_outputs[0];
+  if (join_type_ == LogicalJoinType::kSemi ||
+      join_type_ == LogicalJoinType::kAnti) {
+    return out;
+  }
+  out.insert(out.end(), child_outputs[1].begin(), child_outputs[1].end());
+  return out;
+}
+
+std::string LogicalJoin::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& c : conditions_) parts.push_back(c->ToString());
+  return std::string("Join ") + LogicalJoinTypeToString(join_type_) + " [" +
+         Join(parts, " AND ") + "]";
+}
+
+size_t LogicalJoin::PayloadHash() const {
+  return HashExprs(conditions_,
+                   HashCombine(15, static_cast<size_t>(join_type_)));
+}
+
+bool LogicalJoin::PayloadEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kJoin) return false;
+  const auto& o = static_cast<const LogicalJoin&>(other);
+  return join_type_ == o.join_type() && ExprsEqual(conditions_, o.conditions());
+}
+
+LogicalOpPtr LogicalJoin::WithChildren(
+    std::vector<LogicalOpPtr> children) const {
+  if (children.empty()) children.resize(2);
+  return std::make_shared<LogicalJoin>(join_type_, conditions_,
+                                       std::move(children[0]),
+                                       std::move(children[1]));
+}
+
+// --- LogicalAggregate ---
+
+std::vector<ColumnBinding> LogicalAggregate::ComputeOutput(
+    const std::vector<std::vector<ColumnBinding>>& child_outputs) const {
+  std::vector<ColumnBinding> out;
+  for (ColumnId id : group_by_) {
+    int pos = FindBinding(child_outputs[0], id);
+    if (pos >= 0) {
+      out.push_back(child_outputs[0][static_cast<size_t>(pos)]);
+    } else {
+      out.push_back(ColumnBinding{id, "g" + std::to_string(id), TypeId::kInvalid});
+    }
+  }
+  for (const auto& a : aggregates_) out.push_back(a.output);
+  return out;
+}
+
+std::string LogicalAggregate::ToString() const {
+  std::vector<std::string> groups;
+  for (ColumnId id : group_by_) groups.push_back("#" + std::to_string(id));
+  std::vector<std::string> aggs;
+  for (const auto& a : aggregates_) {
+    std::string s = AggFuncToString(a.func);
+    if (a.func != AggFunc::kCountStar) {
+      s += "(";
+      if (a.distinct) s += "DISTINCT ";
+      s += a.arg->ToString();
+      s += ")";
+    }
+    aggs.push_back(s + " AS #" + std::to_string(a.output.id));
+  }
+  return "Aggregate group=[" + Join(groups, ",") + "] aggs=[" +
+         Join(aggs, ", ") + "]";
+}
+
+size_t LogicalAggregate::PayloadHash() const {
+  size_t h = 16;
+  for (ColumnId id : group_by_) h = HashCombine(h, std::hash<int32_t>()(id));
+  for (const auto& a : aggregates_) {
+    h = HashCombine(h, static_cast<size_t>(a.func));
+    if (a.arg) h = HashCombine(h, a.arg->Hash());
+    h = HashCombine(h, std::hash<int32_t>()(a.output.id));
+  }
+  return h;
+}
+
+bool LogicalAggregate::PayloadEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kAggregate) return false;
+  const auto& o = static_cast<const LogicalAggregate&>(other);
+  if (group_by_ != o.group_by() ||
+      aggregates_.size() != o.aggregates().size()) {
+    return false;
+  }
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    const auto& a = aggregates_[i];
+    const auto& b = o.aggregates()[i];
+    if (a.func != b.func || a.distinct != b.distinct ||
+        a.output.id != b.output.id) {
+      return false;
+    }
+    if ((a.arg == nullptr) != (b.arg == nullptr)) return false;
+    if (a.arg && !a.arg->Equals(*b.arg)) return false;
+  }
+  return true;
+}
+
+LogicalOpPtr LogicalAggregate::WithChildren(
+    std::vector<LogicalOpPtr> children) const {
+  return std::make_shared<LogicalAggregate>(
+      group_by_, aggregates_, children.empty() ? nullptr : std::move(children[0]));
+}
+
+// --- LogicalSort ---
+
+std::string LogicalSort::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& item : items_) {
+    parts.push_back("#" + std::to_string(item.column) +
+                    (item.ascending ? " ASC" : " DESC"));
+  }
+  return "Sort [" + Join(parts, ", ") + "]";
+}
+
+size_t LogicalSort::PayloadHash() const {
+  size_t h = 17;
+  for (const auto& item : items_) {
+    h = HashCombine(h, std::hash<int32_t>()(item.column));
+    h = HashCombine(h, item.ascending ? 1 : 0);
+  }
+  return h;
+}
+
+bool LogicalSort::PayloadEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kSort) return false;
+  const auto& o = static_cast<const LogicalSort&>(other);
+  if (items_.size() != o.items().size()) return false;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].column != o.items()[i].column ||
+        items_[i].ascending != o.items()[i].ascending) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LogicalOpPtr LogicalSort::WithChildren(
+    std::vector<LogicalOpPtr> children) const {
+  return std::make_shared<LogicalSort>(
+      items_, children.empty() ? nullptr : std::move(children[0]));
+}
+
+// --- LogicalUnionAll ---
+
+std::string LogicalUnionAll::ToString() const {
+  std::vector<std::string> cols;
+  for (const auto& b : outputs_) cols.push_back("#" + std::to_string(b.id));
+  return "UnionAll [" + Join(cols, ",") + "] over " +
+         std::to_string(child_columns_.size()) + " inputs";
+}
+
+size_t LogicalUnionAll::PayloadHash() const {
+  size_t h = 19;
+  for (const auto& b : outputs_) h = HashCombine(h, std::hash<int32_t>()(b.id));
+  for (const auto& cols : child_columns_) {
+    for (ColumnId c : cols) h = HashCombine(h, std::hash<int32_t>()(c));
+  }
+  return h;
+}
+
+bool LogicalUnionAll::PayloadEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kUnionAll) return false;
+  const auto& o = static_cast<const LogicalUnionAll&>(other);
+  if (outputs_.size() != o.outputs().size() ||
+      child_columns_ != o.child_columns()) {
+    return false;
+  }
+  for (size_t i = 0; i < outputs_.size(); ++i) {
+    if (outputs_[i].id != o.outputs()[i].id) return false;
+  }
+  return true;
+}
+
+LogicalOpPtr LogicalUnionAll::WithChildren(
+    std::vector<LogicalOpPtr> children) const {
+  return std::make_shared<LogicalUnionAll>(outputs_, child_columns_,
+                                           std::move(children));
+}
+
+// --- LogicalLimit ---
+
+std::string LogicalLimit::ToString() const {
+  return "Limit " + std::to_string(limit_);
+}
+
+size_t LogicalLimit::PayloadHash() const {
+  return HashCombine(18, std::hash<int64_t>()(limit_));
+}
+
+bool LogicalLimit::PayloadEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kLimit) return false;
+  return limit_ == static_cast<const LogicalLimit&>(other).limit();
+}
+
+LogicalOpPtr LogicalLimit::WithChildren(
+    std::vector<LogicalOpPtr> children) const {
+  return std::make_shared<LogicalLimit>(
+      limit_, children.empty() ? nullptr : std::move(children[0]));
+}
+
+}  // namespace pdw

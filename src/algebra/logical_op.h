@@ -1,0 +1,308 @@
+#ifndef PDW_ALGEBRA_LOGICAL_OP_H_
+#define PDW_ALGEBRA_LOGICAL_OP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/scalar_expr.h"
+#include "catalog/catalog.h"
+
+namespace pdw {
+
+enum class LogicalOpKind {
+  kGet,        ///< Base table access.
+  kEmpty,      ///< Zero-row relation (contradiction detection result).
+  kFilter,     ///< Conjunctive selection.
+  kProject,    ///< Scalar computation / column pruning.
+  kJoin,       ///< All join flavours incl. semi/anti from unnesting.
+  kAggregate,  ///< GROUP BY + aggregate functions (also DISTINCT).
+  kSort,       ///< ORDER BY (meaningful at the plan root).
+  kLimit,      ///< LIMIT / TOP.
+  kUnionAll,   ///< Bag union; operands align positionally.
+};
+
+enum class LogicalJoinType { kInner, kLeftOuter, kSemi, kAnti, kCross };
+
+const char* LogicalJoinTypeToString(LogicalJoinType t);
+
+enum class AggFunc { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncToString(AggFunc f);
+
+/// One aggregate computation: FUNC(arg) AS output. `arg` is null for
+/// COUNT(*).
+struct AggregateItem {
+  AggFunc func = AggFunc::kCountStar;
+  ScalarExprPtr arg;
+  bool distinct = false;
+  ColumnBinding output;
+};
+
+/// One projection: expr AS output.
+struct ProjectItem {
+  ScalarExprPtr expr;
+  ColumnBinding output;
+};
+
+struct SortItem {
+  ColumnId column = kInvalidColumnId;
+  bool ascending = true;
+};
+
+class LogicalOp;
+using LogicalOpPtr = std::shared_ptr<LogicalOp>;
+
+/// Base class of the logical algebra. Trees are built by the binder,
+/// rewritten by the normalizer, and then copied into the MEMO (where child
+/// pointers are replaced by group references; PayloadHash/PayloadEquals
+/// deliberately exclude children for that reason).
+class LogicalOp {
+ public:
+  virtual ~LogicalOp() = default;
+
+  LogicalOpKind kind() const { return kind_; }
+  const std::vector<LogicalOpPtr>& children() const { return children_; }
+  std::vector<LogicalOpPtr>* mutable_children() { return &children_; }
+
+  /// Output columns given the outputs of the children (order matters).
+  virtual std::vector<ColumnBinding> ComputeOutput(
+      const std::vector<std::vector<ColumnBinding>>& child_outputs) const = 0;
+
+  /// Output columns derived recursively from the attached children.
+  std::vector<ColumnBinding> OutputBindings() const;
+
+  /// One-line description of the operator (payload only).
+  virtual std::string ToString() const = 0;
+
+  /// Hash/equality over the operator payload, excluding children (the MEMO
+  /// supplies child group identity separately).
+  virtual size_t PayloadHash() const = 0;
+  virtual bool PayloadEquals(const LogicalOp& other) const = 0;
+
+  /// Shallow-copies the payload with new children attached.
+  virtual LogicalOpPtr WithChildren(std::vector<LogicalOpPtr> children) const = 0;
+
+ protected:
+  LogicalOp(LogicalOpKind kind, std::vector<LogicalOpPtr> children)
+      : kind_(kind), children_(std::move(children)) {}
+
+ private:
+  LogicalOpKind kind_;
+  std::vector<LogicalOpPtr> children_;
+};
+
+/// Renders an indented multi-line tree (EXPLAIN-style).
+std::string LogicalTreeToString(const LogicalOp& root);
+
+class LogicalGet : public LogicalOp {
+ public:
+  LogicalGet(std::string table_name, std::string alias,
+             const TableDef* table, std::vector<ColumnBinding> bindings)
+      : LogicalOp(LogicalOpKind::kGet, {}), table_name_(std::move(table_name)),
+        alias_(std::move(alias)), table_(table), bindings_(std::move(bindings)) {}
+
+  const std::string& table_name() const { return table_name_; }
+  const std::string& alias() const { return alias_; }
+  const TableDef* table() const { return table_; }
+  const std::vector<ColumnBinding>& bindings() const { return bindings_; }
+
+  std::vector<ColumnBinding> ComputeOutput(
+      const std::vector<std::vector<ColumnBinding>>&) const override {
+    return bindings_;
+  }
+  std::string ToString() const override;
+  size_t PayloadHash() const override;
+  bool PayloadEquals(const LogicalOp& other) const override;
+  LogicalOpPtr WithChildren(std::vector<LogicalOpPtr> children) const override;
+
+ private:
+  std::string table_name_;
+  std::string alias_;
+  const TableDef* table_;
+  std::vector<ColumnBinding> bindings_;
+};
+
+class LogicalEmpty : public LogicalOp {
+ public:
+  explicit LogicalEmpty(std::vector<ColumnBinding> bindings)
+      : LogicalOp(LogicalOpKind::kEmpty, {}), bindings_(std::move(bindings)) {}
+
+  std::vector<ColumnBinding> ComputeOutput(
+      const std::vector<std::vector<ColumnBinding>>&) const override {
+    return bindings_;
+  }
+  std::string ToString() const override { return "Empty"; }
+  size_t PayloadHash() const override;
+  bool PayloadEquals(const LogicalOp& other) const override;
+  LogicalOpPtr WithChildren(std::vector<LogicalOpPtr> children) const override;
+
+ private:
+  std::vector<ColumnBinding> bindings_;
+};
+
+class LogicalFilter : public LogicalOp {
+ public:
+  LogicalFilter(std::vector<ScalarExprPtr> conjuncts, LogicalOpPtr child)
+      : LogicalOp(LogicalOpKind::kFilter, {std::move(child)}),
+        conjuncts_(std::move(conjuncts)) {}
+
+  const std::vector<ScalarExprPtr>& conjuncts() const { return conjuncts_; }
+
+  std::vector<ColumnBinding> ComputeOutput(
+      const std::vector<std::vector<ColumnBinding>>& child_outputs) const override {
+    return child_outputs[0];
+  }
+  std::string ToString() const override;
+  size_t PayloadHash() const override;
+  bool PayloadEquals(const LogicalOp& other) const override;
+  LogicalOpPtr WithChildren(std::vector<LogicalOpPtr> children) const override;
+
+ private:
+  std::vector<ScalarExprPtr> conjuncts_;
+};
+
+class LogicalProject : public LogicalOp {
+ public:
+  LogicalProject(std::vector<ProjectItem> items, LogicalOpPtr child)
+      : LogicalOp(LogicalOpKind::kProject, {std::move(child)}),
+        items_(std::move(items)) {}
+
+  const std::vector<ProjectItem>& items() const { return items_; }
+
+  std::vector<ColumnBinding> ComputeOutput(
+      const std::vector<std::vector<ColumnBinding>>&) const override;
+  std::string ToString() const override;
+  size_t PayloadHash() const override;
+  bool PayloadEquals(const LogicalOp& other) const override;
+  LogicalOpPtr WithChildren(std::vector<LogicalOpPtr> children) const override;
+
+ private:
+  std::vector<ProjectItem> items_;
+};
+
+class LogicalJoin : public LogicalOp {
+ public:
+  LogicalJoin(LogicalJoinType type, std::vector<ScalarExprPtr> conditions,
+              LogicalOpPtr left, LogicalOpPtr right)
+      : LogicalOp(LogicalOpKind::kJoin, {std::move(left), std::move(right)}),
+        join_type_(type), conditions_(std::move(conditions)) {}
+
+  LogicalJoinType join_type() const { return join_type_; }
+  const std::vector<ScalarExprPtr>& conditions() const { return conditions_; }
+
+  /// Equality pairs (left_col, right_col) among `conditions` whose sides
+  /// split cleanly across the given child outputs.
+  std::vector<std::pair<ColumnId, ColumnId>> EquiKeys(
+      const std::vector<ColumnBinding>& left_cols,
+      const std::vector<ColumnBinding>& right_cols) const;
+
+  std::vector<ColumnBinding> ComputeOutput(
+      const std::vector<std::vector<ColumnBinding>>& child_outputs) const override;
+  std::string ToString() const override;
+  size_t PayloadHash() const override;
+  bool PayloadEquals(const LogicalOp& other) const override;
+  LogicalOpPtr WithChildren(std::vector<LogicalOpPtr> children) const override;
+
+ private:
+  LogicalJoinType join_type_;
+  std::vector<ScalarExprPtr> conditions_;
+};
+
+class LogicalAggregate : public LogicalOp {
+ public:
+  LogicalAggregate(std::vector<ColumnId> group_by,
+                   std::vector<AggregateItem> aggregates, LogicalOpPtr child)
+      : LogicalOp(LogicalOpKind::kAggregate, {std::move(child)}),
+        group_by_(std::move(group_by)), aggregates_(std::move(aggregates)) {}
+
+  const std::vector<ColumnId>& group_by() const { return group_by_; }
+  const std::vector<AggregateItem>& aggregates() const { return aggregates_; }
+
+  std::vector<ColumnBinding> ComputeOutput(
+      const std::vector<std::vector<ColumnBinding>>& child_outputs) const override;
+  std::string ToString() const override;
+  size_t PayloadHash() const override;
+  bool PayloadEquals(const LogicalOp& other) const override;
+  LogicalOpPtr WithChildren(std::vector<LogicalOpPtr> children) const override;
+
+ private:
+  std::vector<ColumnId> group_by_;
+  std::vector<AggregateItem> aggregates_;
+};
+
+class LogicalSort : public LogicalOp {
+ public:
+  LogicalSort(std::vector<SortItem> items, LogicalOpPtr child)
+      : LogicalOp(LogicalOpKind::kSort, {std::move(child)}),
+        items_(std::move(items)) {}
+
+  const std::vector<SortItem>& items() const { return items_; }
+
+  std::vector<ColumnBinding> ComputeOutput(
+      const std::vector<std::vector<ColumnBinding>>& child_outputs) const override {
+    return child_outputs[0];
+  }
+  std::string ToString() const override;
+  size_t PayloadHash() const override;
+  bool PayloadEquals(const LogicalOp& other) const override;
+  LogicalOpPtr WithChildren(std::vector<LogicalOpPtr> children) const override;
+
+ private:
+  std::vector<SortItem> items_;
+};
+
+/// Bag union of n >= 2 inputs. The union's output columns are fresh
+/// bindings; `child_columns()[i][p]` names the column of child i that
+/// feeds output position p (children expose id-addressed outputs, so the
+/// positional wiring is explicit).
+class LogicalUnionAll : public LogicalOp {
+ public:
+  LogicalUnionAll(std::vector<ColumnBinding> outputs,
+                  std::vector<std::vector<ColumnId>> child_columns,
+                  std::vector<LogicalOpPtr> children)
+      : LogicalOp(LogicalOpKind::kUnionAll, std::move(children)),
+        outputs_(std::move(outputs)), child_columns_(std::move(child_columns)) {}
+
+  const std::vector<ColumnBinding>& outputs() const { return outputs_; }
+  const std::vector<std::vector<ColumnId>>& child_columns() const {
+    return child_columns_;
+  }
+
+  std::vector<ColumnBinding> ComputeOutput(
+      const std::vector<std::vector<ColumnBinding>>&) const override {
+    return outputs_;
+  }
+  std::string ToString() const override;
+  size_t PayloadHash() const override;
+  bool PayloadEquals(const LogicalOp& other) const override;
+  LogicalOpPtr WithChildren(std::vector<LogicalOpPtr> children) const override;
+
+ private:
+  std::vector<ColumnBinding> outputs_;
+  std::vector<std::vector<ColumnId>> child_columns_;
+};
+
+class LogicalLimit : public LogicalOp {
+ public:
+  LogicalLimit(int64_t limit, LogicalOpPtr child)
+      : LogicalOp(LogicalOpKind::kLimit, {std::move(child)}), limit_(limit) {}
+
+  int64_t limit() const { return limit_; }
+
+  std::vector<ColumnBinding> ComputeOutput(
+      const std::vector<std::vector<ColumnBinding>>& child_outputs) const override {
+    return child_outputs[0];
+  }
+  std::string ToString() const override;
+  size_t PayloadHash() const override;
+  bool PayloadEquals(const LogicalOp& other) const override;
+  LogicalOpPtr WithChildren(std::vector<LogicalOpPtr> children) const override;
+
+ private:
+  int64_t limit_;
+};
+
+}  // namespace pdw
+
+#endif  // PDW_ALGEBRA_LOGICAL_OP_H_

@@ -1,0 +1,248 @@
+#include "algebra/scalar_eval.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+namespace {
+
+using sql::BinaryOp;
+
+Result<Datum> EvalArith(BinaryOp op, const Datum& l, const Datum& r) {
+  if (l.is_null() || r.is_null()) return Datum::Null();
+  // DATE +/- INT means day arithmetic.
+  if (l.type() == TypeId::kDate && r.type() == TypeId::kInt) {
+    int32_t days = l.date_value();
+    int64_t n = r.int_value();
+    if (op == BinaryOp::kAdd) return Datum::Date(days + static_cast<int32_t>(n));
+    if (op == BinaryOp::kSub) return Datum::Date(days - static_cast<int32_t>(n));
+  }
+  if (l.type() == TypeId::kDate && r.type() == TypeId::kDate &&
+      op == BinaryOp::kSub) {
+    return Datum::Int(l.date_value() - r.date_value());
+  }
+  bool integral = l.type() == TypeId::kInt && r.type() == TypeId::kInt;
+  if (integral && op != BinaryOp::kDiv) {
+    int64_t a = l.int_value();
+    int64_t b = r.int_value();
+    switch (op) {
+      case BinaryOp::kAdd: return Datum::Int(a + b);
+      case BinaryOp::kSub: return Datum::Int(a - b);
+      case BinaryOp::kMul: return Datum::Int(a * b);
+      case BinaryOp::kMod:
+        if (b == 0) return Status::ExecutionError("modulo by zero");
+        return Datum::Int(a % b);
+      default: break;
+    }
+  }
+  double a = l.AsDouble();
+  double b = r.AsDouble();
+  switch (op) {
+    case BinaryOp::kAdd: return Datum::Double(a + b);
+    case BinaryOp::kSub: return Datum::Double(a - b);
+    case BinaryOp::kMul: return Datum::Double(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0) return Status::ExecutionError("division by zero");
+      return Datum::Double(a / b);
+    case BinaryOp::kMod:
+      if (b == 0) return Status::ExecutionError("modulo by zero");
+      return Datum::Double(std::fmod(a, b));
+    default:
+      return Status::Internal("not an arithmetic operator");
+  }
+}
+
+Datum EvalComparison(BinaryOp op, const Datum& l, const Datum& r) {
+  if (l.is_null() || r.is_null()) return Datum::Null();
+  int c = l.Compare(r);
+  bool v = false;
+  switch (op) {
+    case BinaryOp::kEq: v = c == 0; break;
+    case BinaryOp::kNe: v = c != 0; break;
+    case BinaryOp::kLt: v = c < 0; break;
+    case BinaryOp::kLe: v = c <= 0; break;
+    case BinaryOp::kGt: v = c > 0; break;
+    case BinaryOp::kGe: v = c >= 0; break;
+    default: break;
+  }
+  return Datum::Bool(v);
+}
+
+// Kleene three-valued AND/OR over Datums (NULL = unknown).
+Datum EvalAnd(const Datum& l, const Datum& r) {
+  bool l_false = !l.is_null() && !l.bool_value();
+  bool r_false = !r.is_null() && !r.bool_value();
+  if (l_false || r_false) return Datum::Bool(false);
+  if (l.is_null() || r.is_null()) return Datum::Null();
+  return Datum::Bool(true);
+}
+
+Datum EvalOr(const Datum& l, const Datum& r) {
+  bool l_true = !l.is_null() && l.bool_value();
+  bool r_true = !r.is_null() && r.bool_value();
+  if (l_true || r_true) return Datum::Bool(true);
+  if (l.is_null() || r.is_null()) return Datum::Null();
+  return Datum::Bool(false);
+}
+
+Result<Datum> EvalFunction(const FunctionExprB& fn, const Row& row,
+                           const ColumnOrdinalMap& ordinals) {
+  if (fn.name() == "DATEADD") {
+    if (fn.args().size() != 3) {
+      return Status::ExecutionError("DATEADD expects 3 arguments");
+    }
+    PDW_ASSIGN_OR_RETURN(Datum part, EvalScalar(*fn.args()[0], row, ordinals));
+    PDW_ASSIGN_OR_RETURN(Datum n, EvalScalar(*fn.args()[1], row, ordinals));
+    PDW_ASSIGN_OR_RETURN(Datum d, EvalScalar(*fn.args()[2], row, ordinals));
+    if (n.is_null() || d.is_null()) return Datum::Null();
+    if (d.type() == TypeId::kVarchar) {
+      PDW_ASSIGN_OR_RETURN(d, d.CastTo(TypeId::kDate));
+    }
+    std::string p = part.is_null() ? "day" : ToLower(part.string_value());
+    int32_t days = d.date_value();
+    int64_t count = n.type() == TypeId::kInt
+                        ? n.int_value()
+                        : static_cast<int64_t>(n.AsDouble());
+    if (p == "year" || p == "yy" || p == "yyyy") {
+      return Datum::Date(AddYears(days, static_cast<int>(count)));
+    }
+    if (p == "month" || p == "mm") {
+      // Month arithmetic via year decomposition.
+      int32_t result = days;
+      int years = static_cast<int>(count / 12);
+      int months = static_cast<int>(count % 12);
+      result = AddYears(result, years);
+      result += months * 30;  // engine approximation, documented in README
+      return Datum::Date(result);
+    }
+    if (p == "day" || p == "dd") {
+      return Datum::Date(days + static_cast<int32_t>(count));
+    }
+    return Status::ExecutionError("unsupported DATEADD part '" + p + "'");
+  }
+  if (fn.name() == "ABS") {
+    if (fn.args().size() != 1) return Status::ExecutionError("ABS expects 1 arg");
+    PDW_ASSIGN_OR_RETURN(Datum v, EvalScalar(*fn.args()[0], row, ordinals));
+    if (v.is_null()) return Datum::Null();
+    if (v.type() == TypeId::kInt) return Datum::Int(std::abs(v.int_value()));
+    return Datum::Double(std::fabs(v.AsDouble()));
+  }
+  if (fn.name() == "SUBSTRING") {
+    if (fn.args().size() != 3) {
+      return Status::ExecutionError("SUBSTRING expects 3 arguments");
+    }
+    PDW_ASSIGN_OR_RETURN(Datum s, EvalScalar(*fn.args()[0], row, ordinals));
+    PDW_ASSIGN_OR_RETURN(Datum from, EvalScalar(*fn.args()[1], row, ordinals));
+    PDW_ASSIGN_OR_RETURN(Datum len, EvalScalar(*fn.args()[2], row, ordinals));
+    if (s.is_null() || from.is_null() || len.is_null()) return Datum::Null();
+    const std::string& str = s.string_value();
+    int64_t start = std::max<int64_t>(1, from.int_value()) - 1;
+    int64_t count = std::max<int64_t>(0, len.int_value());
+    if (start >= static_cast<int64_t>(str.size())) return Datum::Varchar("");
+    return Datum::Varchar(str.substr(static_cast<size_t>(start),
+                                     static_cast<size_t>(count)));
+  }
+  return Status::ExecutionError("unknown function '" + fn.name() + "'");
+}
+
+}  // namespace
+
+Result<Datum> EvalScalar(const ScalarExpr& expr, const Row& row,
+                         const ColumnOrdinalMap& ordinals) {
+  switch (expr.kind()) {
+    case ScalarKind::kColumn: {
+      const auto& c = static_cast<const ColumnExpr&>(expr);
+      auto it = ordinals.find(c.id());
+      if (it == ordinals.end()) {
+        return Status::Internal("unbound column " + c.ToString());
+      }
+      return row[static_cast<size_t>(it->second)];
+    }
+    case ScalarKind::kLiteral:
+      return static_cast<const LiteralExprB&>(expr).value();
+    case ScalarKind::kBinary: {
+      const auto& b = static_cast<const BinaryExprB&>(expr);
+      if (b.op() == BinaryOp::kAnd || b.op() == BinaryOp::kOr) {
+        PDW_ASSIGN_OR_RETURN(Datum l, EvalScalar(*b.left(), row, ordinals));
+        PDW_ASSIGN_OR_RETURN(Datum r, EvalScalar(*b.right(), row, ordinals));
+        return b.op() == BinaryOp::kAnd ? EvalAnd(l, r) : EvalOr(l, r);
+      }
+      PDW_ASSIGN_OR_RETURN(Datum l, EvalScalar(*b.left(), row, ordinals));
+      PDW_ASSIGN_OR_RETURN(Datum r, EvalScalar(*b.right(), row, ordinals));
+      switch (b.op()) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return EvalArith(b.op(), l, r);
+        case BinaryOp::kLike:
+        case BinaryOp::kNotLike: {
+          if (l.is_null() || r.is_null()) return Datum::Null();
+          if (l.type() != TypeId::kVarchar || r.type() != TypeId::kVarchar) {
+            return Status::ExecutionError("LIKE requires string operands");
+          }
+          bool m = LikeMatch(l.string_value(), r.string_value());
+          return Datum::Bool(b.op() == BinaryOp::kLike ? m : !m);
+        }
+        default:
+          return EvalComparison(b.op(), l, r);
+      }
+    }
+    case ScalarKind::kUnary: {
+      const auto& u = static_cast<const UnaryExprB&>(expr);
+      PDW_ASSIGN_OR_RETURN(Datum v, EvalScalar(*u.operand(), row, ordinals));
+      if (v.is_null()) return Datum::Null();
+      if (u.op() == sql::UnaryOp::kNot) return Datum::Bool(!v.bool_value());
+      if (v.type() == TypeId::kInt) return Datum::Int(-v.int_value());
+      return Datum::Double(-v.AsDouble());
+    }
+    case ScalarKind::kIsNull: {
+      const auto& n = static_cast<const IsNullExprB&>(expr);
+      PDW_ASSIGN_OR_RETURN(Datum v, EvalScalar(*n.operand(), row, ordinals));
+      return Datum::Bool(n.negated() ? !v.is_null() : v.is_null());
+    }
+    case ScalarKind::kCase: {
+      const auto& c = static_cast<const CaseExprB&>(expr);
+      for (const auto& [when, then] : c.whens()) {
+        PDW_ASSIGN_OR_RETURN(Datum w, EvalScalar(*when, row, ordinals));
+        if (!w.is_null() && w.bool_value()) {
+          return EvalScalar(*then, row, ordinals);
+        }
+      }
+      if (c.else_expr()) return EvalScalar(*c.else_expr(), row, ordinals);
+      return Datum::Null();
+    }
+    case ScalarKind::kCast: {
+      const auto& c = static_cast<const CastExprB&>(expr);
+      PDW_ASSIGN_OR_RETURN(Datum v, EvalScalar(*c.operand(), row, ordinals));
+      return v.CastTo(c.type());
+    }
+    case ScalarKind::kFunction:
+      return EvalFunction(static_cast<const FunctionExprB&>(expr), row,
+                          ordinals);
+  }
+  return Status::Internal("unreachable scalar kind");
+}
+
+bool IsConstantExpr(const ScalarExprPtr& expr) {
+  std::set<ColumnId> cols;
+  CollectColumns(expr, &cols);
+  return cols.empty();
+}
+
+Result<Datum> EvalConstant(const ScalarExpr& expr) {
+  static const Row kEmptyRow;
+  static const ColumnOrdinalMap kEmptyMap;
+  return EvalScalar(expr, kEmptyRow, kEmptyMap);
+}
+
+Result<bool> EvalPredicate(const ScalarExpr& expr, const Row& row,
+                           const ColumnOrdinalMap& ordinals) {
+  PDW_ASSIGN_OR_RETURN(Datum v, EvalScalar(expr, row, ordinals));
+  return !v.is_null() && v.bool_value();
+}
+
+}  // namespace pdw

@@ -1,0 +1,34 @@
+#ifndef PDW_ALGEBRA_SCALAR_EVAL_H_
+#define PDW_ALGEBRA_SCALAR_EVAL_H_
+
+#include <map>
+
+#include "algebra/scalar_expr.h"
+#include "common/result.h"
+#include "common/row.h"
+
+namespace pdw {
+
+/// Maps a ColumnId to its ordinal in the row being evaluated.
+using ColumnOrdinalMap = std::map<ColumnId, int>;
+
+/// Evaluates a bound scalar expression against a row, with SQL semantics:
+/// three-valued logic for comparisons and AND/OR/NOT (NULL operands yield
+/// NULL where SQL requires it). Boolean NULL is represented as a NULL Datum.
+Result<Datum> EvalScalar(const ScalarExpr& expr, const Row& row,
+                         const ColumnOrdinalMap& ordinals);
+
+/// True if `expr` references no columns (safe to fold at compile time).
+bool IsConstantExpr(const ScalarExprPtr& expr);
+
+/// Evaluates a constant expression (no column references).
+Result<Datum> EvalConstant(const ScalarExpr& expr);
+
+/// Convenience: evaluates a predicate; returns true only for TRUE
+/// (NULL and FALSE both reject the row).
+Result<bool> EvalPredicate(const ScalarExpr& expr, const Row& row,
+                           const ColumnOrdinalMap& ordinals);
+
+}  // namespace pdw
+
+#endif  // PDW_ALGEBRA_SCALAR_EVAL_H_

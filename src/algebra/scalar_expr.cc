@@ -1,0 +1,420 @@
+#include "algebra/scalar_expr.h"
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+namespace {
+
+size_t HashCombine(size_t a, size_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace
+
+int FindBinding(const std::vector<ColumnBinding>& cols, ColumnId id) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// --- ColumnExpr ---
+
+std::string ColumnExpr::ToString() const {
+  return name_ + "#" + std::to_string(id_);
+}
+
+size_t ColumnExpr::Hash() const {
+  return HashCombine(1, std::hash<int32_t>()(id_));
+}
+
+bool ColumnExpr::Equals(const ScalarExpr& other) const {
+  if (other.kind() != ScalarKind::kColumn) return false;
+  return id_ == static_cast<const ColumnExpr&>(other).id();
+}
+
+// --- LiteralExprB ---
+
+size_t LiteralExprB::Hash() const { return HashCombine(2, value_.Hash()); }
+
+bool LiteralExprB::Equals(const ScalarExpr& other) const {
+  if (other.kind() != ScalarKind::kLiteral) return false;
+  const auto& o = static_cast<const LiteralExprB&>(other);
+  if (value_.is_null() || o.value().is_null()) {
+    return value_.is_null() && o.value().is_null();
+  }
+  return value_.Compare(o.value()) == 0 && value_.type() == o.value().type();
+}
+
+// --- BinaryExprB ---
+
+std::string BinaryExprB::ToString() const {
+  return "(" + left_->ToString() + " " + sql::BinaryOpToString(op_) + " " +
+         right_->ToString() + ")";
+}
+
+size_t BinaryExprB::Hash() const {
+  size_t h = HashCombine(3, static_cast<size_t>(op_));
+  h = HashCombine(h, left_->Hash());
+  return HashCombine(h, right_->Hash());
+}
+
+bool BinaryExprB::Equals(const ScalarExpr& other) const {
+  if (other.kind() != ScalarKind::kBinary) return false;
+  const auto& o = static_cast<const BinaryExprB&>(other);
+  return op_ == o.op() && left_->Equals(*o.left()) && right_->Equals(*o.right());
+}
+
+// --- UnaryExprB ---
+
+std::string UnaryExprB::ToString() const {
+  return op_ == sql::UnaryOp::kNot ? "(NOT " + operand_->ToString() + ")"
+                                   : "(-" + operand_->ToString() + ")";
+}
+
+size_t UnaryExprB::Hash() const {
+  return HashCombine(HashCombine(4, static_cast<size_t>(op_)), operand_->Hash());
+}
+
+bool UnaryExprB::Equals(const ScalarExpr& other) const {
+  if (other.kind() != ScalarKind::kUnary) return false;
+  const auto& o = static_cast<const UnaryExprB&>(other);
+  return op_ == o.op() && operand_->Equals(*o.operand());
+}
+
+// --- IsNullExprB ---
+
+std::string IsNullExprB::ToString() const {
+  return "(" + operand_->ToString() + (negated_ ? " IS NOT NULL)" : " IS NULL)");
+}
+
+size_t IsNullExprB::Hash() const {
+  return HashCombine(HashCombine(5, negated_ ? 1 : 0), operand_->Hash());
+}
+
+bool IsNullExprB::Equals(const ScalarExpr& other) const {
+  if (other.kind() != ScalarKind::kIsNull) return false;
+  const auto& o = static_cast<const IsNullExprB&>(other);
+  return negated_ == o.negated() && operand_->Equals(*o.operand());
+}
+
+// --- CaseExprB ---
+
+std::string CaseExprB::ToString() const {
+  std::string out = "CASE";
+  for (const auto& [w, t] : whens_) {
+    out += " WHEN " + w->ToString() + " THEN " + t->ToString();
+  }
+  if (else_expr_) out += " ELSE " + else_expr_->ToString();
+  return out + " END";
+}
+
+size_t CaseExprB::Hash() const {
+  size_t h = 6;
+  for (const auto& [w, t] : whens_) {
+    h = HashCombine(h, w->Hash());
+    h = HashCombine(h, t->Hash());
+  }
+  if (else_expr_) h = HashCombine(h, else_expr_->Hash());
+  return h;
+}
+
+bool CaseExprB::Equals(const ScalarExpr& other) const {
+  if (other.kind() != ScalarKind::kCase) return false;
+  const auto& o = static_cast<const CaseExprB&>(other);
+  if (whens_.size() != o.whens().size()) return false;
+  for (size_t i = 0; i < whens_.size(); ++i) {
+    if (!whens_[i].first->Equals(*o.whens()[i].first) ||
+        !whens_[i].second->Equals(*o.whens()[i].second)) {
+      return false;
+    }
+  }
+  if ((else_expr_ == nullptr) != (o.else_expr() == nullptr)) return false;
+  return else_expr_ == nullptr || else_expr_->Equals(*o.else_expr());
+}
+
+// --- CastExprB ---
+
+std::string CastExprB::ToString() const {
+  return std::string("CAST(") + operand_->ToString() + " AS " +
+         TypeIdToString(type()) + ")";
+}
+
+size_t CastExprB::Hash() const {
+  return HashCombine(HashCombine(7, static_cast<size_t>(type())),
+                     operand_->Hash());
+}
+
+bool CastExprB::Equals(const ScalarExpr& other) const {
+  if (other.kind() != ScalarKind::kCast) return false;
+  const auto& o = static_cast<const CastExprB&>(other);
+  return type() == o.type() && operand_->Equals(*o.operand());
+}
+
+// --- FunctionExprB ---
+
+std::string FunctionExprB::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i]->ToString();
+  }
+  return out + ")";
+}
+
+size_t FunctionExprB::Hash() const {
+  size_t h = HashCombine(8, std::hash<std::string>()(name_));
+  for (const auto& a : args_) h = HashCombine(h, a->Hash());
+  return h;
+}
+
+bool FunctionExprB::Equals(const ScalarExpr& other) const {
+  if (other.kind() != ScalarKind::kFunction) return false;
+  const auto& o = static_cast<const FunctionExprB&>(other);
+  if (name_ != o.name() || args_.size() != o.args().size()) return false;
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (!args_[i]->Equals(*o.args()[i])) return false;
+  }
+  return true;
+}
+
+// --- helpers ---
+
+ScalarExprPtr MakeColumn(const ColumnBinding& binding) {
+  return std::make_shared<ColumnExpr>(binding.id, binding.name, binding.type);
+}
+
+ScalarExprPtr MakeLiteral(Datum value) {
+  return std::make_shared<LiteralExprB>(std::move(value));
+}
+
+ScalarExprPtr MakeBinary(sql::BinaryOp op, ScalarExprPtr l, ScalarExprPtr r) {
+  TypeId type = TypeId::kBool;
+  switch (op) {
+    case sql::BinaryOp::kAdd:
+    case sql::BinaryOp::kSub:
+    case sql::BinaryOp::kMul:
+    case sql::BinaryOp::kDiv:
+    case sql::BinaryOp::kMod: {
+      TypeId lt = l->type();
+      TypeId rt = r->type();
+      if (lt == TypeId::kDouble || rt == TypeId::kDouble ||
+          op == sql::BinaryOp::kDiv) {
+        type = TypeId::kDouble;
+      } else if (lt == TypeId::kDate || rt == TypeId::kDate) {
+        type = TypeId::kDate;
+      } else {
+        type = TypeId::kInt;
+      }
+      break;
+    }
+    default:
+      type = TypeId::kBool;
+  }
+  return std::make_shared<BinaryExprB>(op, std::move(l), std::move(r), type);
+}
+
+ScalarExprPtr MakeNot(ScalarExprPtr e) {
+  return std::make_shared<UnaryExprB>(sql::UnaryOp::kNot, std::move(e),
+                                      TypeId::kBool);
+}
+
+ScalarExprPtr MakeAnd(std::vector<ScalarExprPtr> conjuncts) {
+  if (conjuncts.empty()) return MakeLiteral(Datum::Bool(true));
+  ScalarExprPtr node = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    node = MakeBinary(sql::BinaryOp::kAnd, node, conjuncts[i]);
+  }
+  return node;
+}
+
+void CollectColumns(const ScalarExprPtr& expr, std::set<ColumnId>* out) {
+  if (!expr) return;
+  switch (expr->kind()) {
+    case ScalarKind::kColumn:
+      out->insert(static_cast<const ColumnExpr&>(*expr).id());
+      return;
+    case ScalarKind::kLiteral:
+      return;
+    case ScalarKind::kBinary: {
+      const auto& b = static_cast<const BinaryExprB&>(*expr);
+      CollectColumns(b.left(), out);
+      CollectColumns(b.right(), out);
+      return;
+    }
+    case ScalarKind::kUnary:
+      CollectColumns(static_cast<const UnaryExprB&>(*expr).operand(), out);
+      return;
+    case ScalarKind::kIsNull:
+      CollectColumns(static_cast<const IsNullExprB&>(*expr).operand(), out);
+      return;
+    case ScalarKind::kCase: {
+      const auto& c = static_cast<const CaseExprB&>(*expr);
+      for (const auto& [w, t] : c.whens()) {
+        CollectColumns(w, out);
+        CollectColumns(t, out);
+      }
+      CollectColumns(c.else_expr(), out);
+      return;
+    }
+    case ScalarKind::kCast:
+      CollectColumns(static_cast<const CastExprB&>(*expr).operand(), out);
+      return;
+    case ScalarKind::kFunction: {
+      const auto& f = static_cast<const FunctionExprB&>(*expr);
+      for (const auto& a : f.args()) CollectColumns(a, out);
+      return;
+    }
+  }
+}
+
+bool ExprCoveredBy(const ScalarExprPtr& expr,
+                   const std::set<ColumnId>& available) {
+  std::set<ColumnId> used;
+  CollectColumns(expr, &used);
+  for (ColumnId id : used) {
+    if (available.count(id) == 0) return false;
+  }
+  return true;
+}
+
+ScalarExprPtr SubstituteColumns(
+    const ScalarExprPtr& expr,
+    const std::map<ColumnId, ScalarExprPtr>& mapping) {
+  if (!expr) return nullptr;
+  switch (expr->kind()) {
+    case ScalarKind::kColumn: {
+      const auto& c = static_cast<const ColumnExpr&>(*expr);
+      auto it = mapping.find(c.id());
+      return it != mapping.end() ? it->second : expr;
+    }
+    case ScalarKind::kLiteral:
+      return expr;
+    case ScalarKind::kBinary: {
+      const auto& b = static_cast<const BinaryExprB&>(*expr);
+      return std::make_shared<BinaryExprB>(
+          b.op(), SubstituteColumns(b.left(), mapping),
+          SubstituteColumns(b.right(), mapping), b.type());
+    }
+    case ScalarKind::kUnary: {
+      const auto& u = static_cast<const UnaryExprB&>(*expr);
+      return std::make_shared<UnaryExprB>(
+          u.op(), SubstituteColumns(u.operand(), mapping), u.type());
+    }
+    case ScalarKind::kIsNull: {
+      const auto& n = static_cast<const IsNullExprB&>(*expr);
+      return std::make_shared<IsNullExprB>(
+          SubstituteColumns(n.operand(), mapping), n.negated());
+    }
+    case ScalarKind::kCase: {
+      const auto& c = static_cast<const CaseExprB&>(*expr);
+      std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> whens;
+      for (const auto& [w, t] : c.whens()) {
+        whens.emplace_back(SubstituteColumns(w, mapping),
+                           SubstituteColumns(t, mapping));
+      }
+      return std::make_shared<CaseExprB>(
+          std::move(whens), SubstituteColumns(c.else_expr(), mapping),
+          c.type());
+    }
+    case ScalarKind::kCast: {
+      const auto& c = static_cast<const CastExprB&>(*expr);
+      return std::make_shared<CastExprB>(
+          SubstituteColumns(c.operand(), mapping), c.type());
+    }
+    case ScalarKind::kFunction: {
+      const auto& f = static_cast<const FunctionExprB&>(*expr);
+      std::vector<ScalarExprPtr> args;
+      for (const auto& a : f.args()) {
+        args.push_back(SubstituteColumns(a, mapping));
+      }
+      return std::make_shared<FunctionExprB>(f.name(), std::move(args),
+                                             f.type());
+    }
+  }
+  return expr;
+}
+
+ScalarExprPtr ReplaceSubtree(const ScalarExprPtr& expr,
+                             const ScalarExprPtr& target,
+                             const ScalarExprPtr& replacement) {
+  if (!expr) return nullptr;
+  if (expr->Equals(*target)) return replacement;
+  switch (expr->kind()) {
+    case ScalarKind::kColumn:
+    case ScalarKind::kLiteral:
+      return expr;
+    case ScalarKind::kBinary: {
+      const auto& b = static_cast<const BinaryExprB&>(*expr);
+      return std::make_shared<BinaryExprB>(
+          b.op(), ReplaceSubtree(b.left(), target, replacement),
+          ReplaceSubtree(b.right(), target, replacement), b.type());
+    }
+    case ScalarKind::kUnary: {
+      const auto& u = static_cast<const UnaryExprB&>(*expr);
+      return std::make_shared<UnaryExprB>(
+          u.op(), ReplaceSubtree(u.operand(), target, replacement), u.type());
+    }
+    case ScalarKind::kIsNull: {
+      const auto& n = static_cast<const IsNullExprB&>(*expr);
+      return std::make_shared<IsNullExprB>(
+          ReplaceSubtree(n.operand(), target, replacement), n.negated());
+    }
+    case ScalarKind::kCase: {
+      const auto& c = static_cast<const CaseExprB&>(*expr);
+      std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> whens;
+      for (const auto& [w, t] : c.whens()) {
+        whens.emplace_back(ReplaceSubtree(w, target, replacement),
+                           ReplaceSubtree(t, target, replacement));
+      }
+      return std::make_shared<CaseExprB>(
+          std::move(whens),
+          ReplaceSubtree(c.else_expr(), target, replacement), c.type());
+    }
+    case ScalarKind::kCast: {
+      const auto& c = static_cast<const CastExprB&>(*expr);
+      return std::make_shared<CastExprB>(
+          ReplaceSubtree(c.operand(), target, replacement), c.type());
+    }
+    case ScalarKind::kFunction: {
+      const auto& f = static_cast<const FunctionExprB&>(*expr);
+      std::vector<ScalarExprPtr> args;
+      for (const auto& a : f.args()) {
+        args.push_back(ReplaceSubtree(a, target, replacement));
+      }
+      return std::make_shared<FunctionExprB>(f.name(), std::move(args),
+                                             f.type());
+    }
+  }
+  return expr;
+}
+
+void SplitConjuncts(const ScalarExprPtr& expr,
+                    std::vector<ScalarExprPtr>* out) {
+  if (!expr) return;
+  if (expr->kind() == ScalarKind::kBinary) {
+    const auto& b = static_cast<const BinaryExprB&>(*expr);
+    if (b.op() == sql::BinaryOp::kAnd) {
+      SplitConjuncts(b.left(), out);
+      SplitConjuncts(b.right(), out);
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+bool IsColumnEquality(const ScalarExprPtr& expr, ColumnId* a, ColumnId* b) {
+  if (!expr || expr->kind() != ScalarKind::kBinary) return false;
+  const auto& bin = static_cast<const BinaryExprB&>(*expr);
+  if (bin.op() != sql::BinaryOp::kEq) return false;
+  if (bin.left()->kind() != ScalarKind::kColumn ||
+      bin.right()->kind() != ScalarKind::kColumn) {
+    return false;
+  }
+  *a = static_cast<const ColumnExpr&>(*bin.left()).id();
+  *b = static_cast<const ColumnExpr&>(*bin.right()).id();
+  return *a != *b;
+}
+
+}  // namespace pdw

@@ -1,0 +1,235 @@
+#ifndef PDW_ALGEBRA_SCALAR_EXPR_H_
+#define PDW_ALGEBRA_SCALAR_EXPR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/column.h"
+#include "common/datum.h"
+#include "sql/ast.h"
+
+namespace pdw {
+
+/// Kinds of *bound* scalar expressions (names resolved to ColumnIds).
+enum class ScalarKind {
+  kColumn,
+  kLiteral,
+  kBinary,
+  kUnary,
+  kIsNull,
+  kCase,
+  kCast,
+  kFunction,  ///< Scalar functions (DATEADD, ...), never aggregates.
+};
+
+/// Immutable bound scalar expression tree. Nodes are shared freely between
+/// plans and memo groups (shared_ptr<const>), which makes transformation
+/// rules cheap.
+class ScalarExpr {
+ public:
+  virtual ~ScalarExpr() = default;
+
+  ScalarKind kind() const { return kind_; }
+  TypeId type() const { return type_; }
+
+  /// SQL-like rendering using bound column names (diagnostics only; the
+  /// DSQL SQL generator has its own context-sensitive renderer).
+  virtual std::string ToString() const = 0;
+
+  /// Structural fingerprint for memo dedup and common-expression detection.
+  virtual size_t Hash() const = 0;
+  virtual bool Equals(const ScalarExpr& other) const = 0;
+
+ protected:
+  ScalarExpr(ScalarKind kind, TypeId type) : kind_(kind), type_(type) {}
+
+ private:
+  ScalarKind kind_;
+  TypeId type_;
+};
+
+using ScalarExprPtr = std::shared_ptr<const ScalarExpr>;
+
+class ColumnExpr : public ScalarExpr {
+ public:
+  ColumnExpr(ColumnId id, std::string name, TypeId type)
+      : ScalarExpr(ScalarKind::kColumn, type), id_(id), name_(std::move(name)) {}
+
+  ColumnId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  std::string ToString() const override;
+  size_t Hash() const override;
+  bool Equals(const ScalarExpr& other) const override;
+
+ private:
+  ColumnId id_;
+  std::string name_;
+};
+
+class LiteralExprB : public ScalarExpr {
+ public:
+  explicit LiteralExprB(Datum value)
+      : ScalarExpr(ScalarKind::kLiteral, value.type()), value_(std::move(value)) {}
+
+  const Datum& value() const { return value_; }
+
+  std::string ToString() const override { return value_.ToString(); }
+  size_t Hash() const override;
+  bool Equals(const ScalarExpr& other) const override;
+
+ private:
+  Datum value_;
+};
+
+class BinaryExprB : public ScalarExpr {
+ public:
+  BinaryExprB(sql::BinaryOp op, ScalarExprPtr left, ScalarExprPtr right,
+              TypeId type)
+      : ScalarExpr(ScalarKind::kBinary, type), op_(op),
+        left_(std::move(left)), right_(std::move(right)) {}
+
+  sql::BinaryOp op() const { return op_; }
+  const ScalarExprPtr& left() const { return left_; }
+  const ScalarExprPtr& right() const { return right_; }
+
+  std::string ToString() const override;
+  size_t Hash() const override;
+  bool Equals(const ScalarExpr& other) const override;
+
+ private:
+  sql::BinaryOp op_;
+  ScalarExprPtr left_;
+  ScalarExprPtr right_;
+};
+
+class UnaryExprB : public ScalarExpr {
+ public:
+  UnaryExprB(sql::UnaryOp op, ScalarExprPtr operand, TypeId type)
+      : ScalarExpr(ScalarKind::kUnary, type), op_(op),
+        operand_(std::move(operand)) {}
+
+  sql::UnaryOp op() const { return op_; }
+  const ScalarExprPtr& operand() const { return operand_; }
+
+  std::string ToString() const override;
+  size_t Hash() const override;
+  bool Equals(const ScalarExpr& other) const override;
+
+ private:
+  sql::UnaryOp op_;
+  ScalarExprPtr operand_;
+};
+
+class IsNullExprB : public ScalarExpr {
+ public:
+  IsNullExprB(ScalarExprPtr operand, bool negated)
+      : ScalarExpr(ScalarKind::kIsNull, TypeId::kBool),
+        operand_(std::move(operand)), negated_(negated) {}
+
+  const ScalarExprPtr& operand() const { return operand_; }
+  bool negated() const { return negated_; }
+
+  std::string ToString() const override;
+  size_t Hash() const override;
+  bool Equals(const ScalarExpr& other) const override;
+
+ private:
+  ScalarExprPtr operand_;
+  bool negated_;
+};
+
+class CaseExprB : public ScalarExpr {
+ public:
+  CaseExprB(std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> whens,
+            ScalarExprPtr else_expr, TypeId type)
+      : ScalarExpr(ScalarKind::kCase, type), whens_(std::move(whens)),
+        else_expr_(std::move(else_expr)) {}
+
+  const std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>>& whens() const {
+    return whens_;
+  }
+  const ScalarExprPtr& else_expr() const { return else_expr_; }
+
+  std::string ToString() const override;
+  size_t Hash() const override;
+  bool Equals(const ScalarExpr& other) const override;
+
+ private:
+  std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> whens_;
+  ScalarExprPtr else_expr_;  ///< May be null.
+};
+
+class CastExprB : public ScalarExpr {
+ public:
+  CastExprB(ScalarExprPtr operand, TypeId target)
+      : ScalarExpr(ScalarKind::kCast, target), operand_(std::move(operand)) {}
+
+  const ScalarExprPtr& operand() const { return operand_; }
+
+  std::string ToString() const override;
+  size_t Hash() const override;
+  bool Equals(const ScalarExpr& other) const override;
+
+ private:
+  ScalarExprPtr operand_;
+};
+
+class FunctionExprB : public ScalarExpr {
+ public:
+  FunctionExprB(std::string name, std::vector<ScalarExprPtr> args, TypeId type)
+      : ScalarExpr(ScalarKind::kFunction, type), name_(std::move(name)),
+        args_(std::move(args)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ScalarExprPtr>& args() const { return args_; }
+
+  std::string ToString() const override;
+  size_t Hash() const override;
+  bool Equals(const ScalarExpr& other) const override;
+
+ private:
+  std::string name_;
+  std::vector<ScalarExprPtr> args_;
+};
+
+// --- construction helpers ---
+
+ScalarExprPtr MakeColumn(const ColumnBinding& binding);
+ScalarExprPtr MakeLiteral(Datum value);
+ScalarExprPtr MakeBinary(sql::BinaryOp op, ScalarExprPtr l, ScalarExprPtr r);
+ScalarExprPtr MakeNot(ScalarExprPtr e);
+ScalarExprPtr MakeAnd(std::vector<ScalarExprPtr> conjuncts);
+
+// --- analysis helpers ---
+
+/// Adds every ColumnId referenced by `expr` to `out`.
+void CollectColumns(const ScalarExprPtr& expr, std::set<ColumnId>* out);
+
+/// True if every column `expr` references is in `available`.
+bool ExprCoveredBy(const ScalarExprPtr& expr, const std::set<ColumnId>& available);
+
+/// Rewrites column references per `mapping` (id -> replacement expression).
+/// Ids absent from the mapping are left untouched.
+ScalarExprPtr SubstituteColumns(
+    const ScalarExprPtr& expr,
+    const std::map<ColumnId, ScalarExprPtr>& mapping);
+
+/// Replaces every subtree structurally equal to `target` with `replacement`.
+ScalarExprPtr ReplaceSubtree(const ScalarExprPtr& expr,
+                             const ScalarExprPtr& target,
+                             const ScalarExprPtr& replacement);
+
+/// Splits a boolean expression on AND into conjuncts.
+void SplitConjuncts(const ScalarExprPtr& expr, std::vector<ScalarExprPtr>* out);
+
+/// True if `expr` is `col = col` between exactly two distinct columns;
+/// outputs their ids.
+bool IsColumnEquality(const ScalarExprPtr& expr, ColumnId* a, ColumnId* b);
+
+}  // namespace pdw
+
+#endif  // PDW_ALGEBRA_SCALAR_EXPR_H_

@@ -1,0 +1,296 @@
+#include "appliance/appliance.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace pdw {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Accumulate(const DmsRunMetrics& from, DmsRunMetrics* to) {
+  to->reader.bytes += from.reader.bytes;
+  to->reader.seconds += from.reader.seconds;
+  to->network.bytes += from.network.bytes;
+  to->network.seconds += from.network.seconds;
+  to->writer.bytes += from.writer.bytes;
+  to->writer.seconds += from.writer.seconds;
+  to->bulkcopy.bytes += from.bulkcopy.bytes;
+  to->bulkcopy.seconds += from.bulkcopy.seconds;
+  to->rows_moved += from.rows_moved;
+  to->wall_seconds += from.wall_seconds;
+}
+
+}  // namespace
+
+Appliance::Appliance(Topology topology)
+    : shell_(topology), dms_(topology.num_compute_nodes) {
+  for (int i = 0; i < topology.num_compute_nodes; ++i) {
+    compute_.push_back(std::make_unique<LocalEngine>());
+  }
+}
+
+Status Appliance::CreateTable(TableDef def) {
+  PDW_RETURN_NOT_OK(shell_.CreateTable(def));
+  for (auto& node : compute_) {
+    PDW_RETURN_NOT_OK(node->CreateTable(def));
+  }
+  return reference_.CreateTable(std::move(def));
+}
+
+Status Appliance::CreateTableSql(const std::string& ddl) {
+  PDW_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(ddl));
+  if (stmt.kind != sql::StatementKind::kCreateTable) {
+    return Status::InvalidArgument("expected CREATE TABLE");
+  }
+  TableDef def;
+  def.name = stmt.create_table->name;
+  def.schema = stmt.create_table->schema;
+  def.distribution = stmt.create_table->distribution;
+  return CreateTable(std::move(def));
+}
+
+Status Appliance::LoadRows(const std::string& table, const RowVector& rows) {
+  PDW_ASSIGN_OR_RETURN(const TableDef* def, shell_.GetTable(table));
+  int n = num_compute_nodes();
+  if (def->distribution.is_replicated()) {
+    for (auto& node : compute_) {
+      PDW_RETURN_NOT_OK(node->InsertRows(table, rows));
+    }
+  } else {
+    std::vector<int> hash_ordinals;
+    for (const std::string& dc : def->distribution.columns) {
+      int pos = def->schema.FindColumn(dc);
+      if (pos < 0) return Status::Internal("distribution column missing");
+      hash_ordinals.push_back(pos);
+    }
+    std::vector<RowVector> shards(static_cast<size_t>(n));
+    for (const Row& r : rows) {
+      shards[static_cast<size_t>(dms_.TargetNode(r, hash_ordinals))]
+          .push_back(r);
+    }
+    for (int i = 0; i < n; ++i) {
+      PDW_RETURN_NOT_OK(compute_[static_cast<size_t>(i)]->InsertRows(
+          table, std::move(shards[static_cast<size_t>(i)])));
+    }
+  }
+  PDW_RETURN_NOT_OK(reference_.InsertRows(table, rows));
+  return RefreshStatistics(table);
+}
+
+Status Appliance::RefreshStatistics(const std::string& table) {
+  PDW_ASSIGN_OR_RETURN(TableDef* def, shell_.GetMutableTable(table));
+  std::vector<TableStats> parts;
+  for (auto& node : compute_) {
+    PDW_ASSIGN_OR_RETURN(TableStats local, node->ComputeLocalStats(table));
+    parts.push_back(std::move(local));
+  }
+  std::string dist_col = def->distribution.is_replicated() ||
+                                 def->distribution.columns.empty()
+                             ? ""
+                             : ToLower(def->distribution.columns[0]);
+  if (def->distribution.is_replicated() && !parts.empty()) {
+    // Every node holds the same rows: the global stats are any node's.
+    def->stats = parts[0];
+  } else {
+    def->stats = TableStats::Merge(parts, dist_col);
+  }
+  return Status::OK();
+}
+
+std::vector<int> Appliance::SourceNodes(const DsqlStep& step) const {
+  int n = dms_.num_compute_nodes();
+  if (step.source_distribution.is_control()) return {dms_.control_node()};
+  if (step.kind == DsqlStepKind::kReturn &&
+      step.source_distribution.is_replicated()) {
+    return {0};  // identical streams: read one copy
+  }
+  if (step.kind == DsqlStepKind::kDms) {
+    if (step.move_kind == DmsOpKind::kReplicatedBroadcast) return {0};
+    if (step.move_kind == DmsOpKind::kRemoteCopyToSingle &&
+        step.source_distribution.is_replicated()) {
+      return {0};
+    }
+  }
+  std::vector<int> all;
+  for (int i = 0; i < n; ++i) all.push_back(i);
+  return all;
+}
+
+std::vector<int> Appliance::TargetNodes(const DsqlStep& step) const {
+  int n = dms_.num_compute_nodes();
+  switch (step.move_kind) {
+    case DmsOpKind::kPartitionMove:
+    case DmsOpKind::kRemoteCopyToSingle:
+      return {dms_.control_node()};
+    default: {
+      std::vector<int> all;
+      for (int i = 0; i < n; ++i) all.push_back(i);
+      return all;
+    }
+  }
+}
+
+Status Appliance::DropTemps(const std::vector<std::string>& temps) {
+  for (const std::string& name : temps) {
+    for (auto& node : compute_) {
+      if (node->HasTable(name)) PDW_RETURN_NOT_OK(node->DropTable(name));
+    }
+    if (control_.HasTable(name)) PDW_RETURN_NOT_OK(control_.DropTable(name));
+  }
+  return Status::OK();
+}
+
+Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql) {
+  ApplianceResult result;
+  result.dsql = dsql;
+  result.column_names = dsql.output_names;
+  double start = NowSeconds();
+  std::vector<std::string> temps;
+
+  auto engine_of = [&](int node) -> LocalEngine& {
+    return node == dms_.control_node() ? control_
+                                       : *compute_[static_cast<size_t>(node)];
+  };
+
+  auto cleanup_and_fail = [&](Status s) -> Status {
+    Status drop = DropTemps(temps);
+    (void)drop;
+    return s;
+  };
+
+  for (const DsqlStep& step : dsql.steps) {
+    if (step.kind == DsqlStepKind::kDms) {
+      // 1. Run the step's SQL on every source node.
+      int slots = dms_.num_compute_nodes() + 1;
+      std::vector<RowVector> source_rows(static_cast<size_t>(slots));
+      for (int node : SourceNodes(step)) {
+        auto rows = engine_of(node).ExecuteSql(step.sql);
+        if (!rows.ok()) {
+          return cleanup_and_fail(Status::ExecutionError(
+              "DSQL step failed on node " + std::to_string(node) + ": " +
+              rows.status().ToString() + "\nSQL: " + step.sql));
+        }
+        source_rows[static_cast<size_t>(node)] = std::move(rows->rows);
+      }
+      // 2. Route through DMS.
+      DmsRunMetrics metrics;
+      auto routed = dms_.Execute(step.move_kind, std::move(source_rows),
+                                 step.hash_column_ordinals, &metrics);
+      if (!routed.ok()) return cleanup_and_fail(routed.status());
+      Accumulate(metrics, &result.dms_metrics);
+      // 3. Materialize the destination temp table on every target node.
+      TableDef temp_def;
+      temp_def.name = step.dest_table;
+      temp_def.schema = step.dest_schema;
+      temps.push_back(step.dest_table);
+      for (int node : TargetNodes(step)) {
+        LocalEngine& engine = engine_of(node);
+        Status s = engine.CreateTable(temp_def);
+        if (!s.ok()) return cleanup_and_fail(s);
+        s = engine.InsertRows(
+            step.dest_table,
+            std::move((*routed)[static_cast<size_t>(node)]));
+        if (!s.ok()) return cleanup_and_fail(s);
+      }
+      continue;
+    }
+
+    // Return step: run per source node, assemble, finalize.
+    RowVector assembled;
+    for (int node : SourceNodes(step)) {
+      auto rows = engine_of(node).ExecuteSql(step.sql);
+      if (!rows.ok()) {
+        return cleanup_and_fail(Status::ExecutionError(
+            "Return step failed on node " + std::to_string(node) + ": " +
+            rows.status().ToString() + "\nSQL: " + step.sql));
+      }
+      if (result.column_names.empty()) {
+        result.column_names = rows->column_names;
+      }
+      assembled.insert(assembled.end(),
+                       std::make_move_iterator(rows->rows.begin()),
+                       std::make_move_iterator(rows->rows.end()));
+    }
+    if (!step.merge_sort.empty()) {
+      std::stable_sort(assembled.begin(), assembled.end(),
+                       [&](const Row& a, const Row& b) {
+                         for (const auto& [o, asc] : step.merge_sort) {
+                           int c = a[static_cast<size_t>(o)].Compare(
+                               b[static_cast<size_t>(o)]);
+                           if (c != 0) return asc ? c < 0 : c > 0;
+                         }
+                         return false;
+                       });
+    }
+    if (step.final_limit >= 0 &&
+        assembled.size() > static_cast<size_t>(step.final_limit)) {
+      assembled.resize(static_cast<size_t>(step.final_limit));
+    }
+    if (dsql.visible_columns >= 0) {
+      size_t visible = static_cast<size_t>(dsql.visible_columns);
+      for (Row& r : assembled) {
+        if (r.size() > visible) r.resize(visible);
+      }
+      if (result.column_names.size() > visible) {
+        result.column_names.resize(visible);
+      }
+    }
+    result.rows = std::move(assembled);
+  }
+
+  PDW_RETURN_NOT_OK(DropTemps(temps));
+  result.measured_seconds = NowSeconds() - start;
+  return result;
+}
+
+Result<ApplianceResult> Appliance::Execute(const std::string& sql,
+                                           const PdwCompilerOptions& options) {
+  PDW_ASSIGN_OR_RETURN(PdwCompilation comp, CompilePdwQuery(shell_, sql, options));
+  PDW_ASSIGN_OR_RETURN(DsqlPlan dsql,
+                       GenerateDsql(*comp.parallel.plan, comp.output_names,
+                                    "tpch", comp.serial.visible_columns));
+  PDW_ASSIGN_OR_RETURN(ApplianceResult result, ExecuteDsql(dsql));
+  result.modeled_cost = comp.parallel.cost;
+  result.plan_text = PlanTreeToString(*comp.parallel.plan);
+  if (result.column_names.empty()) result.column_names = comp.output_names;
+  return result;
+}
+
+Result<std::string> Appliance::Explain(const std::string& sql,
+                                        const PdwCompilerOptions& options) {
+  PDW_ASSIGN_OR_RETURN(PdwCompilation comp,
+                       CompilePdwQuery(shell_, sql, options));
+  PDW_ASSIGN_OR_RETURN(DsqlPlan dsql,
+                       GenerateDsql(*comp.parallel.plan, comp.output_names,
+                                    "tpch", comp.serial.visible_columns));
+  std::string out = "-- parallel plan (modeled DMS cost " +
+                    StringFormat("%.6f", comp.parallel.cost) + ")\n";
+  out += PlanTreeToString(*comp.parallel.plan);
+  out += "\n";
+  out += dsql.ToString();
+  return out;
+}
+
+Result<ApplianceResult> Appliance::ExecutePlan(
+    const PlanNode& plan, std::vector<std::string> output_names) {
+  PDW_ASSIGN_OR_RETURN(DsqlPlan dsql, GenerateDsql(plan, std::move(output_names)));
+  PDW_ASSIGN_OR_RETURN(ApplianceResult result, ExecuteDsql(dsql));
+  result.modeled_cost = TotalMoveCost(plan);
+  result.plan_text = PlanTreeToString(plan);
+  return result;
+}
+
+Result<SqlResult> Appliance::ExecuteReference(const std::string& sql) {
+  return reference_.ExecuteSql(sql);
+}
+
+}  // namespace pdw

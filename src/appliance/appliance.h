@@ -1,0 +1,96 @@
+#ifndef PDW_APPLIANCE_APPLIANCE_H_
+#define PDW_APPLIANCE_APPLIANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dms/dms_service.h"
+#include "engine/local_engine.h"
+#include "pdw/compiler.h"
+#include "pdw/dsql.h"
+
+namespace pdw {
+
+/// Result of one distributed query execution.
+struct ApplianceResult {
+  std::vector<std::string> column_names;
+  RowVector rows;
+  DsqlPlan dsql;
+  double modeled_cost = 0;      ///< Optimizer's DMS cost estimate.
+  double measured_seconds = 0;  ///< Wall time of DSQL execution.
+  DmsRunMetrics dms_metrics;    ///< Accumulated over all DMS steps.
+  std::string plan_text;        ///< EXPLAIN of the parallel plan.
+};
+
+/// The full PDW appliance simulator (Fig. 1): a control node and N compute
+/// nodes, each wrapping a LocalEngine ("SQL Server instance"), plus the DMS
+/// service. The control node holds the shell database — metadata and merged
+/// global statistics, no user rows (§2.2).
+///
+/// Query execution follows §2.4 exactly: the control node compiles a DSQL
+/// plan; DMS steps run their SQL on every source node, route rows into
+/// temp tables; the Return step's SQL runs per node and the engine
+/// assembles (merge-sorts, limits) the final result.
+class Appliance {
+ public:
+  explicit Appliance(Topology topology);
+
+  int num_compute_nodes() const { return dms_.num_compute_nodes(); }
+
+  /// DDL: registers the table in the shell database and creates the
+  /// physical (empty) table on every compute node.
+  Status CreateTable(TableDef def);
+  /// DDL from SQL text ("CREATE TABLE ... WITH (DISTRIBUTION = ...)").
+  Status CreateTableSql(const std::string& ddl);
+
+  /// Loads rows, routing them by the table's distribution (hash or
+  /// replicate); also maintains the single-node reference copy.
+  Status LoadRows(const std::string& table, const RowVector& rows);
+
+  /// Recomputes per-node local statistics and merges them into the shell
+  /// database's global statistics (§2.2).
+  Status RefreshStatistics(const std::string& table);
+
+  /// Compiles and executes a SELECT through the full PDW pipeline.
+  Result<ApplianceResult> Execute(const std::string& sql,
+                                  const PdwCompilerOptions& options = {});
+
+  /// Compiles a SELECT and returns its parallel plan + DSQL rendering
+  /// without executing anything (EXPLAIN).
+  Result<std::string> Explain(const std::string& sql,
+                              const PdwCompilerOptions& options = {});
+
+  /// Executes an already-generated parallel plan (used to run the
+  /// parallelized-serial baseline for comparison benches).
+  Result<ApplianceResult> ExecutePlan(const PlanNode& plan,
+                                      std::vector<std::string> output_names);
+
+  /// Runs the query on the single-node reference engine holding all data —
+  /// ground truth for validating distributed execution.
+  Result<SqlResult> ExecuteReference(const std::string& sql);
+
+  const Catalog& shell() const { return shell_; }
+  Catalog* mutable_shell() { return &shell_; }
+  DmsService& dms() { return dms_; }
+  LocalEngine& compute_node(int i) { return *compute_[static_cast<size_t>(i)]; }
+  LocalEngine& control_engine() { return control_; }
+
+ private:
+  Result<ApplianceResult> ExecuteDsql(const DsqlPlan& dsql);
+  /// Nodes that run a step's source SQL.
+  std::vector<int> SourceNodes(const DsqlStep& step) const;
+  /// Nodes that must host a DMS step's destination temp table.
+  std::vector<int> TargetNodes(const DsqlStep& step) const;
+  Status DropTemps(const std::vector<std::string>& temps);
+
+  Catalog shell_;
+  DmsService dms_;
+  std::vector<std::unique_ptr<LocalEngine>> compute_;
+  LocalEngine control_;
+  LocalEngine reference_;
+};
+
+}  // namespace pdw
+
+#endif  // PDW_APPLIANCE_APPLIANCE_H_

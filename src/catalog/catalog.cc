@@ -1,0 +1,83 @@
+#include "catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+std::string DistributionSpec::ToString() const {
+  if (is_replicated()) return "REPLICATED";
+  return "HASH(" + Join(columns, ", ") + ")";
+}
+
+const ColumnStats* TableDef::GetColumnStats(const std::string& column) const {
+  auto it = stats.columns.find(ToLower(column));
+  if (it != stats.columns.end()) return &it->second;
+  // Stats keys are stored lowercase; also try the raw name for robustness.
+  it = stats.columns.find(column);
+  return it != stats.columns.end() ? &it->second : nullptr;
+}
+
+int TableDef::DistributionColumnOrdinal() const {
+  if (distribution.is_replicated() || distribution.columns.empty()) return -1;
+  return schema.FindColumn(distribution.columns[0]);
+}
+
+std::string Catalog::Key(const std::string& name) const {
+  return ToLower(name);
+}
+
+Status Catalog::CreateTable(TableDef def) {
+  std::string key = Key(def.name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + def.name + "' already exists");
+  }
+  if (!def.distribution.is_replicated()) {
+    for (const std::string& c : def.distribution.columns) {
+      if (def.schema.FindColumn(c) < 0) {
+        return Status::InvalidArgument("distribution column '" + c +
+                                       "' not in schema of '" + def.name + "'");
+      }
+    }
+    if (def.distribution.columns.empty()) {
+      return Status::InvalidArgument(
+          "hash-distributed table '" + def.name + "' needs a column");
+    }
+  }
+  tables_.emplace(key, std::move(def));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(Key(name)) == 0) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(Key(name)) > 0;
+}
+
+Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+Result<TableDef*> Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::vector<std::string> out;
+  for (const auto& [key, def] : tables_) out.push_back(def.name);
+  return out;
+}
+
+}  // namespace pdw

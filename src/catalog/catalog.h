@@ -1,0 +1,94 @@
+#ifndef PDW_CATALOG_CATALOG_H_
+#define PDW_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "stats/column_stats.h"
+
+namespace pdw {
+
+/// How a user table is laid out across the appliance's compute nodes
+/// (paper §2.1): hash-partitioned on one or more columns, or fully
+/// replicated on every compute node.
+enum class TableLayout {
+  kHashDistributed,
+  kReplicated,
+};
+
+/// Distribution specification for a table.
+struct DistributionSpec {
+  TableLayout layout = TableLayout::kReplicated;
+  /// Hash-distribution column names; empty iff replicated.
+  std::vector<std::string> columns;
+
+  static DistributionSpec Replicated() { return DistributionSpec{}; }
+  static DistributionSpec HashOn(std::string column) {
+    return DistributionSpec{TableLayout::kHashDistributed, {std::move(column)}};
+  }
+
+  bool is_replicated() const { return layout == TableLayout::kReplicated; }
+  std::string ToString() const;
+};
+
+/// Full metadata for one table: schema, distribution and (global, merged)
+/// statistics. In the shell database this is all that exists — no rows.
+struct TableDef {
+  std::string name;
+  Schema schema;
+  DistributionSpec distribution;
+  TableStats stats;
+  /// Primary-key column names (may be empty). Enables redundant-join
+  /// elimination; correctness of that rewrite additionally assumes
+  /// referential integrity of foreign keys, as in the paper's TPC-H setup.
+  std::vector<std::string> primary_key;
+
+  /// Stats lookup by column name; returns nullptr if the column has no
+  /// statistics (estimation then falls back to magic-number heuristics).
+  const ColumnStats* GetColumnStats(const std::string& column) const;
+
+  /// Ordinal of a distribution column within the schema, or -1.
+  int DistributionColumnOrdinal() const;
+};
+
+/// The appliance's node topology. The paper's homogeneity assumption means
+/// a single count suffices; the control node is node index -1 by convention.
+struct Topology {
+  int num_compute_nodes = 8;
+};
+
+/// The metadata catalog. A Catalog instance on the control node with only
+/// metadata + global stats *is* the paper's "shell database" (§2.2);
+/// Catalog instances on compute nodes describe the local fragments.
+class Catalog {
+ public:
+  Catalog() = default;
+  explicit Catalog(Topology topology) : topology_(topology) {}
+
+  const Topology& topology() const { return topology_; }
+  void set_topology(Topology t) { topology_ = t; }
+
+  Status CreateTable(TableDef def);
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+
+  /// Case-insensitive table lookup.
+  Result<const TableDef*> GetTable(const std::string& name) const;
+  /// Mutable lookup (stats refresh, temp-table width updates).
+  Result<TableDef*> GetMutableTable(const std::string& name);
+
+  std::vector<std::string> ListTables() const;
+
+ private:
+  std::string Key(const std::string& name) const;
+
+  Topology topology_;
+  std::map<std::string, TableDef> tables_;
+};
+
+}  // namespace pdw
+
+#endif  // PDW_CATALOG_CATALOG_H_

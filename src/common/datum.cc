@@ -1,0 +1,225 @@
+#include "common/datum.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+TypeId Datum::type() const {
+  if (std::holds_alternative<std::monostate>(value_)) return TypeId::kInvalid;
+  if (std::holds_alternative<bool>(value_)) return TypeId::kBool;
+  if (std::holds_alternative<int64_t>(value_)) {
+    return is_date_ ? TypeId::kDate : TypeId::kInt;
+  }
+  if (std::holds_alternative<double>(value_)) return TypeId::kDouble;
+  return TypeId::kVarchar;
+}
+
+double Datum::AsDouble() const {
+  if (std::holds_alternative<bool>(value_)) return std::get<bool>(value_) ? 1.0 : 0.0;
+  if (std::holds_alternative<int64_t>(value_)) {
+    return static_cast<double>(std::get<int64_t>(value_));
+  }
+  if (std::holds_alternative<double>(value_)) return std::get<double>(value_);
+  return 0.0;
+}
+
+int Datum::Compare(const Datum& other) const {
+  // NULLs sort first; two NULLs compare equal (row-set semantics).
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+
+  TypeId a = type();
+  TypeId b = other.type();
+  if (a == TypeId::kVarchar || b == TypeId::kVarchar) {
+    if (a != TypeId::kVarchar || b != TypeId::kVarchar) {
+      // Incomparable kinds: order by type id for a deterministic total order.
+      return a < b ? -1 : 1;
+    }
+    int c = string_value().compare(other.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a == TypeId::kInt && b == TypeId::kInt) {
+    int64_t x = int_value();
+    int64_t y = other.int_value();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  double x = AsDouble();
+  double y = other.AsDouble();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+size_t Datum::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  switch (type()) {
+    case TypeId::kBool:
+      return std::hash<bool>()(bool_value());
+    case TypeId::kInt:
+    case TypeId::kDate:
+      return std::hash<int64_t>()(std::get<int64_t>(value_));
+    case TypeId::kDouble: {
+      double d = double_value();
+      // Hash integral doubles like ints so mixed-type equality hashes match.
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case TypeId::kVarchar:
+      return std::hash<std::string>()(string_value());
+    default:
+      return 0;
+  }
+}
+
+std::string Datum::ToString() const {
+  switch (type()) {
+    case TypeId::kInvalid:
+      return "NULL";
+    case TypeId::kBool:
+      return bool_value() ? "TRUE" : "FALSE";
+    case TypeId::kInt:
+      return std::to_string(int_value());
+    case TypeId::kDate:
+      return "DATE '" + FormatDate(date_value()) + "'";
+    case TypeId::kDouble: {
+      double d = double_value();
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        return StringFormat("%.1f", d);
+      }
+      return StringFormat("%g", d);
+    }
+    case TypeId::kVarchar:
+      return "'" + string_value() + "'";
+  }
+  return "NULL";
+}
+
+int Datum::Width() const {
+  if (is_null()) return 1;
+  if (type() == TypeId::kVarchar) return static_cast<int>(string_value().size());
+  return DefaultTypeWidth(type());
+}
+
+Result<Datum> Datum::CastTo(TypeId target) const {
+  if (is_null()) return Datum::Null();
+  if (type() == target) return *this;
+  switch (target) {
+    case TypeId::kInt:
+      if (type() == TypeId::kVarchar) {
+        errno = 0;
+        char* end = nullptr;
+        int64_t v = std::strtoll(string_value().c_str(), &end, 10);
+        if (end == string_value().c_str()) {
+          return Status::InvalidArgument("cannot cast '" + string_value() +
+                                         "' to INT");
+        }
+        return Datum::Int(v);
+      }
+      return Datum::Int(static_cast<int64_t>(AsDouble()));
+    case TypeId::kDouble:
+      if (type() == TypeId::kVarchar) {
+        char* end = nullptr;
+        double v = std::strtod(string_value().c_str(), &end);
+        if (end == string_value().c_str()) {
+          return Status::InvalidArgument("cannot cast '" + string_value() +
+                                         "' to DOUBLE");
+        }
+        return Datum::Double(v);
+      }
+      return Datum::Double(AsDouble());
+    case TypeId::kDate:
+      if (type() == TypeId::kVarchar) {
+        PDW_ASSIGN_OR_RETURN(int32_t days, ParseDate(string_value()));
+        return Datum::Date(days);
+      }
+      if (type() == TypeId::kInt) return Datum::Date(static_cast<int32_t>(int_value()));
+      return Status::InvalidArgument("cannot cast to DATE");
+    case TypeId::kVarchar:
+      if (type() == TypeId::kDate) return Datum::Varchar(FormatDate(date_value()));
+      return Datum::Varchar(ToString());
+    case TypeId::kBool:
+      if (type() == TypeId::kInt) return Datum::Bool(int_value() != 0);
+      return Status::InvalidArgument("cannot cast to BOOL");
+    default:
+      return Status::InvalidArgument("invalid cast target");
+  }
+}
+
+namespace {
+
+constexpr int kDaysPerMonthNonLeap[] = {31, 28, 31, 30, 31, 30,
+                                        31, 31, 30, 31, 30, 31};
+
+bool IsLeapYear(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+// Days from 1970-01-01 to Jan 1 of year y (can be negative).
+int64_t DaysToYear(int y) {
+  int64_t days = 0;
+  if (y >= 1970) {
+    for (int i = 1970; i < y; ++i) days += IsLeapYear(i) ? 366 : 365;
+  } else {
+    for (int i = y; i < 1970; ++i) days -= IsLeapYear(i) ? 366 : 365;
+  }
+  return days;
+}
+
+}  // namespace
+
+Result<int32_t> ParseDate(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  // Accept 'YYYY-MM-DD' optionally followed by a time component.
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 ||
+      m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("invalid date literal: '" + text + "'");
+  }
+  int64_t days = DaysToYear(y);
+  for (int i = 0; i < m - 1; ++i) {
+    days += kDaysPerMonthNonLeap[i];
+    if (i == 1 && IsLeapYear(y)) days += 1;
+  }
+  days += d - 1;
+  return static_cast<int32_t>(days);
+}
+
+std::string FormatDate(int32_t days_since_epoch) {
+  int y = 1970;
+  int64_t rem = days_since_epoch;
+  while (rem < 0) {
+    --y;
+    rem += IsLeapYear(y) ? 366 : 365;
+  }
+  while (true) {
+    int in_year = IsLeapYear(y) ? 366 : 365;
+    if (rem < in_year) break;
+    rem -= in_year;
+    ++y;
+  }
+  int m = 0;
+  while (true) {
+    int dim = kDaysPerMonthNonLeap[m] + ((m == 1 && IsLeapYear(y)) ? 1 : 0);
+    if (rem < dim) break;
+    rem -= dim;
+    ++m;
+  }
+  return StringFormat("%04d-%02d-%02d", y, m + 1, static_cast<int>(rem) + 1);
+}
+
+int32_t AddYears(int32_t days_since_epoch, int n) {
+  std::string s = FormatDate(days_since_epoch);
+  int y = 0, m = 0, d = 0;
+  std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d);
+  y += n;
+  // Clamp Feb 29 on non-leap targets.
+  if (m == 2 && d == 29 && !IsLeapYear(y)) d = 28;
+  auto r = ParseDate(StringFormat("%04d-%02d-%02d", y, m, d));
+  return r.ok() ? *r : days_since_epoch;
+}
+
+}  // namespace pdw

@@ -1,0 +1,90 @@
+#ifndef PDW_COMMON_DATUM_H_
+#define PDW_COMMON_DATUM_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace pdw {
+
+/// A single SQL value: NULL or one of the supported primitive types.
+/// Datums are value types — cheap to copy for numerics, and strings use
+/// std::string's small-buffer/heap semantics.
+class Datum {
+ public:
+  /// Constructs SQL NULL.
+  Datum() = default;
+
+  static Datum Null() { return Datum(); }
+  static Datum Bool(bool v) { return Datum(Value(v)); }
+  static Datum Int(int64_t v) { return Datum(Value(v)); }
+  static Datum Double(double v) { return Datum(Value(v)); }
+  static Datum Varchar(std::string v) { return Datum(Value(std::move(v))); }
+  /// `days` is days since 1970-01-01.
+  static Datum Date(int32_t days) {
+    Datum d{Value(static_cast<int64_t>(days))};
+    d.is_date_ = true;
+    return d;
+  }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(value_); }
+
+  /// Runtime type of this value; NULL reports kInvalid.
+  TypeId type() const;
+
+  bool bool_value() const { return std::get<bool>(value_); }
+  int64_t int_value() const { return std::get<int64_t>(value_); }
+  double double_value() const { return std::get<double>(value_); }
+  const std::string& string_value() const { return std::get<std::string>(value_); }
+  int32_t date_value() const { return static_cast<int32_t>(std::get<int64_t>(value_)); }
+
+  /// Numeric view of INT/DOUBLE/DATE/BOOL values for arithmetic and
+  /// comparisons across numeric types. Calling on VARCHAR/NULL is invalid.
+  double AsDouble() const;
+
+  /// Three-way comparison with SQL semantics *except* NULL handling: the
+  /// caller is responsible for NULL checks (comparisons with NULL should
+  /// yield SQL NULL, which this value-level function cannot express).
+  /// NULLs sort first here, which is what ORDER BY and row-set comparison
+  /// utilities need. Mixed numeric types compare by numeric value.
+  int Compare(const Datum& other) const;
+
+  bool operator==(const Datum& other) const { return Compare(other) == 0; }
+
+  /// Stable hash consistent with Compare()==0 equality. Used for hash
+  /// joins, aggregation, and DMS hash-partition routing.
+  size_t Hash() const;
+
+  /// SQL-literal-ish rendering ("NULL", 42, 3.5, 'abc', DATE '1994-01-01').
+  std::string ToString() const;
+
+  /// In-memory width in bytes, for row-width statistics.
+  int Width() const;
+
+  /// Casts to `target`; numeric widening/narrowing plus string<->numeric.
+  Result<Datum> CastTo(TypeId target) const;
+
+ private:
+  using Value = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Datum(Value v) : value_(std::move(v)) {}
+
+  Value value_;
+  bool is_date_ = false;
+};
+
+/// Parses 'YYYY-MM-DD' into days since epoch (proleptic Gregorian).
+Result<int32_t> ParseDate(const std::string& text);
+
+/// Inverse of ParseDate.
+std::string FormatDate(int32_t days_since_epoch);
+
+/// Adds `n` whole years to a date value (DATEADD(year, n, d)).
+int32_t AddYears(int32_t days_since_epoch, int n);
+
+}  // namespace pdw
+
+#endif  // PDW_COMMON_DATUM_H_

@@ -1,0 +1,59 @@
+#ifndef PDW_COMMON_RESULT_H_
+#define PDW_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pdw {
+
+/// Holds either a value of type T or an error Status. This is the return
+/// type of every fallible operation that produces a value (parsing,
+/// binding, optimization, execution).
+///
+/// Usage:
+///   Result<Plan> r = Optimize(query);
+///   if (!r.ok()) return r.status();
+///   Plan plan = std::move(r).ValueOrDie();
+/// or, inside a function returning Status/Result:
+///   PDW_ASSIGN_OR_RETURN(Plan plan, Optimize(query));
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Constructing from an OK
+  /// status is a programming error and is converted to an internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  /// Accessors. Calling these on an error Result is undefined; callers must
+  /// check ok() first (the PDW_ASSIGN_OR_RETURN macro does).
+  T& ValueOrDie() & { return *value_; }
+  const T& ValueOrDie() const& { return *value_; }
+  T&& ValueOrDie() && { return *std::move(value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace pdw
+
+#endif  // PDW_COMMON_RESULT_H_

@@ -1,0 +1,77 @@
+#include "common/row.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdw {
+
+int RowWidth(const Row& row) {
+  int w = 0;
+  for (const Datum& d : row) w += d.Width();
+  return w;
+}
+
+size_t HashRowColumns(const Row& row, const std::vector<int>& cols) {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (int c : cols) {
+    size_t x = row[static_cast<size_t>(c)].Hash();
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+int CompareRows(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+namespace {
+
+bool DatumsApproxEqual(const Datum& a, const Datum& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if (a.type() == TypeId::kDouble || b.type() == TypeId::kDouble) {
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    double scale = std::max({std::fabs(x), std::fabs(y), 1.0});
+    return std::fabs(x - y) <= 1e-9 * scale;
+  }
+  return a.Compare(b) == 0;
+}
+
+bool RowsApproxEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!DatumsApproxEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RowSetsEqual(RowVector a, RowVector b) {
+  if (a.size() != b.size()) return false;
+  auto less = [](const Row& x, const Row& y) { return CompareRows(x, y) < 0; };
+  std::sort(a.begin(), a.end(), less);
+  std::sort(b.begin(), b.end(), less);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!RowsApproxEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pdw

@@ -1,0 +1,41 @@
+#ifndef PDW_COMMON_ROW_H_
+#define PDW_COMMON_ROW_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+
+namespace pdw {
+
+/// A tuple of values. The engine is a row-at-a-time interpreter; rows flow
+/// between operators, nodes (via the DMS simulator) and the client.
+using Row = std::vector<Datum>;
+
+/// A materialized set of rows (a table fragment, an intermediate result, or
+/// a final result set).
+using RowVector = std::vector<Row>;
+
+/// Total in-memory width of a row in bytes (sum of datum widths). The DMS
+/// cost model and byte metering are driven by this.
+int RowWidth(const Row& row);
+
+/// Hash of the sub-tuple `row[cols]`; used for DMS hash routing and joins.
+size_t HashRowColumns(const Row& row, const std::vector<int>& cols);
+
+/// Lexicographic three-way comparison of full rows (NULLs first).
+int CompareRows(const Row& a, const Row& b);
+
+/// Order-insensitive multiset equality of two row collections; used to
+/// validate distributed execution against single-node reference execution.
+/// Doubles compare with a small relative tolerance to absorb the different
+/// accumulation orders of distributed aggregation.
+bool RowSetsEqual(RowVector a, RowVector b);
+
+/// Renders a row as "(v1, v2, ...)" for debugging and golden tests.
+std::string RowToString(const Row& row);
+
+}  // namespace pdw
+
+#endif  // PDW_COMMON_ROW_H_

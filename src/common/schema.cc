@@ -1,0 +1,25 @@
+#include "common/schema.h"
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeIdToString(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace pdw

@@ -1,0 +1,42 @@
+#ifndef PDW_COMMON_SCHEMA_H_
+#define PDW_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pdw {
+
+/// A named, typed output column of an operator or table.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kInvalid;
+  bool nullable = true;
+};
+
+/// Ordered list of columns describing a row layout.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  void AddColumn(ColumnDef col) { columns_.push_back(std::move(col)); }
+
+  /// Case-insensitive lookup; returns -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// "name TYPE, name TYPE, ..." — used in explain output and tests.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace pdw
+
+#endif  // PDW_COMMON_SCHEMA_H_

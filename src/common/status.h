@@ -1,0 +1,108 @@
+#ifndef PDW_COMMON_STATUS_H_
+#define PDW_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace pdw {
+
+/// Error classification for Status. `kOk` is the success marker; everything
+/// else carries a human-readable message describing the failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller supplied a malformed input (bad SQL, etc.).
+  kNotFound,          ///< A named object (table, column) does not exist.
+  kAlreadyExists,     ///< Attempt to create a duplicate object.
+  kNotImplemented,    ///< Feature intentionally unsupported.
+  kInternal,          ///< Invariant violation inside the library.
+  kExecutionError,    ///< Runtime failure while evaluating a plan.
+};
+
+/// Returns the canonical lowercase name of a status code ("ok", "not found").
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. All fallible operations in this
+/// library return Status (or Result<T>, see result.h) instead of throwing;
+/// exceptions are never used for control flow on a query path.
+///
+/// The OK status carries no allocation; error states allocate a small state
+/// block holding the code and message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  /// Renders "ok" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared so Status is cheap to copy; error paths are cold.
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace pdw
+
+/// Propagates a non-OK Status to the caller.
+#define PDW_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::pdw::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#define PDW_CONCAT_IMPL(x, y) x##y
+#define PDW_CONCAT(x, y) PDW_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the error Status to the caller.
+#define PDW_ASSIGN_OR_RETURN(lhs, expr)                            \
+  PDW_ASSIGN_OR_RETURN_IMPL(PDW_CONCAT(_pdw_res_, __LINE__), lhs, expr)
+
+#define PDW_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)                  \
+  auto tmp = (expr);                                               \
+  if (!tmp.ok()) return tmp.status();                              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // PDW_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+#ifndef PDW_COMMON_STRING_UTIL_H_
+#define PDW_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace pdw {
+
+/// ASCII-only case conversions (SQL identifiers are ASCII).
+std::string ToLower(const std::string& s);
+std::string ToUpper(const std::string& s);
+
+/// Case-insensitive equality for identifiers and keywords.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the single character `sep`; empty fields are preserved.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Returns true if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// SQL LIKE pattern match ('%' = any run, '_' = any single char).
+/// Comparison is case-sensitive, matching the engine's string semantics.
+bool LikeMatch(const std::string& value, const std::string& pattern);
+
+}  // namespace pdw
+
+#endif  // PDW_COMMON_STRING_UTIL_H_

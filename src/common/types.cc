@@ -1,0 +1,65 @@
+#include "common/types.h"
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+const char* TypeIdToString(TypeId type) {
+  switch (type) {
+    case TypeId::kInvalid:
+      return "INVALID";
+    case TypeId::kBool:
+      return "BOOL";
+    case TypeId::kInt:
+      return "INT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kVarchar:
+      return "VARCHAR";
+    case TypeId::kDate:
+      return "DATE";
+  }
+  return "INVALID";
+}
+
+TypeId TypeIdFromString(const std::string& name) {
+  std::string up = ToUpper(name);
+  if (up == "BOOL" || up == "BOOLEAN") return TypeId::kBool;
+  if (up == "INT" || up == "INTEGER" || up == "BIGINT" || up == "SMALLINT") {
+    return TypeId::kInt;
+  }
+  if (up == "DOUBLE" || up == "FLOAT" || up == "REAL" || up == "DECIMAL" ||
+      up == "NUMERIC") {
+    return TypeId::kDouble;
+  }
+  if (up == "VARCHAR" || up == "CHAR" || up == "TEXT" || up == "STRING") {
+    return TypeId::kVarchar;
+  }
+  if (up == "DATE" || up == "DATETIME") return TypeId::kDate;
+  return TypeId::kInvalid;
+}
+
+bool IsNumericType(TypeId type) {
+  return type == TypeId::kInt || type == TypeId::kDouble ||
+         type == TypeId::kDate;
+}
+
+int DefaultTypeWidth(TypeId type) {
+  switch (type) {
+    case TypeId::kBool:
+      return 1;
+    case TypeId::kInt:
+      return 8;
+    case TypeId::kDouble:
+      return 8;
+    case TypeId::kVarchar:
+      return 24;
+    case TypeId::kDate:
+      return 4;
+    case TypeId::kInvalid:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace pdw

@@ -1,0 +1,39 @@
+#ifndef PDW_COMMON_TYPES_H_
+#define PDW_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pdw {
+
+/// SQL value types supported by the engine. The set mirrors what the TPC-H
+/// subset and the PDW cost model need: fixed-width numerics, dates (stored
+/// as days since 1970-01-01) and variable-width strings.
+enum class TypeId : uint8_t {
+  kInvalid = 0,
+  kBool,
+  kInt,      ///< 64-bit signed integer (covers INT and BIGINT).
+  kDouble,   ///< Double-precision float (covers DECIMAL in this engine).
+  kVarchar,  ///< Variable-length string.
+  kDate,     ///< Days since epoch, stored as int32.
+};
+
+/// Returns the SQL-facing name of a type ("INT", "VARCHAR", ...).
+const char* TypeIdToString(TypeId type);
+
+/// Parses a SQL type name (case-insensitive); returns kInvalid on failure.
+/// Recognizes common aliases (BIGINT, DECIMAL, CHAR, TEXT, ...).
+TypeId TypeIdFromString(const std::string& name);
+
+/// Returns true for INT, DOUBLE and DATE — types with a total order that
+/// histograms can bucket numerically.
+bool IsNumericType(TypeId type);
+
+/// Average in-memory width in bytes of a value of this type, used by the
+/// cost model when column-level width statistics are absent. VARCHAR uses a
+/// default assumed width.
+int DefaultTypeWidth(TypeId type);
+
+}  // namespace pdw
+
+#endif  // PDW_COMMON_TYPES_H_

@@ -1,0 +1,335 @@
+#include "dms/dms_service.h"
+
+#include <chrono>
+#include <algorithm>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendBytes(const void* data, size_t n, std::vector<uint8_t>* buffer) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  buffer->insert(buffer->end(), p, p + n);
+}
+
+}  // namespace
+
+std::string DmsRunMetrics::ToString() const {
+  return StringFormat(
+      "rows=%.0f reader{%.0fB %.6fs} network{%.0fB %.6fs} "
+      "writer{%.0fB %.6fs} bulkcopy{%.0fB %.6fs} wall=%.6fs",
+      rows_moved, reader.bytes, reader.seconds, network.bytes,
+      network.seconds, writer.bytes, writer.seconds, bulkcopy.bytes,
+      bulkcopy.seconds, wall_seconds);
+}
+
+size_t PackRow(const Row& row, std::vector<uint8_t>* buffer) {
+  size_t start = buffer->size();
+  uint16_t arity = static_cast<uint16_t>(row.size());
+  AppendBytes(&arity, sizeof(arity), buffer);
+  for (const Datum& d : row) {
+    uint8_t tag = static_cast<uint8_t>(d.type());
+    AppendBytes(&tag, 1, buffer);
+    switch (d.type()) {
+      case TypeId::kInvalid:
+        break;  // NULL: tag only
+      case TypeId::kBool: {
+        uint8_t v = d.bool_value() ? 1 : 0;
+        AppendBytes(&v, 1, buffer);
+        break;
+      }
+      case TypeId::kInt: {
+        int64_t v = d.int_value();
+        AppendBytes(&v, sizeof(v), buffer);
+        break;
+      }
+      case TypeId::kDate: {
+        int32_t v = d.date_value();
+        AppendBytes(&v, sizeof(v), buffer);
+        break;
+      }
+      case TypeId::kDouble: {
+        double v = d.double_value();
+        AppendBytes(&v, sizeof(v), buffer);
+        break;
+      }
+      case TypeId::kVarchar: {
+        const std::string& s = d.string_value();
+        uint32_t len = static_cast<uint32_t>(s.size());
+        AppendBytes(&len, sizeof(len), buffer);
+        AppendBytes(s.data(), s.size(), buffer);
+        break;
+      }
+    }
+  }
+  return buffer->size() - start;
+}
+
+Result<Row> UnpackRow(const std::vector<uint8_t>& buffer, size_t* offset) {
+  auto read = [&](void* out, size_t n) -> Status {
+    if (*offset + n > buffer.size()) {
+      return Status::Internal("DMS buffer underrun");
+    }
+    std::memcpy(out, buffer.data() + *offset, n);
+    *offset += n;
+    return Status::OK();
+  };
+  uint16_t arity = 0;
+  PDW_RETURN_NOT_OK(read(&arity, sizeof(arity)));
+  Row row;
+  row.reserve(arity);
+  for (uint16_t i = 0; i < arity; ++i) {
+    uint8_t tag = 0;
+    PDW_RETURN_NOT_OK(read(&tag, 1));
+    switch (static_cast<TypeId>(tag)) {
+      case TypeId::kInvalid:
+        row.push_back(Datum::Null());
+        break;
+      case TypeId::kBool: {
+        uint8_t v = 0;
+        PDW_RETURN_NOT_OK(read(&v, 1));
+        row.push_back(Datum::Bool(v != 0));
+        break;
+      }
+      case TypeId::kInt: {
+        int64_t v = 0;
+        PDW_RETURN_NOT_OK(read(&v, sizeof(v)));
+        row.push_back(Datum::Int(v));
+        break;
+      }
+      case TypeId::kDate: {
+        int32_t v = 0;
+        PDW_RETURN_NOT_OK(read(&v, sizeof(v)));
+        row.push_back(Datum::Date(v));
+        break;
+      }
+      case TypeId::kDouble: {
+        double v = 0;
+        PDW_RETURN_NOT_OK(read(&v, sizeof(v)));
+        row.push_back(Datum::Double(v));
+        break;
+      }
+      case TypeId::kVarchar: {
+        uint32_t len = 0;
+        PDW_RETURN_NOT_OK(read(&len, sizeof(len)));
+        if (*offset + len > buffer.size()) {
+          return Status::Internal("DMS buffer underrun (string)");
+        }
+        row.push_back(Datum::Varchar(std::string(
+            reinterpret_cast<const char*>(buffer.data() + *offset), len)));
+        *offset += len;
+        break;
+      }
+      default:
+        return Status::Internal("DMS buffer: bad type tag");
+    }
+  }
+  return row;
+}
+
+Result<std::vector<RowVector>> DmsService::Execute(
+    DmsOpKind kind, std::vector<RowVector> source_rows,
+    const std::vector<int>& hash_ordinals, DmsRunMetrics* metrics) {
+  int n = nodes_;
+  int total_slots = n + 1;
+  if (static_cast<int>(source_rows.size()) != total_slots) {
+    return Status::InvalidArgument("source_rows must have one slot per node");
+  }
+  DmsRunMetrics local_metrics;
+  DmsRunMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  double wall_start = NowSeconds();
+
+  bool hashes = kind == DmsOpKind::kShuffle || kind == DmsOpKind::kTrimMove;
+  if (hashes && hash_ordinals.empty()) {
+    return Status::InvalidArgument("hash move without hash columns");
+  }
+
+  // Reader phase: each source node packs its rows into per-target buffers.
+  // target_buffers[src][dst] holds the bytes src sends to dst.
+  std::vector<std::vector<std::vector<uint8_t>>> buffers(
+      static_cast<size_t>(total_slots));
+  for (auto& per_target : buffers) {
+    per_target.resize(static_cast<size_t>(total_slots));
+  }
+
+  double t0 = NowSeconds();
+  for (int src = 0; src < total_slots; ++src) {
+    for (const Row& row : source_rows[static_cast<size_t>(src)]) {
+      std::vector<int> targets;
+      switch (kind) {
+        case DmsOpKind::kShuffle:
+          targets = {TargetNode(row, hash_ordinals)};
+          break;
+        case DmsOpKind::kPartitionMove:
+        case DmsOpKind::kRemoteCopyToSingle:
+          targets = {control_node()};
+          break;
+        case DmsOpKind::kControlNodeMove:
+        case DmsOpKind::kBroadcastMove:
+        case DmsOpKind::kReplicatedBroadcast:
+          for (int i = 0; i < n; ++i) targets.push_back(i);
+          break;
+        case DmsOpKind::kTrimMove:
+          // Keep only rows this node is responsible for; no network.
+          if (TargetNode(row, hash_ordinals) == src) targets = {src};
+          break;
+      }
+      for (int dst : targets) {
+        size_t bytes = PackRow(
+            row, &buffers[static_cast<size_t>(src)][static_cast<size_t>(dst)]);
+        m->reader.bytes += static_cast<double>(bytes);
+      }
+      m->rows_moved += 1;
+    }
+  }
+  m->reader.seconds += NowSeconds() - t0;
+
+  // Network phase: move buffers from source to target queues (local
+  // deliveries are free — Trim moves never touch the network).
+  std::vector<std::vector<uint8_t>> inbound(static_cast<size_t>(total_slots));
+  t0 = NowSeconds();
+  for (int src = 0; src < total_slots; ++src) {
+    for (int dst = 0; dst < total_slots; ++dst) {
+      std::vector<uint8_t>& buf =
+          buffers[static_cast<size_t>(src)][static_cast<size_t>(dst)];
+      if (buf.empty()) continue;
+      if (src != dst) m->network.bytes += static_cast<double>(buf.size());
+      std::vector<uint8_t>& q = inbound[static_cast<size_t>(dst)];
+      q.insert(q.end(), buf.begin(), buf.end());
+      buf.clear();
+      buf.shrink_to_fit();
+    }
+  }
+  m->network.seconds += NowSeconds() - t0;
+
+  // Writer phase: unpack rows on each target.
+  std::vector<RowVector> unpacked(static_cast<size_t>(total_slots));
+  t0 = NowSeconds();
+  for (int dst = 0; dst < total_slots; ++dst) {
+    const std::vector<uint8_t>& buf = inbound[static_cast<size_t>(dst)];
+    size_t offset = 0;
+    while (offset < buf.size()) {
+      PDW_ASSIGN_OR_RETURN(Row row, UnpackRow(buf, &offset));
+      unpacked[static_cast<size_t>(dst)].push_back(std::move(row));
+    }
+    m->writer.bytes += static_cast<double>(buf.size());
+  }
+  m->writer.seconds += NowSeconds() - t0;
+
+  // Bulk-copy phase: insert into the destination table storage (a copy,
+  // like SQL Server's bulk insert materializing the temp table).
+  std::vector<RowVector> result(static_cast<size_t>(total_slots));
+  t0 = NowSeconds();
+  for (int dst = 0; dst < total_slots; ++dst) {
+    RowVector& out = result[static_cast<size_t>(dst)];
+    out.reserve(unpacked[static_cast<size_t>(dst)].size());
+    for (const Row& row : unpacked[static_cast<size_t>(dst)]) {
+      m->bulkcopy.bytes += static_cast<double>(RowWidth(row));
+      out.push_back(row);
+    }
+  }
+  m->bulkcopy.seconds += NowSeconds() - t0;
+  m->wall_seconds += NowSeconds() - wall_start;
+  return result;
+}
+
+DmsCostParameters CalibrateCostModel(int rows_per_probe) {
+  // Synthetic rows resembling a shuffled intermediate result.
+  RowVector rows;
+  rows.reserve(static_cast<size_t>(rows_per_probe));
+  for (int i = 0; i < rows_per_probe; ++i) {
+    rows.push_back(Row{Datum::Int(i), Datum::Double(i * 0.5),
+                       Datum::Varchar("payload-" + std::to_string(i % 97)),
+                       Datum::Date(9000 + (i % 1000))});
+  }
+
+  auto measure = [&](auto&& body) {
+    double t0 = NowSeconds();
+    double bytes = body();
+    double dt = NowSeconds() - t0;
+    return bytes > 0 ? dt / bytes : 0.0;
+  };
+
+  DmsCostParameters p;
+  std::vector<int> hash_cols = {0};
+
+  // Reader (direct): pack only.
+  p.lambda_reader_direct = measure([&]() {
+    std::vector<uint8_t> buf;
+    double bytes = 0;
+    for (const Row& r : rows) bytes += static_cast<double>(PackRow(r, &buf));
+    return bytes;
+  });
+  // Reader (hash): pack + route hash.
+  p.lambda_reader_hash = measure([&]() {
+    std::vector<uint8_t> buf;
+    double bytes = 0;
+    size_t sink = 0;
+    for (const Row& r : rows) {
+      sink += HashRowColumns(r, hash_cols) % 8;
+      bytes += static_cast<double>(PackRow(r, &buf));
+    }
+    // Keep `sink` alive.
+    if (sink == static_cast<size_t>(-1)) bytes += 1;
+    return bytes;
+  });
+  // Network: byte transfer between queues.
+  {
+    std::vector<uint8_t> buf;
+    for (const Row& r : rows) PackRow(r, &buf);
+    p.lambda_network = measure([&]() {
+      std::vector<uint8_t> inbound;
+      inbound.insert(inbound.end(), buf.begin(), buf.end());
+      return static_cast<double>(inbound.size());
+    });
+    // A queue append under-represents a real network; scale to keep the
+    // relative component ordering of the paper (network slower than
+    // packing). The scale factor is part of the simulator's definition.
+    p.lambda_network *= 8;
+  }
+  // Writer: unpack.
+  {
+    std::vector<uint8_t> buf;
+    for (const Row& r : rows) PackRow(r, &buf);
+    p.lambda_writer = measure([&]() {
+      size_t offset = 0;
+      int count = 0;
+      while (offset < buf.size()) {
+        auto r = UnpackRow(buf, &offset);
+        if (!r.ok()) break;
+        ++count;
+      }
+      return static_cast<double>(buf.size());
+    });
+  }
+  // Bulk copy: row copy into destination storage, with the temp-table
+  // materialization penalty that makes it the dominant component.
+  p.lambda_bulkcopy = measure([&]() {
+    RowVector dest;
+    dest.reserve(rows.size());
+    double bytes = 0;
+    for (const Row& r : rows) {
+      bytes += static_cast<double>(RowWidth(r));
+      dest.push_back(r);
+    }
+    return bytes;
+  });
+  p.lambda_bulkcopy *= 6;  // temp-table materialization penalty
+
+  // Calibration post-processing: hashing can never be cheaper than a
+  // direct read; measurement noise at small probe sizes is clamped away.
+  p.lambda_reader_hash =
+      std::max(p.lambda_reader_hash, p.lambda_reader_direct * 1.05);
+  return p;
+}
+
+}  // namespace pdw

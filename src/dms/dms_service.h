@@ -1,0 +1,87 @@
+#ifndef PDW_DMS_DMS_SERVICE_H_
+#define PDW_DMS_DMS_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/row.h"
+#include "pdw/cost_model.h"
+#include "plan/distribution.h"
+
+namespace pdw {
+
+/// Observed bytes and wall time of one DMS component across a data
+/// movement operation. The λ calibration divides seconds by bytes.
+struct DmsComponentMetrics {
+  double bytes = 0;
+  double seconds = 0;
+};
+
+/// Metrics of a full DMS operation (per-component, summed over nodes).
+struct DmsRunMetrics {
+  DmsComponentMetrics reader;
+  DmsComponentMetrics network;
+  DmsComponentMetrics writer;
+  DmsComponentMetrics bulkcopy;
+  double rows_moved = 0;
+  double wall_seconds = 0;
+
+  std::string ToString() const;
+};
+
+/// The Data Movement Service simulator (Fig. 5). It reproduces the DMS
+/// operator's source/target structure with real work per component:
+///  * reader  — serialize rows into byte buffers (hashing for Shuffle/Trim);
+///  * network — transfer buffers between per-node queues;
+///  * writer  — deserialize buffers back into rows;
+///  * bulkcopy— insert rows into the destination temp-table storage.
+/// Per-component byte counts and timings are metered so the cost model's
+/// λ constants can be calibrated against this substrate exactly as the
+/// paper calibrates against hardware.
+class DmsService {
+ public:
+  /// `num_compute_nodes` compute nodes; node index `num_compute_nodes`
+  /// denotes the control node.
+  explicit DmsService(int num_compute_nodes)
+      : nodes_(num_compute_nodes) {}
+
+  int num_compute_nodes() const { return nodes_; }
+  int control_node() const { return nodes_; }
+
+  /// Executes a data movement: `source_rows[i]` holds the rows produced by
+  /// the step's SQL on node i (size num_compute_nodes + 1; the last slot
+  /// is the control node). Returns the rows landing on each node (same
+  /// indexing). `hash_ordinals` drive Shuffle/Trim routing.
+  Result<std::vector<RowVector>> Execute(DmsOpKind kind,
+                                         std::vector<RowVector> source_rows,
+                                         const std::vector<int>& hash_ordinals,
+                                         DmsRunMetrics* metrics = nullptr);
+
+  /// Hash routing used for both table loads and shuffles, so collocated
+  /// joins really are collocated.
+  int TargetNode(const Row& row, const std::vector<int>& hash_ordinals) const {
+    return static_cast<int>(HashRowColumns(row, hash_ordinals) %
+                            static_cast<size_t>(nodes_));
+  }
+
+ private:
+  int nodes_;
+};
+
+/// Serializes a row into `buffer` (the reader's packing work); returns the
+/// encoded size in bytes.
+size_t PackRow(const Row& row, std::vector<uint8_t>* buffer);
+
+/// Inverse of PackRow; reads one row starting at `offset`, advancing it.
+Result<Row> UnpackRow(const std::vector<uint8_t>& buffer, size_t* offset);
+
+/// Runs targeted micro-measurements against the simulator's component
+/// implementations and fits the per-byte λ constants (§3.3.3 "cost
+/// calibration"). `rows_per_probe` controls measurement size.
+DmsCostParameters CalibrateCostModel(int rows_per_probe = 20000);
+
+}  // namespace pdw
+
+#endif  // PDW_DMS_DMS_SERVICE_H_

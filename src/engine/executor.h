@@ -1,0 +1,37 @@
+#ifndef PDW_ENGINE_EXECUTOR_H_
+#define PDW_ENGINE_EXECUTOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/row.h"
+#include "common/schema.h"
+#include "plan/plan_node.h"
+
+namespace pdw {
+
+/// Row storage for one table as seen by the executor.
+struct TableData {
+  const Schema* schema = nullptr;
+  const RowVector* rows = nullptr;
+};
+
+/// Supplies table contents to the executor (implemented by LocalEngine's
+/// storage and by test fixtures).
+class TableProvider {
+ public:
+  virtual ~TableProvider() = default;
+  virtual Result<TableData> GetTableData(const std::string& name) const = 0;
+};
+
+/// Interprets a physical plan (without Move nodes) over materialized rows:
+/// scans, filters, projections, hash/nested-loop joins of all logical join
+/// types, hash aggregation (full/local/global phases behave identically at
+/// this level — the phase difference is in which rows each node holds),
+/// sort and limit. This is the per-node "SQL Server" execution backbone.
+Result<RowVector> ExecutePlan(const PlanNode& plan,
+                              const TableProvider& tables);
+
+}  // namespace pdw
+
+#endif  // PDW_ENGINE_EXECUTOR_H_

@@ -1,0 +1,165 @@
+#include "engine/local_engine.h"
+
+#include "algebra/scalar_eval.h"
+#include "common/string_util.h"
+#include "optimizer/serial_optimizer.h"
+#include "sql/parser.h"
+
+namespace pdw {
+
+LocalEngine::LocalEngine() {
+  TableDef empty;
+  empty.name = "pdw_empty";
+  empty.schema = Schema({{"dummy", TypeId::kInt, true}});
+  Status s = CreateTable(std::move(empty));
+  (void)s;
+}
+
+Status LocalEngine::CreateTable(TableDef def) {
+  std::string key = ToLower(def.name);
+  PDW_RETURN_NOT_OK(catalog_.CreateTable(std::move(def)));
+  storage_[key] = RowVector{};
+  return Status::OK();
+}
+
+Status LocalEngine::DropTable(const std::string& name) {
+  PDW_RETURN_NOT_OK(catalog_.DropTable(name));
+  storage_.erase(ToLower(name));
+  return Status::OK();
+}
+
+Status LocalEngine::InsertRows(const std::string& name, RowVector rows) {
+  auto it = storage_.find(ToLower(name));
+  if (it == storage_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  PDW_ASSIGN_OR_RETURN(const TableDef* def, catalog_.GetTable(name));
+  for (const Row& r : rows) {
+    if (static_cast<int>(r.size()) != def->schema.num_columns()) {
+      return Status::InvalidArgument(
+          StringFormat("row arity %zu does not match table '%s' (%d columns)",
+                       r.size(), name.c_str(), def->schema.num_columns()));
+    }
+  }
+  RowVector& dest = it->second;
+  dest.insert(dest.end(), std::make_move_iterator(rows.begin()),
+              std::make_move_iterator(rows.end()));
+  return Status::OK();
+}
+
+Result<const RowVector*> LocalEngine::GetRows(const std::string& name) const {
+  auto it = storage_.find(ToLower(name));
+  if (it == storage_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+Result<TableData> LocalEngine::GetTableData(const std::string& name) const {
+  PDW_ASSIGN_OR_RETURN(const TableDef* def, catalog_.GetTable(name));
+  PDW_ASSIGN_OR_RETURN(const RowVector* rows, GetRows(name));
+  return TableData{&def->schema, rows};
+}
+
+Result<TableStats> LocalEngine::ComputeLocalStats(const std::string& name,
+                                                  int histogram_buckets) {
+  PDW_ASSIGN_OR_RETURN(const TableDef* def, catalog_.GetTable(name));
+  PDW_ASSIGN_OR_RETURN(const RowVector* rows, GetRows(name));
+  TableStats stats;
+  stats.row_count = static_cast<double>(rows->size());
+  double width = 0;
+  for (const Row& r : *rows) width += RowWidth(r);
+  stats.avg_row_width = rows->empty() ? 0 : width / stats.row_count;
+  for (int i = 0; i < def->schema.num_columns(); ++i) {
+    const ColumnDef& col = def->schema.column(i);
+    stats.columns[ToLower(col.name)] =
+        ColumnStats::FromRows(*rows, i, col.type, histogram_buckets);
+  }
+  return stats;
+}
+
+Result<SqlResult> LocalEngine::ExecuteSql(const std::string& sql) {
+  PDW_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  SqlResult result;
+  switch (stmt.kind) {
+    case sql::StatementKind::kCreateTable: {
+      TableDef def;
+      def.name = stmt.create_table->name;
+      def.schema = stmt.create_table->schema;
+      def.distribution = stmt.create_table->distribution;
+      PDW_RETURN_NOT_OK(CreateTable(std::move(def)));
+      return result;
+    }
+    case sql::StatementKind::kDropTable:
+      PDW_RETURN_NOT_OK(DropTable(stmt.drop_table->name));
+      return result;
+    case sql::StatementKind::kInsert: {
+      PDW_ASSIGN_OR_RETURN(const TableDef* def,
+                           catalog_.GetTable(stmt.insert->table));
+      RowVector rows;
+      for (const auto& exprs : stmt.insert->rows) {
+        if (static_cast<int>(exprs.size()) != def->schema.num_columns()) {
+          return Status::InvalidArgument("INSERT arity mismatch");
+        }
+        Row row;
+        for (size_t i = 0; i < exprs.size(); ++i) {
+          // VALUES entries must be constant expressions (literals or a
+          // negated literal).
+          const sql::Expr* e = exprs[i].get();
+          bool negate = false;
+          while (e->kind == sql::ExprKind::kUnary &&
+                 static_cast<const sql::UnaryExpr&>(*e).op ==
+                     sql::UnaryOp::kNegate) {
+            negate = !negate;
+            e = static_cast<const sql::UnaryExpr&>(*e).operand.get();
+          }
+          if (e->kind != sql::ExprKind::kLiteral) {
+            return Status::NotImplemented(
+                "only literal VALUES are supported");
+          }
+          Datum v = static_cast<const sql::LiteralExpr&>(*e).value;
+          if (negate && !v.is_null()) {
+            if (v.type() == TypeId::kInt) {
+              v = Datum::Int(-v.int_value());
+            } else if (v.type() == TypeId::kDouble) {
+              v = Datum::Double(-v.double_value());
+            } else {
+              return Status::InvalidArgument("cannot negate this literal");
+            }
+          }
+          TypeId want = def->schema.column(static_cast<int>(i)).type;
+          if (!v.is_null() && v.type() != want) {
+            PDW_ASSIGN_OR_RETURN(v, v.CastTo(want));
+          }
+          row.push_back(std::move(v));
+        }
+        rows.push_back(std::move(row));
+      }
+      PDW_RETURN_NOT_OK(InsertRows(stmt.insert->table, std::move(rows)));
+      return result;
+    }
+    case sql::StatementKind::kSelect:
+      break;
+  }
+
+  // SELECT: full serial pipeline against the local catalog + storage.
+  PDW_ASSIGN_OR_RETURN(CompilationResult comp,
+                       CompileSelect(catalog_, *stmt.select));
+  PDW_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                       ExtractBestSerialPlan(comp.memo.get()));
+  PDW_ASSIGN_OR_RETURN(result.rows, ExecutePlan(*plan, *this));
+  result.column_names = comp.output_names;
+  for (const auto& b : plan->output) result.column_types.push_back(b.type);
+  // Trim hidden ORDER BY carrier columns.
+  if (comp.visible_columns >= 0) {
+    size_t visible = static_cast<size_t>(comp.visible_columns);
+    for (Row& r : result.rows) {
+      if (r.size() > visible) r.resize(visible);
+    }
+    if (result.column_names.size() > visible) result.column_names.resize(visible);
+    if (result.column_types.size() > visible) result.column_types.resize(visible);
+  }
+  return result;
+}
+
+}  // namespace pdw

@@ -1,0 +1,61 @@
+#ifndef PDW_ENGINE_LOCAL_ENGINE_H_
+#define PDW_ENGINE_LOCAL_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "engine/executor.h"
+#include "optimizer/memo.h"
+
+namespace pdw {
+
+/// Result of one SQL execution.
+struct SqlResult {
+  std::vector<std::string> column_names;
+  std::vector<TypeId> column_types;
+  RowVector rows;
+};
+
+/// A complete single-node SQL engine: catalog + in-memory row storage +
+/// parse/bind/normalize/optimize/execute pipeline. One instance runs on
+/// each compute node (and on the control node) of the appliance simulator,
+/// standing in for the per-node SQL Server of Fig. 1. The DSQL executor
+/// feeds it the *generated SQL text*, so DSQL SQL generation is exercised
+/// on the real execution path.
+class LocalEngine : public TableProvider {
+ public:
+  /// Every engine owns a built-in zero-row table `pdw_empty` that the SQL
+  /// generator uses to render contradiction (Empty) subtrees.
+  LocalEngine();
+
+  /// DDL / storage.
+  Status CreateTable(TableDef def);
+  Status DropTable(const std::string& name);
+  Status InsertRows(const std::string& name, RowVector rows);
+  bool HasTable(const std::string& name) const { return catalog_.HasTable(name); }
+  Result<const RowVector*> GetRows(const std::string& name) const;
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Recomputes the local statistics of a table from its stored rows (the
+  /// per-node half of the shell database's global-statistics story, §2.2).
+  Result<TableStats> ComputeLocalStats(const std::string& name,
+                                       int histogram_buckets = 32);
+
+  /// Executes a SELECT (or CREATE TABLE / DROP TABLE / INSERT) statement.
+  Result<SqlResult> ExecuteSql(const std::string& sql);
+
+  // TableProvider:
+  Result<TableData> GetTableData(const std::string& name) const override;
+
+ private:
+  Catalog catalog_;
+  std::map<std::string, RowVector> storage_;  // keyed by lowercase name
+};
+
+}  // namespace pdw
+
+#endif  // PDW_ENGINE_LOCAL_ENGINE_H_

@@ -1,0 +1,604 @@
+#include "optimizer/memo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+namespace {
+
+size_t HashCombine(size_t a, size_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+size_t ExprFingerprint(const LogicalOp& payload,
+                       const std::vector<GroupId>& children) {
+  size_t h = payload.PayloadHash();
+  for (GroupId c : children) h = HashCombine(h, std::hash<int32_t>()(c));
+  return h;
+}
+
+/// Finds the base-table access underlying a join-cluster leaf (a Get,
+/// possibly under filters/projects); nullptr when the leaf is something
+/// more complex (aggregate, semi join, ...).
+const LogicalGet* FindUnderlyingGet(const LogicalOp& op) {
+  if (op.kind() == LogicalOpKind::kGet) {
+    return &static_cast<const LogicalGet&>(op);
+  }
+  if ((op.kind() == LogicalOpKind::kFilter ||
+       op.kind() == LogicalOpKind::kProject) &&
+      op.children().size() == 1) {
+    return FindUnderlyingGet(*op.children()[0]);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+GroupId Memo::NewGroup(std::vector<ColumnBinding> output, double cardinality,
+                       double row_width) {
+  Group g;
+  g.id = static_cast<GroupId>(groups_.size());
+  g.output = std::move(output);
+  g.cardinality = cardinality;
+  g.row_width = row_width;
+  groups_.push_back(std::move(g));
+  return groups_.back().id;
+}
+
+GroupId Memo::FindExistingExpr(const LogicalOp& payload,
+                               const std::vector<GroupId>& children) const {
+  size_t fp = ExprFingerprint(payload, children);
+  auto [lo, hi] = expr_index_.equal_range(fp);
+  for (auto it = lo; it != hi; ++it) {
+    const auto& [gid, idx] = it->second;
+    const GroupExpr& e = groups_[static_cast<size_t>(gid)].exprs[static_cast<size_t>(idx)];
+    if (e.children == children && e.op->PayloadEquals(payload)) return gid;
+  }
+  return kInvalidGroupId;
+}
+
+GroupId Memo::AddExpr(LogicalOpPtr payload, std::vector<GroupId> children,
+                      GroupId target_group) {
+  GroupId existing = FindExistingExpr(*payload, children);
+  if (existing != kInvalidGroupId) {
+    // Already present somewhere; never duplicate.
+    return target_group != kInvalidGroupId ? target_group : existing;
+  }
+  GroupExpr e;
+  e.op = std::move(payload);
+  e.children = std::move(children);
+
+  GroupId gid = target_group;
+  if (gid == kInvalidGroupId) {
+    gid = NewGroup({}, 0, 0);
+    ComputeGroupProperties(&groups_[static_cast<size_t>(gid)], e);
+  }
+  Group& g = groups_[static_cast<size_t>(gid)];
+  size_t fp = ExprFingerprint(*e.op, e.children);
+  expr_index_.emplace(fp, std::make_pair(gid, static_cast<int>(g.exprs.size())));
+  g.exprs.push_back(std::move(e));
+  ++num_exprs_;
+  return gid;
+}
+
+void Memo::ComputeGroupProperties(Group* g, const GroupExpr& e) {
+  std::vector<std::vector<ColumnBinding>> child_outputs;
+  std::vector<double> child_cards;
+  for (GroupId c : e.children) {
+    child_outputs.push_back(groups_[static_cast<size_t>(c)].output);
+    child_cards.push_back(groups_[static_cast<size_t>(c)].cardinality);
+  }
+  g->output = e.op->ComputeOutput(child_outputs);
+  g->row_width = estimator_->RowWidth(g->output);
+
+  const CardinalityEstimator& est = *estimator_;
+  switch (e.op->kind()) {
+    case LogicalOpKind::kGet: {
+      const auto& get = static_cast<const LogicalGet&>(*e.op);
+      double rows = get.table() != nullptr ? get.table()->stats.row_count : 0;
+      g->cardinality = rows > 0 ? rows : 1000;
+      break;
+    }
+    case LogicalOpKind::kEmpty:
+      g->cardinality = 0;
+      break;
+    case LogicalOpKind::kFilter: {
+      const auto& f = static_cast<const LogicalFilter&>(*e.op);
+      g->cardinality = child_cards[0] * est.Selectivity(f.conjuncts());
+      break;
+    }
+    case LogicalOpKind::kProject:
+      g->cardinality = child_cards[0];
+      break;
+    case LogicalOpKind::kJoin: {
+      const auto& j = static_cast<const LogicalJoin&>(*e.op);
+      double sel = 1.0;
+      for (const auto& c : j.conditions()) {
+        ColumnId a, b;
+        if (IsColumnEquality(c, &a, &b)) {
+          sel *= est.JoinEqualitySelectivity(a, b);
+        } else {
+          sel *= est.ConjunctSelectivity(c);
+        }
+      }
+      switch (j.join_type()) {
+        case LogicalJoinType::kInner:
+        case LogicalJoinType::kCross:
+          g->cardinality = child_cards[0] * child_cards[1] * sel;
+          break;
+        case LogicalJoinType::kLeftOuter:
+          g->cardinality =
+              std::max(child_cards[0], child_cards[0] * child_cards[1] * sel);
+          break;
+        case LogicalJoinType::kSemi: {
+          double match = std::min(1.0, child_cards[1] * sel);
+          g->cardinality = child_cards[0] * match;
+          break;
+        }
+        case LogicalJoinType::kAnti: {
+          double match = std::min(1.0, child_cards[1] * sel);
+          g->cardinality = child_cards[0] * std::max(0.0, 1.0 - match);
+          break;
+        }
+      }
+      break;
+    }
+    case LogicalOpKind::kAggregate: {
+      const auto& a = static_cast<const LogicalAggregate&>(*e.op);
+      g->cardinality = est.GroupCardinality(a.group_by(), child_cards[0]);
+      break;
+    }
+    case LogicalOpKind::kSort:
+      g->cardinality = child_cards[0];
+      break;
+    case LogicalOpKind::kUnionAll: {
+      double total = 0;
+      for (double c : child_cards) total += c;
+      g->cardinality = total;
+      break;
+    }
+    case LogicalOpKind::kLimit: {
+      const auto& l = static_cast<const LogicalLimit&>(*e.op);
+      g->cardinality = std::min(child_cards[0], static_cast<double>(l.limit()));
+      break;
+    }
+  }
+  g->cardinality = std::max(0.0, g->cardinality);
+}
+
+Result<GroupId> Memo::InsertTree(const LogicalOpPtr& tree) {
+  root_ = InsertTreeInternal(tree);
+  if (options_.enable_semijoin_to_join) ExploreSemiJoinAlternatives();
+  return root_;
+}
+
+GroupId Memo::InsertTreeInternal(const LogicalOpPtr& op) {
+  if (options_.enumerate_joins && op->kind() == LogicalOpKind::kJoin) {
+    const auto& j = static_cast<const LogicalJoin&>(*op);
+    if (j.join_type() == LogicalJoinType::kInner ||
+        j.join_type() == LogicalJoinType::kCross) {
+      return InsertJoinCluster(op);
+    }
+  }
+  std::vector<GroupId> children;
+  for (const auto& c : op->children()) {
+    children.push_back(InsertTreeInternal(c));
+  }
+  return AddExpr(op->WithChildren({}), std::move(children));
+}
+
+namespace {
+
+/// Gathers an inner-join cluster: the leaf subtrees and the join conjuncts
+/// of a maximal region of inner/cross joins.
+void CollectCluster(const LogicalOpPtr& op, std::vector<LogicalOpPtr>* leaves,
+                    std::vector<ScalarExprPtr>* conjuncts) {
+  if (op->kind() == LogicalOpKind::kJoin) {
+    const auto& j = static_cast<const LogicalJoin&>(*op);
+    if (j.join_type() == LogicalJoinType::kInner ||
+        j.join_type() == LogicalJoinType::kCross) {
+      CollectCluster(op->children()[0], leaves, conjuncts);
+      CollectCluster(op->children()[1], leaves, conjuncts);
+      conjuncts->insert(conjuncts->end(), j.conditions().begin(),
+                        j.conditions().end());
+      return;
+    }
+  }
+  leaves->push_back(op);
+}
+
+int Popcount(uint32_t v) { return __builtin_popcount(v); }
+
+}  // namespace
+
+GroupId Memo::InsertJoinCluster(const LogicalOpPtr& top) {
+  std::vector<LogicalOpPtr> leaf_trees;
+  std::vector<ScalarExprPtr> conjuncts;
+  CollectCluster(top, &leaf_trees, &conjuncts);
+  int n = static_cast<int>(leaf_trees.size());
+
+  struct Leaf {
+    GroupId gid;
+    std::set<ColumnId> cols;
+    double card;
+    // Ids of the leaf's hash-distribution columns (empty when replicated or
+    // unknown) — used by distribution-aware seeding.
+    std::set<ColumnId> dist_cols;
+    bool replicated = false;
+  };
+  std::vector<Leaf> leaves;
+  for (const auto& lt : leaf_trees) {
+    Leaf leaf;
+    leaf.gid = InsertTreeInternal(lt);
+    const Group& g = group(leaf.gid);
+    for (const auto& b : g.output) leaf.cols.insert(b.id);
+    leaf.card = g.cardinality;
+    if (const LogicalGet* get = FindUnderlyingGet(*lt)) {
+      const TableDef* t = get->table();
+      if (t != nullptr) {
+        if (t->distribution.is_replicated()) {
+          leaf.replicated = true;
+        } else {
+          for (const std::string& dc : t->distribution.columns) {
+            for (const auto& b : get->bindings()) {
+              if (EqualsIgnoreCase(b.name, dc)) leaf.dist_cols.insert(b.id);
+            }
+          }
+        }
+      }
+    }
+    leaves.push_back(std::move(leaf));
+  }
+
+  if (n == 1) return leaves[0].gid;
+
+  auto leaf_of_column = [&](ColumnId id) -> int {
+    for (int i = 0; i < n; ++i) {
+      if (leaves[static_cast<size_t>(i)].cols.count(id) > 0) return i;
+    }
+    return -1;
+  };
+
+  // Leaf mask each conjunct touches.
+  std::vector<uint32_t> conjunct_masks;
+  for (const auto& c : conjuncts) {
+    std::set<ColumnId> used;
+    CollectColumns(c, &used);
+    uint32_t mask = 0;
+    bool in_cluster = true;
+    for (ColumnId id : used) {
+      int leaf = leaf_of_column(id);
+      if (leaf < 0) in_cluster = false;
+      else mask |= 1u << leaf;
+    }
+    conjunct_masks.push_back(in_cluster ? mask : 0);
+  }
+
+  auto connected = [&](uint32_t mask) {
+    if (mask == 0) return false;
+    uint32_t reached = mask & (~mask + 1);  // lowest set bit
+    while (true) {
+      uint32_t grew = reached;
+      for (size_t k = 0; k < conjuncts.size(); ++k) {
+        uint32_t cm = conjunct_masks[k];
+        if (cm != 0 && (cm & reached) != 0 && (cm & mask) == cm) {
+          grew |= cm;
+        }
+      }
+      if (grew == reached) break;
+      reached = grew;
+    }
+    return reached == mask;
+  };
+
+  auto subset_cardinality = [&](uint32_t mask) {
+    double card = 1;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) card *= leaves[static_cast<size_t>(i)].card;
+    }
+    for (size_t k = 0; k < conjuncts.size(); ++k) {
+      uint32_t cm = conjunct_masks[k];
+      if (cm == 0 || Popcount(cm) < 2 || (cm & mask) != cm) continue;
+      ColumnId a, b;
+      if (IsColumnEquality(conjuncts[k], &a, &b)) {
+        card *= estimator_->JoinEqualitySelectivity(a, b);
+      } else {
+        card *= estimator_->ConjunctSelectivity(conjuncts[k]);
+      }
+    }
+    return std::max(0.0, card);
+  };
+
+  auto subset_output = [&](uint32_t mask) {
+    std::vector<ColumnBinding> out;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        const Group& g = group(leaves[static_cast<size_t>(i)].gid);
+        out.insert(out.end(), g.output.begin(), g.output.end());
+      }
+    }
+    return out;
+  };
+
+  // Conjuncts that span split (L, R) within `mask`.
+  auto split_conditions = [&](uint32_t l_mask, uint32_t r_mask) {
+    std::vector<ScalarExprPtr> conds;
+    for (size_t k = 0; k < conjuncts.size(); ++k) {
+      uint32_t cm = conjunct_masks[k];
+      if (cm == 0 || Popcount(cm) < 2) continue;
+      if ((cm & (l_mask | r_mask)) != cm) continue;
+      if ((cm & l_mask) == 0 || (cm & r_mask) == 0) continue;
+      conds.push_back(conjuncts[k]);
+    }
+    return conds;
+  };
+
+  const uint32_t full = n >= 32 ? 0xffffffffu : (1u << n) - 1;
+  bool graph_connected = connected(full);
+
+  // Decide full DP vs. seeded left-deep chain (the "timeout" fallback).
+  bool full_dp = options_.enumerate_joins && n <= options_.max_dp_relations &&
+                 graph_connected;
+  if (full_dp) {
+    // Pre-count connected subsets to respect the expression budget.
+    int connected_subsets = 0;
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      if (Popcount(mask) >= 2 && connected(mask)) ++connected_subsets;
+    }
+    // Rough bound: each subset contributes ~2*size split expressions.
+    if (static_cast<size_t>(connected_subsets) * 2 * static_cast<size_t>(n) +
+            num_exprs_ >
+        static_cast<size_t>(options_.expr_budget)) {
+      full_dp = false;
+      budget_exhausted_ = true;
+    }
+  }
+
+  if (full_dp) {
+    std::map<uint32_t, GroupId> subset_group;
+    for (int i = 0; i < n; ++i) {
+      subset_group[1u << i] = leaves[static_cast<size_t>(i)].gid;
+    }
+    for (int size = 2; size <= n; ++size) {
+      for (uint32_t mask = 1; mask <= full; ++mask) {
+        if (Popcount(mask) != size || !connected(mask)) continue;
+        GroupId gid = NewGroup(subset_output(mask), subset_cardinality(mask), 0);
+        mutable_group(gid).row_width =
+            estimator_->RowWidth(group(gid).output);
+        subset_group[mask] = gid;
+        // All splits (both orders arise as (L,R) and (R,L)).
+        for (uint32_t l = (mask - 1) & mask; l != 0; l = (l - 1) & mask) {
+          uint32_t r = mask ^ l;
+          auto it_l = subset_group.find(l);
+          auto it_r = subset_group.find(r);
+          if (it_l == subset_group.end() || it_r == subset_group.end()) continue;
+          std::vector<ScalarExprPtr> conds = split_conditions(l, r);
+          if (conds.empty()) continue;  // connected mask => no cross needed
+          auto payload = std::make_shared<LogicalJoin>(
+              LogicalJoinType::kInner, std::move(conds), nullptr, nullptr);
+          AddExpr(std::move(payload), {it_l->second, it_r->second}, gid);
+        }
+      }
+    }
+    return subset_group[full];
+  }
+
+  // Seeded left-deep chain. Order: distribution-aware greedy (§3.1 seeding)
+  // or plain smallest-cardinality-first.
+  std::vector<int> order;
+  std::vector<bool> used(static_cast<size_t>(n), false);
+  int first = 0;
+  for (int i = 1; i < n; ++i) {
+    if (leaves[static_cast<size_t>(i)].card <
+        leaves[static_cast<size_t>(first)].card) {
+      first = i;
+    }
+  }
+  // Distribution-aware seeding starts from a collocated pair when one
+  // exists — "for PDW optimization we seed the MEMO with execution plans
+  // that consider distribution information of tables, for collocated
+  // operations" (§3.1).
+  int second = -1;
+  if (options_.seed_distribution_aware) {
+    double best_pair_card = 0;
+    for (size_t k = 0; k < conjuncts.size(); ++k) {
+      ColumnId a, b;
+      if (conjunct_masks[k] == 0 || Popcount(conjunct_masks[k]) != 2 ||
+          !IsColumnEquality(conjuncts[k], &a, &b)) {
+        continue;
+      }
+      int la = leaf_of_column(a);
+      int lb = leaf_of_column(b);
+      if (la < 0 || lb < 0 || la == lb) continue;
+      const Leaf& la_leaf = leaves[static_cast<size_t>(la)];
+      const Leaf& lb_leaf = leaves[static_cast<size_t>(lb)];
+      bool collocated =
+          (la_leaf.dist_cols.count(a) > 0 && lb_leaf.dist_cols.count(b) > 0) ||
+          la_leaf.replicated || lb_leaf.replicated;
+      if (!collocated) continue;
+      double pair_card = la_leaf.card + lb_leaf.card;
+      if (second == -1 || pair_card < best_pair_card) {
+        best_pair_card = pair_card;
+        first = la_leaf.card <= lb_leaf.card ? la : lb;
+        second = first == la ? lb : la;
+      }
+    }
+  }
+  order.push_back(first);
+  used[static_cast<size_t>(first)] = true;
+  uint32_t acc_mask = 1u << first;
+  if (second >= 0) {
+    order.push_back(second);
+    used[static_cast<size_t>(second)] = true;
+    acc_mask |= 1u << second;
+  }
+  while (static_cast<int>(order.size()) < n) {
+    int best = -1;
+    double best_score = -1e18;
+    for (int i = 0; i < n; ++i) {
+      if (used[static_cast<size_t>(i)]) continue;
+      double score = 0;
+      uint32_t pair_mask = acc_mask | (1u << i);
+      bool connects = false;
+      bool collocated = false;
+      for (size_t k = 0; k < conjuncts.size(); ++k) {
+        uint32_t cm = conjunct_masks[k];
+        if (cm == 0 || (cm & (1u << i)) == 0 || (cm & acc_mask) == 0 ||
+            (cm & pair_mask) != cm) {
+          continue;
+        }
+        connects = true;
+        if (options_.seed_distribution_aware) {
+          ColumnId a, b;
+          if (IsColumnEquality(conjuncts[k], &a, &b)) {
+            const Leaf& leaf = leaves[static_cast<size_t>(i)];
+            bool new_side_dist = leaf.dist_cols.count(a) > 0 ||
+                                 leaf.dist_cols.count(b) > 0;
+            ColumnId other = leaf.cols.count(a) > 0 ? b : a;
+            int other_leaf = leaf_of_column(other);
+            bool other_side_dist =
+                other_leaf >= 0 &&
+                leaves[static_cast<size_t>(other_leaf)].dist_cols.count(other) > 0;
+            if (new_side_dist && other_side_dist) collocated = true;
+            if (leaf.replicated ||
+                (other_leaf >= 0 &&
+                 leaves[static_cast<size_t>(other_leaf)].replicated)) {
+              collocated = true;
+            }
+          }
+        }
+      }
+      if (connects) score += 1e12;
+      if (collocated) score += 1e13;
+      score -= leaves[static_cast<size_t>(i)].card;
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    order.push_back(best);
+    used[static_cast<size_t>(best)] = true;
+    acc_mask |= 1u << best;
+  }
+
+  uint32_t mask = 1u << order[0];
+  GroupId acc = leaves[static_cast<size_t>(order[0])].gid;
+  for (size_t i = 1; i < order.size(); ++i) {
+    int leaf_idx = order[i];
+    uint32_t new_mask = mask | (1u << leaf_idx);
+    std::vector<ScalarExprPtr> conds =
+        split_conditions(mask, 1u << leaf_idx);
+    GroupId gid = NewGroup(subset_output(new_mask),
+                           subset_cardinality(new_mask), 0);
+    mutable_group(gid).row_width = estimator_->RowWidth(group(gid).output);
+    LogicalJoinType jt =
+        conds.empty() ? LogicalJoinType::kCross : LogicalJoinType::kInner;
+    GroupId leaf_gid = leaves[static_cast<size_t>(leaf_idx)].gid;
+    AddExpr(std::make_shared<LogicalJoin>(jt, conds, nullptr, nullptr),
+            {acc, leaf_gid}, gid);
+    AddExpr(std::make_shared<LogicalJoin>(jt, conds, nullptr, nullptr),
+            {leaf_gid, acc}, gid);
+    acc = gid;
+    mask = new_mask;
+  }
+  return acc;
+}
+
+void Memo::ExploreSemiJoinAlternatives() {
+  size_t group_count = groups_.size();
+  for (size_t gi = 0; gi < group_count; ++gi) {
+    size_t expr_count = groups_[gi].exprs.size();
+    for (size_t ei = 0; ei < expr_count; ++ei) {
+      // Copy what we need: AddExpr below may reallocate groups_.
+      GroupExpr expr = groups_[gi].exprs[ei];
+      if (expr.op->kind() != LogicalOpKind::kJoin) continue;
+      const auto& j = static_cast<const LogicalJoin&>(*expr.op);
+      if (j.join_type() != LogicalJoinType::kSemi) continue;
+
+      GroupId left_gid = expr.children[0];
+      GroupId right_gid = expr.children[1];
+      std::set<ColumnId> right_ids;
+      for (const auto& b : group(right_gid).output) right_ids.insert(b.id);
+
+      // Every condition must bind right columns only through equalities
+      // whose right side is a bare column; collect those columns.
+      std::vector<ColumnId> bcols;
+      bool ok = !j.conditions().empty();
+      for (const auto& cond : j.conditions()) {
+        std::set<ColumnId> used;
+        CollectColumns(cond, &used);
+        bool touches_right = false;
+        for (ColumnId id : used) {
+          if (right_ids.count(id) > 0) touches_right = true;
+        }
+        if (!touches_right) continue;
+        ColumnId a, b;
+        if (!IsColumnEquality(cond, &a, &b)) {
+          ok = false;
+          break;
+        }
+        ColumnId rcol = right_ids.count(a) > 0 ? a : b;
+        ColumnId lcol = rcol == a ? b : a;
+        if (right_ids.count(lcol) > 0) {
+          ok = false;  // both sides from the right input
+          break;
+        }
+        if (std::find(bcols.begin(), bcols.end(), rcol) == bcols.end()) {
+          bcols.push_back(rcol);
+        }
+      }
+      if (!ok || bcols.empty()) continue;
+
+      // Distinct over the right side's join columns...
+      auto agg = std::make_shared<LogicalAggregate>(
+          bcols, std::vector<AggregateItem>{}, nullptr);
+      GroupId dist_gid = AddExpr(std::move(agg), {right_gid});
+      // ...joined inner (both orders)...
+      auto join1 = std::make_shared<LogicalJoin>(
+          LogicalJoinType::kInner, j.conditions(), nullptr, nullptr);
+      GroupId join_gid = AddExpr(std::move(join1), {left_gid, dist_gid});
+      auto join2 = std::make_shared<LogicalJoin>(
+          LogicalJoinType::kInner, j.conditions(), nullptr, nullptr);
+      AddExpr(std::move(join2), {dist_gid, left_gid}, join_gid);
+      // ...then projected back to the semi join's output columns.
+      std::vector<ProjectItem> items;
+      for (const auto& b : groups_[gi].output) {
+        items.push_back(ProjectItem{MakeColumn(b), b});
+      }
+      auto proj = std::make_shared<LogicalProject>(std::move(items), nullptr);
+      AddExpr(std::move(proj), {join_gid}, static_cast<GroupId>(gi));
+    }
+  }
+}
+
+std::string Memo::ToString() const {
+  std::string out;
+  for (const auto& g : groups_) {
+    out += StringFormat("Group %d: rows=%.1f width=%.1f cols=[", g.id,
+                        g.cardinality, g.row_width);
+    for (size_t i = 0; i < g.output.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "#" + std::to_string(g.output[i].id);
+    }
+    out += "]\n";
+    for (size_t i = 0; i < g.exprs.size(); ++i) {
+      const GroupExpr& e = g.exprs[i];
+      out += StringFormat("  %d.%zu: %s", g.id, i + 1, e.op->ToString().c_str());
+      if (!e.children.empty()) {
+        out += " (";
+        for (size_t k = 0; k < e.children.size(); ++k) {
+          if (k > 0) out += ", ";
+          out += std::to_string(e.children[k]);
+        }
+        out += ")";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace pdw

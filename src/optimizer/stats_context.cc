@@ -1,0 +1,95 @@
+#include "optimizer/stats_context.h"
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+void StatsContext::RegisterGet(const LogicalGet& get) {
+  const TableDef* table = get.table();
+  for (const auto& b : get.bindings()) {
+    Entry e;
+    e.type = b.type;
+    e.width = DefaultTypeWidth(b.type);
+    if (table != nullptr) {
+      e.table_rows = table->stats.row_count;
+      e.stats = table->GetColumnStats(b.name);
+      if (e.stats != nullptr && e.stats->avg_width > 0) {
+        e.width = e.stats->avg_width;
+      }
+    }
+    entries_[b.id] = e;
+  }
+}
+
+void StatsContext::RegisterTree(const LogicalOp& root) {
+  for (const auto& c : root.children()) RegisterTree(*c);
+  if (root.kind() == LogicalOpKind::kGet) {
+    RegisterGet(static_cast<const LogicalGet&>(root));
+    return;
+  }
+  if (root.kind() == LogicalOpKind::kProject) {
+    const auto& p = static_cast<const LogicalProject&>(root);
+    for (const auto& item : p.items()) {
+      if (entries_.count(item.output.id) > 0) continue;
+      if (item.expr->kind() == ScalarKind::kColumn) {
+        // Pass-through/renamed column: inherit the source entry.
+        ColumnId src = static_cast<const ColumnExpr&>(*item.expr).id();
+        auto it = entries_.find(src);
+        if (it != entries_.end()) {
+          entries_[item.output.id] = it->second;
+          continue;
+        }
+      }
+      Entry e;
+      e.type = item.output.type;
+      e.width = DefaultTypeWidth(item.output.type);
+      entries_[item.output.id] = e;
+    }
+  }
+  if (root.kind() == LogicalOpKind::kAggregate) {
+    const auto& a = static_cast<const LogicalAggregate&>(root);
+    for (const auto& agg : a.aggregates()) {
+      if (entries_.count(agg.output.id) > 0) continue;
+      Entry e;
+      e.type = agg.output.type;
+      e.width = DefaultTypeWidth(agg.output.type);
+      entries_[agg.output.id] = e;
+    }
+  }
+}
+
+void StatsContext::RegisterSynthesized(ColumnId id, TypeId type, double ndv,
+                                       double width) {
+  Entry e;
+  e.type = type;
+  e.ndv = ndv;
+  e.width = width;
+  entries_[id] = e;
+}
+
+const ColumnStats* StatsContext::GetStats(ColumnId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.stats;
+}
+
+double StatsContext::Ndv(ColumnId id, double fallback) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return fallback;
+  if (it->second.ndv >= 0) return it->second.ndv;
+  if (it->second.stats != nullptr && it->second.stats->distinct_count > 0) {
+    return it->second.stats->distinct_count;
+  }
+  return fallback;
+}
+
+double StatsContext::Width(ColumnId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? 8 : it->second.width;
+}
+
+double StatsContext::TableCardinality(ColumnId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? 0 : it->second.table_rows;
+}
+
+}  // namespace pdw

@@ -1,0 +1,54 @@
+#ifndef PDW_OPTIMIZER_STATS_CONTEXT_H_
+#define PDW_OPTIMIZER_STATS_CONTEXT_H_
+
+#include <map>
+
+#include "algebra/logical_op.h"
+#include "stats/column_stats.h"
+
+namespace pdw {
+
+/// Per-compilation lookup from ColumnId to the statistics of the base-table
+/// column it was bound to. Columns synthesized by projects/aggregates are
+/// registered with derived statistics. This is what the cardinality module
+/// consults; in the paper's terms these are the shell database's global
+/// statistics made addressable by column instance.
+class StatsContext {
+ public:
+  /// Registers all bindings of a base-table access.
+  void RegisterGet(const LogicalGet& get);
+
+  /// Walks a logical tree and registers every Get plus synthesized columns
+  /// (project outputs referencing a single column inherit its stats).
+  void RegisterTree(const LogicalOp& root);
+
+  /// Registers a synthesized column with an explicit NDV estimate.
+  void RegisterSynthesized(ColumnId id, TypeId type, double ndv, double width);
+
+  /// Base-table stats for a column, or nullptr for synthesized columns
+  /// without registered stats.
+  const ColumnStats* GetStats(ColumnId id) const;
+
+  /// Distinct-count estimate; falls back to `fallback` when unknown.
+  double Ndv(ColumnId id, double fallback) const;
+
+  /// Average width in bytes (stats, then type default, then 8).
+  double Width(ColumnId id) const;
+
+  /// Row count of the base table the column belongs to (0 when synthesized).
+  double TableCardinality(ColumnId id) const;
+
+ private:
+  struct Entry {
+    const ColumnStats* stats = nullptr;  // owned by the catalog
+    double table_rows = 0;
+    double ndv = -1;     // explicit override for synthesized columns
+    double width = 8;
+    TypeId type = TypeId::kInvalid;
+  };
+  std::map<ColumnId, Entry> entries_;
+};
+
+}  // namespace pdw
+
+#endif  // PDW_OPTIMIZER_STATS_CONTEXT_H_

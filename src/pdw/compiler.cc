@@ -1,0 +1,55 @@
+#include "pdw/compiler.h"
+
+#include "sql/parser.h"
+
+namespace pdw {
+
+Result<PdwCompilation> CompilePdwQuery(const Catalog& shell_catalog,
+                                       const std::string& sql,
+                                       const PdwCompilerOptions& options) {
+  PdwCompilation out;
+
+  // Fig. 2 components 1-2: parse + "SQL Server" compilation against the
+  // shell database. A trailing OPTION(...) hint (§3.1) steers the PDW
+  // optimizer's enforcer choices.
+  PDW_ASSIGN_OR_RETURN(auto stmt, sql::ParseSelect(sql));
+  PdwCompilerOptions effective = options;
+  if (stmt->hint != sql::DistributionHint::kNone) {
+    effective.pdw.hint = stmt->hint;
+  }
+  PDW_ASSIGN_OR_RETURN(out.serial, CompileSelect(shell_catalog, *stmt,
+                                                 options.memo,
+                                                 options.normalizer));
+  out.output_names = out.serial.output_names;
+
+  // Components 3-4a: XML export and PDW-side memo parse. The PDW optimizer
+  // always runs against the *imported* memo so the interface boundary is
+  // actually exercised.
+  Memo* pdw_memo = out.serial.memo.get();
+  if (options.use_xml_interface) {
+    out.memo_xml = MemoToXml(*out.serial.memo, *out.serial.stats);
+    PDW_ASSIGN_OR_RETURN(out.imported,
+                         MemoFromXml(out.memo_xml, shell_catalog, options.memo));
+    pdw_memo = out.imported.memo.get();
+  }
+
+  // Component 4b: bottom-up parallel optimization.
+  PdwOptimizer optimizer(pdw_memo, shell_catalog.topology(), effective.pdw);
+  PDW_ASSIGN_OR_RETURN(out.parallel, optimizer.Optimize());
+
+  if (options.build_baseline) {
+    // §2.5 comparison: best serial plan, naively parallelized.
+    PDW_ASSIGN_OR_RETURN(out.serial_plan,
+                         ExtractBestSerialPlan(out.serial.memo.get()));
+    PDW_ASSIGN_OR_RETURN(
+        out.baseline_plan,
+        ParallelizeSerialPlan(out.serial_plan->Clone(),
+                              shell_catalog.topology(),
+                              optimizer.interesting().equivalence,
+                              effective.pdw.cost_params));
+    out.baseline_cost = TotalMoveCost(*out.baseline_plan);
+  }
+  return out;
+}
+
+}  // namespace pdw

@@ -1,0 +1,49 @@
+#ifndef PDW_PDW_COMPILER_H_
+#define PDW_PDW_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/serial_optimizer.h"
+#include "pdw/baseline.h"
+#include "pdw/pdw_optimizer.h"
+#include "xmlio/memo_xml.h"
+
+namespace pdw {
+
+/// Knobs for the full compilation pipeline.
+struct PdwCompilerOptions {
+  MemoOptions memo;
+  NormalizerOptions normalizer;
+  PdwOptimizerOptions pdw;
+  /// Round-trip the memo through XML (the real Fig. 2 interface). Turning
+  /// this off skips serialization for micro-benchmarks.
+  bool use_xml_interface = true;
+  /// Also compute the best serial plan and its naive parallelization.
+  bool build_baseline = true;
+};
+
+/// Everything the control node produces for one query (Fig. 2): the serial
+/// compilation artifacts, the XML-encoded search space, the PDW parallel
+/// plan, and (optionally) the parallelized-serial baseline.
+struct PdwCompilation {
+  std::vector<std::string> output_names;
+  CompilationResult serial;
+  std::string memo_xml;
+  ImportedMemo imported;
+  PdwPlanResult parallel;
+  PlanNodePtr serial_plan;    ///< Best serial plan (if build_baseline).
+  PlanNodePtr baseline_plan;  ///< Parallelized serial plan (if build_baseline).
+  double baseline_cost = 0;   ///< Total DMS cost of baseline_plan.
+};
+
+/// Runs the whole control-node compilation pipeline against the shell
+/// catalog: parse -> bind -> normalize -> serial memo -> XML export ->
+/// PDW memo import -> bottom-up parallel optimization -> plan.
+Result<PdwCompilation> CompilePdwQuery(const Catalog& shell_catalog,
+                                       const std::string& sql,
+                                       const PdwCompilerOptions& options = {});
+
+}  // namespace pdw
+
+#endif  // PDW_PDW_COMPILER_H_

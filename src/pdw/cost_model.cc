@@ -1,0 +1,92 @@
+#include "pdw/cost_model.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+std::string DmsCostModel::Breakdown::ToString() const {
+  return StringFormat(
+      "reader=%.6f network=%.6f writer=%.6f bulkcopy=%.6f "
+      "source=%.6f target=%.6f total=%.6f",
+      c_reader, c_network, c_writer, c_bulkcopy, c_source, c_target, total);
+}
+
+DmsCostModel::Breakdown DmsCostModel::CostBreakdown(DmsOpKind kind,
+                                                    double rows,
+                                                    double width) const {
+  double total_bytes = std::max(0.0, rows) * std::max(1.0, width);
+  double n = static_cast<double>(nodes_);
+  double dist = total_bytes / n;  // per-node share of a distributed stream
+  double full = total_bytes;     // replicated / single-node stream
+
+  Breakdown b;
+  double lambda_reader = params_.lambda_reader_direct;
+  switch (kind) {
+    case DmsOpKind::kShuffle:
+      // Distributed -> distributed, hashing on the reader.
+      lambda_reader = params_.lambda_reader_hash;
+      b.bytes_reader = dist;
+      b.bytes_network = dist;
+      b.bytes_writer = dist;
+      b.bytes_bulkcopy = dist;
+      break;
+    case DmsOpKind::kPartitionMove:
+      // Distributed -> single node: the target ingests everything.
+      b.bytes_reader = dist;
+      b.bytes_network = dist;
+      b.bytes_writer = full;
+      b.bytes_bulkcopy = full;
+      break;
+    case DmsOpKind::kControlNodeMove:
+      // Single (control) node -> replicated on all compute nodes.
+      b.bytes_reader = full;
+      b.bytes_network = full;
+      b.bytes_writer = full;
+      b.bytes_bulkcopy = full;
+      break;
+    case DmsOpKind::kBroadcastMove:
+      // Distributed -> replicated: every node sends its slice to everyone
+      // and ingests the whole stream. The target side carries N times the
+      // shuffle volume — the broadcast-vs-shuffle tradeoff of Fig. 7.
+      b.bytes_reader = dist;
+      b.bytes_network = full;  // each node emits ~ (N-1)/N * Y*w ~= Y*w
+      b.bytes_writer = full;
+      b.bytes_bulkcopy = full;
+      break;
+    case DmsOpKind::kTrimMove:
+      // Replicated -> distributed on own node: pure local hashing, no
+      // network traffic at all.
+      lambda_reader = params_.lambda_reader_hash;
+      b.bytes_reader = full;
+      b.bytes_network = 0;
+      b.bytes_writer = dist;
+      b.bytes_bulkcopy = dist;
+      break;
+    case DmsOpKind::kReplicatedBroadcast:
+      // One compute node -> replicated everywhere.
+      b.bytes_reader = full;
+      b.bytes_network = full;
+      b.bytes_writer = full;
+      b.bytes_bulkcopy = full;
+      break;
+    case DmsOpKind::kRemoteCopyToSingle:
+      // Everything -> one designated node.
+      b.bytes_reader = dist;
+      b.bytes_network = dist;
+      b.bytes_writer = full;
+      b.bytes_bulkcopy = full;
+      break;
+  }
+  b.c_reader = b.bytes_reader * lambda_reader;
+  b.c_network = b.bytes_network * params_.lambda_network;
+  b.c_writer = b.bytes_writer * params_.lambda_writer;
+  b.c_bulkcopy = b.bytes_bulkcopy * params_.lambda_bulkcopy;
+  b.c_source = std::max(b.c_reader, b.c_network);
+  b.c_target = std::max(b.c_writer, b.c_bulkcopy);
+  b.total = std::max(b.c_source, b.c_target);
+  return b;
+}
+
+}  // namespace pdw

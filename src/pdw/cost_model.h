@@ -1,0 +1,78 @@
+#ifndef PDW_PDW_COST_MODEL_H_
+#define PDW_PDW_COST_MODEL_H_
+
+#include <string>
+
+#include "plan/distribution.h"
+
+namespace pdw {
+
+/// Per-byte cost constants (the λ of §3.3.3), one per DMS operator
+/// component. The paper's "cost calibration" fits these against targeted
+/// performance tests; `CalibrateCostModel` in src/dms does the same
+/// against the DMS simulator. Units: seconds per byte (scaled arbitrarily;
+/// only ratios matter for plan choice).
+struct DmsCostParameters {
+  /// Reader: pull tuples from the local SQL query and pack buffers. The
+  /// paper found hashing moves (Shuffle, Trim) need their own constant.
+  double lambda_reader_direct = 1.0e-8;
+  double lambda_reader_hash = 1.4e-8;
+  /// Send buffers over the network.
+  double lambda_network = 2.2e-8;
+  /// Unpack buffers and prepare them for insertion.
+  double lambda_writer = 1.2e-8;
+  /// Bulk-copy insert into the SQL Server temp table — typically the most
+  /// expensive component ("materializing data to temp tables" dominates).
+  double lambda_bulkcopy = 3.0e-8;
+};
+
+/// Response-time cost model for the seven DMS operations (§3.3.2-3.3.3),
+/// under the paper's assumptions: serial DSQL steps, no pipelining,
+/// isolation, homogeneous nodes, uniform data distribution. With uniformity
+/// only one node per side needs costing:
+///   C_source = max(C_reader, C_network)
+///   C_target = max(C_writer, C_blkcpy)
+///   C_DMS    = max(C_source, C_target)
+/// with each component C_X = B_X * λ_X, B_X = Y*w/N for distributed
+/// streams and Y*w for replicated/single-node streams.
+class DmsCostModel {
+ public:
+  DmsCostModel(const DmsCostParameters& params, int num_nodes)
+      : params_(params), nodes_(num_nodes < 1 ? 1 : num_nodes) {}
+
+  /// Per-component byte counts and costs for one DMS operation moving a
+  /// stream of `rows` global rows of `width` bytes.
+  struct Breakdown {
+    double bytes_reader = 0;
+    double bytes_network = 0;
+    double bytes_writer = 0;
+    double bytes_bulkcopy = 0;
+    double c_reader = 0;
+    double c_network = 0;
+    double c_writer = 0;
+    double c_bulkcopy = 0;
+    double c_source = 0;
+    double c_target = 0;
+    double total = 0;
+
+    std::string ToString() const;
+  };
+
+  Breakdown CostBreakdown(DmsOpKind kind, double rows, double width) const;
+
+  /// Total modeled response time of the operation.
+  double Cost(DmsOpKind kind, double rows, double width) const {
+    return CostBreakdown(kind, rows, width).total;
+  }
+
+  int num_nodes() const { return nodes_; }
+  const DmsCostParameters& params() const { return params_; }
+
+ private:
+  DmsCostParameters params_;
+  int nodes_;
+};
+
+}  // namespace pdw
+
+#endif  // PDW_PDW_COST_MODEL_H_

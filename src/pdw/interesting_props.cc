@@ -1,0 +1,86 @@
+#include "pdw/interesting_props.h"
+
+#include <deque>
+
+namespace pdw {
+
+namespace {
+
+/// True if any member of `rep`'s equivalence class appears in `output`.
+bool ClassVisibleIn(const std::vector<ColumnBinding>& output, ColumnId rep,
+                    const ColumnEquivalence& equiv) {
+  for (const auto& b : output) {
+    if (equiv.Find(b.id) == rep) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+InterestingProperties DeriveInterestingProperties(const Memo& memo) {
+  InterestingProperties out;
+
+  // Pass 1: equivalence classes from every equi join condition anywhere in
+  // the search space.
+  for (int gi = 0; gi < memo.num_groups(); ++gi) {
+    for (const auto& e : memo.group(gi).exprs) {
+      if (e.op->kind() != LogicalOpKind::kJoin) continue;
+      const auto& j = static_cast<const LogicalJoin&>(*e.op);
+      for (const auto& cond : j.conditions()) {
+        ColumnId a, b;
+        if (IsColumnEquality(cond, &a, &b)) out.equivalence.AddEquality(a, b);
+      }
+    }
+  }
+
+  // Pass 2: top-down propagation to a fixpoint over all groups.
+  auto add_interesting = [&](GroupId g, ColumnId col) {
+    ColumnId rep = out.equivalence.Find(col);
+    if (!ClassVisibleIn(memo.group(g).output, rep, out.equivalence)) {
+      return false;
+    }
+    return out.interesting[g].insert(rep).second;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int gid = 0; gid < memo.num_groups(); ++gid) {
+      const Group& g = memo.group(gid);
+      std::set<ColumnId> own = out.interesting[gid];  // copy: map mutates
+      for (const auto& e : g.exprs) {
+        // (a) join columns become interesting for both inputs, and for the
+        // join's own group (a parent join may reuse the distribution).
+        if (e.op->kind() == LogicalOpKind::kJoin) {
+          const auto& j = static_cast<const LogicalJoin&>(*e.op);
+          for (const auto& cond : j.conditions()) {
+            ColumnId a, b;
+            if (!IsColumnEquality(cond, &a, &b)) continue;
+            for (GroupId child : e.children) {
+              changed |= add_interesting(child, a);
+              changed |= add_interesting(child, b);
+            }
+            changed |= add_interesting(gid, a);
+          }
+        }
+        // (b) group-by columns become interesting for the input.
+        if (e.op->kind() == LogicalOpKind::kAggregate) {
+          const auto& a = static_cast<const LogicalAggregate&>(*e.op);
+          for (ColumnId col : a.group_by()) {
+            changed |= add_interesting(e.children[0], col);
+          }
+        }
+        // Parent-visible interesting columns flow down to any child whose
+        // output exposes a member of the class.
+        for (ColumnId rep : own) {
+          for (GroupId child : e.children) {
+            changed |= add_interesting(child, rep);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pdw

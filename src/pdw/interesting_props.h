@@ -1,0 +1,33 @@
+#ifndef PDW_PDW_INTERESTING_PROPS_H_
+#define PDW_PDW_INTERESTING_PROPS_H_
+
+#include <map>
+#include <set>
+
+#include "algebra/equivalence.h"
+#include "optimizer/memo.h"
+
+namespace pdw {
+
+/// Interesting-property derivation (paper §3.2 and Fig. 4 step 04) — an
+/// extension of System R's interesting orders to data distribution. The
+/// interesting columns of a group are:
+///  (a) columns referenced in equality join predicates (they make local and
+///      directed joins possible), and
+///  (b) group-by columns (they allow single-phase local aggregation),
+/// propagated top-down from the root so a deep sub-plan knows which
+/// distributions could pay off later.
+struct InterestingProperties {
+  /// Column equivalence classes from every equality join predicate in the
+  /// memo; distribution properties are canonicalized through this.
+  ColumnEquivalence equivalence;
+  /// Per group: canonical representatives of interesting columns that the
+  /// group's output can actually be distributed on.
+  std::map<GroupId, std::set<ColumnId>> interesting;
+};
+
+InterestingProperties DeriveInterestingProperties(const Memo& memo);
+
+}  // namespace pdw
+
+#endif  // PDW_PDW_INTERESTING_PROPS_H_

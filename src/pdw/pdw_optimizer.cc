@@ -1,0 +1,731 @@
+#include "pdw/pdw_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "optimizer/serial_optimizer.h"
+
+namespace pdw {
+
+namespace {
+
+constexpr double kInfiniteCost = 1e300;
+
+/// Maps a partial-aggregate item to the matching global aggregate over the
+/// partial column (SUM->SUM, COUNT->SUM of partial counts, MIN/MAX
+/// idempotent). AVG never reaches here: the binder splits it.
+AggregateItem GlobalPhaseItem(const AggregateItem& item) {
+  AggregateItem global;
+  global.output = item.output;
+  global.distinct = false;
+  global.arg = MakeColumn(item.output);
+  switch (item.func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+    case AggFunc::kSum:
+      global.func = AggFunc::kSum;
+      break;
+    case AggFunc::kMin:
+      global.func = AggFunc::kMin;
+      break;
+    case AggFunc::kMax:
+      global.func = AggFunc::kMax;
+      break;
+    case AggFunc::kAvg:
+      global.func = AggFunc::kSum;  // unreachable (binder splits AVG)
+      break;
+  }
+  return global;
+}
+
+bool HasDistinctAggregate(const LogicalAggregate& agg) {
+  for (const auto& item : agg.aggregates()) {
+    if (item.distinct) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PdwOptimizer::PdwOptimizer(Memo* memo, const Topology& topology,
+                           PdwOptimizerOptions options)
+    : memo_(memo),
+      topology_(topology),
+      opts_(options),
+      cost_model_(options.cost_params, topology.num_compute_nodes),
+      props_(DeriveInterestingProperties(*memo)) {}
+
+ColumnId PdwOptimizer::MemberInOutput(GroupId gid, ColumnId rep) const {
+  for (const auto& b : memo_->group(gid).output) {
+    if (props_.equivalence.Find(b.id) == rep) return b.id;
+  }
+  return kInvalidColumnId;
+}
+
+bool PdwOptimizer::Consider(GroupId gid, PdwOption option) {
+  ++considered_;
+  option.prop = option.prop.Canonical(props_.equivalence);
+  std::vector<PdwOption>& opts = options_[gid];
+  if (opts_.prune) {
+    for (size_t i = 0; i < opts.size(); ++i) {
+      if (opts[i].prop == option.prop) {
+        if (option.cost < opts[i].cost) {
+          opts[i] = std::move(option);
+          return true;
+        }
+        return false;
+      }
+    }
+    opts.push_back(std::move(option));
+    return true;
+  }
+  // No pruning (FIG4 ablation): keep every structurally distinct option up
+  // to the safety cap.
+  if (opts.size() >= opts_.max_options_per_group) return false;
+  opts.push_back(std::move(option));
+  return true;
+}
+
+double PdwOptimizer::RelationalCost(const Group& g, const GroupExpr& e,
+                                    bool distributed) const {
+  if (!opts_.relational_costs) return 0;
+  double bytes = g.cardinality * std::max(1.0, g.row_width);
+  for (GroupId c : e.children) {
+    const Group& cg = memo_->group(c);
+    bytes += cg.cardinality * std::max(1.0, cg.row_width);
+  }
+  double per_node = distributed
+                        ? bytes / cost_model_.num_nodes()
+                        : bytes;
+  return per_node * opts_.relational_lambda;
+}
+
+void PdwOptimizer::OptimizeGroup(GroupId gid) {
+  if (done_.count(gid) > 0) return;
+  if (!in_progress_.insert(gid).second) return;  // cycle guard
+
+  const Group& g = memo_->group(gid);
+  for (const auto& e : g.exprs) {
+    for (GroupId c : e.children) OptimizeGroup(c);
+  }
+  for (size_t i = 0; i < g.exprs.size(); ++i) {
+    EnumerateExpr(gid, static_cast<int>(i));
+  }
+  EnforcerStep(gid);
+  in_progress_.erase(gid);
+  done_.insert(gid);
+}
+
+void PdwOptimizer::EnumerateExpr(GroupId gid, int expr_index) {
+  const Group& g = memo_->group(gid);
+  const GroupExpr& e = g.exprs[static_cast<size_t>(expr_index)];
+
+  switch (e.op->kind()) {
+    case LogicalOpKind::kGet: {
+      const auto& get = static_cast<const LogicalGet&>(*e.op);
+      PdwOption o;
+      o.expr_index = expr_index;
+      const TableDef* t = get.table();
+      if (t == nullptr || t->distribution.is_replicated()) {
+        o.prop = DistributionProperty::Replicated();
+      } else {
+        std::vector<ColumnId> cols;
+        for (const std::string& dc : t->distribution.columns) {
+          for (const auto& b : get.bindings()) {
+            if (EqualsIgnoreCase(b.name, dc)) cols.push_back(b.id);
+          }
+        }
+        o.prop = DistributionProperty::Distributed(std::move(cols));
+      }
+      o.cost = RelationalCost(g, e, !o.prop.is_replicated());
+      Consider(gid, std::move(o));
+      return;
+    }
+    case LogicalOpKind::kEmpty: {
+      for (DistributionProperty prop :
+           {DistributionProperty::Replicated(),
+            DistributionProperty::AnyDistributed(),
+            DistributionProperty::Control()}) {
+        PdwOption o;
+        o.expr_index = expr_index;
+        o.prop = prop;
+        Consider(gid, std::move(o));
+      }
+      return;
+    }
+    case LogicalOpKind::kFilter:
+    case LogicalOpKind::kSort:
+    case LogicalOpKind::kProject: {
+      GroupId child = e.children[0];
+      const auto& child_opts = options_.at(child);
+      for (size_t ci = 0; ci < child_opts.size(); ++ci) {
+        PdwOption o;
+        o.expr_index = expr_index;
+        o.child_options = {static_cast<int>(ci)};
+        o.prop = child_opts[ci].prop;
+        if (e.op->kind() == LogicalOpKind::kProject &&
+            o.prop.kind == DistributionKind::kDistributed) {
+          // Hash columns must survive the projection (by class).
+          for (ColumnId rep : o.prop.columns) {
+            if (MemberInOutput(gid, rep) == kInvalidColumnId) {
+              o.prop = DistributionProperty::AnyDistributed();
+              break;
+            }
+          }
+        }
+        o.cost = child_opts[ci].cost +
+                 RelationalCost(g, e, !o.prop.is_replicated() &&
+                                          !o.prop.is_control());
+        Consider(gid, std::move(o));
+      }
+      return;
+    }
+    case LogicalOpKind::kJoin:
+      EnumerateJoin(gid, expr_index);
+      return;
+    case LogicalOpKind::kAggregate:
+      EnumerateAggregate(gid, expr_index);
+      return;
+    case LogicalOpKind::kLimit:
+      EnumerateLimit(gid, expr_index);
+      return;
+    case LogicalOpKind::kUnionAll:
+      EnumerateUnionAll(gid, expr_index);
+      return;
+  }
+}
+
+void PdwOptimizer::EnumerateJoin(GroupId gid, int expr_index) {
+  const Group& g = memo_->group(gid);
+  const GroupExpr& e = g.exprs[static_cast<size_t>(expr_index)];
+  const auto& j = static_cast<const LogicalJoin&>(*e.op);
+  GroupId lg = e.children[0];
+  GroupId rg = e.children[1];
+
+  // Equivalence-class representatives of this join's own equi predicates —
+  // only these make two distributed sides genuinely collocated.
+  std::set<ColumnId> pair_reps;
+  for (const auto& [a, b] :
+       j.EquiKeys(memo_->group(lg).output, memo_->group(rg).output)) {
+    pair_reps.insert(props_.equivalence.Find(a));
+  }
+
+  const auto& lopts = options_.at(lg);
+  const auto& ropts = options_.at(rg);
+  for (size_t li = 0; li < lopts.size(); ++li) {
+    for (size_t ri = 0; ri < ropts.size(); ++ri) {
+      const DistributionProperty& L = lopts[li].prop;
+      const DistributionProperty& R = ropts[ri].prop;
+      DistributionProperty out;
+      bool valid = false;
+
+      bool l_dist = L.kind == DistributionKind::kDistributed;
+      bool r_dist = R.kind == DistributionKind::kDistributed;
+      if (L.is_control() && R.is_control()) {
+        out = DistributionProperty::Control();
+        valid = true;
+      } else if (L.is_replicated() && R.is_replicated()) {
+        out = DistributionProperty::Replicated();
+        valid = true;
+      } else if (l_dist && R.is_replicated()) {
+        // Inner-side lookup table present everywhere: valid for every join
+        // type that preserves the left stream's partitioning.
+        out = L;
+        valid = true;
+      } else if (L.is_replicated() && r_dist) {
+        // Only inner/cross joins may stream a replicated preserving side
+        // against a distributed inner (each row matches on exactly the
+        // nodes holding its partners; semi/anti/outer would duplicate or
+        // mis-account rows).
+        if (j.join_type() == LogicalJoinType::kInner ||
+            j.join_type() == LogicalJoinType::kCross) {
+          out = R;
+          valid = true;
+        }
+      } else if (l_dist && r_dist) {
+        // Collocated join: both sides hash-distributed on columns this
+        // join equates.
+        if (!L.columns.empty() && L.columns == R.columns) {
+          bool all_equated = true;
+          for (ColumnId rep : L.columns) {
+            if (pair_reps.count(rep) == 0) all_equated = false;
+          }
+          if (all_equated) {
+            out = L;
+            valid = true;
+          }
+        }
+      }
+      if (!valid) continue;
+
+      PdwOption o;
+      o.expr_index = expr_index;
+      o.child_options = {static_cast<int>(li), static_cast<int>(ri)};
+      o.prop = out;
+      o.cost = lopts[li].cost + ropts[ri].cost +
+               RelationalCost(g, e, !out.is_replicated() && !out.is_control());
+      Consider(gid, std::move(o));
+    }
+  }
+}
+
+void PdwOptimizer::EnumerateAggregate(GroupId gid, int expr_index) {
+  const Group& g = memo_->group(gid);
+  const GroupExpr& e = g.exprs[static_cast<size_t>(expr_index)];
+  const auto& agg = static_cast<const LogicalAggregate&>(*e.op);
+  GroupId child = e.children[0];
+  const Group& cg = memo_->group(child);
+  double n = cost_model_.num_nodes();
+
+  std::set<ColumnId> group_reps;
+  for (ColumnId c : agg.group_by()) {
+    group_reps.insert(props_.equivalence.Find(c));
+  }
+  bool splittable = !HasDistinctAggregate(agg);
+
+  // Fig. 4 step 02: partial-aggregate cardinality fixed for the topology —
+  // each node produces at most the global group count.
+  double local_rows = std::min(cg.cardinality, n * std::max(1.0, g.cardinality));
+
+  const auto& child_opts = options_.at(child);
+  for (size_t ci = 0; ci < child_opts.size(); ++ci) {
+    const DistributionProperty& C = child_opts[ci].prop;
+    double base = child_opts[ci].cost;
+
+    if (C.is_replicated() || C.is_control()) {
+      PdwOption o;
+      o.expr_index = expr_index;
+      o.child_options = {static_cast<int>(ci)};
+      o.prop = C;
+      o.cost = base + RelationalCost(g, e, false);
+      Consider(gid, std::move(o));
+      continue;
+    }
+
+    // Single-phase local aggregation: the input distribution is a subset
+    // of the group-by columns, so every group lives on one node.
+    if (C.is_distributed_on_known_columns()) {
+      bool subset = true;
+      for (ColumnId rep : C.columns) {
+        if (group_reps.count(rep) == 0) subset = false;
+      }
+      if (subset) {
+        PdwOption o;
+        o.expr_index = expr_index;
+        o.child_options = {static_cast<int>(ci)};
+        o.prop = C;
+        o.cost = base + RelationalCost(g, e, true);
+        Consider(gid, std::move(o));
+      }
+    }
+
+    if (!splittable) continue;
+
+    // Two-phase local/global with a shuffle on each group-by column.
+    for (ColumnId gcol : agg.group_by()) {
+      ColumnId rep = props_.equivalence.Find(gcol);
+      PdwOption o;
+      o.expr_index = expr_index;
+      o.child_options = {static_cast<int>(ci)};
+      o.strategy = DistributedStrategy::kLocalGlobalShuffle;
+      o.shuffle_column = gcol;
+      o.local_rows = local_rows;
+      o.move_cost =
+          cost_model_.Cost(DmsOpKind::kShuffle, local_rows, g.row_width);
+      o.prop = DistributionProperty::Distributed({rep});
+      o.cost = base + o.move_cost + RelationalCost(g, e, true);
+      Consider(gid, std::move(o));
+    }
+
+    // Two-phase local/gather-to-control/global (the only distributed
+    // option for scalar aggregates).
+    {
+      double moved = agg.group_by().empty() ? n : local_rows;
+      PdwOption o;
+      o.expr_index = expr_index;
+      o.child_options = {static_cast<int>(ci)};
+      o.strategy = DistributedStrategy::kLocalGlobalGather;
+      o.local_rows = moved;
+      o.move_cost =
+          cost_model_.Cost(DmsOpKind::kPartitionMove, moved, g.row_width);
+      o.prop = DistributionProperty::Control();
+      o.cost = base + o.move_cost + RelationalCost(g, e, false);
+      Consider(gid, std::move(o));
+    }
+  }
+}
+
+void PdwOptimizer::EnumerateLimit(GroupId gid, int expr_index) {
+  const Group& g = memo_->group(gid);
+  const GroupExpr& e = g.exprs[static_cast<size_t>(expr_index)];
+  const auto& limit = static_cast<const LogicalLimit&>(*e.op);
+  GroupId child = e.children[0];
+  const Group& cg = memo_->group(child);
+  double n = cost_model_.num_nodes();
+
+  const auto& child_opts = options_.at(child);
+  for (size_t ci = 0; ci < child_opts.size(); ++ci) {
+    const DistributionProperty& C = child_opts[ci].prop;
+    if (C.is_replicated() || C.is_control()) {
+      PdwOption o;
+      o.expr_index = expr_index;
+      o.child_options = {static_cast<int>(ci)};
+      o.prop = C;
+      o.cost = child_opts[ci].cost;
+      Consider(gid, std::move(o));
+      continue;
+    }
+    // Local top-N per node, gather at most N*n rows, re-limit globally.
+    double moved =
+        std::min(cg.cardinality, static_cast<double>(limit.limit()) * n);
+    PdwOption o;
+    o.expr_index = expr_index;
+    o.child_options = {static_cast<int>(ci)};
+    o.strategy = DistributedStrategy::kLocalLimitGather;
+    o.local_rows = moved;
+    o.move_cost =
+        cost_model_.Cost(DmsOpKind::kPartitionMove, moved, g.row_width);
+    o.prop = DistributionProperty::Control();
+    o.cost = child_opts[ci].cost + o.move_cost;
+    Consider(gid, std::move(o));
+  }
+}
+
+void PdwOptimizer::EnumerateUnionAll(GroupId gid, int expr_index) {
+  const Group& g = memo_->group(gid);
+  const GroupExpr& e = g.exprs[static_cast<size_t>(expr_index)];
+  const auto& u = static_cast<const LogicalUnionAll&>(*e.op);
+  size_t n = e.children.size();
+
+  // Odometer over the children's option tables (small: pruning bounds each
+  // table by #interesting + 3). A combination is valid when all children
+  // share the same distribution kind: mixing replicated and distributed
+  // inputs would duplicate or drop rows.
+  std::vector<const std::vector<PdwOption>*> tables;
+  for (GroupId c : e.children) tables.push_back(&options_.at(c));
+  std::vector<size_t> idx(n, 0);
+  size_t combos = 0;
+  while (true) {
+    if (++combos > 20000) break;  // safety valve for very wide unions
+    bool all_repl = true, all_ctrl = true, all_dist = true;
+    double cost = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const PdwOption& o = (*tables[i])[idx[i]];
+      cost += o.cost;
+      all_repl &= o.prop.is_replicated();
+      all_ctrl &= o.prop.is_control();
+      all_dist &= o.prop.kind == DistributionKind::kDistributed;
+    }
+    if (all_repl || all_ctrl || all_dist) {
+      PdwOption o;
+      o.expr_index = expr_index;
+      for (size_t i = 0; i < n; ++i) {
+        o.child_options.push_back(static_cast<int>(idx[i]));
+      }
+      if (all_repl) {
+        o.prop = DistributionProperty::Replicated();
+      } else if (all_ctrl) {
+        o.prop = DistributionProperty::Control();
+      } else {
+        // Collocated union (§3.1): if every child is hash-distributed on
+        // the column feeding the same output position, the union output is
+        // hash-distributed on that position.
+        o.prop = DistributionProperty::AnyDistributed();
+        for (size_t pos = 0; pos < u.outputs().size(); ++pos) {
+          bool aligned = true;
+          for (size_t i = 0; i < n; ++i) {
+            const PdwOption& co = (*tables[i])[idx[i]];
+            ColumnId feed = u.child_columns()[i][pos];
+            if (co.prop.columns.size() != 1 ||
+                co.prop.columns[0] != props_.equivalence.Find(feed)) {
+              aligned = false;
+              break;
+            }
+          }
+          if (aligned) {
+            o.prop = DistributionProperty::Distributed({u.outputs()[pos].id});
+            break;
+          }
+        }
+      }
+      o.cost = cost + RelationalCost(g, e, !o.prop.is_replicated() &&
+                                              !o.prop.is_control());
+      Consider(gid, std::move(o));
+    }
+    // Advance the odometer.
+    size_t d = 0;
+    while (d < n) {
+      if (++idx[d] < tables[d]->size()) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == n) break;
+  }
+}
+
+void PdwOptimizer::EnforcerStep(GroupId gid) {
+  const Group& g = memo_->group(gid);
+
+  // Enforcer targets: every interesting column class visible in the output,
+  // plus Replicated (broadcasts) and Control (gathers) — Fig. 4 step 07.
+  std::vector<DistributionProperty> targets;
+  auto it = props_.interesting.find(gid);
+  if (it != props_.interesting.end()) {
+    for (ColumnId rep : it->second) {
+      if (MemberInOutput(gid, rep) != kInvalidColumnId) {
+        targets.push_back(DistributionProperty::Distributed({rep}));
+      }
+    }
+  }
+  targets.push_back(DistributionProperty::Replicated());
+  targets.push_back(DistributionProperty::Control());
+
+  for (int pass = 0; pass < 3; ++pass) {
+    bool changed = false;
+    // Indexes are stable: Consider only appends or improves in place.
+    size_t count = options_[gid].size();
+    for (size_t i = 0; i < count; ++i) {
+      PdwOption src = options_[gid][i];  // copy: vector may grow
+      for (const DistributionProperty& target : targets) {
+        DistributionProperty canon_target =
+            target.Canonical(props_.equivalence);
+        if (src.prop == canon_target) continue;
+
+        DmsOpKind kind;
+        ColumnId shuffle_col = kInvalidColumnId;
+        if (canon_target.kind == DistributionKind::kDistributed) {
+          if (opts_.hint == sql::DistributionHint::kForceBroadcast &&
+              !src.prop.is_replicated()) {
+            continue;  // hint: no shuffles; broadcasts only
+          }
+          shuffle_col = MemberInOutput(gid, canon_target.columns[0]);
+          if (shuffle_col == kInvalidColumnId) continue;
+          if (src.prop.is_replicated()) {
+            if (!opts_.enable_trim_move) continue;
+            kind = DmsOpKind::kTrimMove;
+          } else if (src.prop.is_control()) {
+            continue;  // control -> distributed is not one of the 7 ops
+          } else {
+            kind = DmsOpKind::kShuffle;
+          }
+        } else if (canon_target.is_replicated()) {
+          if (opts_.hint == sql::DistributionHint::kForceShuffle) {
+            continue;  // hint: no broadcasts; shuffles only
+          }
+          if (src.prop.is_control()) {
+            kind = DmsOpKind::kControlNodeMove;
+          } else if (src.prop.kind == DistributionKind::kDistributed) {
+            kind = DmsOpKind::kBroadcastMove;
+          } else {
+            continue;
+          }
+        } else {  // Control
+          if (src.prop.is_replicated()) {
+            kind = DmsOpKind::kRemoteCopyToSingle;
+          } else if (src.prop.kind == DistributionKind::kDistributed) {
+            kind = DmsOpKind::kPartitionMove;
+          } else {
+            continue;
+          }
+        }
+
+        PdwOption o;
+        o.prop = canon_target;
+        o.is_enforcer = true;
+        o.move_kind = kind;
+        o.source_option = static_cast<int>(i);
+        o.shuffle_column = shuffle_col;
+        o.move_cost = cost_model_.Cost(kind, g.cardinality, g.row_width);
+        o.cost = src.cost + o.move_cost;
+        changed |= Consider(gid, std::move(o));
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+PlanNodePtr PdwOptimizer::BuildPlan(GroupId gid, int option_index) const {
+  const Group& g = memo_->group(gid);
+  const PdwOption& o = options_.at(gid)[static_cast<size_t>(option_index)];
+
+  if (o.is_enforcer) {
+    PlanNodePtr child = BuildPlan(gid, o.source_option);
+    bool child_sorted = child->kind == PhysOpKind::kSort;
+    std::vector<SortItem> sort_items = child->sort_items;
+
+    auto move = std::make_unique<PlanNode>();
+    move->kind = PhysOpKind::kMove;
+    move->move_kind = o.move_kind;
+    if (o.shuffle_column != kInvalidColumnId) {
+      move->shuffle_columns = {o.shuffle_column};
+    }
+    move->output = child->output;
+    move->cardinality = g.cardinality;
+    move->row_width = g.row_width;
+    move->move_cost = o.move_cost;
+    move->distribution = o.prop;
+    if (o.shuffle_column != kInvalidColumnId) {
+      move->distribution = DistributionProperty::Distributed({o.shuffle_column});
+    }
+    move->children.push_back(std::move(child));
+
+    if (!child_sorted) return move;
+    // A move destroys per-node order; restore it above the move.
+    auto sort = std::make_unique<PlanNode>();
+    sort->kind = PhysOpKind::kSort;
+    sort->sort_items = std::move(sort_items);
+    sort->output = move->output;
+    sort->cardinality = move->cardinality;
+    sort->row_width = move->row_width;
+    sort->distribution = move->distribution;
+    sort->children.push_back(std::move(move));
+    return sort;
+  }
+
+  const GroupExpr& e = g.exprs[static_cast<size_t>(o.expr_index)];
+  std::vector<PlanNodePtr> children;
+  for (size_t i = 0; i < e.children.size(); ++i) {
+    children.push_back(BuildPlan(e.children[i], o.child_options[i]));
+  }
+
+  if (o.strategy == DistributedStrategy::kPlain) {
+    DistributionProperty child_dist =
+        children.empty() ? o.prop : children[0]->distribution;
+    PlanNodePtr node = PlanNodeFromPayload(*e.op, std::move(children),
+                                           g.cardinality, g.row_width);
+    node->distribution = o.prop;
+    // Prefer the concrete (non-canonical) child distribution for display.
+    if (o.prop.kind == DistributionKind::kDistributed &&
+        child_dist.kind == DistributionKind::kDistributed &&
+        !child_dist.columns.empty()) {
+      node->distribution = child_dist;
+    }
+    return node;
+  }
+
+  if (o.strategy == DistributedStrategy::kLocalLimitGather) {
+    const auto& limit = static_cast<const LogicalLimit&>(*e.op);
+    PlanNodePtr child = std::move(children[0]);
+    bool child_sorted = child->kind == PhysOpKind::kSort;
+    std::vector<SortItem> sort_items = child->sort_items;
+    DistributionProperty child_dist = child->distribution;
+
+    auto local = std::make_unique<PlanNode>();
+    local->kind = PhysOpKind::kLimit;
+    local->limit = limit.limit();
+    local->output = child->output;
+    local->cardinality = o.local_rows;
+    local->row_width = g.row_width;
+    local->distribution = child_dist;
+    local->children.push_back(std::move(child));
+
+    auto move = std::make_unique<PlanNode>();
+    move->kind = PhysOpKind::kMove;
+    move->move_kind = DmsOpKind::kPartitionMove;
+    move->output = local->output;
+    move->cardinality = o.local_rows;
+    move->row_width = g.row_width;
+    move->move_cost = o.move_cost;
+    move->distribution = DistributionProperty::Control();
+    move->children.push_back(std::move(local));
+
+    PlanNodePtr top = std::move(move);
+    if (child_sorted) {
+      auto sort = std::make_unique<PlanNode>();
+      sort->kind = PhysOpKind::kSort;
+      sort->sort_items = sort_items;
+      sort->output = top->output;
+      sort->cardinality = top->cardinality;
+      sort->row_width = top->row_width;
+      sort->distribution = top->distribution;
+      sort->children.push_back(std::move(top));
+      top = std::move(sort);
+    }
+    auto global = std::make_unique<PlanNode>();
+    global->kind = PhysOpKind::kLimit;
+    global->limit = limit.limit();
+    global->output = top->output;
+    global->cardinality = g.cardinality;
+    global->row_width = g.row_width;
+    global->distribution = DistributionProperty::Control();
+    global->children.push_back(std::move(top));
+    return global;
+  }
+
+  // Local/global aggregation strategies.
+  const auto& agg = static_cast<const LogicalAggregate&>(*e.op);
+  PlanNodePtr child = std::move(children[0]);
+  DistributionProperty child_dist = child->distribution;
+
+  std::vector<PlanNodePtr> local_children;
+  local_children.push_back(std::move(child));
+  PlanNodePtr local = PlanNodeFromPayload(*e.op, std::move(local_children),
+                                          o.local_rows, g.row_width);
+  local->agg_phase = AggPhase::kLocal;
+  local->distribution = child_dist;
+
+  auto move = std::make_unique<PlanNode>();
+  move->kind = PhysOpKind::kMove;
+  move->output = local->output;
+  move->cardinality = o.local_rows;
+  move->row_width = g.row_width;
+  move->move_cost = o.move_cost;
+  if (o.strategy == DistributedStrategy::kLocalGlobalShuffle) {
+    move->move_kind = DmsOpKind::kShuffle;
+    move->shuffle_columns = {o.shuffle_column};
+    move->distribution = DistributionProperty::Distributed({o.shuffle_column});
+  } else {
+    move->move_kind = DmsOpKind::kPartitionMove;
+    move->distribution = DistributionProperty::Control();
+  }
+  move->children.push_back(std::move(local));
+
+  auto global = std::make_unique<PlanNode>();
+  global->kind = PhysOpKind::kHashAggregate;
+  global->agg_phase = AggPhase::kGlobal;
+  global->group_by = agg.group_by();
+  for (const auto& item : agg.aggregates()) {
+    global->aggregates.push_back(GlobalPhaseItem(item));
+  }
+  global->output = move->output;
+  global->cardinality = g.cardinality;
+  global->row_width = g.row_width;
+  global->distribution = move->distribution;
+  global->children.push_back(std::move(move));
+  return global;
+}
+
+Result<PdwPlanResult> PdwOptimizer::Optimize() {
+  if (memo_->root() == kInvalidGroupId) {
+    return Status::Internal("memo has no root group");
+  }
+  OptimizeGroup(memo_->root());
+
+  // The final Return operation streams per-node results back to the client
+  // (paper §2.3: such queries involve no DMS), so the root may finish under
+  // any distribution property; the engine's result assembly merges sorted
+  // streams and deduplicates replicated ones.
+  const auto& root_opts = options_.at(memo_->root());
+  double best = kInfiniteCost;
+  int best_idx = -1;
+  for (size_t i = 0; i < root_opts.size(); ++i) {
+    if (root_opts[i].cost < best) {
+      best = root_opts[i].cost;
+      best_idx = static_cast<int>(i);
+    }
+  }
+  if (best_idx < 0) {
+    return Status::Internal("no control-node plan found for root group");
+  }
+
+  PdwPlanResult result;
+  result.plan = BuildPlan(memo_->root(), best_idx);
+  result.cost = best;
+  result.options_considered = considered_;
+  for (const auto& [gid, opts] : options_) result.options_kept += opts.size();
+  result.groups_optimized = done_.size();
+  return result;
+}
+
+}  // namespace pdw

@@ -1,0 +1,125 @@
+#ifndef PDW_PDW_PDW_OPTIMIZER_H_
+#define PDW_PDW_PDW_OPTIMIZER_H_
+
+#include <map>
+#include <vector>
+
+#include "optimizer/memo.h"
+#include "pdw/cost_model.h"
+#include "pdw/interesting_props.h"
+#include "plan/plan_node.h"
+
+namespace pdw {
+
+/// How a distributed aggregation or limit option is realized at plan-build
+/// time (the Q20 LocalGB/GlobalGB pattern).
+enum class DistributedStrategy {
+  kPlain,              ///< Operator applied as-is on the chosen inputs.
+  kLocalGlobalShuffle, ///< Local partial agg, shuffle on a group-by column,
+                       ///< global agg.
+  kLocalGlobalGather,  ///< Local partial agg, gather to control, global agg.
+  kLocalLimitGather,   ///< Local top-N, gather, re-sort + global top-N.
+};
+
+/// One entry in a group's option table: a way of producing the group's
+/// output with a concrete distribution property and a cumulative cost.
+struct PdwOption {
+  DistributionProperty prop;         ///< Canonicalized distribution.
+  double cost = 0;                   ///< Cumulative modeled cost.
+  bool is_enforcer = false;          ///< Data-movement option (step 07).
+  DmsOpKind move_kind = DmsOpKind::kShuffle;
+  int source_option = -1;            ///< Enforcer input (index in same group).
+  double move_cost = 0;              ///< Modeled cost of the move itself.
+  int expr_index = -1;               ///< Group expression (non-enforcer).
+  std::vector<int> child_options;    ///< Chosen option per child group.
+  DistributedStrategy strategy = DistributedStrategy::kPlain;
+  ColumnId shuffle_column = kInvalidColumnId;  ///< Actual hash column.
+  double local_rows = 0;             ///< Partial-agg output rows (two-phase).
+};
+
+/// Options and statistics of the PDW optimizer (Fig. 4).
+struct PdwOptimizerOptions {
+  DmsCostParameters cost_params;
+  /// User hint (§3.1 query surface extension): FORCE_BROADCAST removes
+  /// shuffle enforcers, FORCE_SHUFFLE removes broadcast enforcers.
+  sql::DistributionHint hint = sql::DistributionHint::kNone;
+  /// Step 06.ii pruning: keep only the best option overall and per
+  /// interesting property. Disabling it is the FIG4 ablation.
+  bool prune = true;
+  /// Cap on options per group when pruning is disabled (safety valve).
+  size_t max_options_per_group = 4096;
+  /// Consider TRIM moves for replicated->distributed conversions.
+  bool enable_trim_move = true;
+  /// Extended (ablation) model: add relational operator costs on top of
+  /// the paper's DMS-only objective.
+  bool relational_costs = false;
+  /// Per-byte weight of relational work in the extended model.
+  double relational_lambda = 0.4e-8;
+};
+
+/// Result of PDW optimization: the parallel plan (with Move nodes) plus
+/// search statistics used by the benches.
+struct PdwPlanResult {
+  PlanNodePtr plan;
+  double cost = 0;
+  size_t options_considered = 0;
+  size_t options_kept = 0;
+  size_t groups_optimized = 0;
+};
+
+/// The PDW parallel optimizer (paper §3, Fig. 4): bottom-up enumeration
+/// over the imported memo, inserting data-movement enforcers, pruning per
+/// interesting property, and extracting the cheapest plan that delivers
+/// results to the control node.
+class PdwOptimizer {
+ public:
+  PdwOptimizer(Memo* memo, const Topology& topology,
+               PdwOptimizerOptions options = {});
+
+  Result<PdwPlanResult> Optimize();
+
+  /// Option table of a group (valid after Optimize); test/bench hook for
+  /// the per-group bound of Fig. 4 step 06.ii.
+  const std::vector<PdwOption>& group_options(GroupId gid) const {
+    return options_.at(gid);
+  }
+  const InterestingProperties& interesting() const { return props_; }
+  const DmsCostModel& cost_model() const { return cost_model_; }
+
+ private:
+  void OptimizeGroup(GroupId gid);
+  void EnumerateExpr(GroupId gid, int expr_index);
+  void EnumerateJoin(GroupId gid, int expr_index);
+  void EnumerateAggregate(GroupId gid, int expr_index);
+  void EnumerateLimit(GroupId gid, int expr_index);
+  void EnumerateUnionAll(GroupId gid, int expr_index);
+  void EnforcerStep(GroupId gid);
+
+  /// Inserts a candidate option, applying cost-based pruning per canonical
+  /// property. Returns true if kept.
+  bool Consider(GroupId gid, PdwOption option);
+
+  /// Relational cost of one operator instance under the extended model
+  /// (0 in the paper's DMS-only model).
+  double RelationalCost(const Group& g, const GroupExpr& e,
+                        bool distributed) const;
+
+  /// Actual column of `group`'s output belonging to class `rep`.
+  ColumnId MemberInOutput(GroupId gid, ColumnId rep) const;
+
+  PlanNodePtr BuildPlan(GroupId gid, int option_index) const;
+
+  Memo* memo_;
+  Topology topology_;
+  PdwOptimizerOptions opts_;
+  DmsCostModel cost_model_;
+  InterestingProperties props_;
+  std::map<GroupId, std::vector<PdwOption>> options_;
+  std::set<GroupId> done_;
+  std::set<GroupId> in_progress_;
+  size_t considered_ = 0;
+};
+
+}  // namespace pdw
+
+#endif  // PDW_PDW_PDW_OPTIMIZER_H_

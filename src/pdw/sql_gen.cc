@@ -1,0 +1,476 @@
+#include "pdw/sql_gen.h"
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace pdw {
+
+namespace {
+
+/// Name resolution for expression rendering: column id -> "alias.name".
+using SqlScope = std::map<ColumnId, std::string>;
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += '\'';  // double the quote
+    out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string RenderDatum(const Datum& d) {
+  switch (d.type()) {
+    case TypeId::kInvalid:
+      return "NULL";
+    case TypeId::kBool:
+      return d.bool_value() ? "TRUE" : "FALSE";
+    case TypeId::kInt:
+      return std::to_string(d.int_value());
+    case TypeId::kDouble: {
+      std::string s = StringFormat("%.17g", d.double_value());
+      // Guarantee the literal re-parses as a DOUBLE, not an INT.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case TypeId::kVarchar:
+      return QuoteString(d.string_value());
+    case TypeId::kDate:
+      return "DATE '" + FormatDate(d.date_value()) + "'";
+  }
+  return "NULL";
+}
+
+Result<std::string> RenderExpr(const ScalarExpr& e, const SqlScope& scope) {
+  switch (e.kind()) {
+    case ScalarKind::kColumn: {
+      const auto& c = static_cast<const ColumnExpr&>(e);
+      auto it = scope.find(c.id());
+      if (it == scope.end()) {
+        return Status::Internal("SQL generation: column " + c.ToString() +
+                                " not in scope");
+      }
+      return it->second;
+    }
+    case ScalarKind::kLiteral:
+      return RenderDatum(static_cast<const LiteralExprB&>(e).value());
+    case ScalarKind::kBinary: {
+      const auto& b = static_cast<const BinaryExprB&>(e);
+      PDW_ASSIGN_OR_RETURN(std::string l, RenderExpr(*b.left(), scope));
+      PDW_ASSIGN_OR_RETURN(std::string r, RenderExpr(*b.right(), scope));
+      return "(" + l + " " + sql::BinaryOpToString(b.op()) + " " + r + ")";
+    }
+    case ScalarKind::kUnary: {
+      const auto& u = static_cast<const UnaryExprB&>(e);
+      PDW_ASSIGN_OR_RETURN(std::string v, RenderExpr(*u.operand(), scope));
+      return u.op() == sql::UnaryOp::kNot ? "(NOT " + v + ")" : "(-" + v + ")";
+    }
+    case ScalarKind::kIsNull: {
+      const auto& n = static_cast<const IsNullExprB&>(e);
+      PDW_ASSIGN_OR_RETURN(std::string v, RenderExpr(*n.operand(), scope));
+      return "(" + v + (n.negated() ? " IS NOT NULL)" : " IS NULL)");
+    }
+    case ScalarKind::kCase: {
+      const auto& c = static_cast<const CaseExprB&>(e);
+      std::string out = "CASE";
+      for (const auto& [w, t] : c.whens()) {
+        PDW_ASSIGN_OR_RETURN(std::string ws, RenderExpr(*w, scope));
+        PDW_ASSIGN_OR_RETURN(std::string ts, RenderExpr(*t, scope));
+        out += " WHEN " + ws + " THEN " + ts;
+      }
+      if (c.else_expr()) {
+        PDW_ASSIGN_OR_RETURN(std::string es, RenderExpr(*c.else_expr(), scope));
+        out += " ELSE " + es;
+      }
+      return out + " END";
+    }
+    case ScalarKind::kCast: {
+      const auto& c = static_cast<const CastExprB&>(e);
+      PDW_ASSIGN_OR_RETURN(std::string v, RenderExpr(*c.operand(), scope));
+      return std::string("CAST(") + v + " AS " + TypeIdToString(c.type()) + ")";
+    }
+    case ScalarKind::kFunction: {
+      const auto& f = static_cast<const FunctionExprB&>(e);
+      std::string out = f.name() + "(";
+      for (size_t i = 0; i < f.args().size(); ++i) {
+        if (i > 0) out += ", ";
+        // DATEADD's date-part argument must render as a bare word.
+        if (f.name() == "DATEADD" && i == 0 &&
+            f.args()[0]->kind() == ScalarKind::kLiteral) {
+          out += static_cast<const LiteralExprB&>(*f.args()[0])
+                     .value()
+                     .string_value();
+          continue;
+        }
+        PDW_ASSIGN_OR_RETURN(std::string a, RenderExpr(*f.args()[i], scope));
+        out += a;
+      }
+      return out + ")";
+    }
+  }
+  return Status::Internal("unreachable expr kind in SQL generation");
+}
+
+/// Recursive SQL generator. Each operator level becomes a derived table
+/// with a T<depth>_<seq> alias, paper-style.
+class Generator {
+ public:
+  explicit Generator(std::string db_prefix) : db_(std::move(db_prefix)) {}
+
+  /// A rendered relation: a FROM-clause fragment plus the mapping from the
+  /// node's output column ids to names exposed by the fragment.
+  struct Rel {
+    std::string from_text;  ///< "... AS Tk_i" fragment.
+    std::string alias;
+    std::map<ColumnId, std::string> columns;
+  };
+
+  std::string NewAlias(int depth) {
+    return StringFormat("T%d_%d", depth, ++seq_);
+  }
+
+  /// Emits unique column names for a node's output bindings. Names that
+  /// would lex as keywords (a binder-generated "sum"/"count" alias, say)
+  /// are mangled so the statement re-parses.
+  static std::vector<std::string> UniqueNames(
+      const std::vector<ColumnBinding>& output) {
+    std::vector<std::string> names;
+    std::set<std::string> used;
+    for (const auto& b : output) {
+      std::string name = ToLower(b.name);
+      if (name.empty()) name = "col";
+      if (sql::IsReservedKeyword(name)) name = "c_" + name;
+      if (!used.insert(name).second) {
+        name += "_" + std::to_string(b.id);
+        used.insert(name);
+      }
+      names.push_back(name);
+    }
+    return names;
+  }
+
+  SqlScope ScopeOf(const Rel& rel) const {
+    SqlScope scope;
+    for (const auto& [id, name] : rel.columns) {
+      scope[id] = rel.alias + "." + name;
+    }
+    return scope;
+  }
+
+  static SqlScope MergeScopes(const SqlScope& a, const SqlScope& b) {
+    SqlScope out = a;
+    out.insert(b.begin(), b.end());
+    return out;
+  }
+
+  /// Renders `node` as a FROM-able relation.
+  Result<Rel> RenderRel(const PlanNode& node, int depth) {
+    if (node.kind == PhysOpKind::kTableScan ||
+        node.kind == PhysOpKind::kTempScan) {
+      Rel rel;
+      rel.alias = NewAlias(depth);
+      std::string qualifier = node.kind == PhysOpKind::kTempScan
+                                  ? "[tempdb].[dbo]."
+                                  : "[" + db_ + "].[dbo].";
+      rel.from_text = qualifier + "[" + node.table_name + "] AS " + rel.alias;
+      std::vector<std::string> names = UniqueNames(node.output);
+      for (size_t i = 0; i < node.output.size(); ++i) {
+        rel.columns[node.output[i].id] = names[i];
+      }
+      return rel;
+    }
+    PDW_ASSIGN_OR_RETURN(GeneratedSql sub, RenderSelect(node, depth + 1));
+    Rel rel;
+    rel.alias = NewAlias(depth);
+    rel.from_text = "(" + sub.sql + ") AS " + rel.alias;
+    for (size_t i = 0; i < node.output.size(); ++i) {
+      rel.columns[node.output[i].id] = sub.column_names[i];
+    }
+    return rel;
+  }
+
+  /// Renders `node` as a full SELECT statement.
+  Result<GeneratedSql> RenderSelect(const PlanNode& node, int depth) {
+    switch (node.kind) {
+      case PhysOpKind::kTableScan:
+      case PhysOpKind::kTempScan: {
+        PDW_ASSIGN_OR_RETURN(Rel rel, RenderRel(node, depth));
+        return SelectAll(node.output, rel, /*where=*/"");
+      }
+      case PhysOpKind::kEmpty: {
+        // A contradiction subtree: typed NULLs selected from the built-in
+        // zero-row pdw_empty table every engine provides.
+        std::vector<std::string> names = UniqueNames(node.output);
+        std::string sql = "SELECT ";
+        for (size_t i = 0; i < node.output.size(); ++i) {
+          if (i > 0) sql += ", ";
+          TypeId t = node.output[i].type == TypeId::kInvalid
+                         ? TypeId::kInt
+                         : node.output[i].type;
+          sql += std::string("CAST(NULL AS ") + TypeIdToString(t) + ") AS " +
+                 names[i];
+        }
+        sql += " FROM [tempdb].[dbo].[pdw_empty] AS " + NewAlias(depth);
+        return GeneratedSql{sql, names};
+      }
+      case PhysOpKind::kFilter: {
+        const PlanNode& child = *node.children[0];
+        PDW_ASSIGN_OR_RETURN(Rel rel, RenderRel(child, depth));
+        SqlScope scope = ScopeOf(rel);
+        std::vector<std::string> conds;
+        for (const auto& c : node.conjuncts) {
+          PDW_ASSIGN_OR_RETURN(std::string s, RenderExpr(*c, scope));
+          conds.push_back(s);
+        }
+        return SelectAll(node.output, rel, Join(conds, " AND "));
+      }
+      case PhysOpKind::kProject: {
+        const PlanNode& child = *node.children[0];
+        PDW_ASSIGN_OR_RETURN(Rel rel, RenderRel(child, depth));
+        SqlScope scope = ScopeOf(rel);
+        std::vector<std::string> names = UniqueNames(node.output);
+        std::string sql = "SELECT ";
+        for (size_t i = 0; i < node.items.size(); ++i) {
+          if (i > 0) sql += ", ";
+          PDW_ASSIGN_OR_RETURN(std::string e,
+                               RenderExpr(*node.items[i].expr, scope));
+          sql += e + " AS " + names[i];
+        }
+        sql += " FROM " + rel.from_text;
+        return GeneratedSql{sql, names};
+      }
+      case PhysOpKind::kHashJoin:
+      case PhysOpKind::kNestedLoopJoin:
+        return RenderJoin(node, depth);
+      case PhysOpKind::kHashAggregate:
+        return RenderAggregate(node, depth);
+      case PhysOpKind::kSort: {
+        // Per-node ordering is immaterial mid-plan (DSQL materializes into
+        // unordered temp tables); ORDER BY is emitted by the Return step.
+        return RenderSelect(*node.children[0], depth);
+      }
+      case PhysOpKind::kLimit: {
+        // TOP n, with ORDER BY folded in when the child is a Sort.
+        const PlanNode* child = node.children[0].get();
+        std::vector<SortItem> sort_items;
+        if (child->kind == PhysOpKind::kSort) {
+          sort_items = child->sort_items;
+          child = child->children[0].get();
+        }
+        PDW_ASSIGN_OR_RETURN(Rel rel, RenderRel(*child, depth));
+        PDW_ASSIGN_OR_RETURN(
+            GeneratedSql out,
+            SelectAll(node.output, rel, /*where=*/""));
+        out.sql = "SELECT TOP " + std::to_string(node.limit) +
+                  out.sql.substr(6);  // splice after "SELECT"
+        if (!sort_items.empty()) {
+          PDW_ASSIGN_OR_RETURN(std::string ob,
+                               OrderByClause(sort_items, ScopeOf(rel)));
+          out.sql += ob;
+        }
+        return out;
+      }
+      case PhysOpKind::kUnionAll: {
+        std::vector<std::string> names = UniqueNames(node.output);
+        std::string sql;
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          PDW_ASSIGN_OR_RETURN(Rel rel, RenderRel(*node.children[i], depth));
+          if (i > 0) sql += " UNION ALL ";
+          sql += "SELECT ";
+          for (size_t p = 0; p < node.union_inputs[i].size(); ++p) {
+            if (p > 0) sql += ", ";
+            auto it = rel.columns.find(node.union_inputs[i][p]);
+            if (it == rel.columns.end()) {
+              return Status::Internal("union input column missing");
+            }
+            sql += rel.alias + "." + it->second + " AS " + names[p];
+          }
+          sql += " FROM " + rel.from_text;
+        }
+        return GeneratedSql{sql, names};
+      }
+      case PhysOpKind::kMove:
+        return Status::Internal(
+            "SQL generation reached a Move node; DSQL splitting should have "
+            "replaced it with a TempScan");
+    }
+    return Status::Internal("unreachable plan kind in SQL generation");
+  }
+
+  Result<std::string> OrderByClause(const std::vector<SortItem>& items,
+                                    const SqlScope& scope) {
+    std::string out = " ORDER BY ";
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ", ";
+      auto it = scope.find(items[i].column);
+      if (it == scope.end()) {
+        return Status::Internal("ORDER BY column not in scope");
+      }
+      out += it->second;
+      out += items[i].ascending ? " ASC" : " DESC";
+    }
+    return out;
+  }
+
+ private:
+  /// "SELECT a.x AS x, ... FROM rel [WHERE ...]" projecting `output`.
+  Result<GeneratedSql> SelectAll(const std::vector<ColumnBinding>& output,
+                                 const Rel& rel, const std::string& where) {
+    std::vector<std::string> names = UniqueNames(output);
+    std::string sql = "SELECT ";
+    for (size_t i = 0; i < output.size(); ++i) {
+      if (i > 0) sql += ", ";
+      auto it = rel.columns.find(output[i].id);
+      if (it == rel.columns.end()) {
+        return Status::Internal("output column #" +
+                                std::to_string(output[i].id) +
+                                " missing from rendered relation");
+      }
+      sql += rel.alias + "." + it->second + " AS " + names[i];
+    }
+    sql += " FROM " + rel.from_text;
+    if (!where.empty()) sql += " WHERE " + where;
+    return GeneratedSql{sql, names};
+  }
+
+  Result<GeneratedSql> RenderJoin(const PlanNode& node, int depth) {
+    PDW_ASSIGN_OR_RETURN(Rel left, RenderRel(*node.children[0], depth));
+    PDW_ASSIGN_OR_RETURN(Rel right, RenderRel(*node.children[1], depth));
+    SqlScope scope = MergeScopes(ScopeOf(left), ScopeOf(right));
+    std::vector<std::string> conds;
+    for (const auto& c : node.conjuncts) {
+      PDW_ASSIGN_OR_RETURN(std::string s, RenderExpr(*c, scope));
+      conds.push_back(s);
+    }
+    std::vector<std::string> names = UniqueNames(node.output);
+    std::string select_list;
+    {
+      SqlScope out_scope = scope;
+      for (size_t i = 0; i < node.output.size(); ++i) {
+        if (i > 0) select_list += ", ";
+        auto it = out_scope.find(node.output[i].id);
+        if (it == out_scope.end()) {
+          return Status::Internal("join output column missing from inputs");
+        }
+        select_list += it->second + " AS " + names[i];
+      }
+    }
+
+    std::string sql;
+    switch (node.join_type) {
+      case LogicalJoinType::kInner:
+      case LogicalJoinType::kCross:
+      case LogicalJoinType::kLeftOuter: {
+        const char* kw = node.join_type == LogicalJoinType::kLeftOuter
+                             ? " LEFT JOIN "
+                             : (conds.empty() ? " CROSS JOIN " : " INNER JOIN ");
+        sql = "SELECT " + select_list + " FROM " + left.from_text + kw +
+              right.from_text;
+        if (!conds.empty()) sql += " ON " + Join(conds, " AND ");
+        break;
+      }
+      case LogicalJoinType::kSemi:
+      case LogicalJoinType::kAnti: {
+        // EXISTS / NOT EXISTS sub-query; the inner engine re-unnests it.
+        sql = "SELECT " + select_list + " FROM " + left.from_text + " WHERE ";
+        if (node.join_type == LogicalJoinType::kAnti) sql += "NOT ";
+        sql += "EXISTS (SELECT 1 AS one FROM " + right.from_text;
+        if (!conds.empty()) sql += " WHERE " + Join(conds, " AND ");
+        sql += ")";
+        break;
+      }
+    }
+    return GeneratedSql{sql, names};
+  }
+
+  Result<GeneratedSql> RenderAggregate(const PlanNode& node, int depth) {
+    PDW_ASSIGN_OR_RETURN(Rel rel, RenderRel(*node.children[0], depth));
+    SqlScope scope = ScopeOf(rel);
+    std::vector<std::string> names = UniqueNames(node.output);
+
+    std::string sql = "SELECT ";
+    std::vector<std::string> group_texts;
+    size_t idx = 0;
+    for (ColumnId g : node.group_by) {
+      auto it = scope.find(g);
+      if (it == scope.end()) {
+        return Status::Internal("group-by column not in scope");
+      }
+      if (idx > 0) sql += ", ";
+      sql += it->second + " AS " + names[idx];
+      group_texts.push_back(it->second);
+      ++idx;
+    }
+    for (const auto& a : node.aggregates) {
+      if (idx > 0) sql += ", ";
+      std::string inner;
+      const char* func = "COUNT";
+      switch (a.func) {
+        case AggFunc::kCountStar:
+          inner = "*";
+          func = "COUNT";
+          break;
+        case AggFunc::kCount: func = "COUNT"; break;
+        case AggFunc::kSum: func = "SUM"; break;
+        case AggFunc::kMin: func = "MIN"; break;
+        case AggFunc::kMax: func = "MAX"; break;
+        case AggFunc::kAvg: func = "AVG"; break;
+      }
+      if (inner.empty()) {
+        PDW_ASSIGN_OR_RETURN(inner, RenderExpr(*a.arg, scope));
+        if (a.distinct) inner = "DISTINCT " + inner;
+      }
+      sql += std::string(func) + "(" + inner + ") AS " + names[idx];
+      ++idx;
+    }
+    if (node.group_by.empty() && node.aggregates.empty()) {
+      return Status::Internal("aggregate node with no outputs");
+    }
+    sql += " FROM " + rel.from_text;
+    if (!group_texts.empty()) sql += " GROUP BY " + Join(group_texts, ", ");
+    return GeneratedSql{sql, names};
+  }
+
+  std::string db_;
+  int seq_ = 0;
+};
+
+}  // namespace
+
+Result<GeneratedSql> GenerateSql(const PlanNode& subtree,
+                                 const std::string& database_prefix) {
+  Generator gen(database_prefix);
+  // A top-level Sort contributes an ORDER BY on the step's own statement.
+  if (subtree.kind == PhysOpKind::kSort) {
+    PDW_ASSIGN_OR_RETURN(Generator::Rel rel,
+                         gen.RenderRel(*subtree.children[0], 1));
+    SqlScope scope = gen.ScopeOf(rel);
+    std::vector<std::string> names =
+        Generator::UniqueNames(subtree.output);
+    std::string sql = "SELECT ";
+    for (size_t i = 0; i < subtree.output.size(); ++i) {
+      if (i > 0) sql += ", ";
+      auto it = rel.columns.find(subtree.output[i].id);
+      if (it == rel.columns.end()) {
+        return Status::Internal("sort output column missing");
+      }
+      sql += rel.alias + "." + it->second + " AS " + names[i];
+    }
+    sql += " FROM " + rel.from_text;
+    PDW_ASSIGN_OR_RETURN(std::string ob,
+                         gen.OrderByClause(subtree.sort_items, scope));
+    sql += ob;
+    return GeneratedSql{sql, names};
+  }
+  return gen.RenderSelect(subtree, 1);
+}
+
+}  // namespace pdw

@@ -1,0 +1,37 @@
+#ifndef PDW_PDW_SQL_GEN_H_
+#define PDW_PDW_SQL_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/plan_node.h"
+
+namespace pdw {
+
+/// A generated SQL statement plus the column names it exposes, aligned
+/// with the source node's `output` bindings.
+struct GeneratedSql {
+  std::string sql;
+  std::vector<std::string> column_names;
+};
+
+/// Translates a physical operator subtree (no Move nodes) back into a SQL
+/// statement with nested derived tables — the QRel-style relational-tree ->
+/// SQL generation of Fig. 6, producing text in the flavour of Fig. 7
+/// ("SELECT T1_1.x AS x FROM (...) AS T1_1 INNER JOIN ...").
+///
+/// The emitted SQL is executable by this library's own engine: compute
+/// nodes re-parse and run it against their local base + temp tables, so
+/// generation correctness is enforced end-to-end. Semi/anti joins render
+/// as EXISTS / NOT EXISTS; local Sort nodes below the root are elided
+/// (ordering is re-established at the Return step).
+///
+/// `database_prefix` decorates base tables ("[tpch].[dbo]."); temp scans
+/// always use "[tempdb].[dbo].".
+Result<GeneratedSql> GenerateSql(const PlanNode& subtree,
+                                 const std::string& database_prefix = "tpch");
+
+}  // namespace pdw
+
+#endif  // PDW_PDW_SQL_GEN_H_

@@ -1,0 +1,53 @@
+#include "plan/distribution.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+const char* DmsOpKindToString(DmsOpKind kind) {
+  switch (kind) {
+    case DmsOpKind::kShuffle: return "SHUFFLE_MOVE";
+    case DmsOpKind::kPartitionMove: return "PARTITION_MOVE";
+    case DmsOpKind::kControlNodeMove: return "CONTROL_NODE_MOVE";
+    case DmsOpKind::kBroadcastMove: return "BROADCAST_MOVE";
+    case DmsOpKind::kTrimMove: return "TRIM_MOVE";
+    case DmsOpKind::kReplicatedBroadcast: return "REPLICATED_BROADCAST";
+    case DmsOpKind::kRemoteCopyToSingle: return "REMOTE_COPY_TO_SINGLE";
+  }
+  return "?";
+}
+
+DistributionProperty DistributionProperty::Canonical(
+    const ColumnEquivalence& equiv) const {
+  DistributionProperty out = *this;
+  for (ColumnId& id : out.columns) id = equiv.Find(id);
+  std::sort(out.columns.begin(), out.columns.end());
+  out.columns.erase(std::unique(out.columns.begin(), out.columns.end()),
+                    out.columns.end());
+  return out;
+}
+
+bool DistributionProperty::Matches(const DistributionProperty& required,
+                                   const ColumnEquivalence& equiv) const {
+  return Canonical(equiv) == required.Canonical(equiv);
+}
+
+std::string DistributionProperty::ToString() const {
+  switch (kind) {
+    case DistributionKind::kReplicated:
+      return "Replicated";
+    case DistributionKind::kControl:
+      return "Control";
+    case DistributionKind::kDistributed: {
+      if (columns.empty()) return "Distributed(?)";
+      std::vector<std::string> parts;
+      for (ColumnId id : columns) parts.push_back("#" + std::to_string(id));
+      return "Distributed(" + Join(parts, ",") + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace pdw

@@ -1,0 +1,87 @@
+#ifndef PDW_PLAN_DISTRIBUTION_H_
+#define PDW_PLAN_DISTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/column.h"
+#include "algebra/equivalence.h"
+
+namespace pdw {
+
+/// How a data stream is laid out across the appliance (paper §2.1, §3.2).
+enum class DistributionKind {
+  kDistributed,  ///< Hash-partitioned across compute nodes on `columns`
+                 ///< (empty columns = partitioned on an unknown/lost key).
+  kReplicated,   ///< Full copy on every compute node.
+  kControl,      ///< Single copy on the control node (final results).
+};
+
+/// The seven physical data movement operations of §3.3.2.
+enum class DmsOpKind {
+  kShuffle,             ///< 1. many-to-many re-partition on a column.
+  kPartitionMove,       ///< 2. many-to-one (gather, typically to control).
+  kControlNodeMove,     ///< 3. control node -> replicated on all compute.
+  kBroadcastMove,       ///< 4. every compute node -> all compute nodes.
+  kTrimMove,            ///< 5. replicated -> distributed, keep own hash slice.
+  kReplicatedBroadcast, ///< 6. single compute node -> all compute nodes.
+  kRemoteCopyToSingle,  ///< 7. everything -> one designated node.
+};
+
+const char* DmsOpKindToString(DmsOpKind kind);
+
+/// A physical distribution property of an operator's output. Used as the
+/// pruning key in the PDW optimizer's per-group option table (Fig. 4 step
+/// 06.ii: best overall + best per interesting property).
+struct DistributionProperty {
+  DistributionKind kind = DistributionKind::kDistributed;
+  /// Hash columns for kDistributed. Canonicalized through the query's
+  /// column-equivalence classes before comparison.
+  std::vector<ColumnId> columns;
+
+  static DistributionProperty Distributed(std::vector<ColumnId> cols) {
+    return DistributionProperty{DistributionKind::kDistributed, std::move(cols)};
+  }
+  static DistributionProperty AnyDistributed() {
+    return DistributionProperty{DistributionKind::kDistributed, {}};
+  }
+  static DistributionProperty Replicated() {
+    return DistributionProperty{DistributionKind::kReplicated, {}};
+  }
+  static DistributionProperty Control() {
+    return DistributionProperty{DistributionKind::kControl, {}};
+  }
+
+  bool is_replicated() const { return kind == DistributionKind::kReplicated; }
+  bool is_control() const { return kind == DistributionKind::kControl; }
+  bool is_distributed_on_known_columns() const {
+    return kind == DistributionKind::kDistributed && !columns.empty();
+  }
+
+  /// Canonical form: hash columns replaced by their equivalence-class
+  /// representatives and sorted. Two properties compare equal iff their
+  /// canonical forms match.
+  DistributionProperty Canonical(const ColumnEquivalence& equiv) const;
+
+  /// True if a stream with this (canonical) property satisfies a
+  /// requirement of `required` (canonical) under `equiv`:
+  ///  * Replicated satisfies any Distributed requirement is FALSE — the
+  ///    semantics differ; compatibility decisions are made by the
+  ///    enumerator per operator, this is plain equality on canonical form.
+  bool Matches(const DistributionProperty& required,
+               const ColumnEquivalence& equiv) const;
+
+  std::string ToString() const;
+
+  bool operator==(const DistributionProperty& other) const {
+    return kind == other.kind && columns == other.columns;
+  }
+  bool operator<(const DistributionProperty& other) const {
+    if (kind != other.kind) return kind < other.kind;
+    return columns < other.columns;
+  }
+};
+
+}  // namespace pdw
+
+#endif  // PDW_PLAN_DISTRIBUTION_H_

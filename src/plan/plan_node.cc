@@ -1,0 +1,148 @@
+#include "plan/plan_node.h"
+
+#include "common/string_util.h"
+
+namespace pdw {
+
+const char* PhysOpKindToString(PhysOpKind kind) {
+  switch (kind) {
+    case PhysOpKind::kTableScan: return "TableScan";
+    case PhysOpKind::kTempScan: return "TempScan";
+    case PhysOpKind::kEmpty: return "Empty";
+    case PhysOpKind::kFilter: return "Filter";
+    case PhysOpKind::kProject: return "Project";
+    case PhysOpKind::kHashJoin: return "HashJoin";
+    case PhysOpKind::kNestedLoopJoin: return "NestedLoopJoin";
+    case PhysOpKind::kHashAggregate: return "HashAggregate";
+    case PhysOpKind::kSort: return "Sort";
+    case PhysOpKind::kLimit: return "Limit";
+    case PhysOpKind::kUnionAll: return "UnionAll";
+    case PhysOpKind::kMove: return "Move";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto out = std::make_unique<PlanNode>();
+  *out = PlanNode{};  // reset children
+  out->kind = kind;
+  out->output = output;
+  out->cardinality = cardinality;
+  out->row_width = row_width;
+  out->distribution = distribution;
+  out->table_name = table_name;
+  out->table = table;
+  out->conjuncts = conjuncts;
+  out->join_type = join_type;
+  out->equi_keys = equi_keys;
+  out->items = items;
+  out->group_by = group_by;
+  out->aggregates = aggregates;
+  out->agg_phase = agg_phase;
+  out->sort_items = sort_items;
+  out->limit = limit;
+  out->union_inputs = union_inputs;
+  out->move_kind = move_kind;
+  out->shuffle_columns = shuffle_columns;
+  out->move_cost = move_cost;
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+std::string PlanNode::ToString() const {
+  std::string out = PhysOpKindToString(kind);
+  switch (kind) {
+    case PhysOpKind::kTableScan:
+    case PhysOpKind::kTempScan:
+      out += " " + table_name;
+      break;
+    case PhysOpKind::kFilter: {
+      std::vector<std::string> parts;
+      for (const auto& c : conjuncts) parts.push_back(c->ToString());
+      out += " [" + Join(parts, " AND ") + "]";
+      break;
+    }
+    case PhysOpKind::kHashJoin:
+    case PhysOpKind::kNestedLoopJoin: {
+      out += std::string(" ") + LogicalJoinTypeToString(join_type);
+      std::vector<std::string> parts;
+      for (const auto& c : conjuncts) parts.push_back(c->ToString());
+      if (!parts.empty()) out += " [" + Join(parts, " AND ") + "]";
+      break;
+    }
+    case PhysOpKind::kHashAggregate: {
+      out += agg_phase == AggPhase::kLocal    ? " (local)"
+             : agg_phase == AggPhase::kGlobal ? " (global)"
+                                              : "";
+      std::vector<std::string> groups;
+      for (ColumnId id : group_by) groups.push_back("#" + std::to_string(id));
+      out += " group=[" + Join(groups, ",") + "] aggs=" +
+             std::to_string(aggregates.size());
+      break;
+    }
+    case PhysOpKind::kProject: {
+      out += " " + std::to_string(items.size()) + " cols";
+      break;
+    }
+    case PhysOpKind::kSort: {
+      std::vector<std::string> parts;
+      for (const auto& s : sort_items) {
+        parts.push_back("#" + std::to_string(s.column) +
+                        (s.ascending ? "" : " DESC"));
+      }
+      out += " [" + Join(parts, ", ") + "]";
+      break;
+    }
+    case PhysOpKind::kLimit:
+      out += " " + std::to_string(limit);
+      break;
+    case PhysOpKind::kMove: {
+      out += std::string(" ") + DmsOpKindToString(move_kind);
+      if (!shuffle_columns.empty()) {
+        std::vector<std::string> parts;
+        for (ColumnId id : shuffle_columns) {
+          parts.push_back("#" + std::to_string(id));
+        }
+        out += "(" + Join(parts, ",") + ")";
+      }
+      out += StringFormat(" cost=%.3f", move_cost);
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+void TreeToString(const PlanNode& node, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(node.ToString());
+  out->append(StringFormat("  {rows=%.0f, width=%.0f, %s}", node.cardinality,
+                           node.row_width, node.distribution.ToString().c_str()));
+  out->push_back('\n');
+  for (const auto& c : node.children) TreeToString(*c, indent + 1, out);
+}
+
+}  // namespace
+
+std::string PlanTreeToString(const PlanNode& root) {
+  std::string out;
+  TreeToString(root, 0, &out);
+  return out;
+}
+
+double TotalMoveCost(const PlanNode& root) {
+  double cost = root.kind == PhysOpKind::kMove ? root.move_cost : 0;
+  for (const auto& c : root.children) cost += TotalMoveCost(*c);
+  return cost;
+}
+
+int CountMoves(const PlanNode& root) {
+  int n = root.kind == PhysOpKind::kMove ? 1 : 0;
+  for (const auto& c : root.children) n += CountMoves(*c);
+  return n;
+}
+
+}  // namespace pdw

@@ -1,0 +1,156 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace pdw::sql {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kLike: return "LIKE";
+    case BinaryOp::kNotLike: return "NOT LIKE";
+  }
+  return "?";
+}
+
+std::string ColumnRefExpr::ToString() const {
+  return table.empty() ? column : table + "." + column;
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left->ToString() + " " + BinaryOpToString(op) + " " +
+         right->ToString() + ")";
+}
+
+std::string UnaryExpr::ToString() const {
+  return op == UnaryOp::kNot ? "(NOT " + operand->ToString() + ")"
+                             : "(-" + operand->ToString() + ")";
+}
+
+std::string FunctionExpr::ToString() const {
+  std::string out = name + "(";
+  if (distinct) out += "DISTINCT ";
+  if (star_arg) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += args[i]->ToString();
+    }
+  }
+  return out + ")";
+}
+
+std::string BetweenExpr::ToString() const {
+  return "(" + value->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+         low->ToString() + " AND " + high->ToString() + ")";
+}
+
+std::string InListExpr::ToString() const {
+  std::string out = "(" + value->ToString() + (negated ? " NOT IN (" : " IN (");
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i]->ToString();
+  }
+  return out + "))";
+}
+
+std::string SubqueryExpr::ToString() const {
+  std::string out = "(";
+  if (kind == ExprKind::kInSubquery) {
+    out += value->ToString();
+    out += negated ? " NOT IN " : " IN ";
+  } else if (kind == ExprKind::kExistsSubquery) {
+    out += negated ? "NOT EXISTS " : "EXISTS ";
+  }
+  out += "(" + subquery->ToString() + "))";
+  return out;
+}
+
+std::string IsNullExpr::ToString() const {
+  return "(" + operand->ToString() + (negated ? " IS NOT NULL)" : " IS NULL)");
+}
+
+std::string CaseExpr::ToString() const {
+  std::string out = "CASE";
+  for (const auto& [w, t] : whens) {
+    out += " WHEN " + w->ToString() + " THEN " + t->ToString();
+  }
+  if (else_expr) out += " ELSE " + else_expr->ToString();
+  return out + " END";
+}
+
+std::string CastExpr::ToString() const {
+  return std::string("CAST(") + operand->ToString() + " AS " +
+         TypeIdToString(target) + ")";
+}
+
+std::string JoinTableRef::ToString() const {
+  std::string out = "(" + left->ToString();
+  switch (join_type) {
+    case JoinType::kInner: out += " INNER JOIN "; break;
+    case JoinType::kLeft: out += " LEFT JOIN "; break;
+    case JoinType::kCross: out += " CROSS JOIN "; break;
+  }
+  out += right->ToString();
+  if (condition) out += " ON " + condition->ToString();
+  return out + ")";
+}
+
+std::string DerivedTableRef::ToString() const {
+  return "(" + subquery->ToString() + ") AS " + alias;
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].expr->ToString();
+    if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+  }
+  if (!from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += from[i]->ToString();
+    }
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (!order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (limit >= 0) out += " LIMIT " + std::to_string(limit);
+  if (union_next) {
+    out += union_distinct ? " UNION " : " UNION ALL ";
+    out += union_next->ToString();
+  }
+  return out;
+}
+
+}  // namespace pdw::sql

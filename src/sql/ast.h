@@ -1,0 +1,300 @@
+#ifndef PDW_SQL_AST_H_
+#define PDW_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/datum.h"
+
+namespace pdw::sql {
+
+// ---------------------------------------------------------------------------
+// Scalar expressions (unresolved; the binder in src/algebra resolves names).
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kStar,
+  kBinary,
+  kUnary,
+  kFunction,
+  kBetween,
+  kInList,
+  kInSubquery,
+  kExistsSubquery,
+  kScalarSubquery,
+  kIsNull,
+  kCase,
+  kCast,
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kLike, kNotLike,
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+const char* BinaryOpToString(BinaryOp op);
+
+struct SelectStatement;  // forward; sub-queries embed SELECTs.
+
+/// Base class for parsed scalar expressions. The tree is immutable after
+/// parsing; ToString() reconstructs SQL-ish text for diagnostics.
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+  virtual std::string ToString() const = 0;
+
+  ExprKind kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct ColumnRefExpr : Expr {
+  ColumnRefExpr(std::string t, std::string c)
+      : Expr(ExprKind::kColumnRef), table(std::move(t)), column(std::move(c)) {}
+  std::string ToString() const override;
+
+  std::string table;  ///< Qualifier; empty when unqualified.
+  std::string column;
+};
+
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(Datum v) : Expr(ExprKind::kLiteral), value(std::move(v)) {}
+  std::string ToString() const override { return value.ToString(); }
+
+  Datum value;
+};
+
+/// `*` or `t.*` in a SELECT list.
+struct StarExpr : Expr {
+  explicit StarExpr(std::string t) : Expr(ExprKind::kStar), table(std::move(t)) {}
+  std::string ToString() const override {
+    return table.empty() ? "*" : table + ".*";
+  }
+
+  std::string table;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kBinary), op(o), left(std::move(l)), right(std::move(r)) {}
+  std::string ToString() const override;
+
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp o, ExprPtr e)
+      : Expr(ExprKind::kUnary), op(o), operand(std::move(e)) {}
+  std::string ToString() const override;
+
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+/// Function call: aggregates (COUNT/SUM/AVG/MIN/MAX) and scalar functions
+/// (DATEADD, ...). COUNT(*) is represented with `star_arg = true`.
+struct FunctionExpr : Expr {
+  FunctionExpr(std::string n, std::vector<ExprPtr> a)
+      : Expr(ExprKind::kFunction), name(std::move(n)), args(std::move(a)) {}
+  std::string ToString() const override;
+
+  std::string name;  ///< Uppercased.
+  std::vector<ExprPtr> args;
+  bool distinct = false;
+  bool star_arg = false;
+};
+
+struct BetweenExpr : Expr {
+  BetweenExpr(ExprPtr v, ExprPtr l, ExprPtr h, bool neg)
+      : Expr(ExprKind::kBetween), value(std::move(v)), low(std::move(l)),
+        high(std::move(h)), negated(neg) {}
+  std::string ToString() const override;
+
+  ExprPtr value;
+  ExprPtr low;
+  ExprPtr high;
+  bool negated;
+};
+
+struct InListExpr : Expr {
+  InListExpr(ExprPtr v, std::vector<ExprPtr> i, bool neg)
+      : Expr(ExprKind::kInList), value(std::move(v)), items(std::move(i)),
+        negated(neg) {}
+  std::string ToString() const override;
+
+  ExprPtr value;
+  std::vector<ExprPtr> items;
+  bool negated;
+};
+
+/// IN (SELECT ...), EXISTS (SELECT ...), and scalar sub-queries. The kind
+/// discriminates; `value` is only set for IN.
+struct SubqueryExpr : Expr {
+  SubqueryExpr(ExprKind k, ExprPtr v, std::unique_ptr<SelectStatement> s,
+               bool neg)
+      : Expr(k), value(std::move(v)), subquery(std::move(s)), negated(neg) {}
+  std::string ToString() const override;
+
+  ExprPtr value;
+  std::unique_ptr<SelectStatement> subquery;
+  bool negated;
+};
+
+struct IsNullExpr : Expr {
+  IsNullExpr(ExprPtr e, bool neg)
+      : Expr(ExprKind::kIsNull), operand(std::move(e)), negated(neg) {}
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  bool negated;
+};
+
+struct CaseExpr : Expr {
+  CaseExpr() : Expr(ExprKind::kCase) {}
+  std::string ToString() const override;
+
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+  ExprPtr else_expr;  ///< May be null (implicit ELSE NULL).
+};
+
+struct CastExpr : Expr {
+  CastExpr(ExprPtr e, TypeId t)
+      : Expr(ExprKind::kCast), operand(std::move(e)), target(t) {}
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  TypeId target;
+};
+
+// ---------------------------------------------------------------------------
+// Table references and statements.
+// ---------------------------------------------------------------------------
+
+enum class JoinType { kInner, kLeft, kCross };
+
+enum class TableRefKind { kBase, kJoin, kDerived };
+
+struct TableRef {
+  explicit TableRef(TableRefKind k) : kind(k) {}
+  virtual ~TableRef() = default;
+  virtual std::string ToString() const = 0;
+
+  TableRefKind kind;
+};
+
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+struct BaseTableRef : TableRef {
+  BaseTableRef(std::string t, std::string a)
+      : TableRef(TableRefKind::kBase), table(std::move(t)), alias(std::move(a)) {}
+  std::string ToString() const override {
+    return alias.empty() ? table : table + " AS " + alias;
+  }
+
+  std::string table;
+  std::string alias;  ///< Empty when unaliased.
+};
+
+struct JoinTableRef : TableRef {
+  JoinTableRef(JoinType t, TableRefPtr l, TableRefPtr r, ExprPtr cond)
+      : TableRef(TableRefKind::kJoin), join_type(t), left(std::move(l)),
+        right(std::move(r)), condition(std::move(cond)) {}
+  std::string ToString() const override;
+
+  JoinType join_type;
+  TableRefPtr left;
+  TableRefPtr right;
+  ExprPtr condition;  ///< Null for CROSS JOIN.
+};
+
+struct DerivedTableRef : TableRef {
+  DerivedTableRef(std::unique_ptr<SelectStatement> s, std::string a)
+      : TableRef(TableRefKind::kDerived), subquery(std::move(s)),
+        alias(std::move(a)) {}
+  std::string ToString() const override;
+
+  std::unique_ptr<SelectStatement> subquery;
+  std::string alias;
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  ///< Empty when unaliased.
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// Distributed-execution strategy hints (paper §3.1: the PDW query
+/// surface adds "a handful of query hints for specific distributed
+/// execution strategies"). Parsed from a trailing OPTION (<hint>) clause.
+enum class DistributionHint {
+  kNone,           ///< Cost-based choice (default).
+  kForceBroadcast, ///< Resolve join incompatibilities by broadcasting.
+  kForceShuffle,   ///< Resolve join incompatibilities by shuffling.
+};
+
+struct SelectStatement {
+  /// Trailing OPTION(...) hint; applies to the whole statement.
+  DistributionHint hint = DistributionHint::kNone;
+  /// Non-null when this SELECT is the left operand of UNION [ALL]; the
+  /// chain is right-leaning. ORDER BY/LIMIT on the head apply to the
+  /// whole union.
+  std::unique_ptr<SelectStatement> union_next;
+  bool union_distinct = false;  ///< true for plain UNION (dedup).
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRefPtr> from;  ///< Comma-separated FROM entries.
+  ExprPtr where;                  ///< Null when absent.
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;  ///< -1 = no LIMIT/TOP.
+
+  std::string ToString() const;
+};
+
+/// CREATE TABLE name (col type, ...) WITH (DISTRIBUTION = HASH(col)) /
+/// WITH (DISTRIBUTION = REPLICATE).
+struct CreateTableStatement {
+  std::string name;
+  Schema schema;
+  DistributionSpec distribution;
+};
+
+struct DropTableStatement {
+  std::string name;
+};
+
+/// INSERT INTO name VALUES (...), (...), ... — used by tests and loaders.
+struct InsertStatement {
+  std::string table;
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+enum class StatementKind { kSelect, kCreateTable, kDropTable, kInsert };
+
+/// A parsed SQL statement (tagged union of the statement structs).
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  std::unique_ptr<SelectStatement> select;
+  std::unique_ptr<CreateTableStatement> create_table;
+  std::unique_ptr<DropTableStatement> drop_table;
+  std::unique_ptr<InsertStatement> insert;
+};
+
+}  // namespace pdw::sql
+
+#endif  // PDW_SQL_AST_H_

@@ -1,0 +1,171 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace pdw::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>({
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+      "DESC", "LIMIT", "TOP", "DISTINCT", "ALL", "AS", "AND", "OR", "NOT",
+      "IN", "EXISTS", "BETWEEN", "LIKE", "IS", "NULL", "TRUE", "FALSE",
+      "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON",
+      "UNION", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "CREATE",
+      "TABLE", "DROP", "INSERT", "INTO", "VALUES", "WITH", "DISTRIBUTION",
+      "HASH", "REPLICATE", "DATE", "COUNT", "SUM", "AVG", "MIN", "MAX",
+      "OPTION",
+  });
+  return *kKeywords;
+}
+
+}  // namespace
+
+bool IsReservedKeyword(const std::string& word) {
+  return Keywords().count(ToUpper(word)) > 0;
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+bool Token::IsOperator(const char* op) const {
+  return type == TokenType::kOperator && text == op;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {
+      size_t end = input.find("*/", i + 2);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated block comment");
+      }
+      i = end + 2;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    // String literal.
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      while (true) {
+        if (i >= n) return Status::InvalidArgument("unterminated string literal");
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        text += input[i++];
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Bracketed / quoted identifier.
+    if (c == '[' || c == '"') {
+      char close = (c == '[') ? ']' : '"';
+      size_t end = input.find(close, i + 1);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated quoted identifier");
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = input.substr(i + 1, end - i - 1);
+      i = end + 1;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       (input[i] == '.' && !seen_dot))) {
+        if (input[i] == '.') seen_dot = true;
+        ++i;
+      }
+      // Exponent part.
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (input[j] == '+' || input[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+        }
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = input.substr(start, i - start);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Identifier or keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tok.type = TokenType::kKeyword;
+        tok.text = std::move(upper);
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = std::move(word);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Operators, longest-match first.
+    tok.type = TokenType::kOperator;
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+        tok.text = two == "!=" ? "<>" : two;
+        i += 2;
+        out.push_back(std::move(tok));
+        continue;
+      }
+    }
+    if (std::string("=<>+-*/%(),.;").find(c) != std::string::npos) {
+      tok.text = std::string(1, c);
+      ++i;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    return Status::InvalidArgument(
+        StringFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+  Token end_tok;
+  end_tok.type = TokenType::kEnd;
+  end_tok.offset = n;
+  out.push_back(end_tok);
+  return out;
+}
+
+}  // namespace pdw::sql

@@ -1,0 +1,41 @@
+#ifndef PDW_SQL_LEXER_H_
+#define PDW_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pdw::sql {
+
+enum class TokenType {
+  kIdentifier,   ///< Bare or [bracketed]/"quoted" identifier.
+  kKeyword,      ///< Reserved word, normalized to uppercase in `text`.
+  kString,       ///< 'string literal' with '' escapes resolved.
+  kNumber,       ///< Integer or decimal literal.
+  kOperator,     ///< One of = <> != < <= > >= + - * / % ( ) , . ;
+  kEnd,          ///< End of input sentinel.
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   ///< Keyword text is uppercased; identifiers keep case.
+  size_t offset = 0;  ///< Byte offset in the source, for error messages.
+
+  bool IsKeyword(const char* kw) const;
+  bool IsOperator(const char* op) const;
+};
+
+/// True if `word` (any case) is a reserved keyword of this dialect and so
+/// cannot be used as a bare identifier. SQL generation consults this when
+/// choosing column aliases.
+bool IsReservedKeyword(const std::string& word);
+
+/// Tokenizes a SQL string. Handles -- and /* */ comments, bracketed
+/// identifiers, string literals and numeric literals. Keywords are the SQL
+/// subset the parser understands; everything else lexes as an identifier.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace pdw::sql
+
+#endif  // PDW_SQL_LEXER_H_

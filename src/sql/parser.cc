@@ -1,0 +1,793 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace pdw::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Standard precedence
+/// climbing: OR < AND < NOT < comparison/IN/BETWEEN/LIKE/IS < +- < */% <
+/// unary < primary.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (Peek().IsKeyword("SELECT")) {
+      auto sel = ParseSelectStatement();
+      if (!sel.ok()) return sel.status();
+      stmt.kind = StatementKind::kSelect;
+      stmt.select = std::move(sel).ValueOrDie();
+    } else if (Peek().IsKeyword("CREATE")) {
+      auto ct = ParseCreateTable();
+      if (!ct.ok()) return ct.status();
+      stmt.kind = StatementKind::kCreateTable;
+      stmt.create_table = std::move(ct).ValueOrDie();
+    } else if (Peek().IsKeyword("DROP")) {
+      Advance();
+      PDW_RETURN_NOT_OK(Expect("TABLE"));
+      PDW_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      stmt.kind = StatementKind::kDropTable;
+      stmt.drop_table = std::make_unique<DropTableStatement>();
+      stmt.drop_table->name = name;
+    } else if (Peek().IsKeyword("INSERT")) {
+      auto ins = ParseInsert();
+      if (!ins.ok()) return ins.status();
+      stmt.kind = StatementKind::kInsert;
+      stmt.insert = std::move(ins).ValueOrDie();
+    } else {
+      return Error("expected SELECT, CREATE, DROP or INSERT");
+    }
+    if (Peek().IsOperator(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelectStatement() {
+    PDW_RETURN_NOT_OK(Expect("SELECT"));
+    auto sel = std::make_unique<SelectStatement>();
+    if (Peek().IsKeyword("DISTINCT")) {
+      sel->distinct = true;
+      Advance();
+    } else if (Peek().IsKeyword("ALL")) {
+      Advance();
+    }
+    if (Peek().IsKeyword("TOP")) {
+      Advance();
+      PDW_ASSIGN_OR_RETURN(int64_t n, ExpectInteger());
+      sel->limit = n;
+    }
+    // Select list.
+    while (true) {
+      SelectItem item;
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      item.expr = std::move(e).ValueOrDie();
+      if (Peek().IsKeyword("AS")) {
+        Advance();
+        PDW_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Peek().text;
+        Advance();
+      }
+      sel->items.push_back(std::move(item));
+      if (!Peek().IsOperator(",")) break;
+      Advance();
+    }
+    if (Peek().IsKeyword("FROM")) {
+      Advance();
+      while (true) {
+        auto tr = ParseTableRef();
+        if (!tr.ok()) return tr.status();
+        sel->from.push_back(std::move(tr).ValueOrDie());
+        if (!Peek().IsOperator(",")) break;
+        Advance();
+      }
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      sel->where = std::move(e).ValueOrDie();
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      PDW_RETURN_NOT_OK(Expect("BY"));
+      while (true) {
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        sel->group_by.push_back(std::move(e).ValueOrDie());
+        if (!Peek().IsOperator(",")) break;
+        Advance();
+      }
+    }
+    if (Peek().IsKeyword("HAVING")) {
+      Advance();
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      sel->having = std::move(e).ValueOrDie();
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      Advance();
+      PDW_RETURN_NOT_OK(Expect("BY"));
+      while (true) {
+        OrderByItem item;
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        item.expr = std::move(e).ValueOrDie();
+        if (Peek().IsKeyword("ASC")) {
+          Advance();
+        } else if (Peek().IsKeyword("DESC")) {
+          item.ascending = false;
+          Advance();
+        }
+        sel->order_by.push_back(std::move(item));
+        if (!Peek().IsOperator(",")) break;
+        Advance();
+      }
+    }
+    if (Peek().IsKeyword("LIMIT")) {
+      Advance();
+      PDW_ASSIGN_OR_RETURN(int64_t n, ExpectInteger());
+      sel->limit = n;
+    }
+    // PDW-style distributed-strategy hint: OPTION (FORCE_BROADCAST) or
+    // OPTION (FORCE_SHUFFLE).
+    if (Peek().IsKeyword("OPTION")) {
+      Advance();
+      PDW_RETURN_NOT_OK(ExpectOp("("));
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected hint name");
+      }
+      std::string hint = ToUpper(Peek().text);
+      Advance();
+      if (hint == "FORCE_BROADCAST") {
+        sel->hint = DistributionHint::kForceBroadcast;
+      } else if (hint == "FORCE_SHUFFLE") {
+        sel->hint = DistributionHint::kForceShuffle;
+      } else {
+        return Error("unknown hint '" + hint + "'");
+      }
+      PDW_RETURN_NOT_OK(ExpectOp(")"));
+    }
+    // UNION [ALL] chains right-recursively; ORDER BY / LIMIT may only
+    // appear after the last operand (they apply to the whole union).
+    if (Peek().IsKeyword("UNION")) {
+      if (!sel->order_by.empty() || sel->limit >= 0) {
+        return Error(
+            "ORDER BY/LIMIT must follow the last UNION operand");
+      }
+      Advance();
+      sel->union_distinct = true;
+      if (Peek().IsKeyword("ALL")) {
+        sel->union_distinct = false;
+        Advance();
+      }
+      auto rest = ParseSelectStatement();
+      if (!rest.ok()) return rest;
+      sel->union_next = std::move(rest).ValueOrDie();
+    }
+    return sel;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() { if (pos_ + 1 < tokens_.size()) ++pos_; }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StringFormat("parse error near offset %zu ('%s'): %s",
+                     Peek().offset, Peek().text.c_str(), msg.c_str()));
+  }
+
+  Status Expect(const char* keyword) {
+    if (!Peek().IsKeyword(keyword)) {
+      return Error(std::string("expected ") + keyword);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectOp(const char* op) {
+    if (!Peek().IsOperator(op)) {
+      return Error(std::string("expected '") + op + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected identifier");
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  Result<int64_t> ExpectInteger() {
+    if (Peek().type != TokenType::kNumber) return Error("expected number");
+    int64_t v = std::strtoll(Peek().text.c_str(), nullptr, 10);
+    Advance();
+    return v;
+  }
+
+  /// Dotted name, possibly multi-part ([db].[schema].[table]); only the
+  /// last one or two parts are meaningful to this engine.
+  Result<std::vector<std::string>> ParseDottedName() {
+    std::vector<std::string> parts;
+    PDW_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    parts.push_back(std::move(first));
+    while (Peek().IsOperator(".")) {
+      Advance();
+      PDW_ASSIGN_OR_RETURN(std::string next, ExpectIdentifier());
+      parts.push_back(std::move(next));
+    }
+    return parts;
+  }
+
+  // --- table references ---
+
+  Result<TableRefPtr> ParseTableRef() {
+    auto left = ParseTablePrimary();
+    if (!left.ok()) return left.status();
+    TableRefPtr node = std::move(left).ValueOrDie();
+    while (true) {
+      JoinType jt;
+      if (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER")) {
+        if (Peek().IsKeyword("INNER")) Advance();
+        jt = JoinType::kInner;
+      } else if (Peek().IsKeyword("LEFT")) {
+        Advance();
+        if (Peek().IsKeyword("OUTER")) Advance();
+        jt = JoinType::kLeft;
+      } else if (Peek().IsKeyword("CROSS")) {
+        Advance();
+        jt = JoinType::kCross;
+      } else {
+        break;
+      }
+      PDW_RETURN_NOT_OK(Expect("JOIN"));
+      auto right = ParseTablePrimary();
+      if (!right.ok()) return right.status();
+      ExprPtr cond;
+      if (jt != JoinType::kCross) {
+        PDW_RETURN_NOT_OK(Expect("ON"));
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        cond = std::move(e).ValueOrDie();
+      }
+      node = std::make_unique<JoinTableRef>(jt, std::move(node),
+                                            std::move(right).ValueOrDie(),
+                                            std::move(cond));
+    }
+    return node;
+  }
+
+  Result<TableRefPtr> ParseTablePrimary() {
+    if (Peek().IsOperator("(")) {
+      // Derived table or parenthesized join.
+      if (Peek(1).IsKeyword("SELECT")) {
+        Advance();
+        auto sub = ParseSelectStatement();
+        if (!sub.ok()) return sub.status();
+        PDW_RETURN_NOT_OK(ExpectOp(")"));
+        std::string alias;
+        if (Peek().IsKeyword("AS")) {
+          Advance();
+          PDW_ASSIGN_OR_RETURN(alias, ExpectIdentifier());
+        } else if (Peek().type == TokenType::kIdentifier) {
+          alias = Peek().text;
+          Advance();
+        } else {
+          return Error("derived table requires an alias");
+        }
+        return TableRefPtr(std::make_unique<DerivedTableRef>(
+            std::move(sub).ValueOrDie(), alias));
+      }
+      Advance();
+      auto inner = ParseTableRef();
+      if (!inner.ok()) return inner.status();
+      PDW_RETURN_NOT_OK(ExpectOp(")"));
+      return inner;
+    }
+    auto name = ParseDottedName();
+    if (!name.ok()) return name.status();
+    std::string table = name.ValueOrDie().back();
+    std::string alias;
+    if (Peek().IsKeyword("AS")) {
+      Advance();
+      PDW_ASSIGN_OR_RETURN(alias, ExpectIdentifier());
+    } else if (Peek().type == TokenType::kIdentifier) {
+      alias = Peek().text;
+      Advance();
+    }
+    return TableRefPtr(std::make_unique<BaseTableRef>(table, alias));
+  }
+
+  // --- expressions ---
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    auto left = ParseAnd();
+    if (!left.ok()) return left;
+    ExprPtr node = std::move(left).ValueOrDie();
+    while (Peek().IsKeyword("OR")) {
+      Advance();
+      auto right = ParseAnd();
+      if (!right.ok()) return right;
+      node = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(node),
+                                          std::move(right).ValueOrDie());
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto left = ParseNot();
+    if (!left.ok()) return left;
+    ExprPtr node = std::move(left).ValueOrDie();
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      auto right = ParseNot();
+      if (!right.ok()) return right;
+      node = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(node),
+                                          std::move(right).ValueOrDie());
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Peek().IsKeyword("NOT")) {
+      Advance();
+      auto inner = ParseNot();
+      if (!inner.ok()) return inner;
+      return ExprPtr(std::make_unique<UnaryExpr>(
+          UnaryOp::kNot, std::move(inner).ValueOrDie()));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    auto left = ParseAddSub();
+    if (!left.ok()) return left;
+    ExprPtr node = std::move(left).ValueOrDie();
+
+    // Optional NOT before IN / BETWEEN / LIKE.
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("BETWEEN") ||
+         Peek(1).IsKeyword("LIKE"))) {
+      negated = true;
+      Advance();
+    }
+
+    if (Peek().IsKeyword("BETWEEN")) {
+      Advance();
+      auto lo = ParseAddSub();
+      if (!lo.ok()) return lo;
+      PDW_RETURN_NOT_OK(Expect("AND"));
+      auto hi = ParseAddSub();
+      if (!hi.ok()) return hi;
+      return ExprPtr(std::make_unique<BetweenExpr>(
+          std::move(node), std::move(lo).ValueOrDie(),
+          std::move(hi).ValueOrDie(), negated));
+    }
+    if (Peek().IsKeyword("LIKE")) {
+      Advance();
+      auto pat = ParseAddSub();
+      if (!pat.ok()) return pat;
+      return ExprPtr(std::make_unique<BinaryExpr>(
+          negated ? BinaryOp::kNotLike : BinaryOp::kLike, std::move(node),
+          std::move(pat).ValueOrDie()));
+    }
+    if (Peek().IsKeyword("IN")) {
+      Advance();
+      PDW_RETURN_NOT_OK(ExpectOp("("));
+      if (Peek().IsKeyword("SELECT")) {
+        auto sub = ParseSelectStatement();
+        if (!sub.ok()) return sub.status();
+        PDW_RETURN_NOT_OK(ExpectOp(")"));
+        return ExprPtr(std::make_unique<SubqueryExpr>(
+            ExprKind::kInSubquery, std::move(node),
+            std::move(sub).ValueOrDie(), negated));
+      }
+      std::vector<ExprPtr> items;
+      while (true) {
+        auto e = ParseExpr();
+        if (!e.ok()) return e;
+        items.push_back(std::move(e).ValueOrDie());
+        if (!Peek().IsOperator(",")) break;
+        Advance();
+      }
+      PDW_RETURN_NOT_OK(ExpectOp(")"));
+      return ExprPtr(std::make_unique<InListExpr>(std::move(node),
+                                                  std::move(items), negated));
+    }
+    if (Peek().IsKeyword("IS")) {
+      Advance();
+      bool is_not = false;
+      if (Peek().IsKeyword("NOT")) {
+        is_not = true;
+        Advance();
+      }
+      PDW_RETURN_NOT_OK(Expect("NULL"));
+      return ExprPtr(std::make_unique<IsNullExpr>(std::move(node), is_not));
+    }
+
+    static const std::pair<const char*, BinaryOp> kOps[] = {
+        {"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+    };
+    for (const auto& [text, op] : kOps) {
+      if (Peek().IsOperator(text)) {
+        Advance();
+        auto right = ParseAddSub();
+        if (!right.ok()) return right;
+        return ExprPtr(std::make_unique<BinaryExpr>(
+            op, std::move(node), std::move(right).ValueOrDie()));
+      }
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseAddSub() {
+    auto left = ParseMulDiv();
+    if (!left.ok()) return left;
+    ExprPtr node = std::move(left).ValueOrDie();
+    while (Peek().IsOperator("+") || Peek().IsOperator("-")) {
+      BinaryOp op = Peek().IsOperator("+") ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      auto right = ParseMulDiv();
+      if (!right.ok()) return right;
+      node = std::make_unique<BinaryExpr>(op, std::move(node),
+                                          std::move(right).ValueOrDie());
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseMulDiv() {
+    auto left = ParseUnary();
+    if (!left.ok()) return left;
+    ExprPtr node = std::move(left).ValueOrDie();
+    while (Peek().IsOperator("*") || Peek().IsOperator("/") ||
+           Peek().IsOperator("%")) {
+      BinaryOp op = Peek().IsOperator("*")   ? BinaryOp::kMul
+                    : Peek().IsOperator("/") ? BinaryOp::kDiv
+                                             : BinaryOp::kMod;
+      Advance();
+      auto right = ParseUnary();
+      if (!right.ok()) return right;
+      node = std::make_unique<BinaryExpr>(op, std::move(node),
+                                          std::move(right).ValueOrDie());
+    }
+    return node;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().IsOperator("-")) {
+      Advance();
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return ExprPtr(std::make_unique<UnaryExpr>(
+          UnaryOp::kNegate, std::move(inner).ValueOrDie()));
+    }
+    if (Peek().IsOperator("+")) {
+      Advance();
+      return ParseUnary();
+    }
+    return ParsePrimary();
+  }
+
+  bool IsAggregateKeyword(const Token& t) const {
+    return t.IsKeyword("COUNT") || t.IsKeyword("SUM") || t.IsKeyword("AVG") ||
+           t.IsKeyword("MIN") || t.IsKeyword("MAX");
+  }
+
+  Result<ExprPtr> ParseFunctionCall(const std::string& name) {
+    PDW_RETURN_NOT_OK(ExpectOp("("));
+    auto fn = std::make_unique<FunctionExpr>(ToUpper(name),
+                                             std::vector<ExprPtr>());
+    if (Peek().IsKeyword("DISTINCT")) {
+      fn->distinct = true;
+      Advance();
+    }
+    if (Peek().IsOperator("*")) {
+      fn->star_arg = true;
+      Advance();
+      PDW_RETURN_NOT_OK(ExpectOp(")"));
+      return ExprPtr(std::move(fn));
+    }
+    if (!Peek().IsOperator(")")) {
+      while (true) {
+        // DATEADD's first argument is a date-part name (year, month, ...).
+        if (fn->name == "DATEADD" && fn->args.empty() &&
+            (Peek().type == TokenType::kIdentifier ||
+             Peek().type == TokenType::kKeyword) &&
+            Peek(1).IsOperator(",")) {
+          fn->args.push_back(
+              std::make_unique<LiteralExpr>(Datum::Varchar(ToLower(Peek().text))));
+          Advance();
+        } else {
+          auto e = ParseExpr();
+          if (!e.ok()) return e;
+          fn->args.push_back(std::move(e).ValueOrDie());
+        }
+        if (!Peek().IsOperator(",")) break;
+        Advance();
+      }
+    }
+    PDW_RETURN_NOT_OK(ExpectOp(")"));
+    return ExprPtr(std::move(fn));
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    // Literals.
+    if (t.type == TokenType::kNumber) {
+      std::string text = t.text;
+      Advance();
+      if (text.find('.') != std::string::npos ||
+          text.find('e') != std::string::npos ||
+          text.find('E') != std::string::npos) {
+        return ExprPtr(std::make_unique<LiteralExpr>(
+            Datum::Double(std::strtod(text.c_str(), nullptr))));
+      }
+      return ExprPtr(std::make_unique<LiteralExpr>(
+          Datum::Int(std::strtoll(text.c_str(), nullptr, 10))));
+    }
+    if (t.type == TokenType::kString) {
+      std::string text = t.text;
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Datum::Varchar(text)));
+    }
+    if (t.IsKeyword("NULL")) {
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Datum::Null()));
+    }
+    if (t.IsKeyword("TRUE") || t.IsKeyword("FALSE")) {
+      bool v = t.IsKeyword("TRUE");
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Datum::Bool(v)));
+    }
+    if (t.IsKeyword("DATE") && Peek(1).type == TokenType::kString) {
+      Advance();
+      PDW_ASSIGN_OR_RETURN(int32_t days, ParseDate(Peek().text));
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Datum::Date(days)));
+    }
+    if (t.IsKeyword("CASE")) {
+      Advance();
+      auto ce = std::make_unique<CaseExpr>();
+      while (Peek().IsKeyword("WHEN")) {
+        Advance();
+        auto w = ParseExpr();
+        if (!w.ok()) return w;
+        PDW_RETURN_NOT_OK(Expect("THEN"));
+        auto th = ParseExpr();
+        if (!th.ok()) return th;
+        ce->whens.emplace_back(std::move(w).ValueOrDie(),
+                               std::move(th).ValueOrDie());
+      }
+      if (Peek().IsKeyword("ELSE")) {
+        Advance();
+        auto e = ParseExpr();
+        if (!e.ok()) return e;
+        ce->else_expr = std::move(e).ValueOrDie();
+      }
+      PDW_RETURN_NOT_OK(Expect("END"));
+      return ExprPtr(std::move(ce));
+    }
+    if (t.IsKeyword("CAST")) {
+      Advance();
+      PDW_RETURN_NOT_OK(ExpectOp("("));
+      auto e = ParseExpr();
+      if (!e.ok()) return e;
+      PDW_RETURN_NOT_OK(Expect("AS"));
+      // Type name is an identifier or keyword (DATE).
+      if (Peek().type != TokenType::kIdentifier &&
+          Peek().type != TokenType::kKeyword) {
+        return Error("expected type name in CAST");
+      }
+      TypeId target = TypeIdFromString(Peek().text);
+      if (target == TypeId::kInvalid) {
+        return Error("unknown type '" + Peek().text + "' in CAST");
+      }
+      Advance();
+      // Optional (precision[, scale]).
+      if (Peek().IsOperator("(")) {
+        PDW_RETURN_NOT_OK(SkipParenGroup());
+      }
+      PDW_RETURN_NOT_OK(ExpectOp(")"));
+      return ExprPtr(std::make_unique<CastExpr>(std::move(e).ValueOrDie(),
+                                                target));
+    }
+    if (t.IsKeyword("EXISTS")) {
+      Advance();
+      PDW_RETURN_NOT_OK(ExpectOp("("));
+      auto sub = ParseSelectStatement();
+      if (!sub.ok()) return sub.status();
+      PDW_RETURN_NOT_OK(ExpectOp(")"));
+      return ExprPtr(std::make_unique<SubqueryExpr>(
+          ExprKind::kExistsSubquery, nullptr, std::move(sub).ValueOrDie(),
+          false));
+    }
+    if (IsAggregateKeyword(t)) {
+      std::string name = t.text;
+      Advance();
+      return ParseFunctionCall(name);
+    }
+    if (t.IsOperator("(")) {
+      if (Peek(1).IsKeyword("SELECT")) {
+        Advance();
+        auto sub = ParseSelectStatement();
+        if (!sub.ok()) return sub.status();
+        PDW_RETURN_NOT_OK(ExpectOp(")"));
+        return ExprPtr(std::make_unique<SubqueryExpr>(
+            ExprKind::kScalarSubquery, nullptr, std::move(sub).ValueOrDie(),
+            false));
+      }
+      Advance();
+      auto e = ParseExpr();
+      if (!e.ok()) return e;
+      PDW_RETURN_NOT_OK(ExpectOp(")"));
+      return e;
+    }
+    if (t.IsOperator("*")) {
+      Advance();
+      return ExprPtr(std::make_unique<StarExpr>(""));
+    }
+    if (t.type == TokenType::kIdentifier) {
+      // Function call, qualified column, t.*, or bare column.
+      if (Peek(1).IsOperator("(")) {
+        std::string name = t.text;
+        Advance();
+        return ParseFunctionCall(name);
+      }
+      std::string first = t.text;
+      Advance();
+      if (Peek().IsOperator(".")) {
+        Advance();
+        if (Peek().IsOperator("*")) {
+          Advance();
+          return ExprPtr(std::make_unique<StarExpr>(first));
+        }
+        PDW_ASSIGN_OR_RETURN(std::string second, ExpectIdentifier());
+        return ExprPtr(std::make_unique<ColumnRefExpr>(first, second));
+      }
+      return ExprPtr(std::make_unique<ColumnRefExpr>("", first));
+    }
+    return Error("expected expression");
+  }
+
+  /// Skips a balanced ( ... ) group (used for type precision args).
+  Status SkipParenGroup() {
+    PDW_RETURN_NOT_OK(ExpectOp("("));
+    int depth = 1;
+    while (depth > 0) {
+      if (Peek().type == TokenType::kEnd) return Error("unbalanced parens");
+      if (Peek().IsOperator("(")) ++depth;
+      if (Peek().IsOperator(")")) --depth;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  // --- DDL / DML ---
+
+  Result<std::unique_ptr<CreateTableStatement>> ParseCreateTable() {
+    PDW_RETURN_NOT_OK(Expect("CREATE"));
+    PDW_RETURN_NOT_OK(Expect("TABLE"));
+    auto ct = std::make_unique<CreateTableStatement>();
+    PDW_ASSIGN_OR_RETURN(std::vector<std::string> name, ParseDottedName());
+    ct->name = name.back();
+    PDW_RETURN_NOT_OK(ExpectOp("("));
+    while (true) {
+      ColumnDef col;
+      PDW_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+      if (Peek().type != TokenType::kIdentifier &&
+          Peek().type != TokenType::kKeyword) {
+        return Error("expected column type");
+      }
+      col.type = TypeIdFromString(Peek().text);
+      if (col.type == TypeId::kInvalid) {
+        return Error("unknown type '" + Peek().text + "'");
+      }
+      Advance();
+      if (Peek().IsOperator("(")) PDW_RETURN_NOT_OK(SkipParenGroup());
+      if (Peek().IsKeyword("NOT")) {
+        Advance();
+        PDW_RETURN_NOT_OK(Expect("NULL"));
+        col.nullable = false;
+      }
+      ct->schema.AddColumn(std::move(col));
+      if (!Peek().IsOperator(",")) break;
+      Advance();
+    }
+    PDW_RETURN_NOT_OK(ExpectOp(")"));
+    // WITH (DISTRIBUTION = HASH(col)) or WITH (DISTRIBUTION = REPLICATE).
+    ct->distribution = DistributionSpec::Replicated();
+    if (Peek().IsKeyword("WITH")) {
+      Advance();
+      PDW_RETURN_NOT_OK(ExpectOp("("));
+      PDW_RETURN_NOT_OK(Expect("DISTRIBUTION"));
+      PDW_RETURN_NOT_OK(ExpectOp("="));
+      if (Peek().IsKeyword("HASH")) {
+        Advance();
+        PDW_RETURN_NOT_OK(ExpectOp("("));
+        DistributionSpec spec;
+        spec.layout = TableLayout::kHashDistributed;
+        while (true) {
+          PDW_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+          spec.columns.push_back(col);
+          if (!Peek().IsOperator(",")) break;
+          Advance();
+        }
+        PDW_RETURN_NOT_OK(ExpectOp(")"));
+        ct->distribution = spec;
+      } else if (Peek().IsKeyword("REPLICATE")) {
+        Advance();
+      } else {
+        return Error("expected HASH or REPLICATE");
+      }
+      PDW_RETURN_NOT_OK(ExpectOp(")"));
+    }
+    return ct;
+  }
+
+  Result<std::unique_ptr<InsertStatement>> ParseInsert() {
+    PDW_RETURN_NOT_OK(Expect("INSERT"));
+    PDW_RETURN_NOT_OK(Expect("INTO"));
+    auto ins = std::make_unique<InsertStatement>();
+    PDW_ASSIGN_OR_RETURN(std::vector<std::string> name, ParseDottedName());
+    ins->table = name.back();
+    PDW_RETURN_NOT_OK(Expect("VALUES"));
+    while (true) {
+      PDW_RETURN_NOT_OK(ExpectOp("("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        row.push_back(std::move(e).ValueOrDie());
+        if (!Peek().IsOperator(",")) break;
+        Advance();
+      }
+      PDW_RETURN_NOT_OK(ExpectOp(")"));
+      ins->rows.push_back(std::move(row));
+      if (!Peek().IsOperator(",")) break;
+      Advance();
+    }
+    return ins;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& input) {
+  PDW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& input) {
+  PDW_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(input));
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  return std::move(stmt.select);
+}
+
+}  // namespace pdw::sql

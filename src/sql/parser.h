@@ -1,0 +1,22 @@
+#ifndef PDW_SQL_PARSER_H_
+#define PDW_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace pdw::sql {
+
+/// Parses one SQL statement (SELECT, CREATE TABLE, DROP TABLE or INSERT).
+/// This is the "PDW Parser" of Fig. 2 (component 1): it validates syntax and
+/// produces the AST handed to the compilation stack.
+Result<Statement> ParseStatement(const std::string& input);
+
+/// Convenience wrapper for SELECT-only inputs.
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& input);
+
+}  // namespace pdw::sql
+
+#endif  // PDW_SQL_PARSER_H_

@@ -1,0 +1,417 @@
+#include "tpch/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/string_util.h"
+
+namespace pdw::tpch {
+
+namespace {
+
+// Miniature base row counts at scale 1.0.
+constexpr int kCustomers = 1500;
+constexpr int kOrders = 15000;
+constexpr int kParts = 2000;
+constexpr int kSuppliers = 100;
+constexpr int kSuppsPerPart = 4;
+
+int Count(double scale, int base) {
+  return std::max(1, static_cast<int>(base * scale));
+}
+
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "HOUSEHOLD", "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipmodes[] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP",
+                            "TRUCK"};
+const char* kPartAdjectives[] = {"forest", "ghost", "misty", "frosted",
+                                 "antique", "burnished", "dim", "lemon",
+                                 "pale", "royal"};
+const char* kPartNouns[] = {"green", "steel", "linen", "copper", "olive",
+                            "tomato", "almond", "navy", "rose", "khaki"};
+const char* kTypes[] = {"PROMO BRUSHED", "STANDARD POLISHED", "SMALL PLATED",
+                        "MEDIUM BURNISHED", "ECONOMY ANODIZED",
+                        "LARGE BRUSHED", "PROMO PLATED"};
+
+int32_t Date(int y, int m, int d) {
+  auto r = ParseDate(StringFormat("%04d-%02d-%02d", y, m, d));
+  return r.ok() ? *r : 0;
+}
+
+/// Deterministic per-table RNG so generation order doesn't couple tables.
+std::mt19937 Rng(const TpchConfig& cfg, uint32_t salt) {
+  return std::mt19937(cfg.seed ^ (salt * 0x9e3779b9u));
+}
+
+/// Foreign-key pick with optional skew toward low keys.
+int PickKey(std::mt19937* rng, int max_key, double skew) {
+  std::uniform_int_distribution<int> uniform(1, max_key);
+  if (skew <= 0) return uniform(*rng);
+  // With probability 1 - 2^-skew the key comes from the hot low range.
+  std::uniform_real_distribution<double> coin(0, 1);
+  double hot_fraction = std::pow(0.5, skew);
+  if (coin(*rng) > hot_fraction) {
+    int hot = std::max(1, static_cast<int>(max_key * hot_fraction));
+    std::uniform_int_distribution<int> hot_dist(1, hot);
+    return hot_dist(*rng);
+  }
+  return uniform(*rng);
+}
+
+}  // namespace
+
+Status CreateTpchTables(Appliance* a) {
+  auto make = [&](const char* ddl) { return a->CreateTableSql(ddl); };
+  PDW_RETURN_NOT_OK(make(
+      "CREATE TABLE region (r_regionkey INT NOT NULL, r_name VARCHAR(25)) "
+      "WITH (DISTRIBUTION = REPLICATE)"));
+  PDW_RETURN_NOT_OK(make(
+      "CREATE TABLE nation (n_nationkey INT NOT NULL, n_name VARCHAR(25), "
+      "n_regionkey INT) WITH (DISTRIBUTION = REPLICATE)"));
+  PDW_RETURN_NOT_OK(make(
+      "CREATE TABLE supplier (s_suppkey INT NOT NULL, s_name VARCHAR(25), "
+      "s_address VARCHAR(40), s_nationkey INT, s_acctbal DECIMAL(15,2)) "
+      "WITH (DISTRIBUTION = REPLICATE)"));
+  PDW_RETURN_NOT_OK(make(
+      "CREATE TABLE customer (c_custkey INT NOT NULL, c_name VARCHAR(25), "
+      "c_address VARCHAR(40), c_nationkey INT, c_acctbal DECIMAL(15,2), "
+      "c_mktsegment VARCHAR(10)) WITH (DISTRIBUTION = HASH(c_custkey))"));
+  PDW_RETURN_NOT_OK(make(
+      "CREATE TABLE orders (o_orderkey INT NOT NULL, o_custkey INT, "
+      "o_totalprice DECIMAL(15,2), o_orderdate DATE, "
+      "o_orderpriority VARCHAR(15), o_shippriority INT) "
+      "WITH (DISTRIBUTION = HASH(o_orderkey))"));
+  PDW_RETURN_NOT_OK(make(
+      "CREATE TABLE lineitem (l_orderkey INT NOT NULL, l_partkey INT, "
+      "l_suppkey INT, l_linenumber INT, l_quantity DECIMAL(15,2), "
+      "l_extendedprice DECIMAL(15,2), l_discount DECIMAL(15,2), "
+      "l_returnflag VARCHAR(1), l_linestatus VARCHAR(1), l_shipdate DATE, "
+      "l_commitdate DATE, l_receiptdate DATE, l_shipmode VARCHAR(10)) "
+      "WITH (DISTRIBUTION = HASH(l_orderkey))"));
+  PDW_RETURN_NOT_OK(make(
+      "CREATE TABLE part (p_partkey INT NOT NULL, p_name VARCHAR(55), "
+      "p_type VARCHAR(25), p_size INT, p_retailprice DECIMAL(15,2)) "
+      "WITH (DISTRIBUTION = HASH(p_partkey))"));
+  PDW_RETURN_NOT_OK(make(
+      "CREATE TABLE partsupp (ps_partkey INT NOT NULL, ps_suppkey INT NOT "
+      "NULL, ps_availqty INT, ps_supplycost DECIMAL(15,2)) "
+      "WITH (DISTRIBUTION = HASH(ps_partkey))"));
+
+  // Primary keys (for redundant-join elimination).
+  auto set_pk = [&](const char* table,
+                    std::vector<std::string> pk) -> Status {
+    PDW_ASSIGN_OR_RETURN(TableDef * def,
+                         a->mutable_shell()->GetMutableTable(table));
+    def->primary_key = std::move(pk);
+    return Status::OK();
+  };
+  PDW_RETURN_NOT_OK(set_pk("region", {"r_regionkey"}));
+  PDW_RETURN_NOT_OK(set_pk("nation", {"n_nationkey"}));
+  PDW_RETURN_NOT_OK(set_pk("supplier", {"s_suppkey"}));
+  PDW_RETURN_NOT_OK(set_pk("customer", {"c_custkey"}));
+  PDW_RETURN_NOT_OK(set_pk("orders", {"o_orderkey"}));
+  PDW_RETURN_NOT_OK(set_pk("part", {"p_partkey"}));
+  PDW_RETURN_NOT_OK(set_pk("partsupp", {"ps_partkey", "ps_suppkey"}));
+  return Status::OK();
+}
+
+RowVector GenerateRegion(const TpchConfig&) {
+  RowVector rows;
+  for (int i = 0; i < 5; ++i) {
+    rows.push_back({Datum::Int(i), Datum::Varchar(kRegions[i])});
+  }
+  return rows;
+}
+
+RowVector GenerateNation(const TpchConfig&) {
+  RowVector rows;
+  for (int i = 0; i < 25; ++i) {
+    rows.push_back(
+        {Datum::Int(i), Datum::Varchar(kNations[i]), Datum::Int(i % 5)});
+  }
+  return rows;
+}
+
+RowVector GenerateSupplier(const TpchConfig& cfg) {
+  auto rng = Rng(cfg, 3);
+  std::uniform_int_distribution<int> nation(0, 24);
+  std::uniform_real_distribution<double> bal(-999, 9999);
+  int n = Count(cfg.scale, kSuppliers);
+  RowVector rows;
+  for (int i = 1; i <= n; ++i) {
+    rows.push_back({Datum::Int(i),
+                    Datum::Varchar(StringFormat("Supplier#%09d", i)),
+                    Datum::Varchar(StringFormat("addr sup %d", i)),
+                    Datum::Int(nation(rng)),
+                    Datum::Double(std::round(bal(rng) * 100) / 100)});
+  }
+  return rows;
+}
+
+RowVector GenerateCustomer(const TpchConfig& cfg) {
+  auto rng = Rng(cfg, 4);
+  std::uniform_int_distribution<int> nation(0, 24);
+  std::uniform_int_distribution<int> segment(0, 4);
+  std::uniform_real_distribution<double> bal(-999, 9999);
+  int n = Count(cfg.scale, kCustomers);
+  RowVector rows;
+  for (int i = 1; i <= n; ++i) {
+    rows.push_back({Datum::Int(i),
+                    Datum::Varchar(StringFormat("Customer#%09d", i)),
+                    Datum::Varchar(StringFormat("addr cust %d", i)),
+                    Datum::Int(nation(rng)),
+                    Datum::Double(std::round(bal(rng) * 100) / 100),
+                    Datum::Varchar(kSegments[segment(rng)])});
+  }
+  return rows;
+}
+
+RowVector GenerateOrders(const TpchConfig& cfg) {
+  auto rng = Rng(cfg, 5);
+  int customers = Count(cfg.scale, kCustomers);
+  int orders = Count(cfg.scale, kOrders);
+  int32_t lo = Date(1992, 1, 1);
+  int32_t hi = Date(1998, 8, 2);
+  std::uniform_int_distribution<int32_t> date(lo, hi);
+  std::uniform_int_distribution<int> priority(0, 4);
+  std::uniform_real_distribution<double> price(900, 450000);
+  RowVector rows;
+  for (int i = 1; i <= orders; ++i) {
+    rows.push_back({Datum::Int(i),
+                    Datum::Int(PickKey(&rng, customers, cfg.skew)),
+                    Datum::Double(std::round(price(rng) * 100) / 100),
+                    Datum::Date(date(rng)),
+                    Datum::Varchar(kPriorities[priority(rng)]),
+                    Datum::Int(0)});
+  }
+  return rows;
+}
+
+RowVector GenerateLineitem(const TpchConfig& cfg) {
+  auto rng = Rng(cfg, 6);
+  int orders = Count(cfg.scale, kOrders);
+  int parts = Count(cfg.scale, kParts);
+  int suppliers = Count(cfg.scale, kSuppliers);
+  int32_t lo = Date(1992, 1, 1);
+  int32_t hi = Date(1998, 8, 2);
+  std::uniform_int_distribution<int32_t> ship(lo, hi);
+  std::uniform_int_distribution<int> lines(1, 7);
+  std::uniform_int_distribution<int> qty(1, 50);
+  std::uniform_int_distribution<int> lag(1, 60);
+  std::uniform_real_distribution<double> discount(0.0, 0.10);
+  std::uniform_real_distribution<double> price(900, 10000);
+  std::uniform_int_distribution<int> flag(0, 2);
+  std::uniform_int_distribution<int> mode(0, 6);
+  RowVector rows;
+  for (int o = 1; o <= orders; ++o) {
+    int n = lines(rng);
+    for (int l = 1; l <= n; ++l) {
+      int32_t shipdate = ship(rng);
+      int32_t commitdate = shipdate + lag(rng) - 30;
+      int32_t receiptdate = shipdate + lag(rng) / 2;
+      const char* rf = flag(rng) == 0 ? "R" : (flag(rng) == 1 ? "A" : "N");
+      rows.push_back({Datum::Int(o),
+                      Datum::Int(PickKey(&rng, parts, cfg.skew)),
+                      Datum::Int(PickKey(&rng, suppliers, 0)),
+                      Datum::Int(l),
+                      Datum::Double(qty(rng)),
+                      Datum::Double(std::round(price(rng) * 100) / 100),
+                      Datum::Double(std::round(discount(rng) * 100) / 100),
+                      Datum::Varchar(rf),
+                      Datum::Varchar(shipdate > Date(1995, 6, 17) ? "O" : "F"),
+                      Datum::Date(shipdate),
+                      Datum::Date(commitdate),
+                      Datum::Date(receiptdate),
+                      Datum::Varchar(kShipmodes[mode(rng)])});
+    }
+  }
+  return rows;
+}
+
+RowVector GeneratePart(const TpchConfig& cfg) {
+  auto rng = Rng(cfg, 7);
+  int n = Count(cfg.scale, kParts);
+  std::uniform_int_distribution<int> adj(0, 9);
+  std::uniform_int_distribution<int> noun(0, 9);
+  std::uniform_int_distribution<int> type(0, 6);
+  std::uniform_int_distribution<int> size(1, 50);
+  RowVector rows;
+  for (int i = 1; i <= n; ++i) {
+    std::string name = std::string(kPartAdjectives[adj(rng)]) + " " +
+                       kPartNouns[noun(rng)];
+    rows.push_back({Datum::Int(i), Datum::Varchar(name),
+                    Datum::Varchar(kTypes[type(rng)]),
+                    Datum::Int(size(rng)),
+                    Datum::Double(900 + (i % 1000) + i / 10.0)});
+  }
+  return rows;
+}
+
+RowVector GeneratePartsupp(const TpchConfig& cfg) {
+  auto rng = Rng(cfg, 8);
+  int parts = Count(cfg.scale, kParts);
+  int suppliers = Count(cfg.scale, kSuppliers);
+  std::uniform_int_distribution<int> qty(1, 9999);
+  std::uniform_real_distribution<double> cost(1, 1000);
+  RowVector rows;
+  for (int p = 1; p <= parts; ++p) {
+    for (int s = 0; s < kSuppsPerPart; ++s) {
+      int suppkey = 1 + (p + s * (parts / kSuppsPerPart + 1)) % suppliers;
+      rows.push_back({Datum::Int(p), Datum::Int(suppkey),
+                      Datum::Int(qty(rng)),
+                      Datum::Double(std::round(cost(rng) * 100) / 100)});
+    }
+  }
+  return rows;
+}
+
+Status LoadTpch(Appliance* a, const TpchConfig& cfg) {
+  PDW_RETURN_NOT_OK(a->LoadRows("region", GenerateRegion(cfg)));
+  PDW_RETURN_NOT_OK(a->LoadRows("nation", GenerateNation(cfg)));
+  PDW_RETURN_NOT_OK(a->LoadRows("supplier", GenerateSupplier(cfg)));
+  PDW_RETURN_NOT_OK(a->LoadRows("customer", GenerateCustomer(cfg)));
+  PDW_RETURN_NOT_OK(a->LoadRows("orders", GenerateOrders(cfg)));
+  PDW_RETURN_NOT_OK(a->LoadRows("lineitem", GenerateLineitem(cfg)));
+  PDW_RETURN_NOT_OK(a->LoadRows("part", GeneratePart(cfg)));
+  PDW_RETURN_NOT_OK(a->LoadRows("partsupp", GeneratePartsupp(cfg)));
+  return Status::OK();
+}
+
+const std::vector<TpchQuery>& Queries() {
+  static const auto* kQueries = new std::vector<TpchQuery>{
+      {"Q1",
+       "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, "
+       "SUM(l_extendedprice) AS sum_base_price, "
+       "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+       "AVG(l_quantity) AS avg_qty, AVG(l_discount) AS avg_disc, "
+       "COUNT(*) AS count_order "
+       "FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' "
+       "GROUP BY l_returnflag, l_linestatus "
+       "ORDER BY l_returnflag, l_linestatus",
+       "full Q1 minus charge column"},
+      {"Q2",
+       "SELECT s_name, p_partkey, ps_supplycost FROM part, supplier, "
+       "partsupp WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey "
+       "AND p_size = 10 "
+       "AND ps_supplycost = (SELECT MIN(ps2.ps_supplycost) FROM partsupp "
+       "ps2 WHERE ps2.ps_partkey = p_partkey) "
+       "ORDER BY s_name, p_partkey",
+       "Q2 core: min-cost supplier per part (region/nation legs dropped)"},
+      {"Q3",
+       "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS "
+       "revenue, o_orderdate, o_shippriority "
+       "FROM customer, orders, lineitem "
+       "WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey "
+       "AND l_orderkey = o_orderkey AND o_orderdate < DATE '1995-03-15' "
+       "AND l_shipdate > DATE '1995-03-15' "
+       "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+       "ORDER BY revenue DESC, o_orderdate LIMIT 10",
+       ""},
+      {"Q4",
+       "SELECT o_orderpriority, COUNT(*) AS order_count FROM orders "
+       "WHERE o_orderdate >= DATE '1993-07-01' "
+       "AND o_orderdate < DATE '1993-10-01' "
+       "AND EXISTS (SELECT l_orderkey FROM lineitem "
+       "  WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate) "
+       "GROUP BY o_orderpriority ORDER BY o_orderpriority",
+       "DATEADD(month,...) replaced by the literal end date"},
+      {"Q5",
+       "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM customer, orders, lineitem, supplier, nation, region "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+       "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+       "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+       "AND r_name = 'ASIA' AND o_orderdate >= DATE '1994-01-01' "
+       "AND o_orderdate < DATE '1995-01-01' "
+       "GROUP BY n_name ORDER BY revenue DESC",
+       ""},
+      {"Q6",
+       "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+       "WHERE l_shipdate >= DATE '1994-01-01' "
+       "AND l_shipdate < DATE '1995-01-01' "
+       "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+       ""},
+      {"Q10",
+       "SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) "
+       "AS revenue, c_acctbal, n_name, c_address "
+       "FROM customer, orders, lineitem, nation "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+       "AND o_orderdate >= DATE '1993-10-01' "
+       "AND o_orderdate < DATE '1994-01-01' AND l_returnflag = 'R' "
+       "AND c_nationkey = n_nationkey "
+       "GROUP BY c_custkey, c_name, c_acctbal, n_name, c_address "
+       "ORDER BY revenue DESC LIMIT 20",
+       "c_phone/c_comment omitted (not in schema)"},
+      {"Q12",
+       "SELECT l_shipmode, "
+       "SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = "
+       "'2-HIGH' THEN 1 ELSE 0 END) AS high_line_count, "
+       "SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> "
+       "'2-HIGH' THEN 1 ELSE 0 END) AS low_line_count "
+       "FROM orders, lineitem WHERE o_orderkey = l_orderkey "
+       "AND l_shipmode IN ('MAIL', 'SHIP') "
+       "AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate "
+       "AND l_receiptdate >= DATE '1994-01-01' "
+       "AND l_receiptdate < DATE '1995-01-01' "
+       "GROUP BY l_shipmode ORDER BY l_shipmode",
+       ""},
+      {"Q14",
+       "SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%' THEN "
+       "l_extendedprice * (1 - l_discount) ELSE 0 END) / "
+       "SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue "
+       "FROM lineitem, part WHERE l_partkey = p_partkey "
+       "AND l_shipdate >= DATE '1995-09-01' "
+       "AND l_shipdate < DATE '1995-10-01'",
+       ""},
+      {"Q17",
+       "SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly "
+       "FROM lineitem, part WHERE p_partkey = l_partkey "
+       "AND p_name LIKE 'ghost%' "
+       "AND l_quantity < (SELECT 0.2 * AVG(l2.l_quantity) FROM lineitem l2 "
+       "  WHERE l2.l_partkey = p_partkey)",
+       "brand/container filter replaced by a p_name prefix"},
+      {"Q18",
+       "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, "
+       "SUM(l_quantity) AS total_qty "
+       "FROM customer, orders, lineitem "
+       "WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem "
+       "  GROUP BY l_orderkey HAVING SUM(l_quantity) > 150) "
+       "AND c_custkey = o_custkey AND o_orderkey = l_orderkey "
+       "GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice "
+       "ORDER BY o_totalprice DESC, o_orderdate LIMIT 100",
+       "threshold 150 (miniature scale)"},
+      {"Q20",
+       "SELECT s_name, s_address FROM supplier, nation "
+       "WHERE s_suppkey IN ("
+       "  SELECT ps_suppkey FROM partsupp WHERE ps_partkey IN ("
+       "    SELECT p_partkey FROM part WHERE p_name LIKE 'forest%') "
+       "  AND ps_availqty > ("
+       "    SELECT 0.5 * SUM(l_quantity) FROM lineitem "
+       "    WHERE l_partkey = ps_partkey AND l_suppkey = ps_suppkey "
+       "    AND l_shipdate >= DATE '1994-01-01' "
+       "    AND l_shipdate < DATEADD(year, 1, '1994-01-01'))) "
+       "AND s_nationkey = n_nationkey AND n_name = 'CANADA' "
+       "ORDER BY s_name",
+       "the paper's Fig. 7 query, verbatim"},
+  };
+  return *kQueries;
+}
+
+const TpchQuery* FindQuery(const std::string& name) {
+  for (const auto& q : Queries()) {
+    if (EqualsIgnoreCase(q.name, name)) return &q;
+  }
+  return nullptr;
+}
+
+}  // namespace pdw::tpch

@@ -1,0 +1,59 @@
+#ifndef PDW_TPCH_TPCH_H_
+#define PDW_TPCH_TPCH_H_
+
+#include <string>
+#include <vector>
+
+#include "appliance/appliance.h"
+#include "common/result.h"
+
+namespace pdw::tpch {
+
+/// Generator configuration. scale = 1.0 produces a miniature database
+/// (lineitem ~ 60k rows) suitable for in-process benchmarking; row counts
+/// scale linearly. The generator is deterministic for a given seed.
+struct TpchConfig {
+  double scale = 0.1;
+  uint32_t seed = 20120520;  // SIGMOD'12 :-)
+  /// 0 = uniform foreign keys; >0 skews orders toward low customer keys
+  /// (each unit halves the hot range), stressing the uniformity assumption.
+  double skew = 0;
+};
+
+/// Creates the eight TPC-H tables with the paper's distribution layout:
+/// customer HASH(c_custkey), orders HASH(o_orderkey), lineitem
+/// HASH(l_orderkey), part HASH(p_partkey), partsupp HASH(ps_partkey);
+/// supplier, nation and region replicated. Primary keys are declared so
+/// redundant-join elimination applies.
+Status CreateTpchTables(Appliance* appliance);
+
+/// Generates and loads all tables (also refreshing merged global stats).
+Status LoadTpch(Appliance* appliance, const TpchConfig& config = {});
+
+/// Standalone row generation (tests and custom loads).
+RowVector GenerateRegion(const TpchConfig& config);
+RowVector GenerateNation(const TpchConfig& config);
+RowVector GenerateSupplier(const TpchConfig& config);
+RowVector GenerateCustomer(const TpchConfig& config);
+RowVector GenerateOrders(const TpchConfig& config);
+RowVector GenerateLineitem(const TpchConfig& config);
+RowVector GeneratePart(const TpchConfig& config);
+RowVector GeneratePartsupp(const TpchConfig& config);
+
+/// A named TPC-H(-subset) query in this library's SQL dialect.
+struct TpchQuery {
+  std::string name;   ///< "Q1", "Q3", ...
+  std::string sql;
+  std::string notes;  ///< Adaptations vs. the official text.
+};
+
+/// The query suite used by the benches: Q1, Q2, Q3, Q4, Q5, Q6, Q10,
+/// Q12, Q14, Q17, Q18 and the paper's Q20.
+const std::vector<TpchQuery>& Queries();
+
+/// Looks up a query by name ("Q20"); nullptr when absent.
+const TpchQuery* FindQuery(const std::string& name);
+
+}  // namespace pdw::tpch
+
+#endif  // PDW_TPCH_TPCH_H_

@@ -1,0 +1,285 @@
+#include "xml/xml.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace pdw::xml {
+
+void Element::SetAttr(const std::string& key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(key, std::move(value));
+}
+
+void Element::SetAttr(const std::string& key, int64_t value) {
+  SetAttr(key, std::to_string(value));
+}
+
+void Element::SetAttr(const std::string& key, double value) {
+  SetAttr(key, StringFormat("%.17g", value));
+}
+
+const std::string& Element::GetAttr(const std::string& key) const {
+  static const std::string kEmpty;
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return kEmpty;
+}
+
+bool Element::HasAttr(const std::string& key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+int64_t Element::GetAttrInt(const std::string& key, int64_t def) const {
+  if (!HasAttr(key)) return def;
+  return std::strtoll(GetAttr(key).c_str(), nullptr, 10);
+}
+
+double Element::GetAttrDouble(const std::string& key, double def) const {
+  if (!HasAttr(key)) return def;
+  return std::strtod(GetAttr(key).c_str(), nullptr);
+}
+
+Element* Element::AddChild(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return children_.back().get();
+}
+
+const Element* Element::FindChild(const std::string& name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::FindChildren(const std::string& name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void Element::SerializeTo(std::string* out, int indent) const {
+  out->append(static_cast<size_t>(indent), ' ');
+  out->push_back('<');
+  out->append(name_);
+  for (const auto& [k, v] : attrs_) {
+    out->push_back(' ');
+    out->append(k);
+    out->append("=\"");
+    out->append(Escape(v));
+    out->push_back('"');
+  }
+  if (children_.empty() && text_.empty()) {
+    out->append("/>\n");
+    return;
+  }
+  out->push_back('>');
+  if (!text_.empty()) {
+    out->append(Escape(text_));
+  }
+  if (!children_.empty()) {
+    out->push_back('\n');
+    for (const auto& c : children_) {
+      c->SerializeTo(out, indent + 2);
+    }
+    out->append(static_cast<size_t>(indent), ' ');
+  }
+  out->append("</");
+  out->append(name_);
+  out->append(">\n");
+}
+
+std::string Element::Serialize() const {
+  std::string out = "<?xml version=\"1.0\"?>\n";
+  SerializeTo(&out, 0);
+  return out;
+}
+
+namespace {
+
+/// Single-pass recursive-descent XML parser over a string.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<std::unique_ptr<Element>> ParseDocument() {
+    SkipProlog();
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    return std::move(root).ValueOrDie();
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    while (pos_ + 1 < s_.size() && s_[pos_] == '<' &&
+           (s_[pos_ + 1] == '?' || s_[pos_ + 1] == '!')) {
+      size_t end = s_.find('>', pos_);
+      if (end == std::string::npos) {
+        pos_ = s_.size();
+        return;
+      }
+      pos_ = end + 1;
+      SkipWhitespace();
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= s_.size(); }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("XML parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+  std::string ParseName() {
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '_' || s_[pos_] == '-' || s_[pos_] == ':' ||
+            s_[pos_] == '.')) {
+      ++pos_;
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+  std::string Unescape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+      if (in[i] != '&') {
+        out += in[i];
+        continue;
+      }
+      size_t semi = in.find(';', i);
+      if (semi == std::string::npos) {
+        out += in[i];
+        continue;
+      }
+      std::string ent = in.substr(i + 1, semi - i - 1);
+      if (ent == "amp") out += '&';
+      else if (ent == "lt") out += '<';
+      else if (ent == "gt") out += '>';
+      else if (ent == "quot") out += '"';
+      else if (ent == "apos") out += '\'';
+      else out += in.substr(i, semi - i + 1);
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<Element>> ParseElement() {
+    SkipWhitespace();
+    if (AtEnd() || s_[pos_] != '<') return Error("expected '<'");
+    ++pos_;
+    std::string name = ParseName();
+    if (name.empty()) return Error("expected element name");
+    auto elem = std::make_unique<Element>(name);
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unexpected end inside tag");
+      if (s_[pos_] == '/') {
+        if (pos_ + 1 >= s_.size() || s_[pos_ + 1] != '>') {
+          return Error("expected '/>'");
+        }
+        pos_ += 2;
+        return elem;
+      }
+      if (s_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      std::string key = ParseName();
+      if (key.empty()) return Error("expected attribute name");
+      SkipWhitespace();
+      if (AtEnd() || s_[pos_] != '=') return Error("expected '='");
+      ++pos_;
+      SkipWhitespace();
+      if (AtEnd() || (s_[pos_] != '"' && s_[pos_] != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = s_[pos_++];
+      size_t end = s_.find(quote, pos_);
+      if (end == std::string::npos) return Error("unterminated attribute");
+      elem->SetAttr(key, Unescape(s_.substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+
+    // Content: text and child elements until the closing tag.
+    std::string text;
+    while (true) {
+      if (AtEnd()) return Error("unexpected end inside element " + name);
+      if (s_[pos_] == '<') {
+        if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '/') {
+          pos_ += 2;
+          std::string close = ParseName();
+          if (close != name) {
+            return Error("mismatched closing tag </" + close + "> for <" +
+                         name + ">");
+          }
+          SkipWhitespace();
+          if (AtEnd() || s_[pos_] != '>') return Error("expected '>'");
+          ++pos_;
+          elem->set_text(Unescape(Trim(text)));
+          return elem;
+        }
+        if (pos_ + 3 < s_.size() && s_.compare(pos_, 4, "<!--") == 0) {
+          size_t end = s_.find("-->", pos_);
+          if (end == std::string::npos) return Error("unterminated comment");
+          pos_ = end + 3;
+          continue;
+        }
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        // Transfer ownership of the parsed child into this element.
+        elem->AddChildOwned(std::move(child).ValueOrDie());
+        continue;
+      }
+      text += s_[pos_++];
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Element>> Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace pdw::xml

@@ -1,0 +1,74 @@
+#ifndef PDW_XML_XML_H_
+#define PDW_XML_XML_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pdw::xml {
+
+/// A minimal XML element tree: element name, attributes, child elements and
+/// (optional) text content. This is the interchange format between the
+/// "SQL Server" serial optimizer and the PDW parallel optimizer, mirroring
+/// the paper's XML generator / memo parser components (Fig. 2, boxes 3-4).
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  void SetAttr(const std::string& key, std::string value);
+  void SetAttr(const std::string& key, int64_t value);
+  void SetAttr(const std::string& key, double value);
+
+  /// Returns the attribute value or the empty string if absent.
+  const std::string& GetAttr(const std::string& key) const;
+  bool HasAttr(const std::string& key) const;
+  int64_t GetAttrInt(const std::string& key, int64_t def = 0) const;
+  double GetAttrDouble(const std::string& key, double def = 0.0) const;
+
+  /// Appends and returns a new child element.
+  Element* AddChild(std::string name);
+
+  /// Appends an already-constructed child element (parser use).
+  void AddChildOwned(std::unique_ptr<Element> child) {
+    children_.push_back(std::move(child));
+  }
+
+  const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+
+  /// First child with the given element name, or nullptr.
+  const Element* FindChild(const std::string& name) const;
+
+  /// All children with the given element name.
+  std::vector<const Element*> FindChildren(const std::string& name) const;
+
+  /// Serializes this element (and subtree) as indented XML.
+  std::string Serialize() const;
+
+ private:
+  void SerializeTo(std::string* out, int indent) const;
+
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// Escapes &, <, >, " and ' for use in XML text/attribute content.
+std::string Escape(const std::string& s);
+
+/// Parses an XML document (subset: elements, attributes, text, comments,
+/// XML declaration). Returns the root element.
+Result<std::unique_ptr<Element>> Parse(const std::string& text);
+
+}  // namespace pdw::xml
+
+#endif  // PDW_XML_XML_H_

@@ -1,0 +1,575 @@
+#include "xmlio/memo_xml.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "xml/xml.h"
+
+namespace pdw {
+
+namespace {
+
+using xml::Element;
+
+// ---------------------------------------------------------------------------
+// Scalar expression (de)serialization.
+// ---------------------------------------------------------------------------
+
+const char* BinaryOpName(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kAdd: return "add";
+    case sql::BinaryOp::kSub: return "sub";
+    case sql::BinaryOp::kMul: return "mul";
+    case sql::BinaryOp::kDiv: return "div";
+    case sql::BinaryOp::kMod: return "mod";
+    case sql::BinaryOp::kEq: return "eq";
+    case sql::BinaryOp::kNe: return "ne";
+    case sql::BinaryOp::kLt: return "lt";
+    case sql::BinaryOp::kLe: return "le";
+    case sql::BinaryOp::kGt: return "gt";
+    case sql::BinaryOp::kGe: return "ge";
+    case sql::BinaryOp::kAnd: return "and";
+    case sql::BinaryOp::kOr: return "or";
+    case sql::BinaryOp::kLike: return "like";
+    case sql::BinaryOp::kNotLike: return "notlike";
+  }
+  return "?";
+}
+
+Result<sql::BinaryOp> BinaryOpFromName(const std::string& name) {
+  static const std::map<std::string, sql::BinaryOp> kMap = {
+      {"add", sql::BinaryOp::kAdd}, {"sub", sql::BinaryOp::kSub},
+      {"mul", sql::BinaryOp::kMul}, {"div", sql::BinaryOp::kDiv},
+      {"mod", sql::BinaryOp::kMod}, {"eq", sql::BinaryOp::kEq},
+      {"ne", sql::BinaryOp::kNe},   {"lt", sql::BinaryOp::kLt},
+      {"le", sql::BinaryOp::kLe},   {"gt", sql::BinaryOp::kGt},
+      {"ge", sql::BinaryOp::kGe},   {"and", sql::BinaryOp::kAnd},
+      {"or", sql::BinaryOp::kOr},   {"like", sql::BinaryOp::kLike},
+      {"notlike", sql::BinaryOp::kNotLike},
+  };
+  auto it = kMap.find(name);
+  if (it == kMap.end()) {
+    return Status::InvalidArgument("unknown binary op '" + name + "'");
+  }
+  return it->second;
+}
+
+void SerializeDatum(const Datum& d, Element* e) {
+  e->SetAttr("t", std::string(TypeIdToString(d.type())));
+  if (d.is_null()) {
+    e->SetAttr("null", std::string("1"));
+    return;
+  }
+  switch (d.type()) {
+    case TypeId::kBool:
+      e->SetAttr("v", std::string(d.bool_value() ? "1" : "0"));
+      break;
+    case TypeId::kInt:
+      e->SetAttr("v", static_cast<int64_t>(d.int_value()));
+      break;
+    case TypeId::kDate:
+      e->SetAttr("v", static_cast<int64_t>(d.date_value()));
+      break;
+    case TypeId::kDouble:
+      e->SetAttr("v", d.double_value());
+      break;
+    case TypeId::kVarchar:
+      e->SetAttr("v", d.string_value());
+      break;
+    default:
+      break;
+  }
+}
+
+Result<Datum> ParseDatum(const Element& e) {
+  if (e.GetAttr("null") == "1") return Datum::Null();
+  TypeId t = TypeIdFromString(e.GetAttr("t"));
+  switch (t) {
+    case TypeId::kBool: return Datum::Bool(e.GetAttr("v") == "1");
+    case TypeId::kInt: return Datum::Int(e.GetAttrInt("v"));
+    case TypeId::kDate: return Datum::Date(static_cast<int32_t>(e.GetAttrInt("v")));
+    case TypeId::kDouble: return Datum::Double(e.GetAttrDouble("v"));
+    case TypeId::kVarchar: return Datum::Varchar(e.GetAttr("v"));
+    default: return Datum::Null();
+  }
+}
+
+void SerializeExpr(const ScalarExpr& expr, Element* parent) {
+  Element* e = parent->AddChild("E");
+  switch (expr.kind()) {
+    case ScalarKind::kColumn: {
+      const auto& c = static_cast<const ColumnExpr&>(expr);
+      e->SetAttr("k", std::string("col"));
+      e->SetAttr("id", static_cast<int64_t>(c.id()));
+      e->SetAttr("name", c.name());
+      e->SetAttr("t", std::string(TypeIdToString(c.type())));
+      break;
+    }
+    case ScalarKind::kLiteral: {
+      e->SetAttr("k", std::string("lit"));
+      SerializeDatum(static_cast<const LiteralExprB&>(expr).value(), e);
+      break;
+    }
+    case ScalarKind::kBinary: {
+      const auto& b = static_cast<const BinaryExprB&>(expr);
+      e->SetAttr("k", std::string("bin"));
+      e->SetAttr("op", std::string(BinaryOpName(b.op())));
+      e->SetAttr("t", std::string(TypeIdToString(b.type())));
+      SerializeExpr(*b.left(), e);
+      SerializeExpr(*b.right(), e);
+      break;
+    }
+    case ScalarKind::kUnary: {
+      const auto& u = static_cast<const UnaryExprB&>(expr);
+      e->SetAttr("k", std::string("un"));
+      e->SetAttr("op", std::string(u.op() == sql::UnaryOp::kNot ? "not" : "neg"));
+      e->SetAttr("t", std::string(TypeIdToString(u.type())));
+      SerializeExpr(*u.operand(), e);
+      break;
+    }
+    case ScalarKind::kIsNull: {
+      const auto& n = static_cast<const IsNullExprB&>(expr);
+      e->SetAttr("k", std::string("isnull"));
+      e->SetAttr("neg", std::string(n.negated() ? "1" : "0"));
+      SerializeExpr(*n.operand(), e);
+      break;
+    }
+    case ScalarKind::kCase: {
+      const auto& c = static_cast<const CaseExprB&>(expr);
+      e->SetAttr("k", std::string("case"));
+      e->SetAttr("t", std::string(TypeIdToString(c.type())));
+      e->SetAttr("whens", static_cast<int64_t>(c.whens().size()));
+      for (const auto& [w, t] : c.whens()) {
+        SerializeExpr(*w, e);
+        SerializeExpr(*t, e);
+      }
+      if (c.else_expr()) SerializeExpr(*c.else_expr(), e);
+      break;
+    }
+    case ScalarKind::kCast: {
+      const auto& c = static_cast<const CastExprB&>(expr);
+      e->SetAttr("k", std::string("cast"));
+      e->SetAttr("t", std::string(TypeIdToString(c.type())));
+      SerializeExpr(*c.operand(), e);
+      break;
+    }
+    case ScalarKind::kFunction: {
+      const auto& f = static_cast<const FunctionExprB&>(expr);
+      e->SetAttr("k", std::string("fn"));
+      e->SetAttr("name", f.name());
+      e->SetAttr("t", std::string(TypeIdToString(f.type())));
+      for (const auto& a : f.args()) SerializeExpr(*a, e);
+      break;
+    }
+  }
+}
+
+Result<ScalarExprPtr> ParseExpr(const Element& e) {
+  const std::string& k = e.GetAttr("k");
+  if (k == "col") {
+    return ScalarExprPtr(std::make_shared<ColumnExpr>(
+        static_cast<ColumnId>(e.GetAttrInt("id")), e.GetAttr("name"),
+        TypeIdFromString(e.GetAttr("t"))));
+  }
+  if (k == "lit") {
+    PDW_ASSIGN_OR_RETURN(Datum d, ParseDatum(e));
+    return MakeLiteral(std::move(d));
+  }
+  std::vector<ScalarExprPtr> kids;
+  for (const auto& c : e.children()) {
+    PDW_ASSIGN_OR_RETURN(ScalarExprPtr kid, ParseExpr(*c));
+    kids.push_back(std::move(kid));
+  }
+  TypeId t = TypeIdFromString(e.GetAttr("t"));
+  if (k == "bin") {
+    if (kids.size() != 2) return Status::InvalidArgument("bin expects 2 kids");
+    PDW_ASSIGN_OR_RETURN(sql::BinaryOp op, BinaryOpFromName(e.GetAttr("op")));
+    return ScalarExprPtr(
+        std::make_shared<BinaryExprB>(op, kids[0], kids[1], t));
+  }
+  if (k == "un") {
+    if (kids.size() != 1) return Status::InvalidArgument("un expects 1 kid");
+    sql::UnaryOp op = e.GetAttr("op") == "not" ? sql::UnaryOp::kNot
+                                               : sql::UnaryOp::kNegate;
+    return ScalarExprPtr(std::make_shared<UnaryExprB>(op, kids[0], t));
+  }
+  if (k == "isnull") {
+    if (kids.size() != 1) return Status::InvalidArgument("isnull expects 1 kid");
+    return ScalarExprPtr(
+        std::make_shared<IsNullExprB>(kids[0], e.GetAttr("neg") == "1"));
+  }
+  if (k == "case") {
+    size_t whens = static_cast<size_t>(e.GetAttrInt("whens"));
+    if (kids.size() < whens * 2) {
+      return Status::InvalidArgument("case kid count mismatch");
+    }
+    std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> pairs;
+    for (size_t i = 0; i < whens; ++i) {
+      pairs.emplace_back(kids[2 * i], kids[2 * i + 1]);
+    }
+    ScalarExprPtr else_expr;
+    if (kids.size() > whens * 2) else_expr = kids.back();
+    return ScalarExprPtr(
+        std::make_shared<CaseExprB>(std::move(pairs), else_expr, t));
+  }
+  if (k == "cast") {
+    if (kids.size() != 1) return Status::InvalidArgument("cast expects 1 kid");
+    return ScalarExprPtr(std::make_shared<CastExprB>(kids[0], t));
+  }
+  if (k == "fn") {
+    return ScalarExprPtr(
+        std::make_shared<FunctionExprB>(e.GetAttr("name"), std::move(kids), t));
+  }
+  return Status::InvalidArgument("unknown expr kind '" + k + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Column binding helpers.
+// ---------------------------------------------------------------------------
+
+void SerializeBinding(const ColumnBinding& b, const StatsContext& stats,
+                      Element* parent) {
+  Element* e = parent->AddChild("Col");
+  e->SetAttr("id", static_cast<int64_t>(b.id));
+  e->SetAttr("name", b.name);
+  e->SetAttr("t", std::string(TypeIdToString(b.type)));
+  e->SetAttr("ndv", stats.Ndv(b.id, -1));
+  e->SetAttr("w", stats.Width(b.id));
+}
+
+ColumnBinding ParseBinding(const Element& e) {
+  return ColumnBinding{static_cast<ColumnId>(e.GetAttrInt("id")),
+                       e.GetAttr("name"), TypeIdFromString(e.GetAttr("t"))};
+}
+
+// ---------------------------------------------------------------------------
+// Operator payload (de)serialization.
+// ---------------------------------------------------------------------------
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar: return "countstar";
+    case AggFunc::kCount: return "count";
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+  }
+  return "?";
+}
+
+Result<AggFunc> AggFuncFromName(const std::string& s) {
+  if (s == "countstar") return AggFunc::kCountStar;
+  if (s == "count") return AggFunc::kCount;
+  if (s == "sum") return AggFunc::kSum;
+  if (s == "avg") return AggFunc::kAvg;
+  if (s == "min") return AggFunc::kMin;
+  if (s == "max") return AggFunc::kMax;
+  return Status::InvalidArgument("unknown aggregate '" + s + "'");
+}
+
+void SerializePayload(const LogicalOp& op, const StatsContext& stats,
+                      Element* e) {
+  switch (op.kind()) {
+    case LogicalOpKind::kGet: {
+      const auto& get = static_cast<const LogicalGet&>(op);
+      e->SetAttr("op", std::string("Get"));
+      e->SetAttr("table", get.table_name());
+      e->SetAttr("alias", get.alias());
+      for (const auto& b : get.bindings()) SerializeBinding(b, stats, e);
+      break;
+    }
+    case LogicalOpKind::kEmpty: {
+      e->SetAttr("op", std::string("Empty"));
+      for (const auto& b : op.ComputeOutput({})) SerializeBinding(b, stats, e);
+      break;
+    }
+    case LogicalOpKind::kFilter: {
+      const auto& f = static_cast<const LogicalFilter&>(op);
+      e->SetAttr("op", std::string("Filter"));
+      for (const auto& c : f.conjuncts()) {
+        SerializeExpr(*c, e->AddChild("Conj"));
+      }
+      break;
+    }
+    case LogicalOpKind::kProject: {
+      const auto& p = static_cast<const LogicalProject&>(op);
+      e->SetAttr("op", std::string("Project"));
+      for (const auto& item : p.items()) {
+        Element* ie = e->AddChild("Item");
+        ie->SetAttr("id", static_cast<int64_t>(item.output.id));
+        ie->SetAttr("name", item.output.name);
+        ie->SetAttr("t", std::string(TypeIdToString(item.output.type)));
+        SerializeExpr(*item.expr, ie);
+      }
+      break;
+    }
+    case LogicalOpKind::kJoin: {
+      const auto& j = static_cast<const LogicalJoin&>(op);
+      e->SetAttr("op", std::string("Join"));
+      e->SetAttr("jt", std::string(LogicalJoinTypeToString(j.join_type())));
+      for (const auto& c : j.conditions()) {
+        SerializeExpr(*c, e->AddChild("Cond"));
+      }
+      break;
+    }
+    case LogicalOpKind::kAggregate: {
+      const auto& a = static_cast<const LogicalAggregate&>(op);
+      e->SetAttr("op", std::string("Agg"));
+      std::vector<std::string> groups;
+      for (ColumnId id : a.group_by()) groups.push_back(std::to_string(id));
+      e->SetAttr("groups", Join(groups, " "));
+      for (const auto& item : a.aggregates()) {
+        Element* ie = e->AddChild("AggItem");
+        ie->SetAttr("f", std::string(AggFuncName(item.func)));
+        ie->SetAttr("distinct", std::string(item.distinct ? "1" : "0"));
+        ie->SetAttr("id", static_cast<int64_t>(item.output.id));
+        ie->SetAttr("name", item.output.name);
+        ie->SetAttr("t", std::string(TypeIdToString(item.output.type)));
+        if (item.arg) SerializeExpr(*item.arg, ie);
+      }
+      break;
+    }
+    case LogicalOpKind::kSort: {
+      const auto& s = static_cast<const LogicalSort&>(op);
+      e->SetAttr("op", std::string("Sort"));
+      for (const auto& item : s.items()) {
+        Element* ie = e->AddChild("Key");
+        ie->SetAttr("col", static_cast<int64_t>(item.column));
+        ie->SetAttr("asc", std::string(item.ascending ? "1" : "0"));
+      }
+      break;
+    }
+    case LogicalOpKind::kLimit: {
+      e->SetAttr("op", std::string("Limit"));
+      e->SetAttr("n", static_cast<const LogicalLimit&>(op).limit());
+      break;
+    }
+    case LogicalOpKind::kUnionAll: {
+      const auto& u = static_cast<const LogicalUnionAll&>(op);
+      e->SetAttr("op", std::string("Union"));
+      for (const auto& b : u.outputs()) SerializeBinding(b, stats, e);
+      for (const auto& cols : u.child_columns()) {
+        std::vector<std::string> parts;
+        for (ColumnId id : cols) parts.push_back(std::to_string(id));
+        e->AddChild("Map")->SetAttr("cols", Join(parts, " "));
+      }
+      break;
+    }
+  }
+}
+
+Result<LogicalOpPtr> ParsePayload(const Element& e, const Catalog& catalog) {
+  const std::string& op = e.GetAttr("op");
+  if (op == "Get") {
+    std::vector<ColumnBinding> bindings;
+    for (const Element* c : e.FindChildren("Col")) {
+      bindings.push_back(ParseBinding(*c));
+    }
+    PDW_ASSIGN_OR_RETURN(const TableDef* table,
+                         catalog.GetTable(e.GetAttr("table")));
+    return LogicalOpPtr(std::make_shared<LogicalGet>(
+        e.GetAttr("table"), e.GetAttr("alias"), table, std::move(bindings)));
+  }
+  if (op == "Empty") {
+    std::vector<ColumnBinding> bindings;
+    for (const Element* c : e.FindChildren("Col")) {
+      bindings.push_back(ParseBinding(*c));
+    }
+    return LogicalOpPtr(std::make_shared<LogicalEmpty>(std::move(bindings)));
+  }
+  if (op == "Filter") {
+    std::vector<ScalarExprPtr> conjuncts;
+    for (const Element* c : e.FindChildren("Conj")) {
+      if (c->children().empty()) {
+        return Status::InvalidArgument("empty Conj");
+      }
+      PDW_ASSIGN_OR_RETURN(ScalarExprPtr x, ParseExpr(*c->children()[0]));
+      conjuncts.push_back(std::move(x));
+    }
+    return LogicalOpPtr(
+        std::make_shared<LogicalFilter>(std::move(conjuncts), nullptr));
+  }
+  if (op == "Project") {
+    std::vector<ProjectItem> items;
+    for (const Element* c : e.FindChildren("Item")) {
+      if (c->children().empty()) return Status::InvalidArgument("empty Item");
+      ProjectItem item;
+      item.output = ColumnBinding{static_cast<ColumnId>(c->GetAttrInt("id")),
+                                  c->GetAttr("name"),
+                                  TypeIdFromString(c->GetAttr("t"))};
+      PDW_ASSIGN_OR_RETURN(item.expr, ParseExpr(*c->children()[0]));
+      items.push_back(std::move(item));
+    }
+    return LogicalOpPtr(
+        std::make_shared<LogicalProject>(std::move(items), nullptr));
+  }
+  if (op == "Join") {
+    std::vector<ScalarExprPtr> conds;
+    for (const Element* c : e.FindChildren("Cond")) {
+      if (c->children().empty()) return Status::InvalidArgument("empty Cond");
+      PDW_ASSIGN_OR_RETURN(ScalarExprPtr x, ParseExpr(*c->children()[0]));
+      conds.push_back(std::move(x));
+    }
+    const std::string& jt = e.GetAttr("jt");
+    LogicalJoinType type;
+    if (jt == "Inner") type = LogicalJoinType::kInner;
+    else if (jt == "LeftOuter") type = LogicalJoinType::kLeftOuter;
+    else if (jt == "Semi") type = LogicalJoinType::kSemi;
+    else if (jt == "Anti") type = LogicalJoinType::kAnti;
+    else if (jt == "Cross") type = LogicalJoinType::kCross;
+    else return Status::InvalidArgument("unknown join type '" + jt + "'");
+    return LogicalOpPtr(std::make_shared<LogicalJoin>(type, std::move(conds),
+                                                      nullptr, nullptr));
+  }
+  if (op == "Agg") {
+    std::vector<ColumnId> group_by;
+    for (const std::string& part : Split(e.GetAttr("groups"), ' ')) {
+      if (!part.empty()) {
+        group_by.push_back(static_cast<ColumnId>(std::stol(part)));
+      }
+    }
+    std::vector<AggregateItem> aggs;
+    for (const Element* c : e.FindChildren("AggItem")) {
+      AggregateItem item;
+      PDW_ASSIGN_OR_RETURN(item.func, AggFuncFromName(c->GetAttr("f")));
+      item.distinct = c->GetAttr("distinct") == "1";
+      item.output = ColumnBinding{static_cast<ColumnId>(c->GetAttrInt("id")),
+                                  c->GetAttr("name"),
+                                  TypeIdFromString(c->GetAttr("t"))};
+      if (!c->children().empty()) {
+        PDW_ASSIGN_OR_RETURN(item.arg, ParseExpr(*c->children()[0]));
+      }
+      aggs.push_back(std::move(item));
+    }
+    return LogicalOpPtr(std::make_shared<LogicalAggregate>(
+        std::move(group_by), std::move(aggs), nullptr));
+  }
+  if (op == "Sort") {
+    std::vector<SortItem> items;
+    for (const Element* c : e.FindChildren("Key")) {
+      items.push_back(SortItem{static_cast<ColumnId>(c->GetAttrInt("col")),
+                               c->GetAttr("asc") == "1"});
+    }
+    return LogicalOpPtr(std::make_shared<LogicalSort>(std::move(items), nullptr));
+  }
+  if (op == "Limit") {
+    return LogicalOpPtr(std::make_shared<LogicalLimit>(e.GetAttrInt("n"), nullptr));
+  }
+  if (op == "Union") {
+    std::vector<ColumnBinding> outputs;
+    for (const Element* c : e.FindChildren("Col")) {
+      outputs.push_back(ParseBinding(*c));
+    }
+    std::vector<std::vector<ColumnId>> child_cols;
+    for (const Element* c : e.FindChildren("Map")) {
+      std::vector<ColumnId> ids;
+      for (const std::string& part : Split(c->GetAttr("cols"), ' ')) {
+        if (!part.empty()) ids.push_back(static_cast<ColumnId>(std::stol(part)));
+      }
+      child_cols.push_back(std::move(ids));
+    }
+    return LogicalOpPtr(std::make_shared<LogicalUnionAll>(
+        std::move(outputs), std::move(child_cols),
+        std::vector<LogicalOpPtr>{}));
+  }
+  return Status::InvalidArgument("unknown operator '" + op + "'");
+}
+
+}  // namespace
+
+std::string MemoToXml(const Memo& memo, const StatsContext& stats) {
+  Element root("Memo");
+  root.SetAttr("root", static_cast<int64_t>(memo.root()));
+  root.SetAttr("groups", static_cast<int64_t>(memo.num_groups()));
+  root.SetAttr("budget_exhausted",
+               std::string(memo.budget_exhausted() ? "1" : "0"));
+  for (int gi = 0; gi < memo.num_groups(); ++gi) {
+    const Group& g = memo.group(gi);
+    Element* ge = root.AddChild("Group");
+    ge->SetAttr("id", static_cast<int64_t>(g.id));
+    ge->SetAttr("card", g.cardinality);
+    ge->SetAttr("width", g.row_width);
+    Element* cols = ge->AddChild("Output");
+    for (const auto& b : g.output) SerializeBinding(b, stats, cols);
+    for (const auto& expr : g.exprs) {
+      Element* ee = ge->AddChild("Expr");
+      std::vector<std::string> ch;
+      for (GroupId c : expr.children) ch.push_back(std::to_string(c));
+      ee->SetAttr("ch", Join(ch, " "));
+      SerializePayload(*expr.op, stats, ee);
+    }
+  }
+  return root.Serialize();
+}
+
+Result<ImportedMemo> MemoFromXml(const std::string& xml_text,
+                                 const Catalog& shell_catalog,
+                                 const MemoOptions& options) {
+  PDW_ASSIGN_OR_RETURN(auto doc, xml::Parse(xml_text));
+  if (doc->name() != "Memo") {
+    return Status::InvalidArgument("expected <Memo> root element");
+  }
+
+  ImportedMemo out;
+  out.stats = std::make_shared<StatsContext>();
+  out.estimator = std::make_shared<CardinalityEstimator>(out.stats.get());
+  out.memo = std::make_shared<Memo>(out.estimator.get(), options);
+
+  std::vector<const Element*> group_elems = doc->FindChildren("Group");
+  // Pass 1: create all groups with their logical properties, and register
+  // per-column statistics.
+  for (const Element* ge : group_elems) {
+    std::vector<ColumnBinding> output;
+    const Element* cols = ge->FindChild("Output");
+    if (cols != nullptr) {
+      for (const Element* c : cols->FindChildren("Col")) {
+        ColumnBinding b = ParseBinding(*c);
+        double ndv = c->GetAttrDouble("ndv", -1);
+        double width = c->GetAttrDouble("w", DefaultTypeWidth(b.type));
+        if (ndv >= 0) {
+          out.stats->RegisterSynthesized(b.id, b.type, ndv, width);
+        } else {
+          out.stats->RegisterSynthesized(b.id, b.type,
+                                         ge->GetAttrDouble("card", 1000), width);
+        }
+        output.push_back(std::move(b));
+      }
+    }
+    GroupId gid = out.memo->NewGroup(std::move(output),
+                                     ge->GetAttrDouble("card"),
+                                     ge->GetAttrDouble("width"));
+    if (gid != static_cast<GroupId>(ge->GetAttrInt("id"))) {
+      return Status::InvalidArgument("non-contiguous group ids in memo XML");
+    }
+  }
+  // Pass 2: attach expressions (they may reference any group).
+  for (const Element* ge : group_elems) {
+    GroupId gid = static_cast<GroupId>(ge->GetAttrInt("id"));
+    for (const Element* ee : ge->FindChildren("Expr")) {
+      std::vector<GroupId> children;
+      for (const std::string& part : Split(ee->GetAttr("ch"), ' ')) {
+        if (!part.empty()) {
+          children.push_back(static_cast<GroupId>(std::stol(part)));
+        }
+      }
+      for (GroupId c : children) {
+        if (c < 0 || c >= out.memo->num_groups()) {
+          return Status::InvalidArgument("expression references bad group");
+        }
+      }
+      PDW_ASSIGN_OR_RETURN(LogicalOpPtr payload,
+                           ParsePayload(*ee, shell_catalog));
+      out.memo->AddExpr(std::move(payload), std::move(children), gid);
+    }
+  }
+  // Restore the root group marker.
+  GroupId root = static_cast<GroupId>(doc->GetAttrInt("root"));
+  if (root < 0 || root >= out.memo->num_groups()) {
+    return Status::InvalidArgument("bad memo root id");
+  }
+  out.memo->SetRoot(root);
+  return out;
+}
+
+}  // namespace pdw

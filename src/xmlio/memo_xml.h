@@ -1,0 +1,38 @@
+#ifndef PDW_XMLIO_MEMO_XML_H_
+#define PDW_XMLIO_MEMO_XML_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "optimizer/memo.h"
+
+namespace pdw {
+
+/// The PDW-side reconstruction of an exported search space: the memo plus
+/// the statistics context rebuilt from the serialized per-column NDV/width
+/// attributes (the "PDW memo parser", Fig. 2 component 4).
+struct ImportedMemo {
+  std::shared_ptr<StatsContext> stats;
+  std::shared_ptr<CardinalityEstimator> estimator;
+  std::shared_ptr<Memo> memo;
+};
+
+/// Serializes a populated memo (groups, logical properties, expressions,
+/// root) to XML — the paper's "XML generator" (Fig. 2 component 3). The
+/// per-column NDV and width estimates travel with each group so the PDW
+/// side can cost aggregate splits and data movement without re-touching
+/// the shell database.
+std::string MemoToXml(const Memo& memo, const StatsContext& stats);
+
+/// Parses a memo XML document. Base-table references are re-resolved
+/// against `shell_catalog` (which must contain the same tables the serial
+/// compilation saw).
+Result<ImportedMemo> MemoFromXml(const std::string& xml_text,
+                                 const Catalog& shell_catalog,
+                                 const MemoOptions& options = {});
+
+}  // namespace pdw
+
+#endif  // PDW_XMLIO_MEMO_XML_H_

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace pdw {
+namespace {
+
+TableDef SimpleTable(const std::string& name, DistributionSpec dist) {
+  TableDef def;
+  def.name = name;
+  def.schema = Schema({{"id", TypeId::kInt, false}, {"v", TypeId::kVarchar, true}});
+  def.distribution = std::move(dist);
+  return def;
+}
+
+TEST(CatalogTest, CreateLookupDrop) {
+  Catalog catalog(Topology{4});
+  EXPECT_EQ(catalog.topology().num_compute_nodes, 4);
+  ASSERT_TRUE(catalog.CreateTable(SimpleTable("t", DistributionSpec::HashOn("id"))).ok());
+  EXPECT_TRUE(catalog.HasTable("T"));  // case-insensitive
+  auto t = catalog.GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name, "t");
+  EXPECT_EQ((*t)->DistributionColumnOrdinal(), 0);
+  EXPECT_EQ((*t)->distribution.ToString(), "HASH(id)");
+  ASSERT_TRUE(catalog.DropTable("t").ok());
+  EXPECT_FALSE(catalog.HasTable("t"));
+  EXPECT_FALSE(catalog.DropTable("t").ok());
+}
+
+TEST(CatalogTest, DuplicateRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(SimpleTable("t", DistributionSpec::Replicated())).ok());
+  Status s = catalog.CreateTable(SimpleTable("T", DistributionSpec::Replicated()));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, BadDistributionColumnRejected) {
+  Catalog catalog;
+  Status s = catalog.CreateTable(SimpleTable("t", DistributionSpec::HashOn("nope")));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, ReplicatedHasNoDistributionOrdinal) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(SimpleTable("r", DistributionSpec::Replicated())).ok());
+  auto t = catalog.GetTable("r");
+  EXPECT_EQ((*t)->DistributionColumnOrdinal(), -1);
+  EXPECT_TRUE((*t)->distribution.is_replicated());
+}
+
+TEST(CatalogTest, ColumnStatsLookup) {
+  Catalog catalog;
+  TableDef def = SimpleTable("t", DistributionSpec::Replicated());
+  ColumnStats cs;
+  cs.row_count = 10;
+  cs.distinct_count = 5;
+  def.stats.columns["id"] = cs;
+  ASSERT_TRUE(catalog.CreateTable(std::move(def)).ok());
+  auto t = catalog.GetTable("t");
+  const ColumnStats* found = (*t)->GetColumnStats("ID");
+  // Stats keys are lowercase; lookup tries lowercase first.
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->distinct_count, 5);
+  EXPECT_EQ((*t)->GetColumnStats("missing"), nullptr);
+}
+
+TEST(CatalogTest, ListTables) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(SimpleTable("b", DistributionSpec::Replicated())).ok());
+  ASSERT_TRUE(catalog.CreateTable(SimpleTable("a", DistributionSpec::Replicated())).ok());
+  auto names = catalog.ListTables();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // sorted by key
+}
+
+}  // namespace
+}  // namespace pdw

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "common/datum.h"
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/types.h"
+
+namespace pdw {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table 'x'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table 'x'");
+  EXPECT_EQ(s.ToString(), "not found: table 'x'");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("Customer", "CUSTOMER"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringUtilTest, JoinSplitTrim) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Split("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+}
+
+TEST(StringUtilTest, LikeMatch) {
+  EXPECT_TRUE(LikeMatch("forest green", "forest%"));
+  EXPECT_FALSE(LikeMatch("the forest", "forest%"));
+  EXPECT_TRUE(LikeMatch("the forest", "%forest"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abbc", "a_c"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("anything", "%%"));
+  EXPECT_FALSE(LikeMatch("abc", ""));
+}
+
+TEST(TypesTest, NamesRoundTrip) {
+  EXPECT_EQ(TypeIdFromString("INTEGER"), TypeId::kInt);
+  EXPECT_EQ(TypeIdFromString("decimal"), TypeId::kDouble);
+  EXPECT_EQ(TypeIdFromString("varchar"), TypeId::kVarchar);
+  EXPECT_EQ(TypeIdFromString("DATE"), TypeId::kDate);
+  EXPECT_EQ(TypeIdFromString("nonsense"), TypeId::kInvalid);
+  EXPECT_STREQ(TypeIdToString(TypeId::kInt), "INT");
+}
+
+TEST(DatumTest, NullHandling) {
+  Datum n = Datum::Null();
+  EXPECT_TRUE(n.is_null());
+  EXPECT_EQ(n.type(), TypeId::kInvalid);
+  EXPECT_EQ(n.ToString(), "NULL");
+  // NULLs compare equal to each other and before values.
+  EXPECT_EQ(n.Compare(Datum::Null()), 0);
+  EXPECT_LT(n.Compare(Datum::Int(0)), 0);
+}
+
+TEST(DatumTest, NumericComparisonAcrossTypes) {
+  EXPECT_EQ(Datum::Int(5).Compare(Datum::Double(5.0)), 0);
+  EXPECT_LT(Datum::Int(4).Compare(Datum::Double(4.5)), 0);
+  EXPECT_GT(Datum::Double(10.5).Compare(Datum::Int(10)), 0);
+}
+
+TEST(DatumTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Datum::Int(7).Hash(), Datum::Double(7.0).Hash());
+  EXPECT_EQ(Datum::Varchar("x").Hash(), Datum::Varchar("x").Hash());
+}
+
+TEST(DatumTest, Casts) {
+  auto r = Datum::Varchar("42").CastTo(TypeId::kInt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->int_value(), 42);
+  auto bad = Datum::Varchar("xyz").CastTo(TypeId::kInt);
+  EXPECT_FALSE(bad.ok());
+  auto d = Datum::Varchar("1994-01-01").CastTo(TypeId::kDate);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->type(), TypeId::kDate);
+}
+
+TEST(DateTest, ParseFormatRoundTrip) {
+  for (const char* s : {"1970-01-01", "1994-01-01", "1995-12-31",
+                        "2000-02-29", "2026-07-04", "1969-12-31"}) {
+    auto days = ParseDate(s);
+    ASSERT_TRUE(days.ok()) << s;
+    EXPECT_EQ(FormatDate(*days), s);
+  }
+  EXPECT_EQ(*ParseDate("1970-01-01"), 0);
+  EXPECT_EQ(*ParseDate("1970-01-02"), 1);
+  EXPECT_EQ(*ParseDate("1971-01-01"), 365);
+}
+
+TEST(DateTest, AddYears) {
+  int32_t d = *ParseDate("1994-01-01");
+  EXPECT_EQ(FormatDate(AddYears(d, 1)), "1995-01-01");
+  EXPECT_EQ(FormatDate(AddYears(*ParseDate("2000-02-29"), 1)), "2001-02-28");
+}
+
+TEST(DateTest, InvalidInput) {
+  EXPECT_FALSE(ParseDate("not-a-date").ok());
+  EXPECT_FALSE(ParseDate("1994-13-01").ok());
+}
+
+TEST(RowTest, WidthAndHash) {
+  Row r = {Datum::Int(1), Datum::Varchar("abcd"), Datum::Null()};
+  EXPECT_EQ(RowWidth(r), 8 + 4 + 1);
+  Row r2 = {Datum::Int(1), Datum::Varchar("abcd"), Datum::Null()};
+  EXPECT_EQ(HashRowColumns(r, {0, 1}), HashRowColumns(r2, {0, 1}));
+}
+
+TEST(RowTest, RowSetsEqualIsOrderInsensitive) {
+  RowVector a = {{Datum::Int(1)}, {Datum::Int(2)}};
+  RowVector b = {{Datum::Int(2)}, {Datum::Int(1)}};
+  EXPECT_TRUE(RowSetsEqual(a, b));
+  RowVector c = {{Datum::Int(1)}, {Datum::Int(1)}};
+  EXPECT_FALSE(RowSetsEqual(a, c));  // multiset semantics
+}
+
+TEST(RowTest, RowSetsEqualToleratesFloatNoise) {
+  RowVector a = {{Datum::Double(100.0)}};
+  RowVector b = {{Datum::Double(100.0 + 1e-12)}};
+  EXPECT_TRUE(RowSetsEqual(a, b));
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s({{"C_CUSTKEY", TypeId::kInt, false}, {"c_name", TypeId::kVarchar, true}});
+  EXPECT_EQ(s.FindColumn("c_custkey"), 0);
+  EXPECT_EQ(s.FindColumn("C_NAME"), 1);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+}
+
+}  // namespace
+}  // namespace pdw

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "dms/dms_service.h"
+
+namespace pdw {
+namespace {
+
+RowVector MakeRows(int start, int count) {
+  RowVector rows;
+  for (int i = start; i < start + count; ++i) {
+    rows.push_back({Datum::Int(i), Datum::Varchar("v" + std::to_string(i))});
+  }
+  return rows;
+}
+
+size_t TotalRows(const std::vector<RowVector>& slots, int limit) {
+  size_t n = 0;
+  for (int i = 0; i < limit; ++i) n += slots[static_cast<size_t>(i)].size();
+  return n;
+}
+
+class DmsTest : public ::testing::Test {
+ protected:
+  DmsService dms_{4};
+
+  std::vector<RowVector> EmptySlots() {
+    return std::vector<RowVector>(static_cast<size_t>(dms_.num_compute_nodes() + 1));
+  }
+};
+
+TEST_F(DmsTest, PackUnpackRoundTrip) {
+  Row row = {Datum::Int(-42), Datum::Double(3.25), Datum::Varchar("hello"),
+             Datum::Null(), Datum::Bool(true), Datum::Date(8888)};
+  std::vector<uint8_t> buf;
+  size_t n = PackRow(row, &buf);
+  EXPECT_EQ(n, buf.size());
+  size_t offset = 0;
+  auto out = UnpackRow(buf, &offset);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(offset, buf.size());
+  ASSERT_EQ(out->size(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      EXPECT_TRUE((*out)[i].is_null());
+    } else {
+      EXPECT_EQ((*out)[i].Compare(row[i]), 0);
+      EXPECT_EQ((*out)[i].type(), row[i].type());
+    }
+  }
+}
+
+TEST_F(DmsTest, UnpackDetectsTruncation) {
+  Row row = {Datum::Varchar("hello world")};
+  std::vector<uint8_t> buf;
+  PackRow(row, &buf);
+  buf.resize(buf.size() - 3);
+  size_t offset = 0;
+  EXPECT_FALSE(UnpackRow(buf, &offset).ok());
+}
+
+TEST_F(DmsTest, ShufflePartitionsByHash) {
+  auto slots = EmptySlots();
+  for (int n = 0; n < 4; ++n) slots[static_cast<size_t>(n)] = MakeRows(n * 100, 50);
+  DmsRunMetrics m;
+  auto out = dms_.Execute(DmsOpKind::kShuffle, std::move(slots), {0}, &m);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(TotalRows(*out, 4), 200u);
+  EXPECT_TRUE((*out)[4].empty());  // nothing lands on control
+  // Every row sits on the node its hash demands.
+  for (int node = 0; node < 4; ++node) {
+    for (const Row& r : (*out)[static_cast<size_t>(node)]) {
+      EXPECT_EQ(dms_.TargetNode(r, {0}), node);
+    }
+  }
+  EXPECT_EQ(m.rows_moved, 200);
+  EXPECT_GT(m.reader.bytes, 0);
+}
+
+TEST_F(DmsTest, ShuffleIsDeterministic) {
+  auto run = [&]() {
+    auto slots = EmptySlots();
+    slots[0] = MakeRows(0, 100);
+    auto out = dms_.Execute(DmsOpKind::kShuffle, std::move(slots), {0});
+    std::vector<size_t> sizes;
+    for (const auto& s : *out) sizes.push_back(s.size());
+    return sizes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(DmsTest, PartitionMoveGathersToControl) {
+  auto slots = EmptySlots();
+  for (int n = 0; n < 4; ++n) slots[static_cast<size_t>(n)] = MakeRows(n * 10, 10);
+  auto out = dms_.Execute(DmsOpKind::kPartitionMove, std::move(slots), {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[4].size(), 40u);
+  EXPECT_EQ(TotalRows(*out, 4), 0u);
+}
+
+TEST_F(DmsTest, BroadcastReplicatesEverywhere) {
+  auto slots = EmptySlots();
+  for (int n = 0; n < 4; ++n) slots[static_cast<size_t>(n)] = MakeRows(n * 10, 10);
+  DmsRunMetrics m;
+  auto out = dms_.Execute(DmsOpKind::kBroadcastMove, std::move(slots), {}, &m);
+  ASSERT_TRUE(out.ok());
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ((*out)[static_cast<size_t>(n)].size(), 40u);
+  }
+  // Broadcast reader packs N copies.
+  EXPECT_GT(m.reader.bytes, m.writer.bytes / 2);
+}
+
+TEST_F(DmsTest, TrimKeepsOwnSliceWithoutNetwork) {
+  // Every node holds the same replica.
+  RowVector replica = MakeRows(0, 100);
+  auto slots = EmptySlots();
+  for (int n = 0; n < 4; ++n) slots[static_cast<size_t>(n)] = replica;
+  DmsRunMetrics m;
+  auto out = dms_.Execute(DmsOpKind::kTrimMove, std::move(slots), {0}, &m);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(m.network.bytes, 0);
+  EXPECT_EQ(TotalRows(*out, 4), 100u);  // one copy survives, partitioned
+  for (int node = 0; node < 4; ++node) {
+    for (const Row& r : (*out)[static_cast<size_t>(node)]) {
+      EXPECT_EQ(dms_.TargetNode(r, {0}), node);
+    }
+  }
+}
+
+TEST_F(DmsTest, ControlNodeMoveReplicates) {
+  auto slots = EmptySlots();
+  slots[4] = MakeRows(0, 25);  // control node holds the source
+  auto out = dms_.Execute(DmsOpKind::kControlNodeMove, std::move(slots), {});
+  ASSERT_TRUE(out.ok());
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ((*out)[static_cast<size_t>(n)].size(), 25u);
+  }
+}
+
+TEST_F(DmsTest, ReplicatedBroadcastFromOneNode) {
+  auto slots = EmptySlots();
+  slots[0] = MakeRows(0, 30);
+  auto out =
+      dms_.Execute(DmsOpKind::kReplicatedBroadcast, std::move(slots), {});
+  ASSERT_TRUE(out.ok());
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ((*out)[static_cast<size_t>(n)].size(), 30u);
+  }
+}
+
+TEST_F(DmsTest, RemoteCopyToSingle) {
+  auto slots = EmptySlots();
+  for (int n = 0; n < 4; ++n) slots[static_cast<size_t>(n)] = MakeRows(n, 5);
+  auto out =
+      dms_.Execute(DmsOpKind::kRemoteCopyToSingle, std::move(slots), {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[4].size(), 20u);
+}
+
+TEST_F(DmsTest, HashMoveWithoutColumnsRejected) {
+  auto slots = EmptySlots();
+  slots[0] = MakeRows(0, 5);
+  EXPECT_FALSE(dms_.Execute(DmsOpKind::kShuffle, std::move(slots), {}).ok());
+}
+
+TEST_F(DmsTest, CalibrationProducesPositiveLambdas) {
+  DmsCostParameters p = CalibrateCostModel(2000);
+  EXPECT_GT(p.lambda_reader_direct, 0);
+  EXPECT_GT(p.lambda_reader_hash, 0);
+  EXPECT_GT(p.lambda_network, 0);
+  EXPECT_GT(p.lambda_writer, 0);
+  EXPECT_GT(p.lambda_bulkcopy, 0);
+  // Hashing costs at least as much as direct reads (paper §3.3.3).
+  EXPECT_GE(p.lambda_reader_hash, p.lambda_reader_direct * 0.8);
+}
+
+}  // namespace
+}  // namespace pdw

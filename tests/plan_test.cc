@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "plan/distribution.h"
+#include "plan/plan_node.h"
+
+namespace pdw {
+namespace {
+
+TEST(DistributionPropertyTest, CanonicalizationUsesEquivalence) {
+  ColumnEquivalence eq;
+  eq.AddEquality(1, 7);
+  DistributionProperty on1 = DistributionProperty::Distributed({1});
+  DistributionProperty on7 = DistributionProperty::Distributed({7});
+  EXPECT_TRUE(on1.Matches(on7, eq));
+  EXPECT_EQ(on1.Canonical(eq), on7.Canonical(eq));
+  ColumnEquivalence empty;
+  EXPECT_FALSE(on1.Matches(on7, empty));
+}
+
+TEST(DistributionPropertyTest, CanonicalSortsAndDedups) {
+  ColumnEquivalence eq;
+  eq.AddEquality(3, 9);
+  DistributionProperty p = DistributionProperty::Distributed({9, 3, 5});
+  DistributionProperty c = p.Canonical(eq);
+  EXPECT_EQ(c.columns, (std::vector<ColumnId>{3, 5}));
+}
+
+TEST(DistributionPropertyTest, Kinds) {
+  EXPECT_TRUE(DistributionProperty::Replicated().is_replicated());
+  EXPECT_TRUE(DistributionProperty::Control().is_control());
+  EXPECT_TRUE(DistributionProperty::Distributed({1})
+                  .is_distributed_on_known_columns());
+  EXPECT_FALSE(DistributionProperty::AnyDistributed()
+                   .is_distributed_on_known_columns());
+  EXPECT_EQ(DistributionProperty::Replicated().ToString(), "Replicated");
+  EXPECT_EQ(DistributionProperty::Distributed({4}).ToString(),
+            "Distributed(#4)");
+}
+
+TEST(PlanNodeTest, CloneIsDeep) {
+  PlanNode root;
+  root.kind = PhysOpKind::kMove;
+  root.move_kind = DmsOpKind::kBroadcastMove;
+  root.move_cost = 1.5;
+  auto child = std::make_unique<PlanNode>();
+  child->kind = PhysOpKind::kTableScan;
+  child->table_name = "orders";
+  root.children.push_back(std::move(child));
+
+  PlanNodePtr copy = root.Clone();
+  EXPECT_EQ(copy->kind, PhysOpKind::kMove);
+  ASSERT_EQ(copy->children.size(), 1u);
+  EXPECT_EQ(copy->children[0]->table_name, "orders");
+  copy->children[0]->table_name = "changed";
+  EXPECT_EQ(root.children[0]->table_name, "orders");
+}
+
+TEST(PlanNodeTest, MoveCostAggregation) {
+  PlanNode root;
+  root.kind = PhysOpKind::kFilter;
+  auto m1 = std::make_unique<PlanNode>();
+  m1->kind = PhysOpKind::kMove;
+  m1->move_cost = 2.0;
+  auto m2 = std::make_unique<PlanNode>();
+  m2->kind = PhysOpKind::kMove;
+  m2->move_cost = 3.0;
+  m1->children.push_back(std::move(m2));
+  root.children.push_back(std::move(m1));
+  EXPECT_DOUBLE_EQ(TotalMoveCost(root), 5.0);
+  EXPECT_EQ(CountMoves(root), 2);
+}
+
+TEST(PlanNodeTest, TreePrintingIncludesDistribution) {
+  PlanNode scan;
+  scan.kind = PhysOpKind::kTableScan;
+  scan.table_name = "lineitem";
+  scan.cardinality = 60000;
+  scan.row_width = 16;
+  scan.distribution = DistributionProperty::Distributed({6});
+  std::string text = PlanTreeToString(scan);
+  EXPECT_NE(text.find("lineitem"), std::string::npos);
+  EXPECT_NE(text.find("Distributed(#6)"), std::string::npos);
+  EXPECT_NE(text.find("rows=60000"), std::string::npos);
+}
+
+TEST(DmsOpKindTest, Names) {
+  EXPECT_STREQ(DmsOpKindToString(DmsOpKind::kShuffle), "SHUFFLE_MOVE");
+  EXPECT_STREQ(DmsOpKindToString(DmsOpKind::kTrimMove), "TRIM_MOVE");
+  EXPECT_STREQ(DmsOpKindToString(DmsOpKind::kReplicatedBroadcast),
+               "REPLICATED_BROADCAST");
+}
+
+}  // namespace
+}  // namespace pdw

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "engine/local_engine.h"
+#include "pdw/compiler.h"
+#include "pdw/dsql.h"
+#include "pdw/sql_gen.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace pdw {
+namespace {
+
+/// End-to-end property: for any serial plan over a single-node engine, the
+/// generated SQL re-executes to the same rows as direct plan execution.
+class SqlGenRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .ExecuteSql("CREATE TABLE t (id INT, grp INT, v DOUBLE, "
+                                "name VARCHAR(30), d DATE)")
+                    .ok());
+    ASSERT_TRUE(engine_
+                    .ExecuteSql(
+                        "INSERT INTO t VALUES "
+                        "(1, 1, 1.5, 'it''s quoted', '1994-01-01'), "
+                        "(2, 1, 2.5, 'per%cent', '1994-06-01'), "
+                        "(3, 2, -3.5, 'under_score', '1995-01-01'), "
+                        "(4, NULL, NULL, NULL, '1996-02-29')")
+                    .ok());
+  }
+
+  /// Compiles a query, regenerates its SQL from the serial plan, runs both
+  /// the plan and the regenerated text, and compares.
+  void ExpectRoundTrip(const std::string& sql) {
+    auto direct = engine_.ExecuteSql(sql);
+    ASSERT_TRUE(direct.ok()) << sql << "\n" << direct.status().ToString();
+
+    auto comp = CompileQuery(engine_.catalog(), sql);
+    ASSERT_TRUE(comp.ok()) << comp.status().ToString();
+    auto plan = ExtractBestSerialPlan(comp->memo.get());
+    ASSERT_TRUE(plan.ok());
+    auto gen = GenerateSql(**plan, "tpch");
+    ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+
+    auto again = engine_.ExecuteSql(gen->sql);
+    ASSERT_TRUE(again.ok()) << gen->sql << "\n" << again.status().ToString();
+    // Hidden sort carrier columns may widen the regenerated result; trim.
+    RowVector direct_rows = direct->rows;
+    RowVector again_rows = again->rows;
+    size_t width = direct_rows.empty() ? 0 : direct_rows[0].size();
+    for (Row& r : again_rows) {
+      if (width > 0 && r.size() > width) r.resize(width);
+    }
+    EXPECT_TRUE(RowSetsEqual(direct_rows, again_rows)) << gen->sql;
+  }
+
+  LocalEngine engine_;
+};
+
+TEST_F(SqlGenRoundTripTest, QuotedStringsSurvive) {
+  ExpectRoundTrip("SELECT id FROM t WHERE name = 'it''s quoted'");
+}
+
+TEST_F(SqlGenRoundTripTest, LikePatternsSurvive) {
+  ExpectRoundTrip("SELECT id FROM t WHERE name LIKE 'per%'");
+  ExpectRoundTrip("SELECT id FROM t WHERE name LIKE '%\\_score%'");
+}
+
+TEST_F(SqlGenRoundTripTest, DateLiteralsSurvive) {
+  ExpectRoundTrip("SELECT id FROM t WHERE d >= DATE '1995-01-01'");
+  ExpectRoundTrip("SELECT id FROM t WHERE d = DATE '1996-02-29'");
+}
+
+TEST_F(SqlGenRoundTripTest, NegativeDoublesAndNulls) {
+  ExpectRoundTrip("SELECT id, v FROM t WHERE v < -1");
+  ExpectRoundTrip("SELECT id FROM t WHERE v IS NULL");
+}
+
+TEST_F(SqlGenRoundTripTest, CaseExpressions) {
+  ExpectRoundTrip(
+      "SELECT id, CASE WHEN v > 0 THEN 'pos' WHEN v < 0 THEN 'neg' "
+      "ELSE 'null' END AS sign FROM t");
+}
+
+TEST_F(SqlGenRoundTripTest, CastAndArithmetic) {
+  ExpectRoundTrip(
+      "SELECT CAST(id AS DOUBLE) * 2 - 1 AS x FROM t WHERE id % 2 = 1");
+}
+
+TEST_F(SqlGenRoundTripTest, DateAddRendersBarePart) {
+  ExpectRoundTrip(
+      "SELECT id FROM t WHERE d < DATEADD(year, 2, '1994-01-01')");
+}
+
+TEST_F(SqlGenRoundTripTest, AggregationWithGroupsAndHaving) {
+  ExpectRoundTrip(
+      "SELECT grp, COUNT(*) AS c, SUM(v) AS s FROM t GROUP BY grp "
+      "HAVING COUNT(*) >= 1");
+}
+
+TEST_F(SqlGenRoundTripTest, DistinctAggregates) {
+  ExpectRoundTrip("SELECT COUNT(DISTINCT grp) AS dg FROM t");
+}
+
+TEST_F(SqlGenRoundTripTest, TopNWithSort) {
+  ExpectRoundTrip("SELECT id, v FROM t ORDER BY v DESC LIMIT 2");
+}
+
+TEST_F(SqlGenRoundTripTest, SelfJoin) {
+  ExpectRoundTrip(
+      "SELECT a.id, b.id FROM t a, t b WHERE a.grp = b.grp AND a.id < b.id");
+}
+
+TEST_F(SqlGenRoundTripTest, SemiAndAntiJoins) {
+  ASSERT_TRUE(engine_.ExecuteSql("CREATE TABLE u (k INT)").ok());
+  ASSERT_TRUE(engine_.ExecuteSql("INSERT INTO u VALUES (1), (3)").ok());
+  ExpectRoundTrip("SELECT id FROM t WHERE id IN (SELECT k FROM u)");
+  ExpectRoundTrip("SELECT id FROM t WHERE id NOT IN (SELECT k FROM u)");
+}
+
+TEST_F(SqlGenRoundTripTest, UnionAll) {
+  ExpectRoundTrip("SELECT id FROM t UNION ALL SELECT grp FROM t "
+                  "WHERE grp IS NOT NULL");
+}
+
+/// DSQL rendering of the full plan keeps the Fig. 7 style alias naming.
+TEST(DsqlRenderingTest, AliasesFollowPaperConvention) {
+  Catalog catalog = testing::MakeTpchShellCatalog();
+  auto comp = CompilePdwQuery(
+      catalog,
+      "SELECT c_name, o_totalprice FROM customer, orders "
+      "WHERE c_custkey = o_custkey");
+  ASSERT_TRUE(comp.ok());
+  auto dsql = GenerateDsql(*comp->parallel.plan, comp->output_names);
+  ASSERT_TRUE(dsql.ok());
+  bool found_alias = false;
+  for (const auto& step : dsql->steps) {
+    if (step.sql.find(" AS T1_") != std::string::npos) found_alias = true;
+    EXPECT_NE(step.sql.find("[dbo]"), std::string::npos) << step.sql;
+  }
+  EXPECT_TRUE(found_alias);
+}
+
+}  // namespace
+}  // namespace pdw

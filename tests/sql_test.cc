@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace pdw::sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = Tokenize("SELECT c_custkey FROM Customer WHERE x >= 10.5");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*toks)[0].text, "SELECT");
+  EXPECT_EQ((*toks)[1].type, TokenType::kIdentifier);
+  EXPECT_TRUE((*toks)[4].IsKeyword("WHERE"));
+  EXPECT_TRUE((*toks)[6].IsOperator(">="));
+  EXPECT_EQ((*toks)[7].text, "10.5");
+}
+
+TEST(LexerTest, StringsAndComments) {
+  auto toks = Tokenize("-- comment\nSELECT 'it''s' /* block */ , [my col]");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[1].type, TokenType::kString);
+  EXPECT_EQ((*toks)[1].text, "it's");
+  EXPECT_EQ((*toks)[3].type, TokenType::kIdentifier);
+  EXPECT_EQ((*toks)[3].text, "my col");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT /* unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT a ! b").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseSelect("SELECT c_custkey, c_name FROM customer");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->items.size(), 2u);
+  EXPECT_EQ((*stmt)->from.size(), 1u);
+}
+
+TEST(ParserTest, WhereAndOperators) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM t WHERE a = 1 AND b <> 2 OR NOT c < 3");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_NE((*stmt)->where, nullptr);
+  // OR binds loosest.
+  auto* top = static_cast<BinaryExpr*>((*stmt)->where.get());
+  EXPECT_EQ(top->op, BinaryOp::kOr);
+}
+
+TEST(ParserTest, JoinSyntax) {
+  auto stmt = ParseSelect(
+      "SELECT c.c_name FROM customer c INNER JOIN orders o "
+      "ON c.c_custkey = o.o_custkey LEFT JOIN lineitem l ON "
+      "o.o_orderkey = l.l_orderkey");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->from.size(), 1u);
+  EXPECT_EQ((*stmt)->from[0]->kind, TableRefKind::kJoin);
+}
+
+TEST(ParserTest, GroupByHavingOrderByLimit) {
+  auto stmt = ParseSelect(
+      "SELECT o_custkey, SUM(o_totalprice) total FROM orders "
+      "GROUP BY o_custkey HAVING SUM(o_totalprice) > 100 "
+      "ORDER BY total DESC LIMIT 10");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->group_by.size(), 1u);
+  EXPECT_NE((*stmt)->having, nullptr);
+  EXPECT_EQ((*stmt)->order_by.size(), 1u);
+  EXPECT_FALSE((*stmt)->order_by[0].ascending);
+  EXPECT_EQ((*stmt)->limit, 10);
+}
+
+TEST(ParserTest, TopN) {
+  auto stmt = ParseSelect("SELECT TOP 5 a FROM t ORDER BY a");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->limit, 5);
+}
+
+TEST(ParserTest, InSubqueryAndExists) {
+  auto stmt = ParseSelect(
+      "SELECT s_name FROM supplier WHERE s_suppkey IN "
+      "(SELECT ps_suppkey FROM partsupp) AND EXISTS "
+      "(SELECT o_orderkey FROM orders)");
+  ASSERT_TRUE(stmt.ok());
+}
+
+TEST(ParserTest, ScalarSubqueryComparison) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM partsupp WHERE ps_availqty > "
+      "(SELECT 0.5 * SUM(l_quantity) FROM lineitem WHERE "
+      "l_partkey = ps_partkey)");
+  ASSERT_TRUE(stmt.ok());
+}
+
+TEST(ParserTest, BetweenInListLikeIsNull) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b IN (1, 2, 3) "
+      "AND c LIKE 'forest%' AND d IS NOT NULL AND e NOT LIKE 'x%'");
+  ASSERT_TRUE(stmt.ok());
+}
+
+TEST(ParserTest, DateLiteralAndDateAdd) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM t WHERE d >= DATE '1994-01-01' AND "
+      "d < DATEADD(year, 1, '1994-01-01')");
+  ASSERT_TRUE(stmt.ok());
+}
+
+TEST(ParserTest, CaseAndCast) {
+  auto stmt = ParseSelect(
+      "SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END, "
+      "CAST(b AS DECIMAL(15, 2)) FROM t");
+  ASSERT_TRUE(stmt.ok());
+}
+
+TEST(ParserTest, DerivedTable) {
+  auto stmt = ParseSelect(
+      "SELECT x.a FROM (SELECT a FROM t GROUP BY a) AS x");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->from[0]->kind, TableRefKind::kDerived);
+}
+
+TEST(ParserTest, BracketedNames) {
+  auto stmt = ParseSelect(
+      "SELECT T1_1.a FROM [tpch].[dbo].[orders] AS T1_1");
+  ASSERT_TRUE(stmt.ok());
+  auto* base = static_cast<BaseTableRef*>((*stmt)->from[0].get());
+  EXPECT_EQ(base->table, "orders");
+  EXPECT_EQ(base->alias, "T1_1");
+}
+
+TEST(ParserTest, CreateTableWithDistribution) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE orders (o_orderkey INT NOT NULL, o_custkey INT, "
+      "o_totalprice DECIMAL(15,2), o_orderdate DATE) "
+      "WITH (DISTRIBUTION = HASH(o_orderkey))");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->kind, StatementKind::kCreateTable);
+  EXPECT_EQ(stmt->create_table->name, "orders");
+  EXPECT_EQ(stmt->create_table->schema.num_columns(), 4);
+  EXPECT_EQ(stmt->create_table->distribution.layout,
+            pdw::TableLayout::kHashDistributed);
+  EXPECT_EQ(stmt->create_table->distribution.columns[0], "o_orderkey");
+  EXPECT_FALSE(stmt->create_table->schema.column(0).nullable);
+}
+
+TEST(ParserTest, CreateReplicatedTable) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE nation (n_nationkey INT, n_name VARCHAR(25)) "
+      "WITH (DISTRIBUTION = REPLICATE)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->create_table->distribution.is_replicated());
+}
+
+TEST(ParserTest, InsertValues) {
+  auto stmt = ParseStatement(
+      "INSERT INTO t VALUES (1, 'a', 2.5), (2, 'b', NULL)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->kind, StatementKind::kInsert);
+  EXPECT_EQ(stmt->insert->rows.size(), 2u);
+  EXPECT_EQ(stmt->insert->rows[0].size(), 3u);
+}
+
+TEST(ParserTest, DropTable) {
+  auto stmt = ParseStatement("DROP TABLE t;");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, StatementKind::kDropTable);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t GROUP").ok());
+  EXPECT_FALSE(ParseStatement("UPDATE t SET a = 1").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t extra garbage here").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a, FROM t").ok());
+}
+
+TEST(ParserTest, Q20ShapeParses) {
+  const char* q20 =
+      "SELECT s_name, s_address FROM supplier, nation "
+      "WHERE s_suppkey IN ("
+      "  SELECT ps_suppkey FROM partsupp WHERE ps_partkey IN ("
+      "    SELECT p_partkey FROM part WHERE p_name LIKE 'forest%') "
+      "  AND ps_availqty > ("
+      "    SELECT 0.5 * SUM(l_quantity) FROM lineitem "
+      "    WHERE l_partkey = ps_partkey AND l_suppkey = ps_suppkey "
+      "    AND l_shipdate >= DATE '1994-01-01' "
+      "    AND l_shipdate < DATEADD(year, 1, '1994-01-01'))) "
+      "AND s_nationkey = n_nationkey AND n_name = 'CANADA' "
+      "ORDER BY s_name";
+  auto stmt = ParseSelect(q20);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+}
+
+TEST(ParserTest, RoundTripToString) {
+  auto stmt = ParseSelect(
+      "SELECT a, SUM(b) AS s FROM t WHERE c = 1 GROUP BY a ORDER BY a");
+  ASSERT_TRUE(stmt.ok());
+  std::string text = (*stmt)->ToString();
+  auto again = ParseSelect(text);
+  ASSERT_TRUE(again.ok()) << text << "\n" << again.status().ToString();
+  EXPECT_EQ((*again)->ToString(), text);
+}
+
+}  // namespace
+}  // namespace pdw::sql

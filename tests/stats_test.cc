@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "stats/column_stats.h"
+#include "stats/histogram.h"
+
+namespace pdw {
+namespace {
+
+TEST(HistogramTest, UniformEstimates) {
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(i % 1000);
+  Histogram h = Histogram::Build(values, 32);
+  EXPECT_EQ(h.total_rows(), 10000);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 999);
+  // ~half the rows below 500.
+  double below = h.EstimateLess(500, false);
+  EXPECT_NEAR(below, 5000, 600);
+  // Equality: ~10 rows per value.
+  EXPECT_NEAR(h.EstimateEquals(500), 10, 8);
+  // Out of range.
+  EXPECT_EQ(h.EstimateEquals(-5), 0);
+  EXPECT_EQ(h.EstimateLess(-5, true), 0);
+  EXPECT_EQ(h.EstimateLess(5000, true), 10000);
+}
+
+TEST(HistogramTest, SkewedData) {
+  std::vector<double> values(9000, 1.0);
+  for (int i = 0; i < 1000; ++i) values.push_back(100 + i);
+  Histogram h = Histogram::Build(values, 16);
+  // The heavy value dominates its bucket.
+  EXPECT_GT(h.EstimateEquals(1.0), 4000);
+  EXPECT_LT(h.EstimateEquals(500.0), 100);
+}
+
+TEST(HistogramTest, EmptyAndSingle) {
+  Histogram empty = Histogram::Build({}, 8);
+  EXPECT_TRUE(empty.empty());
+  Histogram single = Histogram::Build({42.0}, 8);
+  EXPECT_EQ(single.total_rows(), 1);
+  EXPECT_GT(single.EstimateEquals(42.0), 0);
+}
+
+TEST(HistogramTest, MergePreservesTotals) {
+  std::vector<Histogram> parts;
+  double total = 0;
+  for (int p = 0; p < 4; ++p) {
+    std::vector<double> values;
+    for (int i = 0; i < 1000; ++i) values.push_back((i * 7 + p * 250) % 1000);
+    total += static_cast<double>(values.size());
+    parts.push_back(Histogram::Build(values, 16));
+  }
+  Histogram merged = Histogram::Merge(parts, /*disjoint=*/false);
+  EXPECT_NEAR(merged.total_rows(), total, total * 0.02);
+  EXPECT_EQ(merged.min(), 0);
+  EXPECT_EQ(merged.max(), 999);
+}
+
+TEST(ColumnStatsTest, FromRows) {
+  RowVector rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({Datum::Int(i % 10), Datum::Varchar("v" + std::to_string(i))});
+  }
+  rows.push_back({Datum::Null(), Datum::Null()});
+  ColumnStats c0 = ColumnStats::FromRows(rows, 0, TypeId::kInt);
+  EXPECT_EQ(c0.row_count, 101);
+  EXPECT_EQ(c0.null_count, 1);
+  EXPECT_EQ(c0.distinct_count, 10);
+  EXPECT_EQ(c0.min_value.int_value(), 0);
+  EXPECT_EQ(c0.max_value.int_value(), 9);
+  EXPECT_FALSE(c0.histogram.empty());
+
+  ColumnStats c1 = ColumnStats::FromRows(rows, 1, TypeId::kVarchar);
+  EXPECT_EQ(c1.distinct_count, 100);
+  EXPECT_TRUE(c1.histogram.empty());
+}
+
+TEST(ColumnStatsTest, SelectivityEstimates) {
+  RowVector rows;
+  for (int i = 0; i < 1000; ++i) rows.push_back({Datum::Int(i)});
+  ColumnStats cs = ColumnStats::FromRows(rows, 0, TypeId::kInt);
+  EXPECT_NEAR(cs.EqualsSelectivity(Datum::Int(500)), 0.001, 0.002);
+  EXPECT_NEAR(cs.RangeSelectivity(Datum::Int(250), true, Datum::Int(750), false),
+              0.5, 0.05);
+  EXPECT_NEAR(cs.RangeSelectivity(Datum::Null(), false, Datum::Int(100), false),
+              0.1, 0.03);
+}
+
+TEST(StatsMergeTest, DisjointNdvAddsExactly) {
+  // Simulates per-node stats on the hash-distribution column: value sets
+  // are disjoint, so global NDV is the sum (paper §2.2 merge).
+  std::vector<ColumnStats> parts;
+  for (int node = 0; node < 4; ++node) {
+    RowVector rows;
+    for (int i = 0; i < 250; ++i) rows.push_back({Datum::Int(node * 1000 + i)});
+    parts.push_back(ColumnStats::FromRows(rows, 0, TypeId::kInt));
+  }
+  ColumnStats merged = ColumnStats::Merge(parts, /*disjoint_values=*/true);
+  EXPECT_EQ(merged.row_count, 1000);
+  EXPECT_EQ(merged.distinct_count, 1000);
+  EXPECT_EQ(merged.min_value.int_value(), 0);
+  EXPECT_EQ(merged.max_value.int_value(), 3249);
+}
+
+TEST(StatsMergeTest, OverlappingNdvBounded) {
+  // Non-distribution column: every node sees the same 25 nation keys.
+  std::vector<ColumnStats> parts;
+  for (int node = 0; node < 4; ++node) {
+    RowVector rows;
+    for (int i = 0; i < 250; ++i) rows.push_back({Datum::Int(i % 25)});
+    parts.push_back(ColumnStats::FromRows(rows, 0, TypeId::kInt));
+  }
+  ColumnStats merged = ColumnStats::Merge(parts, /*disjoint_values=*/false);
+  EXPECT_EQ(merged.row_count, 1000);
+  // True NDV is 25; estimate must be within [25, 100].
+  EXPECT_GE(merged.distinct_count, 25);
+  EXPECT_LE(merged.distinct_count, 100);
+}
+
+TEST(StatsMergeTest, TableStatsMerge) {
+  std::vector<TableStats> parts;
+  for (int node = 0; node < 2; ++node) {
+    RowVector rows;
+    for (int i = 0; i < 100; ++i) {
+      rows.push_back({Datum::Int(node * 100 + i), Datum::Int(i % 5)});
+    }
+    TableStats ts;
+    ts.row_count = 100;
+    ts.avg_row_width = 16;
+    ts.columns["key"] = ColumnStats::FromRows(rows, 0, TypeId::kInt);
+    ts.columns["grp"] = ColumnStats::FromRows(rows, 1, TypeId::kInt);
+    parts.push_back(std::move(ts));
+  }
+  TableStats merged = TableStats::Merge(parts, "key");
+  EXPECT_EQ(merged.row_count, 200);
+  EXPECT_EQ(merged.columns["key"].distinct_count, 200);  // disjoint: exact
+  EXPECT_LE(merged.columns["grp"].distinct_count, 10);   // overlapping
+}
+
+}  // namespace
+}  // namespace pdw

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tpch/tpch.h"
+
+namespace pdw::tpch {
+namespace {
+
+TEST(TpchGeneratorTest, RowCountsScale) {
+  TpchConfig small;
+  small.scale = 0.1;
+  TpchConfig large;
+  large.scale = 0.2;
+  EXPECT_EQ(GenerateCustomer(small).size(), 150u);
+  EXPECT_EQ(GenerateCustomer(large).size(), 300u);
+  EXPECT_EQ(GenerateOrders(small).size(), 1500u);
+  EXPECT_EQ(GenerateRegion(small).size(), 5u);
+  EXPECT_EQ(GenerateNation(small).size(), 25u);
+  // Lineitem averages ~4 lines per order.
+  size_t li = GenerateLineitem(small).size();
+  EXPECT_GT(li, 1500u * 1);
+  EXPECT_LT(li, 1500u * 8);
+}
+
+TEST(TpchGeneratorTest, DeterministicForSeed) {
+  TpchConfig a;
+  a.scale = 0.05;
+  TpchConfig b = a;
+  RowVector ra = GenerateOrders(a);
+  RowVector rb = GenerateOrders(b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(CompareRows(ra[i], rb[i]), 0);
+  }
+  b.seed = 7;
+  RowVector rc = GenerateOrders(b);
+  EXPECT_FALSE(RowSetsEqual(ra, rc));
+}
+
+TEST(TpchGeneratorTest, ForeignKeysAreValid) {
+  TpchConfig cfg;
+  cfg.scale = 0.05;
+  int customers = static_cast<int>(GenerateCustomer(cfg).size());
+  for (const Row& r : GenerateOrders(cfg)) {
+    int64_t custkey = r[1].int_value();
+    EXPECT_GE(custkey, 1);
+    EXPECT_LE(custkey, customers);
+  }
+  int parts = static_cast<int>(GeneratePart(cfg).size());
+  int suppliers = static_cast<int>(GenerateSupplier(cfg).size());
+  for (const Row& r : GenerateLineitem(cfg)) {
+    EXPECT_GE(r[1].int_value(), 1);
+    EXPECT_LE(r[1].int_value(), parts);
+    EXPECT_GE(r[2].int_value(), 1);
+    EXPECT_LE(r[2].int_value(), suppliers);
+  }
+}
+
+TEST(TpchGeneratorTest, PrimaryKeysAreUnique) {
+  TpchConfig cfg;
+  cfg.scale = 0.05;
+  std::set<int64_t> keys;
+  for (const Row& r : GenerateOrders(cfg)) {
+    EXPECT_TRUE(keys.insert(r[0].int_value()).second);
+  }
+  std::set<std::pair<int64_t, int64_t>> ps;
+  for (const Row& r : GeneratePartsupp(cfg)) {
+    EXPECT_TRUE(ps.insert({r[0].int_value(), r[1].int_value()}).second);
+  }
+}
+
+TEST(TpchGeneratorTest, SkewConcentratesKeys) {
+  TpchConfig uniform;
+  uniform.scale = 0.2;
+  TpchConfig skewed = uniform;
+  skewed.skew = 3;
+  auto hot_fraction = [&](const RowVector& orders, int customers) {
+    int hot = 0;
+    for (const Row& r : orders) {
+      if (r[1].int_value() <= customers / 8) ++hot;
+    }
+    return static_cast<double>(hot) / static_cast<double>(orders.size());
+  };
+  int customers = static_cast<int>(GenerateCustomer(uniform).size());
+  double u = hot_fraction(GenerateOrders(uniform), customers);
+  double s = hot_fraction(GenerateOrders(skewed), customers);
+  EXPECT_GT(s, u * 2);
+}
+
+TEST(TpchGeneratorTest, PartNamesIncludeForest) {
+  TpchConfig cfg;
+  cfg.scale = 0.2;
+  int forest = 0;
+  for (const Row& r : GeneratePart(cfg)) {
+    if (r[1].string_value().rfind("forest", 0) == 0) ++forest;
+  }
+  // ~10% of parts, so Q20's filter is selective but non-empty.
+  EXPECT_GT(forest, 5);
+}
+
+TEST(TpchQueriesTest, SuiteIsWellFormed) {
+  EXPECT_GE(Queries().size(), 10u);
+  EXPECT_NE(FindQuery("Q20"), nullptr);
+  EXPECT_NE(FindQuery("q1"), nullptr);  // case-insensitive
+  EXPECT_EQ(FindQuery("Q99"), nullptr);
+}
+
+}  // namespace
+}  // namespace pdw::tpch

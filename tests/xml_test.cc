@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "xml/xml.h"
+
+namespace pdw::xml {
+namespace {
+
+TEST(XmlTest, BuildAndSerialize) {
+  Element root("Memo");
+  root.SetAttr("groups", static_cast<int64_t>(3));
+  Element* g = root.AddChild("Group");
+  g->SetAttr("id", static_cast<int64_t>(0));
+  g->SetAttr("card", 1.5);
+  std::string text = root.Serialize();
+  EXPECT_NE(text.find("<Memo groups=\"3\">"), std::string::npos);
+  EXPECT_NE(text.find("<Group id=\"0\""), std::string::npos);
+}
+
+TEST(XmlTest, RoundTrip) {
+  Element root("Root");
+  root.SetAttr("name", std::string("a<b&c>\"d'"));
+  Element* child = root.AddChild("Child");
+  child->set_text("hello & <world>");
+  child->SetAttr("x", static_cast<int64_t>(-42));
+  root.AddChild("Other");
+
+  auto parsed = Parse(root.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Element& p = **parsed;
+  EXPECT_EQ(p.name(), "Root");
+  EXPECT_EQ(p.GetAttr("name"), "a<b&c>\"d'");
+  ASSERT_EQ(p.children().size(), 2u);
+  EXPECT_EQ(p.children()[0]->text(), "hello & <world>");
+  EXPECT_EQ(p.children()[0]->GetAttrInt("x"), -42);
+  EXPECT_NE(p.FindChild("Other"), nullptr);
+  EXPECT_EQ(p.FindChild("Missing"), nullptr);
+}
+
+TEST(XmlTest, ParseWithDeclarationAndComments) {
+  auto parsed = Parse(
+      "<?xml version=\"1.0\"?>\n<!-- a comment -->\n"
+      "<a><!-- inner --><b x='1'/><b x='2'/></a>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)->FindChildren("b").size(), 2u);
+}
+
+TEST(XmlTest, AttrDoubleRoundTrip) {
+  Element root("R");
+  root.SetAttr("v", 0.1234567890123456789);
+  auto parsed = Parse(root.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ((*parsed)->GetAttrDouble("v"), 0.1234567890123456789);
+}
+
+TEST(XmlTest, ParseErrors) {
+  EXPECT_FALSE(Parse("<a><b></a>").ok());
+  EXPECT_FALSE(Parse("<a").ok());
+  EXPECT_FALSE(Parse("<a x=1></a>").ok());
+  EXPECT_FALSE(Parse("no xml at all").ok());
+  EXPECT_FALSE(Parse("<a><!-- unterminated</a>").ok());
+}
+
+TEST(XmlTest, DeepNesting) {
+  std::string text = "<n0>";
+  for (int i = 1; i < 50; ++i) text += "<n" + std::to_string(i) + ">";
+  for (int i = 49; i >= 1; --i) text += "</n" + std::to_string(i) + ">";
+  text += "</n0>";
+  auto parsed = Parse(text);
+  ASSERT_TRUE(parsed.ok());
+}
+
+}  // namespace
+}  // namespace pdw::xml

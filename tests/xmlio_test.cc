@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/serial_optimizer.h"
+#include "test_util.h"
+#include "xmlio/memo_xml.h"
+
+namespace pdw {
+namespace {
+
+class XmlIoTest : public ::testing::Test {
+ protected:
+  XmlIoTest() : catalog_(testing::MakeTpchShellCatalog()) {}
+
+  CompilationResult Compile(const std::string& sql) {
+    auto r = CompileQuery(catalog_, sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).ValueOrDie();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(XmlIoTest, RoundTripPreservesStructure) {
+  CompilationResult c = Compile(
+      "SELECT c_name, SUM(o_totalprice) AS total FROM customer, orders "
+      "WHERE c_custkey = o_custkey AND o_orderdate > DATE '1995-06-01' "
+      "GROUP BY c_name ORDER BY total DESC LIMIT 3");
+  std::string xml_text = MemoToXml(*c.memo, *c.stats);
+  auto imported = MemoFromXml(xml_text, catalog_);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(imported->memo->num_groups(), c.memo->num_groups());
+  EXPECT_EQ(imported->memo->num_exprs(), c.memo->num_exprs());
+  EXPECT_EQ(imported->memo->root(), c.memo->root());
+  for (int g = 0; g < c.memo->num_groups(); ++g) {
+    const Group& orig = c.memo->group(g);
+    const Group& got = imported->memo->group(g);
+    EXPECT_NEAR(orig.cardinality, got.cardinality, 1e-9 * (1 + orig.cardinality));
+    EXPECT_NEAR(orig.row_width, got.row_width, 1e-9 * (1 + orig.row_width));
+    ASSERT_EQ(orig.exprs.size(), got.exprs.size());
+    for (size_t e = 0; e < orig.exprs.size(); ++e) {
+      EXPECT_TRUE(orig.exprs[e].op->PayloadEquals(*got.exprs[e].op))
+          << "group " << g << " expr " << e << ": "
+          << orig.exprs[e].op->ToString() << " vs "
+          << got.exprs[e].op->ToString();
+      EXPECT_EQ(orig.exprs[e].children, got.exprs[e].children);
+    }
+  }
+}
+
+TEST_F(XmlIoTest, SecondRoundTripIsIdentical) {
+  CompilationResult c = Compile(
+      "SELECT s_name FROM supplier WHERE s_suppkey IN "
+      "(SELECT ps_suppkey FROM partsupp WHERE ps_availqty > 100)");
+  std::string once = MemoToXml(*c.memo, *c.stats);
+  auto imported = MemoFromXml(once, catalog_);
+  ASSERT_TRUE(imported.ok());
+  std::string twice = MemoToXml(*imported->memo, *imported->stats);
+  auto again = MemoFromXml(twice, catalog_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->memo->num_groups(), imported->memo->num_groups());
+  EXPECT_EQ(again->memo->num_exprs(), imported->memo->num_exprs());
+}
+
+TEST_F(XmlIoTest, StatsSurviveTransfer) {
+  CompilationResult c = Compile(
+      "SELECT o_custkey, COUNT(*) FROM orders GROUP BY o_custkey");
+  std::string xml_text = MemoToXml(*c.memo, *c.stats);
+  auto imported = MemoFromXml(xml_text, catalog_);
+  ASSERT_TRUE(imported.ok());
+  // NDV of o_custkey must have crossed the XML boundary.
+  for (int g = 0; g < imported->memo->num_groups(); ++g) {
+    for (const auto& b : imported->memo->group(g).output) {
+      if (b.name == "o_custkey") {
+        EXPECT_NEAR(imported->stats->Ndv(b.id, 0), 1000, 1);
+      }
+    }
+  }
+}
+
+TEST_F(XmlIoTest, SerializedExpressionsCoverAllKinds) {
+  CompilationResult c = Compile(
+      "SELECT CASE WHEN c_acctbal > 0 THEN 'pos' ELSE 'neg' END AS sign, "
+      "COUNT(*) FROM customer WHERE c_name LIKE 'Cust%' "
+      "AND c_nationkey IS NOT NULL AND "
+      "CAST(c_custkey AS DOUBLE) < 1e9 GROUP BY "
+      "CASE WHEN c_acctbal > 0 THEN 'pos' ELSE 'neg' END");
+  std::string xml_text = MemoToXml(*c.memo, *c.stats);
+  auto imported = MemoFromXml(xml_text, catalog_);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(imported->memo->num_exprs(), c.memo->num_exprs());
+}
+
+TEST_F(XmlIoTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(MemoFromXml("<NotAMemo/>", catalog_).ok());
+  EXPECT_FALSE(MemoFromXml("garbage", catalog_).ok());
+  EXPECT_FALSE(MemoFromXml("<Memo root=\"99\" groups=\"0\"></Memo>", catalog_).ok());
+}
+
+TEST_F(XmlIoTest, UnknownTableRejected) {
+  CompilationResult c = Compile("SELECT c_name FROM customer");
+  std::string xml_text = MemoToXml(*c.memo, *c.stats);
+  Catalog empty;
+  EXPECT_FALSE(MemoFromXml(xml_text, empty).ok());
+}
+
+}  // namespace
+}  // namespace pdw
