@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_model_ablation.dir/bench_cost_model_ablation.cc.o"
+  "CMakeFiles/bench_cost_model_ablation.dir/bench_cost_model_ablation.cc.o.d"
+  "bench_cost_model_ablation"
+  "bench_cost_model_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_model_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_memo.dir/bench_fig3_memo.cc.o"
+  "CMakeFiles/bench_fig3_memo.dir/bench_fig3_memo.cc.o.d"
+  "bench_fig3_memo"
+  "bench_fig3_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

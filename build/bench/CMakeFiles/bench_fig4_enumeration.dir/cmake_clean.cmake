@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_enumeration.dir/bench_fig4_enumeration.cc.o"
+  "CMakeFiles/bench_fig4_enumeration.dir/bench_fig4_enumeration.cc.o.d"
+  "bench_fig4_enumeration"
+  "bench_fig4_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_dsql_gen.dir/bench_fig6_dsql_gen.cc.o"
+  "CMakeFiles/bench_fig6_dsql_gen.dir/bench_fig6_dsql_gen.cc.o.d"
+  "bench_fig6_dsql_gen"
+  "bench_fig6_dsql_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dsql_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_q20.dir/bench_fig7_q20.cc.o"
+  "CMakeFiles/bench_fig7_q20.dir/bench_fig7_q20.cc.o.d"
+  "bench_fig7_q20"
+  "bench_fig7_q20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_q20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

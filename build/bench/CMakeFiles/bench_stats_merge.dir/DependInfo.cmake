@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_stats_merge.cc" "bench/CMakeFiles/bench_stats_merge.dir/bench_stats_merge.cc.o" "gcc" "bench/CMakeFiles/bench_stats_merge.dir/bench_stats_merge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpch/CMakeFiles/pdw_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdw/CMakeFiles/pdw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/appliance/CMakeFiles/pdw_appliance.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pdw_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/dms/CMakeFiles/pdw_dms.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlio/CMakeFiles/pdw_xmlio.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/pdw_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/pdw_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/pdw_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/pdw_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/pdw_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pdw_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pdw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_top_down.dir/bench_top_down.cc.o"
+  "CMakeFiles/bench_top_down.dir/bench_top_down.cc.o.d"
+  "bench_top_down"
+  "bench_top_down.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_top_down.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_suite.dir/bench_tpch_suite.cc.o"
+  "CMakeFiles/bench_tpch_suite.dir/bench_tpch_suite.cc.o.d"
+  "bench_tpch_suite"
+  "bench_tpch_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

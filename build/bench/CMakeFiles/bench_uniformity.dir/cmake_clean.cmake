@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uniformity.dir/bench_uniformity.cc.o"
+  "CMakeFiles/bench_uniformity.dir/bench_uniformity.cc.o.d"
+  "bench_uniformity"
+  "bench_uniformity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uniformity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

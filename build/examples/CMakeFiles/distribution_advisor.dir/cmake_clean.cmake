@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_advisor.dir/distribution_advisor.cpp.o"
+  "CMakeFiles/distribution_advisor.dir/distribution_advisor.cpp.o.d"
+  "distribution_advisor"
+  "distribution_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

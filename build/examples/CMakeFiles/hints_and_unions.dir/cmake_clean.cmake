@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hints_and_unions.dir/hints_and_unions.cpp.o"
+  "CMakeFiles/hints_and_unions.dir/hints_and_unions.cpp.o.d"
+  "hints_and_unions"
+  "hints_and_unions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hints_and_unions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

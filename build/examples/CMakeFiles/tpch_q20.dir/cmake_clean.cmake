@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_q20.dir/tpch_q20.cpp.o"
+  "CMakeFiles/tpch_q20.dir/tpch_q20.cpp.o.d"
+  "tpch_q20"
+  "tpch_q20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_q20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("stats")
+subdirs("catalog")
+subdirs("sql")
+subdirs("algebra")
+subdirs("optimizer")
+subdirs("xmlio")
+subdirs("plan")
+subdirs("pdw")
+subdirs("engine")
+subdirs("dms")
+subdirs("appliance")
+subdirs("tpch")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/binder.cc" "src/algebra/CMakeFiles/pdw_algebra.dir/binder.cc.o" "gcc" "src/algebra/CMakeFiles/pdw_algebra.dir/binder.cc.o.d"
+  "/root/repo/src/algebra/equivalence.cc" "src/algebra/CMakeFiles/pdw_algebra.dir/equivalence.cc.o" "gcc" "src/algebra/CMakeFiles/pdw_algebra.dir/equivalence.cc.o.d"
+  "/root/repo/src/algebra/logical_op.cc" "src/algebra/CMakeFiles/pdw_algebra.dir/logical_op.cc.o" "gcc" "src/algebra/CMakeFiles/pdw_algebra.dir/logical_op.cc.o.d"
+  "/root/repo/src/algebra/normalizer.cc" "src/algebra/CMakeFiles/pdw_algebra.dir/normalizer.cc.o" "gcc" "src/algebra/CMakeFiles/pdw_algebra.dir/normalizer.cc.o.d"
+  "/root/repo/src/algebra/scalar_eval.cc" "src/algebra/CMakeFiles/pdw_algebra.dir/scalar_eval.cc.o" "gcc" "src/algebra/CMakeFiles/pdw_algebra.dir/scalar_eval.cc.o.d"
+  "/root/repo/src/algebra/scalar_expr.cc" "src/algebra/CMakeFiles/pdw_algebra.dir/scalar_expr.cc.o" "gcc" "src/algebra/CMakeFiles/pdw_algebra.dir/scalar_expr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pdw_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/pdw_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pdw_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_algebra.dir/binder.cc.o"
+  "CMakeFiles/pdw_algebra.dir/binder.cc.o.d"
+  "CMakeFiles/pdw_algebra.dir/equivalence.cc.o"
+  "CMakeFiles/pdw_algebra.dir/equivalence.cc.o.d"
+  "CMakeFiles/pdw_algebra.dir/logical_op.cc.o"
+  "CMakeFiles/pdw_algebra.dir/logical_op.cc.o.d"
+  "CMakeFiles/pdw_algebra.dir/normalizer.cc.o"
+  "CMakeFiles/pdw_algebra.dir/normalizer.cc.o.d"
+  "CMakeFiles/pdw_algebra.dir/scalar_eval.cc.o"
+  "CMakeFiles/pdw_algebra.dir/scalar_eval.cc.o.d"
+  "CMakeFiles/pdw_algebra.dir/scalar_expr.cc.o"
+  "CMakeFiles/pdw_algebra.dir/scalar_expr.cc.o.d"
+  "libpdw_algebra.a"
+  "libpdw_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

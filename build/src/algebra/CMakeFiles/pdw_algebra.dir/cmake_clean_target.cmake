@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdw_algebra.a"
+)

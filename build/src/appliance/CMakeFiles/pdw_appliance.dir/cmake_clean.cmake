@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_appliance.dir/appliance.cc.o"
+  "CMakeFiles/pdw_appliance.dir/appliance.cc.o.d"
+  "libpdw_appliance.a"
+  "libpdw_appliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_appliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

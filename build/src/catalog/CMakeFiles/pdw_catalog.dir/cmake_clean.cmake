@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_catalog.dir/catalog.cc.o"
+  "CMakeFiles/pdw_catalog.dir/catalog.cc.o.d"
+  "libpdw_catalog.a"
+  "libpdw_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

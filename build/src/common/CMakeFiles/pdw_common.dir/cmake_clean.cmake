@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_common.dir/datum.cc.o"
+  "CMakeFiles/pdw_common.dir/datum.cc.o.d"
+  "CMakeFiles/pdw_common.dir/row.cc.o"
+  "CMakeFiles/pdw_common.dir/row.cc.o.d"
+  "CMakeFiles/pdw_common.dir/schema.cc.o"
+  "CMakeFiles/pdw_common.dir/schema.cc.o.d"
+  "CMakeFiles/pdw_common.dir/status.cc.o"
+  "CMakeFiles/pdw_common.dir/status.cc.o.d"
+  "CMakeFiles/pdw_common.dir/string_util.cc.o"
+  "CMakeFiles/pdw_common.dir/string_util.cc.o.d"
+  "CMakeFiles/pdw_common.dir/types.cc.o"
+  "CMakeFiles/pdw_common.dir/types.cc.o.d"
+  "libpdw_common.a"
+  "libpdw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

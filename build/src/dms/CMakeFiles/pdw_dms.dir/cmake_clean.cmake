@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_dms.dir/dms_service.cc.o"
+  "CMakeFiles/pdw_dms.dir/dms_service.cc.o.d"
+  "libpdw_dms.a"
+  "libpdw_dms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_dms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_engine.dir/executor.cc.o"
+  "CMakeFiles/pdw_engine.dir/executor.cc.o.d"
+  "CMakeFiles/pdw_engine.dir/local_engine.cc.o"
+  "CMakeFiles/pdw_engine.dir/local_engine.cc.o.d"
+  "libpdw_engine.a"
+  "libpdw_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

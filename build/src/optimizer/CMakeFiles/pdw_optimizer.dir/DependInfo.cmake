@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cardinality.cc" "src/optimizer/CMakeFiles/pdw_optimizer.dir/cardinality.cc.o" "gcc" "src/optimizer/CMakeFiles/pdw_optimizer.dir/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/memo.cc" "src/optimizer/CMakeFiles/pdw_optimizer.dir/memo.cc.o" "gcc" "src/optimizer/CMakeFiles/pdw_optimizer.dir/memo.cc.o.d"
+  "/root/repo/src/optimizer/serial_optimizer.cc" "src/optimizer/CMakeFiles/pdw_optimizer.dir/serial_optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/pdw_optimizer.dir/serial_optimizer.cc.o.d"
+  "/root/repo/src/optimizer/stats_context.cc" "src/optimizer/CMakeFiles/pdw_optimizer.dir/stats_context.cc.o" "gcc" "src/optimizer/CMakeFiles/pdw_optimizer.dir/stats_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/pdw_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/pdw_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/pdw_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pdw_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pdw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

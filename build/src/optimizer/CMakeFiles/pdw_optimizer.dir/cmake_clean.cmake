@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_optimizer.dir/cardinality.cc.o"
+  "CMakeFiles/pdw_optimizer.dir/cardinality.cc.o.d"
+  "CMakeFiles/pdw_optimizer.dir/memo.cc.o"
+  "CMakeFiles/pdw_optimizer.dir/memo.cc.o.d"
+  "CMakeFiles/pdw_optimizer.dir/serial_optimizer.cc.o"
+  "CMakeFiles/pdw_optimizer.dir/serial_optimizer.cc.o.d"
+  "CMakeFiles/pdw_optimizer.dir/stats_context.cc.o"
+  "CMakeFiles/pdw_optimizer.dir/stats_context.cc.o.d"
+  "libpdw_optimizer.a"
+  "libpdw_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdw/baseline.cc" "src/pdw/CMakeFiles/pdw_core.dir/baseline.cc.o" "gcc" "src/pdw/CMakeFiles/pdw_core.dir/baseline.cc.o.d"
+  "/root/repo/src/pdw/compiler.cc" "src/pdw/CMakeFiles/pdw_core.dir/compiler.cc.o" "gcc" "src/pdw/CMakeFiles/pdw_core.dir/compiler.cc.o.d"
+  "/root/repo/src/pdw/cost_model.cc" "src/pdw/CMakeFiles/pdw_core.dir/cost_model.cc.o" "gcc" "src/pdw/CMakeFiles/pdw_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/pdw/dsql.cc" "src/pdw/CMakeFiles/pdw_core.dir/dsql.cc.o" "gcc" "src/pdw/CMakeFiles/pdw_core.dir/dsql.cc.o.d"
+  "/root/repo/src/pdw/interesting_props.cc" "src/pdw/CMakeFiles/pdw_core.dir/interesting_props.cc.o" "gcc" "src/pdw/CMakeFiles/pdw_core.dir/interesting_props.cc.o.d"
+  "/root/repo/src/pdw/pdw_optimizer.cc" "src/pdw/CMakeFiles/pdw_core.dir/pdw_optimizer.cc.o" "gcc" "src/pdw/CMakeFiles/pdw_core.dir/pdw_optimizer.cc.o.d"
+  "/root/repo/src/pdw/sql_gen.cc" "src/pdw/CMakeFiles/pdw_core.dir/sql_gen.cc.o" "gcc" "src/pdw/CMakeFiles/pdw_core.dir/sql_gen.cc.o.d"
+  "/root/repo/src/pdw/top_down.cc" "src/pdw/CMakeFiles/pdw_core.dir/top_down.cc.o" "gcc" "src/pdw/CMakeFiles/pdw_core.dir/top_down.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/pdw_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/pdw_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlio/CMakeFiles/pdw_xmlio.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/pdw_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/pdw_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pdw_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pdw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/pdw_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

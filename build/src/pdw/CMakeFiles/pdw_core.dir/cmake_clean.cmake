@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_core.dir/baseline.cc.o"
+  "CMakeFiles/pdw_core.dir/baseline.cc.o.d"
+  "CMakeFiles/pdw_core.dir/compiler.cc.o"
+  "CMakeFiles/pdw_core.dir/compiler.cc.o.d"
+  "CMakeFiles/pdw_core.dir/cost_model.cc.o"
+  "CMakeFiles/pdw_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/pdw_core.dir/dsql.cc.o"
+  "CMakeFiles/pdw_core.dir/dsql.cc.o.d"
+  "CMakeFiles/pdw_core.dir/interesting_props.cc.o"
+  "CMakeFiles/pdw_core.dir/interesting_props.cc.o.d"
+  "CMakeFiles/pdw_core.dir/pdw_optimizer.cc.o"
+  "CMakeFiles/pdw_core.dir/pdw_optimizer.cc.o.d"
+  "CMakeFiles/pdw_core.dir/sql_gen.cc.o"
+  "CMakeFiles/pdw_core.dir/sql_gen.cc.o.d"
+  "CMakeFiles/pdw_core.dir/top_down.cc.o"
+  "CMakeFiles/pdw_core.dir/top_down.cc.o.d"
+  "libpdw_core.a"
+  "libpdw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_plan.dir/distribution.cc.o"
+  "CMakeFiles/pdw_plan.dir/distribution.cc.o.d"
+  "CMakeFiles/pdw_plan.dir/plan_node.cc.o"
+  "CMakeFiles/pdw_plan.dir/plan_node.cc.o.d"
+  "libpdw_plan.a"
+  "libpdw_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

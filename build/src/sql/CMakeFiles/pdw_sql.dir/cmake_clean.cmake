@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_sql.dir/ast.cc.o"
+  "CMakeFiles/pdw_sql.dir/ast.cc.o.d"
+  "CMakeFiles/pdw_sql.dir/lexer.cc.o"
+  "CMakeFiles/pdw_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/pdw_sql.dir/parser.cc.o"
+  "CMakeFiles/pdw_sql.dir/parser.cc.o.d"
+  "libpdw_sql.a"
+  "libpdw_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

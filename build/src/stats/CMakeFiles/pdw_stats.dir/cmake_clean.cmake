@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_stats.dir/column_stats.cc.o"
+  "CMakeFiles/pdw_stats.dir/column_stats.cc.o.d"
+  "CMakeFiles/pdw_stats.dir/histogram.cc.o"
+  "CMakeFiles/pdw_stats.dir/histogram.cc.o.d"
+  "libpdw_stats.a"
+  "libpdw_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_tpch.dir/tpch.cc.o"
+  "CMakeFiles/pdw_tpch.dir/tpch.cc.o.d"
+  "libpdw_tpch.a"
+  "libpdw_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_xml.dir/xml.cc.o"
+  "CMakeFiles/pdw_xml.dir/xml.cc.o.d"
+  "libpdw_xml.a"
+  "libpdw_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

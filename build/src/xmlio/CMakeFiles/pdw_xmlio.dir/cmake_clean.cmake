@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_xmlio.dir/memo_xml.cc.o"
+  "CMakeFiles/pdw_xmlio.dir/memo_xml.cc.o.d"
+  "libpdw_xmlio.a"
+  "libpdw_xmlio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_xmlio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appliance_test.dir/appliance_test.cc.o"
+  "CMakeFiles/appliance_test.dir/appliance_test.cc.o.d"
+  "appliance_test"
+  "appliance_test.pdb"
+  "appliance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appliance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dms_test.dir/dms_test.cc.o"
+  "CMakeFiles/dms_test.dir/dms_test.cc.o.d"
+  "dms_test"
+  "dms_test.pdb"
+  "dms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

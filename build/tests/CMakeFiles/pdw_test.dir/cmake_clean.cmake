@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdw_test.dir/pdw_test.cc.o"
+  "CMakeFiles/pdw_test.dir/pdw_test.cc.o.d"
+  "pdw_test"
+  "pdw_test.pdb"
+  "pdw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xmlio_test.cc" "tests/CMakeFiles/xmlio_test.dir/xmlio_test.cc.o" "gcc" "tests/CMakeFiles/xmlio_test.dir/xmlio_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xmlio/CMakeFiles/pdw_xmlio.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/pdw_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/pdw_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/pdw_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/pdw_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pdw_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pdw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/pdw_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlio_test.dir/xmlio_test.cc.o"
+  "CMakeFiles/xmlio_test.dir/xmlio_test.cc.o.d"
+  "xmlio_test"
+  "xmlio_test.pdb"
+  "xmlio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
