@@ -12,7 +12,7 @@
 namespace pdw {
 namespace {
 
-void Run() {
+void Run(bench::ProfileJsonSink* sink) {
   bench::Header("TPCH-SUITE: PDW optimizer vs parallelized-serial baseline");
   auto appliance = bench::MakeTpchAppliance(8, 0.2);
 
@@ -41,9 +41,12 @@ void Run() {
       continue;
     }
     // visible-column handling: compare against the distributed run that
-    // goes through the full Execute path (trimmed).
-    auto dist = appliance->Execute(q.sql);
+    // goes through the full Execute path (trimmed). With a JSON sink the
+    // run also collects per-operator actuals for the profile dump.
+    auto dist = sink->enabled() ? appliance->ExecuteAnalyze(q.sql)
+                                : appliance->Execute(q.sql);
     bool match = dist.ok() && RowSetsEqual(dist->rows, ref->rows);
+    if (dist.ok()) sink->Add(q.name, dist->profile);
 
     double pdw_bytes = pdw_run->dms_metrics.network.bytes +
                        pdw_run->dms_metrics.bulkcopy.bytes;
@@ -70,7 +73,9 @@ void Run() {
 }  // namespace
 }  // namespace pdw
 
-int main() {
-  pdw::Run();
+int main(int argc, char** argv) {
+  pdw::bench::ProfileJsonSink sink(argc, argv);
+  pdw::Run(&sink);
+  sink.Flush();
   return 0;
 }

@@ -3,10 +3,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "appliance/appliance.h"
+#include "obs/query_profile.h"
 #include "tpch/tpch.h"
 
 namespace pdw::bench {
@@ -51,6 +56,69 @@ inline void Header(const char* title) {
   std::printf("%s\n", title);
   std::printf("==============================================================\n");
 }
+
+/// Collects per-query QueryProfiles and dumps them as one JSON document.
+/// Enabled by `--json[=path]` on the command line or the PDW_PROFILE_JSON
+/// environment variable (value = output path); `--json` alone or an empty
+/// env value writes to stdout. Disabled sinks ignore Add().
+class ProfileJsonSink {
+ public:
+  ProfileJsonSink(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        enabled_ = true;
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        enabled_ = true;
+        path_ = argv[i] + 7;
+      }
+    }
+    if (const char* env = std::getenv("PDW_PROFILE_JSON")) {
+      enabled_ = true;
+      if (path_.empty()) path_ = env;
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  void Add(const std::string& name, const obs::QueryProfile& profile) {
+    if (enabled_) profiles_.emplace_back(name, profile.ToJson());
+  }
+
+  /// Writes `{"profiles":[{"name":...,"profile":{...}},...]}` and reports
+  /// where it went. Safe to call on a disabled sink (no-op).
+  void Flush() {
+    if (!enabled_ || flushed_) return;
+    flushed_ = true;
+    std::string out = "{\"profiles\":[";
+    for (size_t i = 0; i < profiles_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "{\"name\":\"" + profiles_[i].first +
+             "\",\"profile\":" + profiles_[i].second + "}";
+    }
+    out += "]}\n";
+    if (path_.empty()) {
+      std::fputs(out.c_str(), stdout);
+      return;
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for profile JSON\n", path_.c_str());
+      return;
+    }
+    std::fputs(out.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %zu query profiles to %s\n", profiles_.size(),
+                path_.c_str());
+  }
+
+  ~ProfileJsonSink() { Flush(); }
+
+ private:
+  bool enabled_ = false;
+  bool flushed_ = false;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> profiles_;
+};
 
 }  // namespace pdw::bench
 

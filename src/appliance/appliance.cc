@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
+#include "plan/distribution.h"
 #include "sql/parser.h"
 
 namespace pdw {
@@ -14,6 +16,37 @@ double NowSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Sums one node's per-operator actuals into the step aggregate. Plans are
+/// compiled per node against local catalogs, so shapes could in principle
+/// diverge; aggregation only happens when every operator lines up, else the
+/// first node's profile is kept as-is.
+void MergeOperators(const std::vector<obs::OperatorProfile>& from,
+                    std::vector<obs::OperatorProfile>* into) {
+  if (into->empty()) {
+    *into = from;
+    return;
+  }
+  if (into->size() != from.size()) return;
+  for (size_t i = 0; i < from.size(); ++i) {
+    if ((*into)[i].name != from[i].name) return;
+  }
+  for (size_t i = 0; i < from.size(); ++i) {
+    obs::OperatorProfile& dst = (*into)[i];
+    dst.estimated_rows += from[i].estimated_rows;
+    dst.actual_rows += from[i].actual_rows;
+    dst.seconds += from[i].seconds;
+    dst.nodes += from[i].nodes;
+  }
+}
+
+void FillComponents(const DmsRunMetrics& m, obs::StepProfile* sp) {
+  sp->reader = {m.reader.bytes, m.reader.seconds};
+  sp->network = {m.network.bytes, m.network.seconds};
+  sp->writer = {m.writer.bytes, m.writer.seconds};
+  sp->bulkcopy = {m.bulkcopy.bytes, m.bulkcopy.seconds};
+  sp->rows_moved = static_cast<double>(m.rows_moved);
 }
 
 void Accumulate(const DmsRunMetrics& from, DmsRunMetrics* to) {
@@ -149,12 +182,15 @@ Status Appliance::DropTemps(const std::vector<std::string>& temps) {
   return Status::OK();
 }
 
-Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql) {
+Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
+                                               bool profile_operators) {
   ApplianceResult result;
   result.dsql = dsql;
   result.column_names = dsql.output_names;
   double start = NowSeconds();
   std::vector<std::string> temps;
+  obs::TraceSpan dsql_span("appliance.execute_dsql");
+  dsql_span.AddAttr("steps", static_cast<double>(dsql.steps.size()));
 
   auto engine_of = [&](int node) -> LocalEngine& {
     return node == dms_.control_node() ? control_
@@ -167,17 +203,36 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql) {
     return s;
   };
 
+  int step_index = 0;
   for (const DsqlStep& step : dsql.steps) {
+    obs::StepProfile sp;
+    sp.index = step_index++;
+    sp.sql = step.sql;
+    sp.estimated_rows = step.estimated_rows;
+    sp.estimated_cost = step.estimated_cost;
+    double step_start = NowSeconds();
+
     if (step.kind == DsqlStepKind::kDms) {
+      sp.kind = "DMS";
+      sp.move_kind = DmsOpKindToString(step.move_kind);
+      sp.dest_table = step.dest_table;
+      obs::TraceSpan step_span("dsql.step");
+      step_span.AddAttr("kind", sp.move_kind);
+      step_span.AddAttr("dest", step.dest_table);
       // 1. Run the step's SQL on every source node.
       int slots = dms_.num_compute_nodes() + 1;
       std::vector<RowVector> source_rows(static_cast<size_t>(slots));
       for (int node : SourceNodes(step)) {
-        auto rows = engine_of(node).ExecuteSql(step.sql);
+        ExecProfile node_profile;
+        auto rows = engine_of(node).ExecuteSql(
+            step.sql, profile_operators ? &node_profile : nullptr);
         if (!rows.ok()) {
           return cleanup_and_fail(Status::ExecutionError(
               "DSQL step failed on node " + std::to_string(node) + ": " +
               rows.status().ToString() + "\nSQL: " + step.sql));
+        }
+        if (profile_operators) {
+          MergeOperators(node_profile.operators, &sp.operators);
         }
         source_rows[static_cast<size_t>(node)] = std::move(rows->rows);
       }
@@ -187,6 +242,8 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql) {
                                  step.hash_column_ordinals, &metrics);
       if (!routed.ok()) return cleanup_and_fail(routed.status());
       Accumulate(metrics, &result.dms_metrics);
+      FillComponents(metrics, &sp);
+      sp.actual_rows = static_cast<double>(metrics.rows_moved);
       // 3. Materialize the destination temp table on every target node.
       TableDef temp_def;
       temp_def.name = step.dest_table;
@@ -201,17 +258,27 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql) {
             std::move((*routed)[static_cast<size_t>(node)]));
         if (!s.ok()) return cleanup_and_fail(s);
       }
+      sp.measured_seconds = NowSeconds() - step_start;
+      result.profile.steps.push_back(std::move(sp));
       continue;
     }
 
     // Return step: run per source node, assemble, finalize.
+    sp.kind = "RETURN";
+    obs::TraceSpan step_span("dsql.step");
+    step_span.AddAttr("kind", std::string("Return"));
     RowVector assembled;
     for (int node : SourceNodes(step)) {
-      auto rows = engine_of(node).ExecuteSql(step.sql);
+      ExecProfile node_profile;
+      auto rows = engine_of(node).ExecuteSql(
+          step.sql, profile_operators ? &node_profile : nullptr);
       if (!rows.ok()) {
         return cleanup_and_fail(Status::ExecutionError(
             "Return step failed on node " + std::to_string(node) + ": " +
             rows.status().ToString() + "\nSQL: " + step.sql));
+      }
+      if (profile_operators) {
+        MergeOperators(node_profile.operators, &sp.operators);
       }
       if (result.column_names.empty()) {
         result.column_names = rows->column_names;
@@ -245,24 +312,77 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql) {
       }
     }
     result.rows = std::move(assembled);
+    sp.actual_rows = static_cast<double>(result.rows.size());
+    sp.measured_seconds = NowSeconds() - step_start;
+    result.profile.steps.push_back(std::move(sp));
   }
 
   PDW_RETURN_NOT_OK(DropTemps(temps));
   result.measured_seconds = NowSeconds() - start;
+  result.profile.measured_seconds = result.measured_seconds;
+  result.profile.modeled_cost = dsql.total_move_cost;
+  return result;
+}
+
+Result<ApplianceResult> Appliance::ExecuteInternal(
+    const std::string& sql, const PdwCompilerOptions& options,
+    bool profile_operators) {
+  obs::TraceSpan span("appliance.execute");
+  PDW_ASSIGN_OR_RETURN(PdwCompilation comp, CompilePdwQuery(shell_, sql, options));
+  double t0 = NowSeconds();
+  DsqlPlan dsql;
+  {
+    obs::TraceSpan gen("compile.dsql_gen");
+    PDW_ASSIGN_OR_RETURN(dsql,
+                         GenerateDsql(*comp.parallel.plan, comp.output_names,
+                                      "tpch", comp.serial.visible_columns));
+  }
+  comp.phase_seconds.emplace_back("dsql_gen", NowSeconds() - t0);
+  PDW_ASSIGN_OR_RETURN(ApplianceResult result,
+                       ExecuteDsql(dsql, profile_operators));
+  result.modeled_cost = comp.parallel.cost;
+  result.plan_text = PlanTreeToString(*comp.parallel.plan);
+  if (result.column_names.empty()) result.column_names = comp.output_names;
+
+  obs::QueryProfile& profile = result.profile;
+  profile.sql = sql;
+  for (const auto& [name, seconds] : comp.phase_seconds) {
+    profile.compile_phases.push_back({name, seconds});
+    profile.compile_seconds += seconds;
+  }
+  profile.optimizer.groups =
+      static_cast<double>(comp.parallel.groups_optimized);
+  profile.optimizer.options_considered =
+      static_cast<double>(comp.parallel.options_considered);
+  profile.optimizer.options_kept =
+      static_cast<double>(comp.parallel.options_kept);
+  profile.optimizer.options_pruned =
+      static_cast<double>(comp.parallel.options_pruned);
+  profile.optimizer.enforcers_inserted =
+      static_cast<double>(comp.parallel.enforcers_inserted);
+  profile.modeled_cost = comp.parallel.cost;
   return result;
 }
 
 Result<ApplianceResult> Appliance::Execute(const std::string& sql,
                                            const PdwCompilerOptions& options) {
-  PDW_ASSIGN_OR_RETURN(PdwCompilation comp, CompilePdwQuery(shell_, sql, options));
-  PDW_ASSIGN_OR_RETURN(DsqlPlan dsql,
-                       GenerateDsql(*comp.parallel.plan, comp.output_names,
-                                    "tpch", comp.serial.visible_columns));
-  PDW_ASSIGN_OR_RETURN(ApplianceResult result, ExecuteDsql(dsql));
-  result.modeled_cost = comp.parallel.cost;
-  result.plan_text = PlanTreeToString(*comp.parallel.plan);
-  if (result.column_names.empty()) result.column_names = comp.output_names;
-  return result;
+  return ExecuteInternal(sql, options, /*profile_operators=*/false);
+}
+
+Result<ApplianceResult> Appliance::ExecuteAnalyze(
+    const std::string& sql, const PdwCompilerOptions& options) {
+  return ExecuteInternal(sql, options, /*profile_operators=*/true);
+}
+
+Result<std::string> Appliance::ExplainAnalyze(const std::string& sql,
+                                              const PdwCompilerOptions& options) {
+  PDW_ASSIGN_OR_RETURN(ApplianceResult result, ExecuteAnalyze(sql, options));
+  std::string out = "-- parallel plan (modeled DMS cost " +
+                    StringFormat("%.6f", result.modeled_cost) + ")\n";
+  out += result.plan_text;
+  out += "\n";
+  out += result.profile.ToText();
+  return out;
 }
 
 Result<std::string> Appliance::Explain(const std::string& sql,

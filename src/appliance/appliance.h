@@ -7,6 +7,7 @@
 
 #include "dms/dms_service.h"
 #include "engine/local_engine.h"
+#include "obs/query_profile.h"
 #include "pdw/compiler.h"
 #include "pdw/dsql.h"
 
@@ -21,6 +22,12 @@ struct ApplianceResult {
   double measured_seconds = 0;  ///< Wall time of DSQL execution.
   DmsRunMetrics dms_metrics;    ///< Accumulated over all DMS steps.
   std::string plan_text;        ///< EXPLAIN of the parallel plan.
+  /// Estimated-vs-actual profile: compile-phase timings, optimizer search
+  /// counters, and one StepProfile per DSQL step (per-component DMS bytes,
+  /// modeled cost vs measured seconds, estimated vs actual rows).
+  /// Per-operator executor actuals are collected only by ExecuteAnalyze /
+  /// ExplainAnalyze.
+  obs::QueryProfile profile;
 };
 
 /// The full PDW appliance simulator (Fig. 1): a control node and N compute
@@ -56,6 +63,17 @@ class Appliance {
   Result<ApplianceResult> Execute(const std::string& sql,
                                   const PdwCompilerOptions& options = {});
 
+  /// Like Execute, but additionally collects per-operator actual row counts
+  /// and timings inside every node-local plan (EXPLAIN ANALYZE data).
+  Result<ApplianceResult> ExecuteAnalyze(const std::string& sql,
+                                         const PdwCompilerOptions& options = {});
+
+  /// Executes the query and renders the DSQL plan annotated per step with
+  /// modeled DMS cost vs measured wall time, estimated vs actual rows
+  /// (flagging large misestimates), and per-component DMS bytes.
+  Result<std::string> ExplainAnalyze(const std::string& sql,
+                                     const PdwCompilerOptions& options = {});
+
   /// Compiles a SELECT and returns its parallel plan + DSQL rendering
   /// without executing anything (EXPLAIN).
   Result<std::string> Explain(const std::string& sql,
@@ -77,7 +95,11 @@ class Appliance {
   LocalEngine& control_engine() { return control_; }
 
  private:
-  Result<ApplianceResult> ExecuteDsql(const DsqlPlan& dsql);
+  Result<ApplianceResult> ExecuteInternal(const std::string& sql,
+                                          const PdwCompilerOptions& options,
+                                          bool profile_operators);
+  Result<ApplianceResult> ExecuteDsql(const DsqlPlan& dsql,
+                                      bool profile_operators = false);
   /// Nodes that run a step's source SQL.
   std::vector<int> SourceNodes(const DsqlStep& step) const;
   /// Nodes that must host a DMS step's destination temp table.

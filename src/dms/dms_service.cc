@@ -5,6 +5,9 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "obs/format.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pdw {
 
@@ -24,12 +27,15 @@ void AppendBytes(const void* data, size_t n, std::vector<uint8_t>* buffer) {
 }  // namespace
 
 std::string DmsRunMetrics::ToString() const {
-  return StringFormat(
-      "rows=%.0f reader{%.0fB %.6fs} network{%.0fB %.6fs} "
-      "writer{%.0fB %.6fs} bulkcopy{%.0fB %.6fs} wall=%.6fs",
-      rows_moved, reader.bytes, reader.seconds, network.bytes,
-      network.seconds, writer.bytes, writer.seconds, bulkcopy.bytes,
-      bulkcopy.seconds, wall_seconds);
+  // All byte/seconds rendering goes through the shared obs helpers so DMS,
+  // optimizer, and executor metrics read identically.
+  return "rows=" + obs::FormatCount(rows_moved) + " " +
+         obs::FormatComponent("reader", reader.bytes, reader.seconds) + " " +
+         obs::FormatComponent("network", network.bytes, network.seconds) +
+         " " + obs::FormatComponent("writer", writer.bytes, writer.seconds) +
+         " " +
+         obs::FormatComponent("bulkcopy", bulkcopy.bytes, bulkcopy.seconds) +
+         " wall=" + obs::FormatSeconds(wall_seconds);
 }
 
 size_t PackRow(const Row& row, std::vector<uint8_t>* buffer) {
@@ -146,7 +152,10 @@ Result<std::vector<RowVector>> DmsService::Execute(
   }
   DmsRunMetrics local_metrics;
   DmsRunMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  const DmsRunMetrics before = *m;  // callers may pass accumulators
   double wall_start = NowSeconds();
+  obs::TraceSpan span("dms.execute");
+  span.AddAttr("kind", std::string(DmsOpKindToString(kind)));
 
   bool hashes = kind == DmsOpKind::kShuffle || kind == DmsOpKind::kTrimMove;
   if (hashes && hash_ordinals.empty()) {
@@ -239,6 +248,19 @@ Result<std::vector<RowVector>> DmsService::Execute(
   }
   m->bulkcopy.seconds += NowSeconds() - t0;
   m->wall_seconds += NowSeconds() - wall_start;
+
+  // Fold this run's component meters into the process-wide registry.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.Count("dms.executions");
+  reg.Count("dms.rows_moved", m->rows_moved - before.rows_moved);
+  reg.Count("dms.reader.bytes", m->reader.bytes - before.reader.bytes);
+  reg.Count("dms.network.bytes", m->network.bytes - before.network.bytes);
+  reg.Count("dms.writer.bytes", m->writer.bytes - before.writer.bytes);
+  reg.Count("dms.bulkcopy.bytes", m->bulkcopy.bytes - before.bulkcopy.bytes);
+  if (span.active()) {
+    span.AddAttr("rows", m->rows_moved - before.rows_moved);
+    span.AddAttr("network_bytes", m->network.bytes - before.network.bytes);
+  }
   return result;
 }
 

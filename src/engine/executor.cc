@@ -1,14 +1,22 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 #include "algebra/scalar_eval.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace pdw {
 
 namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 ColumnOrdinalMap OrdinalsOf(const std::vector<ColumnBinding>& output) {
   ColumnOrdinalMap map;
@@ -361,10 +369,13 @@ Result<RowVector> ExecuteSort(const PlanNode& node, RowVector input) {
   return input;
 }
 
-}  // namespace
+Result<RowVector> ExecuteNode(const PlanNode& plan, const TableProvider& tables,
+                              ExecProfile* profile, int depth);
 
-Result<RowVector> ExecutePlan(const PlanNode& plan,
-                              const TableProvider& tables) {
+/// The operator dispatch, shared by the plain and the profiled path.
+Result<RowVector> DispatchNode(const PlanNode& plan,
+                               const TableProvider& tables,
+                               ExecProfile* profile, int depth) {
   switch (plan.kind) {
     case PhysOpKind::kTableScan:
     case PhysOpKind::kTempScan:
@@ -373,38 +384,38 @@ Result<RowVector> ExecutePlan(const PlanNode& plan,
       return RowVector{};
     case PhysOpKind::kFilter: {
       PDW_ASSIGN_OR_RETURN(RowVector input,
-                           ExecutePlan(*plan.children[0], tables));
+                           ExecuteNode(*plan.children[0], tables, profile, depth + 1));
       return ExecuteFilter(plan, std::move(input));
     }
     case PhysOpKind::kProject: {
       PDW_ASSIGN_OR_RETURN(RowVector input,
-                           ExecutePlan(*plan.children[0], tables));
+                           ExecuteNode(*plan.children[0], tables, profile, depth + 1));
       return ExecuteProject(plan, std::move(input),
                             plan.children[0]->output);
     }
     case PhysOpKind::kHashJoin:
     case PhysOpKind::kNestedLoopJoin: {
       PDW_ASSIGN_OR_RETURN(RowVector left,
-                           ExecutePlan(*plan.children[0], tables));
+                           ExecuteNode(*plan.children[0], tables, profile, depth + 1));
       PDW_ASSIGN_OR_RETURN(RowVector right,
-                           ExecutePlan(*plan.children[1], tables));
+                           ExecuteNode(*plan.children[1], tables, profile, depth + 1));
       return ExecuteJoin(plan, std::move(left), std::move(right),
                          plan.children[0]->output, plan.children[1]->output);
     }
     case PhysOpKind::kHashAggregate: {
       PDW_ASSIGN_OR_RETURN(RowVector input,
-                           ExecutePlan(*plan.children[0], tables));
+                           ExecuteNode(*plan.children[0], tables, profile, depth + 1));
       return ExecuteAggregate(plan, std::move(input),
                               plan.children[0]->output);
     }
     case PhysOpKind::kSort: {
       PDW_ASSIGN_OR_RETURN(RowVector input,
-                           ExecutePlan(*plan.children[0], tables));
+                           ExecuteNode(*plan.children[0], tables, profile, depth + 1));
       return ExecuteSort(plan, std::move(input));
     }
     case PhysOpKind::kLimit: {
       PDW_ASSIGN_OR_RETURN(RowVector input,
-                           ExecutePlan(*plan.children[0], tables));
+                           ExecuteNode(*plan.children[0], tables, profile, depth + 1));
       if (plan.limit >= 0 &&
           input.size() > static_cast<size_t>(plan.limit)) {
         input.resize(static_cast<size_t>(plan.limit));
@@ -415,7 +426,7 @@ Result<RowVector> ExecutePlan(const PlanNode& plan,
       RowVector out;
       for (size_t i = 0; i < plan.children.size(); ++i) {
         PDW_ASSIGN_OR_RETURN(RowVector rows,
-                             ExecutePlan(*plan.children[i], tables));
+                             ExecuteNode(*plan.children[i], tables, profile, depth + 1));
         // Re-order each child's row positionally via union_inputs.
         ColumnOrdinalMap ords = OrdinalsOf(plan.children[i]->output);
         std::vector<int> positions;
@@ -441,6 +452,44 @@ Result<RowVector> ExecutePlan(const PlanNode& plan,
           "service, not the per-node engine");
   }
   return Status::Internal("unreachable plan kind in executor");
+}
+
+Result<RowVector> ExecuteNode(const PlanNode& plan, const TableProvider& tables,
+                              ExecProfile* profile, int depth) {
+  if (profile == nullptr) return DispatchNode(plan, tables, nullptr, depth);
+
+  // Reserve the record before recursing so operators stay in pre-order.
+  size_t slot = profile->operators.size();
+  profile->operators.emplace_back();
+  double t0 = NowSeconds();
+  Result<RowVector> rows = DispatchNode(plan, tables, profile, depth);
+  obs::OperatorProfile& op = profile->operators[slot];
+  op.depth = depth;
+  op.name = PhysOpKindToString(plan.kind);
+  if (plan.kind == PhysOpKind::kTableScan || plan.kind == PhysOpKind::kTempScan) {
+    op.name += "(" + plan.table_name + ")";
+  } else if (plan.kind == PhysOpKind::kHashAggregate &&
+             plan.agg_phase != AggPhase::kFull) {
+    op.name += plan.agg_phase == AggPhase::kLocal ? "(local)" : "(global)";
+  }
+  op.estimated_rows = plan.cardinality;
+  op.seconds = NowSeconds() - t0;
+  op.nodes = 1;
+  if (rows.ok()) op.actual_rows = static_cast<double>(rows->size());
+  return rows;
+}
+
+}  // namespace
+
+Result<RowVector> ExecutePlan(const PlanNode& plan,
+                              const TableProvider& tables,
+                              ExecProfile* profile) {
+  Result<RowVector> rows = ExecuteNode(plan, tables, profile, 0);
+  if (profile != nullptr && rows.ok()) {
+    obs::MetricsRegistry::Global().Count("executor.rows_out",
+                                         static_cast<double>(rows->size()));
+  }
+  return rows;
 }
 
 }  // namespace pdw

@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "common/row.h"
 #include "common/schema.h"
+#include "obs/query_profile.h"
 #include "plan/plan_node.h"
 
 namespace pdw {
@@ -24,13 +25,26 @@ class TableProvider {
   virtual Result<TableData> GetTableData(const std::string& name) const = 0;
 };
 
+/// Per-operator actuals of one plan execution, pre-order over the plan
+/// tree. Filled only when a profile is passed to ExecutePlan; timings are
+/// inclusive of children (EXPLAIN ANALYZE convention).
+struct ExecProfile {
+  std::vector<obs::OperatorProfile> operators;
+};
+
 /// Interprets a physical plan (without Move nodes) over materialized rows:
 /// scans, filters, projections, hash/nested-loop joins of all logical join
 /// types, hash aggregation (full/local/global phases behave identically at
 /// this level — the phase difference is in which rows each node holds),
 /// sort and limit. This is the per-node "SQL Server" execution backbone.
+///
+/// With a non-null `profile`, every operator records its emitted row count
+/// and inclusive wall time (and bumps the global `executor.rows_out`
+/// counter at the root); with nullptr the instrumented path is skipped
+/// entirely.
 Result<RowVector> ExecutePlan(const PlanNode& plan,
-                              const TableProvider& tables);
+                              const TableProvider& tables,
+                              ExecProfile* profile = nullptr);
 
 }  // namespace pdw
 

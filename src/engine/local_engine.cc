@@ -78,7 +78,8 @@ Result<TableStats> LocalEngine::ComputeLocalStats(const std::string& name,
   return stats;
 }
 
-Result<SqlResult> LocalEngine::ExecuteSql(const std::string& sql) {
+Result<SqlResult> LocalEngine::ExecuteSql(const std::string& sql,
+                                          ExecProfile* profile) {
   PDW_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
   SqlResult result;
   switch (stmt.kind) {
@@ -147,7 +148,7 @@ Result<SqlResult> LocalEngine::ExecuteSql(const std::string& sql) {
                        CompileSelect(catalog_, *stmt.select));
   PDW_ASSIGN_OR_RETURN(PlanNodePtr plan,
                        ExtractBestSerialPlan(comp.memo.get()));
-  PDW_ASSIGN_OR_RETURN(result.rows, ExecutePlan(*plan, *this));
+  PDW_ASSIGN_OR_RETURN(result.rows, ExecutePlan(*plan, *this, profile));
   result.column_names = comp.output_names;
   for (const auto& b : plan->output) result.column_types.push_back(b.type);
   // Trim hidden ORDER BY carrier columns.

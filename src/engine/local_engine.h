@@ -46,7 +46,10 @@ class LocalEngine : public TableProvider {
                                        int histogram_buckets = 32);
 
   /// Executes a SELECT (or CREATE TABLE / DROP TABLE / INSERT) statement.
-  Result<SqlResult> ExecuteSql(const std::string& sql);
+  /// A non-null `profile` collects per-operator actual row counts and
+  /// timings of the SELECT's plan (EXPLAIN ANALYZE support).
+  Result<SqlResult> ExecuteSql(const std::string& sql,
+                               ExecProfile* profile = nullptr);
 
   // TableProvider:
   Result<TableData> GetTableData(const std::string& name) const override;

@@ -1,0 +1,89 @@
+#include "obs/format.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace pdw::obs {
+
+std::string FormatBytes(double bytes) {
+  double v = std::fabs(bytes);
+  const char* unit = "B";
+  double scale = 1;
+  if (v >= 1024.0 * 1024.0 * 1024.0) {
+    unit = "GB";
+    scale = 1024.0 * 1024.0 * 1024.0;
+  } else if (v >= 1024.0 * 1024.0) {
+    unit = "MB";
+    scale = 1024.0 * 1024.0;
+  } else if (v >= 1024.0) {
+    unit = "KB";
+    scale = 1024.0;
+  } else {
+    return StringFormat("%.0fB", bytes);
+  }
+  return StringFormat("%.2f%s", bytes / scale, unit);
+}
+
+std::string FormatSeconds(double seconds) {
+  double v = std::fabs(seconds);
+  if (v >= 1.0) return StringFormat("%.3fs", seconds);
+  if (v >= 1e-3) return StringFormat("%.2fms", seconds * 1e3);
+  if (v >= 1e-6) return StringFormat("%.2fus", seconds * 1e6);
+  if (v > 0) return StringFormat("%.0fns", seconds * 1e9);
+  return "0s";
+}
+
+std::string FormatCount(double count) {
+  if (std::fabs(count) >= 1e7) return StringFormat("%.3g", count);
+  if (count == std::floor(count)) {
+    return StringFormat("%lld", static_cast<long long>(count));
+  }
+  return StringFormat("%.2f", count);
+}
+
+std::string FormatComponent(const char* name, double bytes, double seconds) {
+  return StringFormat("%s{%s %s}", name, FormatBytes(bytes).c_str(),
+                      FormatSeconds(seconds).c_str());
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    return StringFormat("%lld", static_cast<long long>(value));
+  }
+  return StringFormat("%.9g", value);
+}
+
+}  // namespace pdw::obs

@@ -1,0 +1,33 @@
+#ifndef PDW_OBS_FORMAT_H_
+#define PDW_OBS_FORMAT_H_
+
+#include <string>
+
+namespace pdw::obs {
+
+/// Human-readable byte count with a binary-prefix unit ("482B", "12.3KB",
+/// "4.56MB"). All metric renderers (DMS, executor, optimizer) share this so
+/// byte counts look identical everywhere.
+std::string FormatBytes(double bytes);
+
+/// Human-readable duration ("835ns", "1.24ms", "3.50s").
+std::string FormatSeconds(double seconds);
+
+/// Plain count with thousands kept readable ("1480", "1.25e+07" past 1e7).
+std::string FormatCount(double count);
+
+/// One metered component as "name{bytes seconds}" — the shared rendering of
+/// a (bytes, seconds) pair used by DmsRunMetrics and the query profile.
+std::string FormatComponent(const char* name, double bytes, double seconds);
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Formats a double as a JSON number (no trailing garbage, "0" for zero,
+/// NaN/Inf mapped to 0 since JSON has no encoding for them).
+std::string JsonNumber(double value);
+
+}  // namespace pdw::obs
+
+#endif  // PDW_OBS_FORMAT_H_

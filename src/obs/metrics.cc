@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "obs/format.h"
+
+namespace pdw::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::Count(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::DefineHistogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot& h = histograms_[name];
+  h = HistogramSnapshot{};
+  h.bounds = std::move(bounds);
+  std::sort(h.bounds.begin(), h.bounds.end());
+  h.counts.assign(h.bounds.size() + 1, 0);
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramSnapshot h;
+    for (double b = 1; b <= 1e9; b *= 10) h.bounds.push_back(b);
+    h.counts.assign(h.bounds.size() + 1, 0);
+    it = histograms_.emplace(name, std::move(h)).first;
+  }
+  HistogramSnapshot& h = it->second;
+  size_t bucket =
+      static_cast<size_t>(std::lower_bound(h.bounds.begin(), h.bounds.end(),
+                                           value) -
+                          h.bounds.begin());
+  h.counts[bucket] += 1;
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  h.count += 1;
+  h.sum += value;
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  snap.histograms = histograms_;
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + JsonNumber(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + JsonNumber(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{\"count\":" + JsonNumber(
+               static_cast<double>(h.count)) +
+           ",\"sum\":" + JsonNumber(h.sum) + ",\"min\":" + JsonNumber(h.min) +
+           ",\"max\":" + JsonNumber(h.max) + ",\"bounds\":[";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ",";
+      out += JsonNumber(h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ",";
+      out += JsonNumber(static_cast<double>(h.counts[i]));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += name + " = " + FormatCount(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += name + " = " + FormatCount(value) + " (gauge)\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += name + StringFormat(" = {count=%llu sum=%s min=%s max=%s}\n",
+                               static_cast<unsigned long long>(h.count),
+                               FormatCount(h.sum).c_str(),
+                               FormatCount(h.min).c_str(),
+                               FormatCount(h.max).c_str());
+  }
+  return out;
+}
+
+}  // namespace pdw::obs

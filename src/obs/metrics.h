@@ -1,0 +1,75 @@
+#ifndef PDW_OBS_METRICS_H_
+#define PDW_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pdw::obs {
+
+/// Point-in-time copy of one fixed-bucket histogram. `bounds` are the
+/// inclusive upper bounds of the first N buckets; an implicit overflow
+/// bucket catches everything above the last bound, so `counts` has
+/// `bounds.size() + 1` entries.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Point-in-time copy of a whole registry.
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  std::string ToJson() const;
+  std::string ToText() const;
+};
+
+/// Process-wide named metrics: monotonically increasing counters, last-value
+/// gauges, and fixed-bucket histograms. Metric names are dot-separated
+/// lowercase paths, `<subsystem>.<entity>.<unit>` — e.g. `optimizer.groups`,
+/// `dms.reader.bytes`, `executor.rows_out`.
+///
+/// All operations are thread-safe; instrumented code uses `Global()` while
+/// tests construct private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  static MetricsRegistry& Global();
+
+  /// Adds `delta` to a counter, creating it at zero first.
+  void Count(const std::string& name, double delta = 1);
+  /// Sets a gauge to `value`.
+  void SetGauge(const std::string& name, double value);
+
+  /// Declares a histogram with explicit bucket upper bounds (sorted
+  /// ascending). Observing an undeclared histogram auto-declares it with
+  /// decade buckets 1, 10, 100, ... 1e9.
+  void DefineHistogram(const std::string& name, std::vector<double> bounds);
+  void Observe(const std::string& name, double value);
+
+  /// Current value of a counter / gauge (0 when absent).
+  double counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+
+  MetricsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramSnapshot> histograms_;
+};
+
+}  // namespace pdw::obs
+
+#endif  // PDW_OBS_METRICS_H_

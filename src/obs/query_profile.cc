@@ -1,0 +1,157 @@
+#include "obs/query_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "obs/format.h"
+
+namespace pdw::obs {
+
+double StepProfile::MisestimateFactor() const {
+  double est = std::max(1.0, estimated_rows);
+  double act = std::max(1.0, actual_rows);
+  return std::max(est / act, act / est);
+}
+
+std::string QueryProfile::ToText(double misestimate_threshold) const {
+  std::string out;
+  out += "EXPLAIN ANALYZE";
+  if (!sql.empty()) out += " " + sql;
+  out += "\n";
+
+  if (!compile_phases.empty()) {
+    out += "compile:";
+    for (const PhaseProfile& p : compile_phases) {
+      out += " " + p.name + "=" + FormatSeconds(p.seconds);
+    }
+    out += "  total=" + FormatSeconds(compile_seconds) + "\n";
+  }
+  out += StringFormat(
+      "optimizer: groups=%s options=%s kept=%s pruned=%s enforcers=%s\n",
+      FormatCount(optimizer.groups).c_str(),
+      FormatCount(optimizer.options_considered).c_str(),
+      FormatCount(optimizer.options_kept).c_str(),
+      FormatCount(optimizer.options_pruned).c_str(),
+      FormatCount(optimizer.enforcers_inserted).c_str());
+
+  for (const StepProfile& s : steps) {
+    out += StringFormat("DSQL step %d: %s", s.index, s.kind.c_str());
+    if (!s.move_kind.empty()) out += " " + s.move_kind;
+    if (!s.dest_table.empty()) out += " -> " + s.dest_table;
+    out += "\n";
+    out += StringFormat("  modeled cost %.6f   measured %s\n",
+                        s.estimated_cost,
+                        FormatSeconds(s.measured_seconds).c_str());
+    out += StringFormat("  est. rows %s   actual rows %s",
+                        FormatCount(s.estimated_rows).c_str(),
+                        FormatCount(s.actual_rows).c_str());
+    double factor = s.MisestimateFactor();
+    if (factor >= misestimate_threshold) {
+      out += StringFormat("   [MISESTIMATE %.0fx]", factor);
+    }
+    out += "\n";
+    if (s.kind == "DMS") {
+      out += "  dms: " + FormatComponent("reader", s.reader.bytes,
+                                         s.reader.seconds);
+      out += " " + FormatComponent("network", s.network.bytes,
+                                   s.network.seconds);
+      out += " " + FormatComponent("writer", s.writer.bytes,
+                                   s.writer.seconds);
+      out += " " + FormatComponent("bulkcopy", s.bulkcopy.bytes,
+                                   s.bulkcopy.seconds);
+      out += StringFormat(" rows_moved=%s\n",
+                          FormatCount(s.rows_moved).c_str());
+    }
+    if (!s.operators.empty()) {
+      out += "  operators (actuals summed over nodes):\n";
+      for (const OperatorProfile& op : s.operators) {
+        out.append(4 + static_cast<size_t>(op.depth) * 2, ' ');
+        out += StringFormat("%s  rows=%s time=%s nodes=%d\n", op.name.c_str(),
+                            FormatCount(op.actual_rows).c_str(),
+                            FormatSeconds(op.seconds).c_str(), op.nodes);
+      }
+    }
+    if (!s.sql.empty()) out += "  " + s.sql + "\n";
+  }
+  out += StringFormat("total: modeled cost %.6f   measured %s\n", modeled_cost,
+                      FormatSeconds(measured_seconds).c_str());
+  return out;
+}
+
+namespace {
+
+std::string ComponentJson(const char* name, const ComponentProfile& c) {
+  return StringFormat("\"%s\":{\"bytes\":%s,\"seconds\":%s}", name,
+                      JsonNumber(c.bytes).c_str(),
+                      JsonNumber(c.seconds).c_str());
+}
+
+}  // namespace
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{";
+  out += "\"sql\":\"" + JsonEscape(sql) + "\"";
+  out += ",\"compile_seconds\":" + JsonNumber(compile_seconds);
+  out += ",\"modeled_cost\":" + JsonNumber(modeled_cost);
+  out += ",\"measured_seconds\":" + JsonNumber(measured_seconds);
+
+  out += ",\"compile_phases\":{";
+  for (size_t i = 0; i < compile_phases.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(compile_phases[i].name) +
+           "\":" + JsonNumber(compile_phases[i].seconds);
+  }
+  out += "}";
+
+  out += ",\"optimizer\":{";
+  out += "\"groups\":" + JsonNumber(optimizer.groups);
+  out += ",\"options_considered\":" + JsonNumber(optimizer.options_considered);
+  out += ",\"options_kept\":" + JsonNumber(optimizer.options_kept);
+  out += ",\"options_pruned\":" + JsonNumber(optimizer.options_pruned);
+  out += ",\"enforcers_inserted\":" + JsonNumber(optimizer.enforcers_inserted);
+  out += "}";
+
+  out += ",\"steps\":[";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const StepProfile& s = steps[i];
+    if (i > 0) out += ",";
+    out += "{\"index\":" + JsonNumber(s.index);
+    out += ",\"kind\":\"" + JsonEscape(s.kind) + "\"";
+    if (!s.move_kind.empty()) {
+      out += ",\"move_kind\":\"" + JsonEscape(s.move_kind) + "\"";
+    }
+    if (!s.dest_table.empty()) {
+      out += ",\"dest_table\":\"" + JsonEscape(s.dest_table) + "\"";
+    }
+    out += ",\"estimated_rows\":" + JsonNumber(s.estimated_rows);
+    out += ",\"actual_rows\":" + JsonNumber(s.actual_rows);
+    out += ",\"estimated_cost\":" + JsonNumber(s.estimated_cost);
+    out += ",\"measured_seconds\":" + JsonNumber(s.measured_seconds);
+    out += ",\"misestimate_factor\":" + JsonNumber(s.MisestimateFactor());
+    out += ",\"rows_moved\":" + JsonNumber(s.rows_moved);
+    out += ",\"dms\":{" + ComponentJson("reader", s.reader) + "," +
+           ComponentJson("network", s.network) + "," +
+           ComponentJson("writer", s.writer) + "," +
+           ComponentJson("bulkcopy", s.bulkcopy) + "}";
+    out += ",\"operators\":[";
+    for (size_t j = 0; j < s.operators.size(); ++j) {
+      const OperatorProfile& op = s.operators[j];
+      if (j > 0) out += ",";
+      out += "{\"depth\":" + JsonNumber(op.depth);
+      out += ",\"name\":\"" + JsonEscape(op.name) + "\"";
+      out += ",\"estimated_rows\":" + JsonNumber(op.estimated_rows);
+      out += ",\"actual_rows\":" + JsonNumber(op.actual_rows);
+      out += ",\"seconds\":" + JsonNumber(op.seconds);
+      out += ",\"nodes\":" + JsonNumber(op.nodes);
+      out += "}";
+    }
+    out += "]";
+    out += ",\"sql\":\"" + JsonEscape(s.sql) + "\"";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace pdw::obs

@@ -1,0 +1,88 @@
+#ifndef PDW_OBS_QUERY_PROFILE_H_
+#define PDW_OBS_QUERY_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+namespace pdw::obs {
+
+/// Per-operator actuals from one plan execution (pre-order over the plan
+/// tree; seconds are inclusive of children, PostgreSQL-EXPLAIN-ANALYZE
+/// style). For distributed steps the values are summed over the nodes that
+/// ran the step's SQL.
+struct OperatorProfile {
+  int depth = 0;
+  std::string name;
+  double estimated_rows = 0;  ///< Per-node compile-time estimate (summed).
+  double actual_rows = 0;     ///< Rows the operator emitted (summed).
+  double seconds = 0;         ///< Wall time, inclusive of children (summed).
+  int nodes = 0;              ///< How many node executions were aggregated.
+};
+
+/// One metered DMS component of a step (bytes processed, wall seconds).
+struct ComponentProfile {
+  double bytes = 0;
+  double seconds = 0;
+};
+
+/// Estimated-vs-actual profile of one DSQL step.
+struct StepProfile {
+  int index = 0;
+  std::string kind;       ///< "DMS" or "RETURN".
+  std::string move_kind;  ///< DMS operation name (DMS steps only).
+  std::string dest_table;
+  std::string sql;
+
+  double estimated_rows = 0;   ///< PDW optimizer's global estimate.
+  double actual_rows = 0;      ///< Rows moved (DMS) / returned (RETURN).
+  double estimated_cost = 0;   ///< Modeled DMS cost of the move.
+  double measured_seconds = 0; ///< Wall time of the whole step.
+
+  double rows_moved = 0;
+  ComponentProfile reader, network, writer, bulkcopy;
+
+  std::vector<OperatorProfile> operators;
+
+  /// |estimated / actual| ratio, >= 1, using max(1, x) floors; the
+  /// cardinality-feedback signal.
+  double MisestimateFactor() const;
+};
+
+/// One timed compilation phase (Fig. 2 component).
+struct PhaseProfile {
+  std::string name;
+  double seconds = 0;
+};
+
+/// Search statistics of the PDW bottom-up enumeration.
+struct OptimizerProfile {
+  double groups = 0;
+  double options_considered = 0;
+  double options_kept = 0;
+  double options_pruned = 0;
+  double enforcers_inserted = 0;
+};
+
+/// The machine-readable result of EXPLAIN ANALYZE: every DSQL step with
+/// modeled cost vs measured seconds, estimated vs actual rows, and
+/// per-component DMS bytes, plus compile-phase timings and optimizer search
+/// counters. Pure data — benches serialize it to JSON, the appliance
+/// renders it as text.
+struct QueryProfile {
+  std::string sql;
+  std::vector<PhaseProfile> compile_phases;
+  OptimizerProfile optimizer;
+  std::vector<StepProfile> steps;
+  double modeled_cost = 0;      ///< Optimizer objective for the whole plan.
+  double measured_seconds = 0;  ///< Wall time of DSQL execution.
+  double compile_seconds = 0;   ///< Sum of compile phases.
+
+  /// Estimates diverging from actuals by at least `threshold` x are flagged
+  /// in ToText with a [MISESTIMATE ..x] marker.
+  std::string ToText(double misestimate_threshold = 10.0) const;
+  std::string ToJson() const;
+};
+
+}  // namespace pdw::obs
+
+#endif  // PDW_OBS_QUERY_PROFILE_H_

@@ -1,0 +1,104 @@
+#ifndef PDW_OBS_TRACE_H_
+#define PDW_OBS_TRACE_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pdw::obs {
+
+/// One closed (or still-open) span as recorded by a Tracer. Spans form a
+/// tree via `parent` (index into the tracer's record vector, -1 for roots);
+/// nesting follows the per-thread stack of live TraceSpan objects.
+struct TraceRecord {
+  int id = 0;
+  int parent = -1;
+  int depth = 0;
+  std::string name;
+  double start_seconds = 0;  ///< Relative to the tracer's epoch.
+  double wall_seconds = 0;
+  double cpu_seconds = 0;    ///< Thread CPU time consumed inside the span.
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// Thread-safe sink for hierarchical trace spans. Disabled by default: a
+/// disabled tracer makes TraceSpan construction a single relaxed atomic
+/// load, so instrumentation can stay compiled into every pipeline layer
+/// without measurable cost (the bench_fig2_pipeline overhead bound).
+///
+/// The process-wide instance (`Tracer::Global()`) is what the compiler,
+/// DMS, and executor instrumentation write to; tests can use private
+/// instances.
+class Tracer {
+ public:
+  Tracer();
+
+  static Tracer& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded spans (open spans keep their ids and will still
+  /// close harmlessly — their EndSpan is ignored).
+  void Clear();
+
+  size_t size() const;
+  std::vector<TraceRecord> Snapshot() const;
+
+  /// Indented tree rendering, one line per span.
+  std::string ToText() const;
+  /// JSON: array of root spans, children nested recursively.
+  std::string ToJson() const;
+
+ private:
+  friend class TraceSpan;
+
+  /// Returns the new span's id, or -1 when disabled.
+  int BeginSpan(std::string name);
+  void EndSpan(int id, double wall_seconds, double cpu_seconds);
+  void Annotate(int id, const std::string& key, std::string value);
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  double epoch_ = 0;
+  std::vector<TraceRecord> records_;
+  /// Stack of open span ids per thread — gives each thread its own
+  /// nesting chain while all spans land in one shared record vector.
+  std::map<std::thread::id, std::vector<int>> open_;
+};
+
+/// RAII span: records wall and thread-CPU time between construction and
+/// End()/destruction into a Tracer. No-op (and nearly free) when the tracer
+/// is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, Tracer* tracer = &Tracer::Global());
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a key-value attribute to the span (ignored when disabled).
+  void AddAttr(const std::string& key, std::string value);
+  void AddAttr(const std::string& key, double value);
+
+  /// Closes the span early; idempotent.
+  void End();
+
+  bool active() const { return id_ >= 0; }
+
+ private:
+  Tracer* tracer_;
+  int id_ = -1;
+  double wall_start_ = 0;
+  double cpu_start_ = 0;
+};
+
+}  // namespace pdw::obs
+
+#endif  // PDW_OBS_TRACE_H_

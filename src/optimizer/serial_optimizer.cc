@@ -1,7 +1,9 @@
 #include "optimizer/serial_optimizer.h"
 
+#include <chrono>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "sql/parser.h"
 
 namespace pdw {
@@ -202,20 +204,41 @@ Result<CompilationResult> CompileSelect(const Catalog& catalog,
                                         const sql::SelectStatement& stmt,
                                         const MemoOptions& memo_options,
                                         const NormalizerOptions& norm_options) {
-  Binder binder(catalog);
-  PDW_ASSIGN_OR_RETURN(BoundQuery bound, binder.BindSelect(stmt));
-
+  auto now = [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
   CompilationResult out;
+  double t0 = now();
+  BoundQuery bound;
+  {
+    obs::TraceSpan span("compile.bind");
+    Binder binder(catalog);
+    PDW_ASSIGN_OR_RETURN(bound, binder.BindSelect(stmt));
+  }
+  out.phase_seconds.emplace_back("bind", now() - t0);
+
   out.output_names = bound.output_names;
   out.visible_columns = bound.visible_columns;
-  PDW_ASSIGN_OR_RETURN(out.normalized,
-                       Normalize(std::move(bound.root), norm_options));
+  t0 = now();
+  {
+    obs::TraceSpan span("compile.normalize");
+    PDW_ASSIGN_OR_RETURN(out.normalized,
+                         Normalize(std::move(bound.root), norm_options));
+  }
+  out.phase_seconds.emplace_back("normalize", now() - t0);
 
+  t0 = now();
+  obs::TraceSpan span("compile.memo");
   out.stats = std::make_shared<StatsContext>();
   out.stats->RegisterTree(*out.normalized);
   out.estimator = std::make_shared<CardinalityEstimator>(out.stats.get());
   out.memo = std::make_shared<Memo>(out.estimator.get(), memo_options);
   PDW_RETURN_NOT_OK(out.memo->InsertTree(out.normalized).status());
+  span.AddAttr("groups", static_cast<double>(out.memo->num_groups()));
+  span.End();
+  out.phase_seconds.emplace_back("memo", now() - t0);
   return out;
 }
 

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "algebra/binder.h"
@@ -25,6 +26,8 @@ struct CompilationResult {
   std::shared_ptr<StatsContext> stats;
   std::shared_ptr<CardinalityEstimator> estimator;
   std::shared_ptr<Memo> memo;
+  /// Wall seconds of each stage (bind, normalize, memo), in order.
+  std::vector<std::pair<std::string, double>> phase_seconds;
 };
 
 /// Parses, binds, normalizes and explores a SELECT against `catalog`

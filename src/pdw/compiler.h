@@ -35,6 +35,10 @@ struct PdwCompilation {
   PlanNodePtr serial_plan;    ///< Best serial plan (if build_baseline).
   PlanNodePtr baseline_plan;  ///< Parallelized serial plan (if build_baseline).
   double baseline_cost = 0;   ///< Total DMS cost of baseline_plan.
+  /// Wall seconds of every Fig. 2 component, in pipeline order (parse,
+  /// bind, normalize, memo, xml_export, xml_import, pdw_optimize,
+  /// baseline); the observability substrate of EXPLAIN ANALYZE.
+  std::vector<std::pair<std::string, double>> phase_seconds;
 };
 
 /// Runs the whole control-node compilation pipeline against the shell

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "optimizer/serial_optimizer.h"
 
 namespace pdw {
@@ -65,6 +66,7 @@ ColumnId PdwOptimizer::MemberInOutput(GroupId gid, ColumnId rep) const {
 
 bool PdwOptimizer::Consider(GroupId gid, PdwOption option) {
   ++considered_;
+  bool is_enforcer = option.is_enforcer;
   option.prop = option.prop.Canonical(props_.equivalence);
   std::vector<PdwOption>& opts = options_[gid];
   if (opts_.prune) {
@@ -72,18 +74,21 @@ bool PdwOptimizer::Consider(GroupId gid, PdwOption option) {
       if (opts[i].prop == option.prop) {
         if (option.cost < opts[i].cost) {
           opts[i] = std::move(option);
+          if (is_enforcer) ++enforcers_kept_;
           return true;
         }
         return false;
       }
     }
     opts.push_back(std::move(option));
+    if (is_enforcer) ++enforcers_kept_;
     return true;
   }
   // No pruning (FIG4 ablation): keep every structurally distinct option up
   // to the safety cap.
   if (opts.size() >= opts_.max_options_per_group) return false;
   opts.push_back(std::move(option));
+  if (is_enforcer) ++enforcers_kept_;
   return true;
 }
 
@@ -724,7 +729,19 @@ Result<PdwPlanResult> PdwOptimizer::Optimize() {
   result.cost = best;
   result.options_considered = considered_;
   for (const auto& [gid, opts] : options_) result.options_kept += opts.size();
+  result.options_pruned = considered_ - result.options_kept;
+  result.enforcers_inserted = enforcers_kept_;
   result.groups_optimized = done_.size();
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.Count("optimizer.runs");
+  reg.Count("optimizer.groups", static_cast<double>(result.groups_optimized));
+  reg.Count("optimizer.options_generated",
+            static_cast<double>(result.options_considered));
+  reg.Count("optimizer.options_pruned",
+            static_cast<double>(result.options_pruned));
+  reg.Count("optimizer.enforcers_inserted",
+            static_cast<double>(result.enforcers_inserted));
   return result;
 }
 

@@ -64,6 +64,8 @@ struct PdwPlanResult {
   double cost = 0;
   size_t options_considered = 0;
   size_t options_kept = 0;
+  size_t options_pruned = 0;      ///< considered - kept (step 06.ii effect).
+  size_t enforcers_inserted = 0;  ///< Data-movement options kept (step 07).
   size_t groups_optimized = 0;
 };
 
@@ -118,6 +120,7 @@ class PdwOptimizer {
   std::set<GroupId> done_;
   std::set<GroupId> in_progress_;
   size_t considered_ = 0;
+  size_t enforcers_kept_ = 0;
 };
 
 }  // namespace pdw

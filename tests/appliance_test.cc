@@ -179,6 +179,124 @@ TEST_F(TpchApplianceTest, ExplainRendersPlanWithoutExecuting) {
   }
 }
 
+// Structural JSON sanity: balanced braces/brackets outside string literals
+// and no trailing garbage (full grammar validation lives in obs_test).
+bool JsonBalanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string && !s.empty();
+}
+
+TEST_F(TpchApplianceTest, ExecuteAnalyzeProfilesJoinAggregate) {
+  const std::string sql =
+      "SELECT c_name, SUM(o_totalprice) AS total FROM customer, orders "
+      "WHERE c_custkey = o_custkey GROUP BY c_name";
+  auto r = appliance_->ExecuteAnalyze(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const obs::QueryProfile& p = r->profile;
+
+  // Every DSQL step is profiled, in order, and the plan needs a data move.
+  ASSERT_EQ(p.steps.size(), r->dsql.steps.size());
+  ASSERT_GE(p.steps.size(), 2u);
+  bool saw_dms = false;
+  for (size_t i = 0; i < p.steps.size(); ++i) {
+    EXPECT_EQ(p.steps[i].index, static_cast<int>(i));
+    if (p.steps[i].kind == "DMS") {
+      saw_dms = true;
+      EXPECT_FALSE(p.steps[i].move_kind.empty());
+      EXPECT_NE(p.steps[i].dest_table.find("TEMP_ID"), std::string::npos);
+      // Rows crossed DMS, so the per-component meters saw bytes.
+      EXPECT_GT(p.steps[i].rows_moved, 0);
+      EXPECT_GT(p.steps[i].reader.bytes, 0);
+      EXPECT_GT(p.steps[i].network.bytes + p.steps[i].bulkcopy.bytes, 0);
+    }
+  }
+  EXPECT_TRUE(saw_dms);
+
+  // Estimated vs actual rows on the final step: the actuals are the real
+  // result, the estimate comes from the cardinality model.
+  const obs::StepProfile& last = p.steps.back();
+  EXPECT_EQ(last.kind, "RETURN");
+  EXPECT_EQ(last.actual_rows, static_cast<double>(r->rows.size()));
+  EXPECT_GT(last.estimated_rows, 0);
+  EXPECT_GE(last.MisestimateFactor(), 1.0);
+
+  // Per-operator actuals were collected and the scans saw real rows.
+  ASSERT_FALSE(last.operators.empty());
+  EXPECT_GT(last.operators.front().actual_rows, 0);
+  bool saw_nodes = false;
+  for (const auto& op : last.operators) {
+    if (op.nodes > 1) saw_nodes = true;
+  }
+  EXPECT_TRUE(saw_nodes);  // RETURN SQL runs on all 4 compute nodes
+
+  // Fig. 2 compile phases all reported.
+  ASSERT_FALSE(p.compile_phases.empty());
+  for (const char* phase : {"parse", "bind", "normalize", "memo",
+                            "xml_export", "xml_import", "pdw_optimize",
+                            "dsql_gen"}) {
+    bool found = false;
+    for (const auto& ph : p.compile_phases) {
+      if (ph.name == phase) found = true;
+    }
+    EXPECT_TRUE(found) << "missing compile phase " << phase;
+  }
+  EXPECT_GT(p.compile_seconds, 0);
+
+  // Multi-join query: the optimizer search counters must be live.
+  EXPECT_GT(p.optimizer.groups, 0);
+  EXPECT_GT(p.optimizer.options_considered, 0);
+  EXPECT_GT(p.optimizer.options_kept, 0);
+  EXPECT_GT(p.optimizer.options_pruned, 0);
+
+  EXPECT_EQ(p.sql, sql);
+  EXPECT_GT(p.measured_seconds, 0);
+  EXPECT_TRUE(JsonBalanced(p.ToJson()));
+
+  // Plain Execute carries the same profile minus per-operator actuals.
+  auto plain = appliance_->Execute(sql);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(plain->profile.steps.size(), p.steps.size());
+  EXPECT_TRUE(plain->profile.steps.back().operators.empty());
+}
+
+TEST_F(TpchApplianceTest, ExplainAnalyzeRendersEstimatedVsActual) {
+  auto text = appliance_->ExplainAnalyze(
+      "SELECT c_name, SUM(o_totalprice) AS total FROM customer, orders "
+      "WHERE c_custkey = o_custkey GROUP BY c_name");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(text->find("parallel plan"), std::string::npos);
+  EXPECT_NE(text->find("DSQL step 0"), std::string::npos);
+  EXPECT_NE(text->find("modeled cost"), std::string::npos);
+  EXPECT_NE(text->find("measured"), std::string::npos);
+  EXPECT_NE(text->find("est. rows"), std::string::npos);
+  EXPECT_NE(text->find("actual rows"), std::string::npos);
+  EXPECT_NE(text->find("dms: reader{"), std::string::npos);
+  EXPECT_NE(text->find("optimizer: groups="), std::string::npos);
+  EXPECT_NE(text->find("operators"), std::string::npos);
+  // Execution really happened, and temp tables were cleaned up after.
+  for (int n = 0; n < 4; ++n) {
+    for (const std::string& t :
+         appliance_->compute_node(n).catalog().ListTables()) {
+      EXPECT_EQ(t.find("TEMP_ID"), std::string::npos);
+    }
+  }
+}
+
 TEST_F(TpchApplianceTest, ErrorsSurfaceCleanly) {
   EXPECT_FALSE(appliance_->Execute("SELECT nope FROM customer").ok());
   EXPECT_FALSE(appliance_->Execute("SELECT c_name FROM no_table").ok());
