@@ -1,0 +1,106 @@
+// Multi-session throughput of the unified Run API: N client threads each
+// fire a stream of TPC-H-shaped queries at one appliance, with the plan
+// cache off and on. Reports queries/sec per configuration plus the cache's
+// hit statistics — the control-node compile pipeline is the shared serial
+// resource the cache removes, so the cached configurations should scale
+// visibly better.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace pdw {
+namespace {
+
+const char* kWorkload[] = {
+    "SELECT c_custkey, c_name FROM customer WHERE c_acctbal > 5000",
+    "SELECT o_custkey, COUNT(*) AS c, SUM(o_totalprice) AS s FROM orders "
+    "GROUP BY o_custkey",
+    "SELECT c_name, o_totalprice FROM customer, orders "
+    "WHERE c_custkey = o_custkey AND o_totalprice > 200000",
+    "SELECT COUNT(*) AS c FROM lineitem, orders WHERE l_orderkey = o_orderkey",
+    "SELECT l_returnflag, AVG(l_quantity) AS aq FROM lineitem "
+    "GROUP BY l_returnflag",
+};
+
+struct Config {
+  int threads;
+  bool use_cache;
+};
+
+double RunConfig(Appliance* appliance, const Config& cfg, int reps_per_thread,
+                 std::atomic<int>* errors) {
+  std::vector<std::thread> threads;
+  double t0 = bench::NowSeconds();
+  for (int t = 0; t < cfg.threads; ++t) {
+    threads.emplace_back([&, t] {
+      QueryOptions opts;
+      opts.use_plan_cache = cfg.use_cache;
+      for (int rep = 0; rep < reps_per_thread; ++rep) {
+        size_t qi = static_cast<size_t>(t + rep) % std::size(kWorkload);
+        auto r = appliance->Run(kWorkload[qi], opts);
+        if (!r.ok()) errors->fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  return bench::NowSeconds() - t0;
+}
+
+void Run(bench::ProfileJsonSink* sink) {
+  bench::Header("CONCURRENT-THROUGHPUT: N sessions x Run(), cache off/on");
+  auto appliance = bench::MakeTpchAppliance(8, 0.05);
+
+  // Per-thread rep count keeps total work constant across configurations.
+  constexpr int kTotalQueries = 48;
+  std::printf("\n%-8s %-6s | %8s %10s | %8s %8s %8s\n", "threads", "cache",
+              "total s", "queries/s", "hits", "misses", "inval");
+
+  for (bool use_cache : {false, true}) {
+    appliance->plan_cache().Clear();
+    for (int threads : {1, 4, 16}) {
+      // Fresh cache per thread-count row so hit counts are comparable.
+      appliance->plan_cache().Clear();
+      PlanCache::Stats before = appliance->plan_cache().stats();
+      std::atomic<int> errors{0};
+      Config cfg{threads, use_cache};
+      double seconds =
+          RunConfig(appliance.get(), cfg, kTotalQueries / threads, &errors);
+      if (errors.load() > 0) {
+        std::printf("%d errors in threads=%d cache=%d\n", errors.load(),
+                    threads, use_cache);
+        continue;
+      }
+      PlanCache::Stats after = appliance->plan_cache().stats();
+      std::printf("%-8d %-6s | %8.3f %10.1f | %8llu %8llu %8llu\n", threads,
+                  use_cache ? "on" : "off", seconds,
+                  seconds > 0 ? kTotalQueries / seconds : 0,
+                  static_cast<unsigned long long>(after.hits - before.hits),
+                  static_cast<unsigned long long>(after.misses - before.misses),
+                  static_cast<unsigned long long>(after.invalidations -
+                                                  before.invalidations));
+    }
+  }
+
+  // One profiled run for the JSON sink, cache warm.
+  if (sink->enabled()) {
+    QueryOptions opts;
+    opts.use_plan_cache = true;
+    opts.collect_operator_actuals = true;
+    auto r = appliance->Run(kWorkload[0], opts);
+    if (r.ok()) sink->Add("throughput/warm-cache", r->profile);
+  }
+}
+
+}  // namespace
+}  // namespace pdw
+
+int main(int argc, char** argv) {
+  pdw::bench::ProfileJsonSink sink(argc, argv);
+  pdw::Run(&sink);
+  sink.Flush();
+  return 0;
+}

@@ -69,7 +69,7 @@ void Run() {
   }
 
   // Sanity: execute distributed and reference.
-  auto dist = appliance->Execute(kFig3Query);
+  auto dist = appliance->Run(kFig3Query);
   auto ref = appliance->ExecuteReference(kFig3Query);
   if (dist.ok() && ref.ok()) {
     std::printf("\nexecution check: distributed=%zu rows, reference=%zu rows, "

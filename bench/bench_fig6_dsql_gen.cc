@@ -49,7 +49,7 @@ void Run() {
 
   // Execution round trip: the generated SQL, executed per node by the
   // local engines, must reproduce the reference answer.
-  auto dist = appliance->Execute(sql);
+  auto dist = appliance->Run(sql);
   auto ref = appliance->ExecuteReference(sql);
   if (dist.ok() && ref.ok()) {
     std::printf("execution round trip: %zu rows, match=%s\n",

@@ -68,7 +68,7 @@ void Run() {
               !dsql->steps.back().merge_sort.empty() ? "yes" : "no");
 
   // Execute both ways.
-  auto dist = appliance->Execute(q20->sql);
+  auto dist = appliance->Run(q20->sql);
   auto ref = appliance->ExecuteReference(q20->sql);
   if (dist.ok() && ref.ok()) {
     std::printf("\nexecution: distributed=%zu rows, reference=%zu rows, "

@@ -151,7 +151,7 @@ BENCHMARK(BM_ExecutorHashJoin);
 void BM_DistributedQueryEndToEnd(benchmark::State& state) {
   Appliance* a = SharedAppliance();
   for (auto _ : state) {
-    auto result = a->Execute(kJoinQuery);
+    auto result = a->Run(kJoinQuery);
     benchmark::DoNotOptimize(result);
   }
 }

@@ -27,7 +27,7 @@ void Run() {
               "error", "correct");
   for (double skew : {0.0, 1.0, 2.0, 3.0, 4.0}) {
     auto appliance = bench::MakeTpchAppliance(8, 0.2, skew);
-    auto result = appliance->Execute(sql);
+    auto result = appliance->Run(sql);
     if (!result.ok()) {
       std::printf("%-6.1f | execution failed: %s\n", skew,
                   result.status().ToString().c_str());
@@ -57,7 +57,7 @@ void Run() {
       std::vector<double> per_node(
           static_cast<size_t>(appliance->num_compute_nodes()), 0.0);
       for (int n = 0; n < appliance->num_compute_nodes(); ++n) {
-        auto rows = appliance->compute_node(n).ExecuteSql(step.sql);
+        auto rows = appliance->mutable_compute_node(n).ExecuteSql(step.sql);
         if (!rows.ok()) continue;
         for (const Row& r : rows->rows) {
           int target =

@@ -62,7 +62,7 @@ int main() {
   std::printf("\nchosen parallel plan (cost %.6f):\n%s\n", plan->cost,
               PlanTreeToString(*plan->plan).c_str());
 
-  auto result = appliance.Execute(sql);
+  auto result = appliance.Run(sql);
   if (!result.ok()) {
     std::printf("execution failed: %s\n", result.status().ToString().c_str());
     return 1;

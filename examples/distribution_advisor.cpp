@@ -59,7 +59,7 @@ int main() {
   for (const Design& d : designs) {
     // Copy the shell database and re-declare orders with the candidate
     // distribution — the essence of what-if: optimize against metadata.
-    Catalog shell = appliance.shell();
+    Catalog shell = appliance.shell().Clone();
     auto orders = shell.GetMutableTable("orders");
     if (!orders.ok()) continue;
     (*orders)->distribution = d.spec;

@@ -30,23 +30,22 @@ int main() {
   obs::MetricsRegistry::Global().Reset();
 
   const tpch::TpchQuery* q20 = tpch::FindQuery("Q20");
-  auto text = appliance.ExplainAnalyze(q20->sql);
-  if (!text.ok()) {
-    std::printf("failed: %s\n", text.status().ToString().c_str());
+  QueryOptions opts;
+  opts.collect_operator_actuals = true;
+  auto analyzed = appliance.Run(q20->sql, opts);
+  if (!analyzed.ok()) {
+    std::printf("failed: %s\n", analyzed.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", text->c_str());
+  std::printf("%s\n", analyzed->explain_text.c_str());
 
   std::printf("\npipeline trace:\n%s",
               obs::Tracer::Global().ToText().c_str());
   obs::Tracer::Global().Disable();
 
   // The same information, machine-readable: ApplianceResult::profile.
-  auto analyzed = appliance.ExecuteAnalyze(q20->sql);
-  if (analyzed.ok()) {
-    std::printf("\nQueryProfile JSON:\n%s\n",
-                analyzed->profile.ToJson().c_str());
-  }
+  std::printf("\nQueryProfile JSON:\n%s\n",
+              analyzed->profile.ToJson().c_str());
 
   std::printf("\nglobal metrics after the runs:\n%s",
               obs::MetricsRegistry::Global().Snapshot().ToText().c_str());

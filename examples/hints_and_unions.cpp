@@ -47,7 +47,7 @@ int main() {
       "WHERE l_quantity = 50";
   std::printf("\n\ncollocated UNION ALL (both operands hash-distributed):\n"
               "  %s\n", union_sql);
-  auto result = appliance.Execute(union_sql);
+  auto result = appliance.Run(union_sql);
   if (!result.ok()) {
     std::printf("failed: %s\n", result.status().ToString().c_str());
     return 1;

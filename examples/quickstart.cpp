@@ -50,7 +50,7 @@ int main() {
       "SELECT n_name, COUNT(*) AS orders_count, SUM(o_totalprice) AS total "
       "FROM orders, nation WHERE o_nationkey = n_nationkey "
       "GROUP BY n_name ORDER BY total DESC";
-  auto result = appliance.Execute(sql);
+  auto result = appliance.Run(sql);
   if (!result.ok()) {
     std::printf("query failed: %s\n", result.status().ToString().c_str());
     return 1;

@@ -24,7 +24,7 @@ int main() {
   const tpch::TpchQuery* q20 = tpch::FindQuery("Q20");
   std::printf("TPC-H Q20 (%s):\n%s\n\n", q20->notes.c_str(), q20->sql.c_str());
 
-  auto result = appliance.Execute(q20->sql);
+  auto result = appliance.Run(q20->sql);
   if (!result.ok()) {
     std::printf("execution failed: %s\n", result.status().ToString().c_str());
     return 1;

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the plain build + full test suite, then the
+# concurrency tests again under ThreadSanitizer (-DPDW_SANITIZE=thread).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+# The parallel execution engine and plan cache are the racy surfaces; run
+# their tests instrumented. TSAN_OPTIONS halts on the first report.
+cmake -B build-tsan -S . -DPDW_SANITIZE=thread
+cmake --build build-tsan -j --target concurrency_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test

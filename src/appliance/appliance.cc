@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/distribution.h"
 #include "sql/parser.h"
@@ -49,17 +54,69 @@ void FillComponents(const DmsRunMetrics& m, obs::StepProfile* sp) {
   sp->rows_moved = static_cast<double>(m.rows_moved);
 }
 
-void Accumulate(const DmsRunMetrics& from, DmsRunMetrics* to) {
-  to->reader.bytes += from.reader.bytes;
-  to->reader.seconds += from.reader.seconds;
-  to->network.bytes += from.network.bytes;
-  to->network.seconds += from.network.seconds;
-  to->writer.bytes += from.writer.bytes;
-  to->writer.seconds += from.writer.seconds;
-  to->bulkcopy.bytes += from.bulkcopy.bytes;
-  to->bulkcopy.seconds += from.bulkcopy.seconds;
-  to->rows_moved += from.rows_moved;
-  to->wall_seconds += from.wall_seconds;
+std::string ReplaceAll(std::string s, const std::string& from,
+                       const std::string& to) {
+  std::string out;
+  out.reserve(s.size());
+  size_t pos = 0;
+  for (;;) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string::npos) {
+      out.append(s, pos, std::string::npos);
+      return out;
+    }
+    out.append(s, pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+}
+
+/// Rewrites every TEMP_ID_k name (dest tables and their references inside
+/// later steps' SQL) to TEMP_ID_Q<qid>_k, so concurrent executions — and
+/// repeated executions of one cached plan — never collide on a node's
+/// temp-table namespace. The TEMP_ID marker is preserved for cleanup
+/// checks.
+void UniquifyTempNames(DsqlPlan* plan, uint64_t qid) {
+  const std::string from = "TEMP_ID_";
+  const std::string to = "TEMP_ID_Q" + std::to_string(qid) + "_";
+  for (DsqlStep& step : plan->steps) {
+    step.sql = ReplaceAll(std::move(step.sql), from, to);
+    if (!step.dest_table.empty()) {
+      step.dest_table = ReplaceAll(std::move(step.dest_table), from, to);
+    }
+  }
+}
+
+/// Base tables the parallel plan scans, with their current statistics
+/// versions — the plan cache's invalidation anchor.
+void CollectScanTables(const PlanNode& node, const PlanCache& cache,
+                       std::set<std::string>* seen,
+                       std::vector<std::pair<std::string, uint64_t>>* out) {
+  if (node.kind == PhysOpKind::kTableScan) {
+    std::string name = ToLower(node.table_name);
+    if (seen->insert(name).second) {
+      out->emplace_back(name, cache.TableVersion(name));
+    }
+  }
+  for (const auto& child : node.children) {
+    CollectScanTables(*child, cache, seen, out);
+  }
+}
+
+/// Wires the shared worker pool's live counters into the obs metrics
+/// registry (pool.queue_depth / pool.active_workers gauges) — once per
+/// process, on first appliance construction.
+void InstallPoolGauges() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    obs::MetricsRegistry::Global().SetGauge(
+        "pool.size", static_cast<double>(ThreadPool::Global().size()));
+    ThreadPool::Global().SetMetricsHook([](int queue_depth, int active) {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      reg.SetGauge("pool.queue_depth", static_cast<double>(queue_depth));
+      reg.SetGauge("pool.active_workers", static_cast<double>(active));
+    });
+  });
 }
 
 }  // namespace
@@ -69,6 +126,7 @@ Appliance::Appliance(Topology topology)
   for (int i = 0; i < topology.num_compute_nodes; ++i) {
     compute_.push_back(std::make_unique<LocalEngine>());
   }
+  InstallPoolGauges();
 }
 
 Status Appliance::CreateTable(TableDef def) {
@@ -136,6 +194,9 @@ Status Appliance::RefreshStatistics(const std::string& table) {
   } else {
     def->stats = TableStats::Merge(parts, dist_col);
   }
+  // Fresh statistics can change distribution-dependent plan choices: any
+  // cached plan reading this table must recompile.
+  plan_cache_.BumpTableVersion(table);
   return Status::OK();
 }
 
@@ -183,7 +244,8 @@ Status Appliance::DropTemps(const std::vector<std::string>& temps) {
 }
 
 Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
-                                               bool profile_operators) {
+                                               bool profile_operators,
+                                               int max_parallel_nodes) {
   ApplianceResult result;
   result.dsql = dsql;
   result.column_names = dsql.output_names;
@@ -191,6 +253,10 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
   std::vector<std::string> temps;
   obs::TraceSpan dsql_span("appliance.execute_dsql");
   dsql_span.AddAttr("steps", static_cast<double>(dsql.steps.size()));
+
+  ThreadPool& pool = ThreadPool::Global();
+  bool parallel = max_parallel_nodes != 1;
+  double latency = dispatch_latency_seconds_;
 
   auto engine_of = [&](int node) -> LocalEngine& {
     return node == dms_.control_node() ? control_
@@ -201,6 +267,58 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
     Status drop = DropTemps(temps);
     (void)drop;
     return s;
+  };
+
+  // Runs one step's SQL on every node of `nodes` simultaneously (capped at
+  // max_parallel_nodes; 1 = the serial node-by-node loop). Each node lands
+  // its rows in source_rows[node]; per-node wall times go to the step
+  // profile, per-operator actuals are merged in node order afterwards so
+  // the aggregate stays deterministic.
+  auto run_on_nodes =
+      [&](const DsqlStep& step, const std::vector<int>& nodes,
+          std::vector<RowVector>* source_rows,
+          obs::StepProfile* sp) -> Status {
+    size_t count = nodes.size();
+    std::vector<ExecProfile> node_profiles(profile_operators ? count : 0);
+    std::vector<Status> node_status(count);
+    std::vector<SqlResult> node_results(count);
+    std::vector<double> node_seconds(count, 0);
+    pool.ParallelFor(
+        static_cast<int>(count),
+        [&](int i) {
+          int node = nodes[static_cast<size_t>(i)];
+          // Control→compute RPC of shipping the SQL and collecting status.
+          if (latency > 0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(latency));
+          }
+          double t0 = NowSeconds();
+          auto rows = engine_of(node).ExecuteSql(
+              step.sql,
+              profile_operators ? &node_profiles[static_cast<size_t>(i)]
+                                : nullptr);
+          node_seconds[static_cast<size_t>(i)] = NowSeconds() - t0;
+          if (!rows.ok()) {
+            node_status[static_cast<size_t>(i)] = Status::ExecutionError(
+                "DSQL step failed on node " + std::to_string(node) + ": " +
+                rows.status().ToString() + "\nSQL: " + step.sql);
+            return;
+          }
+          node_results[static_cast<size_t>(i)] = std::move(*rows);
+        },
+        parallel ? max_parallel_nodes : 1);
+    for (size_t i = 0; i < count; ++i) {
+      if (!node_status[i].ok()) return node_status[i];
+      sp->node_seconds.emplace_back(nodes[i], node_seconds[i]);
+      if (profile_operators) {
+        MergeOperators(node_profiles[i].operators, &sp->operators);
+      }
+      if (result.column_names.empty()) {
+        result.column_names = node_results[i].column_names;
+      }
+      (*source_rows)[static_cast<size_t>(nodes[i])] =
+          std::move(node_results[i].rows);
+    }
+    return Status::OK();
   };
 
   int step_index = 0;
@@ -219,44 +337,45 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
       obs::TraceSpan step_span("dsql.step");
       step_span.AddAttr("kind", sp.move_kind);
       step_span.AddAttr("dest", step.dest_table);
-      // 1. Run the step's SQL on every source node.
+      // 1. Run the step's SQL on every source node simultaneously.
       int slots = dms_.num_compute_nodes() + 1;
       std::vector<RowVector> source_rows(static_cast<size_t>(slots));
-      for (int node : SourceNodes(step)) {
-        ExecProfile node_profile;
-        auto rows = engine_of(node).ExecuteSql(
-            step.sql, profile_operators ? &node_profile : nullptr);
-        if (!rows.ok()) {
-          return cleanup_and_fail(Status::ExecutionError(
-              "DSQL step failed on node " + std::to_string(node) + ": " +
-              rows.status().ToString() + "\nSQL: " + step.sql));
-        }
-        if (profile_operators) {
-          MergeOperators(node_profile.operators, &sp.operators);
-        }
-        source_rows[static_cast<size_t>(node)] = std::move(rows->rows);
-      }
-      // 2. Route through DMS.
+      Status s = run_on_nodes(step, SourceNodes(step), &source_rows, &sp);
+      if (!s.ok()) return cleanup_and_fail(std::move(s));
+      // 2. Route through DMS (per-node phases fan out on the same pool).
       DmsRunMetrics metrics;
       auto routed = dms_.Execute(step.move_kind, std::move(source_rows),
-                                 step.hash_column_ordinals, &metrics);
+                                 step.hash_column_ordinals, &metrics,
+                                 parallel ? &pool : nullptr);
       if (!routed.ok()) return cleanup_and_fail(routed.status());
-      Accumulate(metrics, &result.dms_metrics);
+      result.dms_metrics.Accumulate(metrics);
       FillComponents(metrics, &sp);
       sp.actual_rows = static_cast<double>(metrics.rows_moved);
-      // 3. Materialize the destination temp table on every target node.
+      // 3. Materialize the destination temp table on every target node,
+      // again simultaneously — engines are per-node, so each target only
+      // touches its own catalog and storage.
       TableDef temp_def;
       temp_def.name = step.dest_table;
       temp_def.schema = step.dest_schema;
       temps.push_back(step.dest_table);
-      for (int node : TargetNodes(step)) {
-        LocalEngine& engine = engine_of(node);
-        Status s = engine.CreateTable(temp_def);
-        if (!s.ok()) return cleanup_and_fail(s);
-        s = engine.InsertRows(
-            step.dest_table,
-            std::move((*routed)[static_cast<size_t>(node)]));
-        if (!s.ok()) return cleanup_and_fail(s);
+      const std::vector<int> targets = TargetNodes(step);
+      std::vector<Status> target_status(targets.size());
+      pool.ParallelFor(
+          static_cast<int>(targets.size()),
+          [&](int i) {
+            int node = targets[static_cast<size_t>(i)];
+            LocalEngine& engine = engine_of(node);
+            Status ts = engine.CreateTable(temp_def);
+            if (ts.ok()) {
+              ts = engine.InsertRows(
+                  step.dest_table,
+                  std::move((*routed)[static_cast<size_t>(node)]));
+            }
+            target_status[static_cast<size_t>(i)] = std::move(ts);
+          },
+          parallel ? max_parallel_nodes : 1);
+      for (Status& ts : target_status) {
+        if (!ts.ok()) return cleanup_and_fail(std::move(ts));
       }
       sp.measured_seconds = NowSeconds() - step_start;
       result.profile.steps.push_back(std::move(sp));
@@ -267,25 +386,18 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
     sp.kind = "RETURN";
     obs::TraceSpan step_span("dsql.step");
     step_span.AddAttr("kind", std::string("Return"));
+    int slots = dms_.num_compute_nodes() + 1;
+    std::vector<RowVector> per_node(static_cast<size_t>(slots));
+    const std::vector<int> sources = SourceNodes(step);
+    Status s = run_on_nodes(step, sources, &per_node, &sp);
+    if (!s.ok()) return cleanup_and_fail(std::move(s));
+    // Assemble in node order, keeping the serial loop's deterministic
+    // stream order regardless of which node finished first.
     RowVector assembled;
-    for (int node : SourceNodes(step)) {
-      ExecProfile node_profile;
-      auto rows = engine_of(node).ExecuteSql(
-          step.sql, profile_operators ? &node_profile : nullptr);
-      if (!rows.ok()) {
-        return cleanup_and_fail(Status::ExecutionError(
-            "Return step failed on node " + std::to_string(node) + ": " +
-            rows.status().ToString() + "\nSQL: " + step.sql));
-      }
-      if (profile_operators) {
-        MergeOperators(node_profile.operators, &sp.operators);
-      }
-      if (result.column_names.empty()) {
-        result.column_names = rows->column_names;
-      }
-      assembled.insert(assembled.end(),
-                       std::make_move_iterator(rows->rows.begin()),
-                       std::make_move_iterator(rows->rows.end()));
+    for (int node : sources) {
+      RowVector& rows = per_node[static_cast<size_t>(node)];
+      assembled.insert(assembled.end(), std::make_move_iterator(rows.begin()),
+                       std::make_move_iterator(rows.end()));
     }
     if (!step.merge_sort.empty()) {
       std::stable_sort(assembled.begin(), assembled.end(),
@@ -324,86 +436,167 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
   return result;
 }
 
-Result<ApplianceResult> Appliance::ExecuteInternal(
-    const std::string& sql, const PdwCompilerOptions& options,
-    bool profile_operators) {
-  obs::TraceSpan span("appliance.execute");
-  PDW_ASSIGN_OR_RETURN(PdwCompilation comp, CompilePdwQuery(shell_, sql, options));
-  double t0 = NowSeconds();
-  DsqlPlan dsql;
-  {
-    obs::TraceSpan gen("compile.dsql_gen");
-    PDW_ASSIGN_OR_RETURN(dsql,
-                         GenerateDsql(*comp.parallel.plan, comp.output_names,
-                                      "tpch", comp.serial.visible_columns));
-  }
-  comp.phase_seconds.emplace_back("dsql_gen", NowSeconds() - t0);
-  PDW_ASSIGN_OR_RETURN(ApplianceResult result,
-                       ExecuteDsql(dsql, profile_operators));
-  result.modeled_cost = comp.parallel.cost;
-  result.plan_text = PlanTreeToString(*comp.parallel.plan);
-  if (result.column_names.empty()) result.column_names = comp.output_names;
-
-  obs::QueryProfile& profile = result.profile;
+Result<ApplianceResult> Appliance::Run(const std::string& sql,
+                                       const QueryOptions& options) {
+  obs::TraceSpan span("appliance.run");
+  obs::QueryProfile profile;
   profile.sql = sql;
-  for (const auto& [name, seconds] : comp.phase_seconds) {
-    profile.compile_phases.push_back({name, seconds});
-    profile.compile_seconds += seconds;
+
+  // 1. Obtain a DSQL plan: from the plan cache when allowed and fresh,
+  // else through the full parse→memo→XML→enumeration pipeline.
+  DsqlPlan dsql;
+  std::string plan_text;
+  double modeled_cost = 0;
+  std::vector<std::string> output_names;
+  bool cache_hit = false;
+
+  std::string normalized, fingerprint;
+  if (options.use_plan_cache) {
+    double t0 = NowSeconds();
+    normalized = NormalizeSqlForPlanCache(sql);
+    fingerprint = FingerprintCompilerOptions(options.compile);
+    if (auto cached = plan_cache_.Lookup(normalized, fingerprint)) {
+      dsql = std::move(cached->dsql);
+      plan_text = std::move(cached->plan_text);
+      modeled_cost = cached->modeled_cost;
+      output_names = std::move(cached->output_names);
+      profile.optimizer = cached->optimizer;
+      cache_hit = true;
+      double dt = NowSeconds() - t0;
+      profile.compile_phases.push_back({"plan_cache_lookup", dt});
+      profile.compile_seconds = dt;
+    }
   }
-  profile.optimizer.groups =
-      static_cast<double>(comp.parallel.groups_optimized);
-  profile.optimizer.options_considered =
-      static_cast<double>(comp.parallel.options_considered);
-  profile.optimizer.options_kept =
-      static_cast<double>(comp.parallel.options_kept);
-  profile.optimizer.options_pruned =
-      static_cast<double>(comp.parallel.options_pruned);
-  profile.optimizer.enforcers_inserted =
-      static_cast<double>(comp.parallel.enforcers_inserted);
-  profile.modeled_cost = comp.parallel.cost;
+
+  if (!cache_hit) {
+    PDW_ASSIGN_OR_RETURN(PdwCompilation comp,
+                         CompilePdwQuery(shell_, sql, options.compile));
+    double t0 = NowSeconds();
+    {
+      obs::TraceSpan gen("compile.dsql_gen");
+      PDW_ASSIGN_OR_RETURN(dsql,
+                           GenerateDsql(*comp.parallel.plan, comp.output_names,
+                                        "tpch", comp.serial.visible_columns));
+    }
+    comp.phase_seconds.emplace_back("dsql_gen", NowSeconds() - t0);
+    plan_text = PlanTreeToString(*comp.parallel.plan);
+    modeled_cost = comp.parallel.cost;
+    output_names = comp.output_names;
+    for (const auto& [name, seconds] : comp.phase_seconds) {
+      profile.compile_phases.push_back({name, seconds});
+      profile.compile_seconds += seconds;
+    }
+    profile.optimizer.groups =
+        static_cast<double>(comp.parallel.groups_optimized);
+    profile.optimizer.options_considered =
+        static_cast<double>(comp.parallel.options_considered);
+    profile.optimizer.options_kept =
+        static_cast<double>(comp.parallel.options_kept);
+    profile.optimizer.options_pruned =
+        static_cast<double>(comp.parallel.options_pruned);
+    profile.optimizer.enforcers_inserted =
+        static_cast<double>(comp.parallel.enforcers_inserted);
+
+    if (options.use_plan_cache) {
+      CachedDsqlPlan entry;
+      entry.dsql = dsql;
+      entry.output_names = output_names;
+      entry.plan_text = plan_text;
+      entry.modeled_cost = modeled_cost;
+      entry.optimizer = profile.optimizer;
+      std::set<std::string> seen;
+      CollectScanTables(*comp.parallel.plan, plan_cache_, &seen,
+                        &entry.table_versions);
+      plan_cache_.Insert(normalized, fingerprint, std::move(entry));
+    }
+  }
+  profile.modeled_cost = modeled_cost;
+  profile.cache_hit = cache_hit;
+
+  // 2. EXPLAIN only: render without executing.
+  if (options.explain_only) {
+    ApplianceResult result;
+    result.dsql = std::move(dsql);
+    result.column_names = output_names;
+    result.modeled_cost = modeled_cost;
+    result.plan_text = plan_text;
+    result.cache_hit = cache_hit;
+    result.explain_text =
+        "-- parallel plan (modeled DMS cost " +
+        StringFormat("%.6f", modeled_cost) + ")" +
+        (cache_hit ? "  [plan cache hit]" : "") + "\n" + plan_text + "\n" +
+        result.dsql.ToString();
+    result.profile = std::move(profile);
+    return result;
+  }
+
+  // 3. Execute with per-execution-unique temp names.
+  UniquifyTempNames(&dsql,
+                    next_query_id_.fetch_add(1, std::memory_order_relaxed));
+  PDW_ASSIGN_OR_RETURN(
+      ApplianceResult result,
+      ExecuteDsql(dsql, options.collect_operator_actuals,
+                  options.max_parallel_nodes));
+  result.modeled_cost = modeled_cost;
+  result.plan_text = plan_text;
+  result.cache_hit = cache_hit;
+  if (result.column_names.empty()) result.column_names = output_names;
+
+  // ExecuteDsql filled the per-step profile; graft the compile-side half
+  // (phases, optimizer counters) in.
+  profile.steps = std::move(result.profile.steps);
+  profile.measured_seconds = result.profile.measured_seconds;
+  profile.modeled_cost = result.profile.modeled_cost;
+  result.profile = std::move(profile);
+
+  result.explain_text = "-- parallel plan (modeled DMS cost " +
+                        StringFormat("%.6f", result.modeled_cost) + ")" +
+                        (cache_hit ? "  [plan cache hit]" : "") + "\n" +
+                        result.plan_text + "\n" + result.profile.ToText();
   return result;
 }
 
 Result<ApplianceResult> Appliance::Execute(const std::string& sql,
                                            const PdwCompilerOptions& options) {
-  return ExecuteInternal(sql, options, /*profile_operators=*/false);
+  QueryOptions q;
+  q.compile = options;
+  return Run(sql, q);
 }
 
 Result<ApplianceResult> Appliance::ExecuteAnalyze(
     const std::string& sql, const PdwCompilerOptions& options) {
-  return ExecuteInternal(sql, options, /*profile_operators=*/true);
+  QueryOptions q;
+  q.compile = options;
+  q.collect_operator_actuals = true;
+  return Run(sql, q);
 }
 
 Result<std::string> Appliance::ExplainAnalyze(const std::string& sql,
                                               const PdwCompilerOptions& options) {
-  PDW_ASSIGN_OR_RETURN(ApplianceResult result, ExecuteAnalyze(sql, options));
-  std::string out = "-- parallel plan (modeled DMS cost " +
-                    StringFormat("%.6f", result.modeled_cost) + ")\n";
-  out += result.plan_text;
-  out += "\n";
-  out += result.profile.ToText();
-  return out;
+  QueryOptions q;
+  q.compile = options;
+  q.collect_operator_actuals = true;
+  PDW_ASSIGN_OR_RETURN(ApplianceResult result, Run(sql, q));
+  return result.explain_text;
 }
 
 Result<std::string> Appliance::Explain(const std::string& sql,
                                         const PdwCompilerOptions& options) {
-  PDW_ASSIGN_OR_RETURN(PdwCompilation comp,
-                       CompilePdwQuery(shell_, sql, options));
-  PDW_ASSIGN_OR_RETURN(DsqlPlan dsql,
-                       GenerateDsql(*comp.parallel.plan, comp.output_names,
-                                    "tpch", comp.serial.visible_columns));
-  std::string out = "-- parallel plan (modeled DMS cost " +
-                    StringFormat("%.6f", comp.parallel.cost) + ")\n";
-  out += PlanTreeToString(*comp.parallel.plan);
-  out += "\n";
-  out += dsql.ToString();
-  return out;
+  QueryOptions q;
+  q.compile = options;
+  q.explain_only = true;
+  PDW_ASSIGN_OR_RETURN(ApplianceResult result, Run(sql, q));
+  return result.explain_text;
 }
 
 Result<ApplianceResult> Appliance::ExecutePlan(
     const PlanNode& plan, std::vector<std::string> output_names) {
   PDW_ASSIGN_OR_RETURN(DsqlPlan dsql, GenerateDsql(plan, std::move(output_names)));
-  PDW_ASSIGN_OR_RETURN(ApplianceResult result, ExecuteDsql(dsql));
+  UniquifyTempNames(&dsql,
+                    next_query_id_.fetch_add(1, std::memory_order_relaxed));
+  PDW_ASSIGN_OR_RETURN(ApplianceResult result,
+                       ExecuteDsql(dsql, /*profile_operators=*/false,
+                                   /*max_parallel_nodes=*/0));
   result.modeled_cost = TotalMoveCost(plan);
   result.plan_text = PlanTreeToString(plan);
   return result;

@@ -1,6 +1,8 @@
 #ifndef PDW_APPLIANCE_APPLIANCE_H_
 #define PDW_APPLIANCE_APPLIANCE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,8 +12,28 @@
 #include "obs/query_profile.h"
 #include "pdw/compiler.h"
 #include "pdw/dsql.h"
+#include "pdw/plan_cache.h"
 
 namespace pdw {
+
+/// Per-query knobs of the unified session entry point Appliance::Run.
+struct QueryOptions {
+  /// Knobs of the control-node compilation pipeline (Fig. 2).
+  PdwCompilerOptions compile;
+  /// Collect per-operator actual row counts and timings inside every
+  /// node-local plan (the EXPLAIN ANALYZE data; adds metering overhead).
+  bool collect_operator_actuals = false;
+  /// Compile and render the plan but do not execute (EXPLAIN).
+  bool explain_only = false;
+  /// Serve the DSQL plan from the control node's compiled-plan cache when
+  /// a fresh entry exists, and insert it after compiling otherwise.
+  bool use_plan_cache = false;
+  /// Cap on how many compute nodes run one DSQL step's work at the same
+  /// time: 0 fans out across all nodes on the shared worker pool (the
+  /// appliance model of Fig. 1), 1 reproduces the serial node-by-node
+  /// loop (the bench_serial_vs_parallel baseline).
+  int max_parallel_nodes = 0;
+};
 
 /// Result of one distributed query execution.
 struct ApplianceResult {
@@ -22,11 +44,18 @@ struct ApplianceResult {
   double measured_seconds = 0;  ///< Wall time of DSQL execution.
   DmsRunMetrics dms_metrics;    ///< Accumulated over all DMS steps.
   std::string plan_text;        ///< EXPLAIN of the parallel plan.
+  /// Rendered explanation: for explain_only the plan + DSQL steps, for
+  /// executed queries the EXPLAIN ANALYZE text (est-vs-actual annotated
+  /// when collect_operator_actuals was set).
+  std::string explain_text;
+  /// True when the DSQL plan was served from the plan cache and the
+  /// compile pipeline was skipped entirely.
+  bool cache_hit = false;
   /// Estimated-vs-actual profile: compile-phase timings, optimizer search
   /// counters, and one StepProfile per DSQL step (per-component DMS bytes,
-  /// modeled cost vs measured seconds, estimated vs actual rows).
-  /// Per-operator executor actuals are collected only by ExecuteAnalyze /
-  /// ExplainAnalyze.
+  /// modeled cost vs measured seconds, estimated vs actual rows, per-node
+  /// SQL wall times). Per-operator executor actuals are collected only
+  /// when QueryOptions.collect_operator_actuals is set.
   obs::QueryProfile profile;
 };
 
@@ -35,10 +64,20 @@ struct ApplianceResult {
 /// service. The control node holds the shell database — metadata and merged
 /// global statistics, no user rows (§2.2).
 ///
-/// Query execution follows §2.4 exactly: the control node compiles a DSQL
-/// plan; DMS steps run their SQL on every source node, route rows into
-/// temp tables; the Return step's SQL runs per node and the engine
-/// assembles (merge-sorts, limits) the final result.
+/// Query execution follows §2.4: the control node compiles a DSQL plan (or
+/// serves it from the plan cache); each DSQL step then runs its SQL on
+/// every source node *simultaneously* on the shared worker pool, DMS
+/// routes rows into temp tables, and the Return step's per-node SQL is
+/// assembled (merge-sorted, limited) into the final result.
+///
+/// Thread safety: Run / ExecutePlan / ExecuteReference and the const
+/// accessors may be called from any number of session threads
+/// concurrently; every in-flight query works on uniquely-named temp
+/// tables. DDL and loads (CreateTable*, LoadRows, RefreshStatistics) are
+/// setup-time operations and must not race queries that read the same
+/// tables. The mutable accessors (mutable_shell, mutable_compute_node,
+/// mutable_control_engine, dms) hand out unsynchronized references —
+/// single-threaded use only.
 class Appliance {
  public:
   explicit Appliance(Topology topology);
@@ -52,32 +91,19 @@ class Appliance {
   Status CreateTableSql(const std::string& ddl);
 
   /// Loads rows, routing them by the table's distribution (hash or
-  /// replicate); also maintains the single-node reference copy.
+  /// replicate); also maintains the single-node reference copy. Bumps the
+  /// table's statistics version, invalidating cached plans that read it.
   Status LoadRows(const std::string& table, const RowVector& rows);
 
   /// Recomputes per-node local statistics and merges them into the shell
-  /// database's global statistics (§2.2).
+  /// database's global statistics (§2.2). Bumps the table's statistics
+  /// version, invalidating cached plans that read it.
   Status RefreshStatistics(const std::string& table);
 
-  /// Compiles and executes a SELECT through the full PDW pipeline.
-  Result<ApplianceResult> Execute(const std::string& sql,
-                                  const PdwCompilerOptions& options = {});
-
-  /// Like Execute, but additionally collects per-operator actual row counts
-  /// and timings inside every node-local plan (EXPLAIN ANALYZE data).
-  Result<ApplianceResult> ExecuteAnalyze(const std::string& sql,
-                                         const PdwCompilerOptions& options = {});
-
-  /// Executes the query and renders the DSQL plan annotated per step with
-  /// modeled DMS cost vs measured wall time, estimated vs actual rows
-  /// (flagging large misestimates), and per-component DMS bytes.
-  Result<std::string> ExplainAnalyze(const std::string& sql,
-                                     const PdwCompilerOptions& options = {});
-
-  /// Compiles a SELECT and returns its parallel plan + DSQL rendering
-  /// without executing anything (EXPLAIN).
-  Result<std::string> Explain(const std::string& sql,
-                              const PdwCompilerOptions& options = {});
+  /// The unified session entry point: compiles (or cache-loads) and runs a
+  /// SELECT through the full PDW pipeline according to `options`.
+  Result<ApplianceResult> Run(const std::string& sql,
+                              const QueryOptions& options = {});
 
   /// Executes an already-generated parallel plan (used to run the
   /// parallelized-serial baseline for comparison benches).
@@ -88,18 +114,54 @@ class Appliance {
   /// ground truth for validating distributed execution.
   Result<SqlResult> ExecuteReference(const std::string& sql);
 
+  // --- deprecated pre-session-API entry points (one-PR grace period) ---
+
+  [[deprecated("use Run(sql, QueryOptions)")]]
+  Result<ApplianceResult> Execute(const std::string& sql,
+                                  const PdwCompilerOptions& options = {});
+
+  [[deprecated("use Run with QueryOptions.collect_operator_actuals")]]
+  Result<ApplianceResult> ExecuteAnalyze(const std::string& sql,
+                                         const PdwCompilerOptions& options = {});
+
+  [[deprecated("use Run with collect_operator_actuals; read explain_text")]]
+  Result<std::string> ExplainAnalyze(const std::string& sql,
+                                     const PdwCompilerOptions& options = {});
+
+  [[deprecated("use Run with QueryOptions.explain_only; read explain_text")]]
+  Result<std::string> Explain(const std::string& sql,
+                              const PdwCompilerOptions& options = {});
+
+  /// Models the control→compute RPC of dispatching one step's SQL to a
+  /// node (seconds; default 0). The pool overlaps these dispatches across
+  /// nodes; the serial loop pays them one after another — the §2.4
+  /// "steps run on all nodes simultaneously" effect made measurable.
+  void set_dispatch_latency_seconds(double seconds) {
+    dispatch_latency_seconds_ = seconds;
+  }
+  double dispatch_latency_seconds() const { return dispatch_latency_seconds_; }
+
+  // Shared-state accessors. The const overloads are safe from concurrent
+  // session threads; the mutable ones are not synchronized.
   const Catalog& shell() const { return shell_; }
   Catalog* mutable_shell() { return &shell_; }
+  const DmsService& dms() const { return dms_; }
   DmsService& dms() { return dms_; }
-  LocalEngine& compute_node(int i) { return *compute_[static_cast<size_t>(i)]; }
-  LocalEngine& control_engine() { return control_; }
+  const LocalEngine& compute_node(int i) const {
+    return *compute_[static_cast<size_t>(i)];
+  }
+  LocalEngine& mutable_compute_node(int i) {
+    return *compute_[static_cast<size_t>(i)];
+  }
+  const LocalEngine& control_engine() const { return control_; }
+  LocalEngine& mutable_control_engine() { return control_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  PlanCache& plan_cache() { return plan_cache_; }
 
  private:
-  Result<ApplianceResult> ExecuteInternal(const std::string& sql,
-                                          const PdwCompilerOptions& options,
-                                          bool profile_operators);
   Result<ApplianceResult> ExecuteDsql(const DsqlPlan& dsql,
-                                      bool profile_operators = false);
+                                      bool profile_operators,
+                                      int max_parallel_nodes);
   /// Nodes that run a step's source SQL.
   std::vector<int> SourceNodes(const DsqlStep& step) const;
   /// Nodes that must host a DMS step's destination temp table.
@@ -111,6 +173,11 @@ class Appliance {
   std::vector<std::unique_ptr<LocalEngine>> compute_;
   LocalEngine control_;
   LocalEngine reference_;
+  PlanCache plan_cache_;
+  /// Per-execution id used to uniquify temp-table names so concurrent
+  /// queries (and re-executions of one cached plan) never collide.
+  std::atomic<uint64_t> next_query_id_{1};
+  double dispatch_latency_seconds_ = 0;
 };
 
 }  // namespace pdw

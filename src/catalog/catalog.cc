@@ -1,5 +1,8 @@
 #include "catalog/catalog.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "common/string_util.h"
 
 namespace pdw {
@@ -26,8 +29,16 @@ std::string Catalog::Key(const std::string& name) const {
   return ToLower(name);
 }
 
+Catalog Catalog::Clone() const {
+  Catalog copy(topology_);
+  std::shared_lock lock(mu_);
+  copy.tables_ = tables_;
+  return copy;
+}
+
 Status Catalog::CreateTable(TableDef def) {
   std::string key = Key(def.name);
+  std::unique_lock lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table '" + def.name + "' already exists");
   }
@@ -48,6 +59,7 @@ Status Catalog::CreateTable(TableDef def) {
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  std::unique_lock lock(mu_);
   if (tables_.erase(Key(name)) == 0) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
@@ -55,10 +67,12 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
   return tables_.count(Key(name)) > 0;
 }
 
 Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -67,6 +81,7 @@ Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
 }
 
 Result<TableDef*> Catalog::GetMutableTable(const std::string& name) {
+  std::shared_lock lock(mu_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -75,6 +90,7 @@ Result<TableDef*> Catalog::GetMutableTable(const std::string& name) {
 }
 
 std::vector<std::string> Catalog::ListTables() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> out;
   for (const auto& [key, def] : tables_) out.push_back(def.name);
   return out;

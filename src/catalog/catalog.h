@@ -2,6 +2,7 @@
 #define PDW_CATALOG_CATALOG_H_
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -63,13 +64,37 @@ struct Topology {
 /// The metadata catalog. A Catalog instance on the control node with only
 /// metadata + global stats *is* the paper's "shell database" (§2.2);
 /// Catalog instances on compute nodes describe the local fragments.
+///
+/// Thread safety: the table map itself is guarded by an internal
+/// shared_mutex, so concurrent queries may look tables up while other
+/// queries create/drop *different* tables (per-node temp-table bookkeeping
+/// during parallel DSQL execution). Pointers returned by GetTable stay
+/// valid across unrelated DDL (std::map node stability); dropping a table
+/// while another thread still uses its TableDef — or mutating a TableDef
+/// through GetMutableTable while readers are live — is not synchronized
+/// and remains a load-time-only operation.
 class Catalog {
  public:
   Catalog() = default;
   explicit Catalog(Topology topology) : topology_(topology) {}
 
+  // Movable so factories can build-and-return a catalog; moves are
+  // setup-time operations and must not race any other access (the mutex
+  // itself is not moved — each instance owns a fresh one).
+  Catalog(Catalog&& other) noexcept
+      : topology_(other.topology_), tables_(std::move(other.tables_)) {}
+  Catalog& operator=(Catalog&& other) noexcept {
+    topology_ = other.topology_;
+    tables_ = std::move(other.tables_);
+    return *this;
+  }
+
   const Topology& topology() const { return topology_; }
   void set_topology(Topology t) { topology_ = t; }
+
+  /// Deep copy under the source's read lock — what-if analysis works on a
+  /// clone so candidate designs never disturb the live shell database.
+  Catalog Clone() const;
 
   Status CreateTable(TableDef def);
   Status DropTable(const std::string& name);
@@ -86,6 +111,7 @@ class Catalog {
   std::string Key(const std::string& name) const;
 
   Topology topology_;
+  mutable std::shared_mutex mu_;  ///< Guards the structure of tables_.
   std::map<std::string, TableDef> tables_;
 };
 

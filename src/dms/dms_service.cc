@@ -26,6 +26,19 @@ void AppendBytes(const void* data, size_t n, std::vector<uint8_t>* buffer) {
 
 }  // namespace
 
+void DmsRunMetrics::Accumulate(const DmsRunMetrics& other) {
+  reader.bytes += other.reader.bytes;
+  reader.seconds += other.reader.seconds;
+  network.bytes += other.network.bytes;
+  network.seconds += other.network.seconds;
+  writer.bytes += other.writer.bytes;
+  writer.seconds += other.writer.seconds;
+  bulkcopy.bytes += other.bulkcopy.bytes;
+  bulkcopy.seconds += other.bulkcopy.seconds;
+  rows_moved += other.rows_moved;
+  wall_seconds += other.wall_seconds;
+}
+
 std::string DmsRunMetrics::ToString() const {
   // All byte/seconds rendering goes through the shared obs helpers so DMS,
   // optimizer, and executor metrics read identically.
@@ -144,7 +157,8 @@ Result<Row> UnpackRow(const std::vector<uint8_t>& buffer, size_t* offset) {
 
 Result<std::vector<RowVector>> DmsService::Execute(
     DmsOpKind kind, std::vector<RowVector> source_rows,
-    const std::vector<int>& hash_ordinals, DmsRunMetrics* metrics) {
+    const std::vector<int>& hash_ordinals, DmsRunMetrics* metrics,
+    ThreadPool* pool) {
   int n = nodes_;
   int total_slots = n + 1;
   if (static_cast<int>(source_rows.size()) != total_slots) {
@@ -162,16 +176,30 @@ Result<std::vector<RowVector>> DmsService::Execute(
     return Status::InvalidArgument("hash move without hash columns");
   }
 
+  // Runs one phase's per-node body, in parallel when a pool is supplied;
+  // each body only touches its own node's slots, so no locking is needed.
+  auto each_node = [&](const std::function<void(int)>& body) {
+    if (pool != nullptr) {
+      pool->ParallelFor(total_slots, body);
+    } else {
+      for (int i = 0; i < total_slots; ++i) body(i);
+    }
+  };
+
   // Reader phase: each source node packs its rows into per-target buffers.
-  // target_buffers[src][dst] holds the bytes src sends to dst.
+  // target_buffers[src][dst] holds the bytes src sends to dst. Component
+  // seconds are the *sum of per-node durations* — the cost model's B*λ
+  // work metric — so serial and pooled runs meter the same quantity.
   std::vector<std::vector<std::vector<uint8_t>>> buffers(
       static_cast<size_t>(total_slots));
   for (auto& per_target : buffers) {
     per_target.resize(static_cast<size_t>(total_slots));
   }
 
-  double t0 = NowSeconds();
-  for (int src = 0; src < total_slots; ++src) {
+  std::vector<DmsRunMetrics> node_m(static_cast<size_t>(total_slots));
+  each_node([&](int src) {
+    DmsRunMetrics& nm = node_m[static_cast<size_t>(src)];
+    double t0 = NowSeconds();
     for (const Row& row : source_rows[static_cast<size_t>(src)]) {
       std::vector<int> targets;
       switch (kind) {
@@ -195,58 +223,72 @@ Result<std::vector<RowVector>> DmsService::Execute(
       for (int dst : targets) {
         size_t bytes = PackRow(
             row, &buffers[static_cast<size_t>(src)][static_cast<size_t>(dst)]);
-        m->reader.bytes += static_cast<double>(bytes);
+        nm.reader.bytes += static_cast<double>(bytes);
       }
-      m->rows_moved += 1;
+      nm.rows_moved += 1;
     }
-  }
-  m->reader.seconds += NowSeconds() - t0;
+    nm.reader.seconds += NowSeconds() - t0;
+  });
 
   // Network phase: move buffers from source to target queues (local
-  // deliveries are free — Trim moves never touch the network).
+  // deliveries are free — Trim moves never touch the network). Each target
+  // drains its own inbound column of the buffer matrix.
   std::vector<std::vector<uint8_t>> inbound(static_cast<size_t>(total_slots));
-  t0 = NowSeconds();
-  for (int src = 0; src < total_slots; ++src) {
-    for (int dst = 0; dst < total_slots; ++dst) {
+  each_node([&](int dst) {
+    DmsRunMetrics& nm = node_m[static_cast<size_t>(dst)];
+    double t0 = NowSeconds();
+    for (int src = 0; src < total_slots; ++src) {
       std::vector<uint8_t>& buf =
           buffers[static_cast<size_t>(src)][static_cast<size_t>(dst)];
       if (buf.empty()) continue;
-      if (src != dst) m->network.bytes += static_cast<double>(buf.size());
+      if (src != dst) nm.network.bytes += static_cast<double>(buf.size());
       std::vector<uint8_t>& q = inbound[static_cast<size_t>(dst)];
       q.insert(q.end(), buf.begin(), buf.end());
       buf.clear();
       buf.shrink_to_fit();
     }
-  }
-  m->network.seconds += NowSeconds() - t0;
+    nm.network.seconds += NowSeconds() - t0;
+  });
 
   // Writer phase: unpack rows on each target.
   std::vector<RowVector> unpacked(static_cast<size_t>(total_slots));
-  t0 = NowSeconds();
-  for (int dst = 0; dst < total_slots; ++dst) {
+  std::vector<Status> node_status(static_cast<size_t>(total_slots));
+  each_node([&](int dst) {
+    DmsRunMetrics& nm = node_m[static_cast<size_t>(dst)];
+    double t0 = NowSeconds();
     const std::vector<uint8_t>& buf = inbound[static_cast<size_t>(dst)];
     size_t offset = 0;
     while (offset < buf.size()) {
-      PDW_ASSIGN_OR_RETURN(Row row, UnpackRow(buf, &offset));
-      unpacked[static_cast<size_t>(dst)].push_back(std::move(row));
+      auto row = UnpackRow(buf, &offset);
+      if (!row.ok()) {
+        node_status[static_cast<size_t>(dst)] = row.status();
+        return;
+      }
+      unpacked[static_cast<size_t>(dst)].push_back(std::move(*row));
     }
-    m->writer.bytes += static_cast<double>(buf.size());
+    nm.writer.bytes += static_cast<double>(buf.size());
+    nm.writer.seconds += NowSeconds() - t0;
+  });
+  for (const Status& s : node_status) {
+    if (!s.ok()) return s;
   }
-  m->writer.seconds += NowSeconds() - t0;
 
   // Bulk-copy phase: insert into the destination table storage (a copy,
   // like SQL Server's bulk insert materializing the temp table).
   std::vector<RowVector> result(static_cast<size_t>(total_slots));
-  t0 = NowSeconds();
-  for (int dst = 0; dst < total_slots; ++dst) {
+  each_node([&](int dst) {
+    DmsRunMetrics& nm = node_m[static_cast<size_t>(dst)];
+    double t0 = NowSeconds();
     RowVector& out = result[static_cast<size_t>(dst)];
     out.reserve(unpacked[static_cast<size_t>(dst)].size());
     for (const Row& row : unpacked[static_cast<size_t>(dst)]) {
-      m->bulkcopy.bytes += static_cast<double>(RowWidth(row));
+      nm.bulkcopy.bytes += static_cast<double>(RowWidth(row));
       out.push_back(row);
     }
-  }
-  m->bulkcopy.seconds += NowSeconds() - t0;
+    nm.bulkcopy.seconds += NowSeconds() - t0;
+  });
+
+  for (const DmsRunMetrics& nm : node_m) m->Accumulate(nm);
   m->wall_seconds += NowSeconds() - wall_start;
 
   // Fold this run's component meters into the process-wide registry.

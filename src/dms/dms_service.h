@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/row.h"
+#include "common/thread_pool.h"
 #include "pdw/cost_model.h"
 #include "plan/distribution.h"
 
@@ -28,6 +29,9 @@ struct DmsRunMetrics {
   double rows_moved = 0;
   double wall_seconds = 0;
 
+  /// Folds another run's per-component meters (and wall time) into this.
+  void Accumulate(const DmsRunMetrics& other);
+
   std::string ToString() const;
 };
 
@@ -40,6 +44,12 @@ struct DmsRunMetrics {
 /// Per-component byte counts and timings are metered so the cost model's
 /// λ constants can be calibrated against this substrate exactly as the
 /// paper calibrates against hardware.
+///
+/// Thread safety: DmsService holds no mutable state, so concurrent
+/// Execute calls (one per in-flight query) are safe as long as each call
+/// gets its own `metrics` accumulator. Within one call, passing a
+/// ThreadPool fans the per-node reader/writer/bulk-copy work out across
+/// nodes — the instances really do run simultaneously, as in Fig. 5.
 class DmsService {
  public:
   /// `num_compute_nodes` compute nodes; node index `num_compute_nodes`
@@ -53,11 +63,15 @@ class DmsService {
   /// Executes a data movement: `source_rows[i]` holds the rows produced by
   /// the step's SQL on node i (size num_compute_nodes + 1; the last slot
   /// is the control node). Returns the rows landing on each node (same
-  /// indexing). `hash_ordinals` drive Shuffle/Trim routing.
+  /// indexing). `hash_ordinals` drive Shuffle/Trim routing. A non-null
+  /// `pool` runs each phase's per-node work in parallel across nodes
+  /// (component seconds then sum per-node durations, as in the serial
+  /// loop); null keeps the deterministic serial schedule.
   Result<std::vector<RowVector>> Execute(DmsOpKind kind,
                                          std::vector<RowVector> source_rows,
                                          const std::vector<int>& hash_ordinals,
-                                         DmsRunMetrics* metrics = nullptr);
+                                         DmsRunMetrics* metrics = nullptr,
+                                         ThreadPool* pool = nullptr);
 
   /// Hash routing used for both table loads and shuffles, so collocated
   /// joins really are collocated.

@@ -1,5 +1,8 @@
 #include "engine/local_engine.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "algebra/scalar_eval.h"
 #include "common/string_util.h"
 #include "optimizer/serial_optimizer.h"
@@ -18,21 +21,19 @@ LocalEngine::LocalEngine() {
 Status LocalEngine::CreateTable(TableDef def) {
   std::string key = ToLower(def.name);
   PDW_RETURN_NOT_OK(catalog_.CreateTable(std::move(def)));
+  std::unique_lock lock(mu_);
   storage_[key] = RowVector{};
   return Status::OK();
 }
 
 Status LocalEngine::DropTable(const std::string& name) {
   PDW_RETURN_NOT_OK(catalog_.DropTable(name));
+  std::unique_lock lock(mu_);
   storage_.erase(ToLower(name));
   return Status::OK();
 }
 
 Status LocalEngine::InsertRows(const std::string& name, RowVector rows) {
-  auto it = storage_.find(ToLower(name));
-  if (it == storage_.end()) {
-    return Status::NotFound("table '" + name + "' does not exist");
-  }
   PDW_ASSIGN_OR_RETURN(const TableDef* def, catalog_.GetTable(name));
   for (const Row& r : rows) {
     if (static_cast<int>(r.size()) != def->schema.num_columns()) {
@@ -41,6 +42,14 @@ Status LocalEngine::InsertRows(const std::string& name, RowVector rows) {
                        r.size(), name.c_str(), def->schema.num_columns()));
     }
   }
+  // The shared lock protects the map lookup; appending to this table's
+  // vector is safe because no other thread touches *this* table (see the
+  // class thread-safety contract).
+  std::shared_lock lock(mu_);
+  auto it = storage_.find(ToLower(name));
+  if (it == storage_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
   RowVector& dest = it->second;
   dest.insert(dest.end(), std::make_move_iterator(rows.begin()),
               std::make_move_iterator(rows.end()));
@@ -48,6 +57,7 @@ Status LocalEngine::InsertRows(const std::string& name, RowVector rows) {
 }
 
 Result<const RowVector*> LocalEngine::GetRows(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = storage_.find(ToLower(name));
   if (it == storage_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,15 @@ struct SqlResult {
 /// standing in for the per-node SQL Server of Fig. 1. The DSQL executor
 /// feeds it the *generated SQL text*, so DSQL SQL generation is exercised
 /// on the real execution path.
+///
+/// Thread safety: concurrent ExecuteSql calls are safe, as is DDL on
+/// *distinct* tables concurrent with queries — the case parallel DSQL
+/// execution needs, where each in-flight query creates, fills and drops
+/// its own uniquely-named temp tables. The storage map's structure is
+/// guarded by a shared_mutex; row vectors of individual tables are not
+/// independently locked, so loading rows into a table while another thread
+/// queries that same table is not supported (loads are a setup-time
+/// operation, as on the real appliance which takes table locks).
 class LocalEngine : public TableProvider {
  public:
   /// Every engine owns a built-in zero-row table `pdw_empty` that the SQL
@@ -55,6 +65,7 @@ class LocalEngine : public TableProvider {
   Result<TableData> GetTableData(const std::string& name) const override;
 
  private:
+  mutable std::shared_mutex mu_;  ///< Guards the structure of storage_.
   Catalog catalog_;
   std::map<std::string, RowVector> storage_;  // keyed by lowercase name
 };

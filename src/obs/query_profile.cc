@@ -25,7 +25,9 @@ std::string QueryProfile::ToText(double misestimate_threshold) const {
     for (const PhaseProfile& p : compile_phases) {
       out += " " + p.name + "=" + FormatSeconds(p.seconds);
     }
-    out += "  total=" + FormatSeconds(compile_seconds) + "\n";
+    out += "  total=" + FormatSeconds(compile_seconds);
+    if (cache_hit) out += "  [plan cache hit]";
+    out += "\n";
   }
   out += StringFormat(
       "optimizer: groups=%s options=%s kept=%s pruned=%s enforcers=%s\n",
@@ -63,6 +65,13 @@ std::string QueryProfile::ToText(double misestimate_threshold) const {
       out += StringFormat(" rows_moved=%s\n",
                           FormatCount(s.rows_moved).c_str());
     }
+    if (!s.node_seconds.empty()) {
+      out += "  nodes:";
+      for (const auto& [node, seconds] : s.node_seconds) {
+        out += StringFormat(" n%d=%s", node, FormatSeconds(seconds).c_str());
+      }
+      out += "\n";
+    }
     if (!s.operators.empty()) {
       out += "  operators (actuals summed over nodes):\n";
       for (const OperatorProfile& op : s.operators) {
@@ -95,6 +104,7 @@ std::string QueryProfile::ToJson() const {
   out += ",\"compile_seconds\":" + JsonNumber(compile_seconds);
   out += ",\"modeled_cost\":" + JsonNumber(modeled_cost);
   out += ",\"measured_seconds\":" + JsonNumber(measured_seconds);
+  out += std::string(",\"cache_hit\":") + (cache_hit ? "true" : "false");
 
   out += ",\"compile_phases\":{";
   for (size_t i = 0; i < compile_phases.size(); ++i) {
@@ -134,6 +144,13 @@ std::string QueryProfile::ToJson() const {
            ComponentJson("network", s.network) + "," +
            ComponentJson("writer", s.writer) + "," +
            ComponentJson("bulkcopy", s.bulkcopy) + "}";
+    out += ",\"node_seconds\":[";
+    for (size_t j = 0; j < s.node_seconds.size(); ++j) {
+      if (j > 0) out += ",";
+      out += "{\"node\":" + JsonNumber(s.node_seconds[j].first) +
+             ",\"seconds\":" + JsonNumber(s.node_seconds[j].second) + "}";
+    }
+    out += "]";
     out += ",\"operators\":[";
     for (size_t j = 0; j < s.operators.size(); ++j) {
       const OperatorProfile& op = s.operators[j];

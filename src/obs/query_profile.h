@@ -2,6 +2,7 @@
 #define PDW_OBS_QUERY_PROFILE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pdw::obs {
@@ -41,6 +42,11 @@ struct StepProfile {
   double rows_moved = 0;
   ComponentProfile reader, network, writer, bulkcopy;
 
+  /// (node, seconds) wall time of the step's SQL on each node that ran it
+  /// (control node = highest id). Under pooled execution these overlap, so
+  /// their sum exceeds measured_seconds; the spread shows skew.
+  std::vector<std::pair<int, double>> node_seconds;
+
   std::vector<OperatorProfile> operators;
 
   /// |estimated / actual| ratio, >= 1, using max(1, x) floors; the
@@ -76,6 +82,9 @@ struct QueryProfile {
   double modeled_cost = 0;      ///< Optimizer objective for the whole plan.
   double measured_seconds = 0;  ///< Wall time of DSQL execution.
   double compile_seconds = 0;   ///< Sum of compile phases.
+  /// True when the DSQL plan came from the plan cache (compile_phases then
+  /// holds a single plan_cache_lookup entry instead of pipeline phases).
+  bool cache_hit = false;
 
   /// Estimates diverging from actuals by at least `threshold` x are flagged
   /// in ToText with a [MISESTIMATE ..x] marker.

@@ -1,0 +1,149 @@
+#include "pdw/plan_cache.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace pdw {
+
+std::string NormalizeSqlForPlanCache(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_literal = false;
+  bool pending_space = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    char c = sql[i];
+    if (in_literal) {
+      out.push_back(c);
+      if (c == '\'') in_literal = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    if (c == '\'') {
+      in_literal = true;
+      out.push_back(c);
+      continue;
+    }
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string FingerprintCompilerOptions(const PdwCompilerOptions& o) {
+  // %a renders doubles exactly (hex float), so two λ sets that differ in
+  // any bit fingerprint differently.
+  return StringFormat(
+      "memo:%d,%d,%d,%d,%d|norm:%d,%d,%d,%d,%d,%d|"
+      "pdw:%a,%a,%a,%a,%a,h%d,p%d,%zu,t%d,r%d,%a|xml:%d|base:%d",
+      o.memo.max_dp_relations, o.memo.expr_budget,
+      o.memo.seed_distribution_aware ? 1 : 0,
+      o.memo.enable_semijoin_to_join ? 1 : 0, o.memo.enumerate_joins ? 1 : 0,
+      o.normalizer.fold_constants ? 1 : 0, o.normalizer.push_predicates ? 1 : 0,
+      o.normalizer.transitive_closure ? 1 : 0,
+      o.normalizer.detect_contradictions ? 1 : 0,
+      o.normalizer.eliminate_redundant_joins ? 1 : 0,
+      o.normalizer.prune_columns ? 1 : 0, o.pdw.cost_params.lambda_reader_direct,
+      o.pdw.cost_params.lambda_reader_hash, o.pdw.cost_params.lambda_network,
+      o.pdw.cost_params.lambda_writer, o.pdw.cost_params.lambda_bulkcopy,
+      static_cast<int>(o.pdw.hint), o.pdw.prune ? 1 : 0,
+      o.pdw.max_options_per_group, o.pdw.enable_trim_move ? 1 : 0,
+      o.pdw.relational_costs ? 1 : 0, o.pdw.relational_lambda,
+      o.use_xml_interface ? 1 : 0, o.build_baseline ? 1 : 0);
+}
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {}
+
+uint64_t PlanCache::TableVersion(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = versions_.find(ToLower(table));
+  return it == versions_.end() ? 0 : it->second;
+}
+
+void PlanCache::BumpTableVersion(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++versions_[ToLower(table)];
+}
+
+std::optional<CachedDsqlPlan> PlanCache::Lookup(
+    const std::string& normalized_sql, const std::string& options_fingerprint) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(Key(normalized_sql, options_fingerprint));
+  if (it == index_.end()) {
+    ++stats_.misses;
+    reg.Count("plan_cache.miss");
+    return std::nullopt;
+  }
+  for (const auto& [table, version] : it->second->plan.table_versions) {
+    auto v = versions_.find(table);
+    uint64_t current = v == versions_.end() ? 0 : v->second;
+    if (current != version) {
+      // Stale statistics: drop the entry so it recompiles fresh.
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++stats_.misses;
+      ++stats_.invalidations;
+      reg.Count("plan_cache.miss");
+      reg.Count("plan_cache.invalidation");
+      reg.SetGauge("plan_cache.size", static_cast<double>(lru_.size()));
+      return std::nullopt;
+    }
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
+  ++stats_.hits;
+  reg.Count("plan_cache.hit");
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const std::string& normalized_sql,
+                       const std::string& options_fingerprint,
+                       CachedDsqlPlan plan) {
+  if (capacity_ == 0) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = Key(normalized_sql, options_fingerprint);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(plan)});
+    index_[std::move(key)] = lru_.begin();
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++stats_.evictions;
+      reg.Count("plan_cache.eviction");
+    }
+  }
+  ++stats_.insertions;
+  reg.SetGauge("plan_cache.size", static_cast<double>(lru_.size()));
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  obs::MetricsRegistry::Global().SetGauge("plan_cache.size", 0);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pdw

@@ -26,7 +26,7 @@ class TpchApplianceTest : public ::testing::Test {
   }
 
   void ExpectMatchesReference(const std::string& sql) {
-    auto dist = appliance_->Execute(sql);
+    auto dist = appliance_->Run(sql);
     ASSERT_TRUE(dist.ok()) << sql << "\n" << dist.status().ToString();
     auto ref = appliance_->ExecuteReference(sql);
     ASSERT_TRUE(ref.ok()) << sql << "\n" << ref.status().ToString();
@@ -74,7 +74,7 @@ TEST_F(TpchApplianceTest, GlobalStatsAreMergedFromNodes) {
 }
 
 TEST_F(TpchApplianceTest, CollocatedJoinMovesNothing) {
-  auto r = appliance_->Execute(
+  auto r = appliance_->Run(
       "SELECT o_orderkey, COUNT(*) AS lines FROM orders, lineitem "
       "WHERE o_orderkey = l_orderkey GROUP BY o_orderkey");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -140,7 +140,7 @@ TEST_F(TpchApplianceTest, AggregationShapes) {
 }
 
 TEST_F(TpchApplianceTest, OrderByAndTopN) {
-  auto dist = appliance_->Execute(
+  auto dist = appliance_->Run(
       "SELECT o_orderkey, o_totalprice FROM orders "
       "ORDER BY o_totalprice DESC, o_orderkey LIMIT 10");
   ASSERT_TRUE(dist.ok());
@@ -156,20 +156,25 @@ TEST_F(TpchApplianceTest, OrderByAndTopN) {
 }
 
 TEST_F(TpchApplianceTest, ContradictionExecutesTrivially) {
-  auto r = appliance_->Execute(
+  auto r = appliance_->Run(
       "SELECT c_name FROM customer WHERE c_acctbal > 10 AND c_acctbal < 5");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_TRUE(r->rows.empty());
 }
 
 TEST_F(TpchApplianceTest, ExplainRendersPlanWithoutExecuting) {
-  auto text = appliance_->Explain(
+  QueryOptions opts;
+  opts.explain_only = true;
+  auto r = appliance_->Run(
       "SELECT c_name, o_totalprice FROM customer, orders "
-      "WHERE c_custkey = o_custkey");
-  ASSERT_TRUE(text.ok()) << text.status().ToString();
-  EXPECT_NE(text->find("parallel plan"), std::string::npos);
-  EXPECT_NE(text->find("DSQL step"), std::string::npos);
-  EXPECT_NE(text->find("RETURN"), std::string::npos);
+      "WHERE c_custkey = o_custkey",
+      opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::string& text = r->explain_text;
+  EXPECT_NE(text.find("parallel plan"), std::string::npos);
+  EXPECT_NE(text.find("DSQL step"), std::string::npos);
+  EXPECT_NE(text.find("RETURN"), std::string::npos);
+  EXPECT_TRUE(r->rows.empty());
   // No temp tables created by Explain.
   for (int n = 0; n < 4; ++n) {
     for (const std::string& t :
@@ -204,7 +209,9 @@ TEST_F(TpchApplianceTest, ExecuteAnalyzeProfilesJoinAggregate) {
   const std::string sql =
       "SELECT c_name, SUM(o_totalprice) AS total FROM customer, orders "
       "WHERE c_custkey = o_custkey GROUP BY c_name";
-  auto r = appliance_->ExecuteAnalyze(sql);
+  QueryOptions analyze;
+  analyze.collect_operator_actuals = true;
+  auto r = appliance_->Run(sql, analyze);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   const obs::QueryProfile& p = r->profile;
 
@@ -267,27 +274,33 @@ TEST_F(TpchApplianceTest, ExecuteAnalyzeProfilesJoinAggregate) {
   EXPECT_TRUE(JsonBalanced(p.ToJson()));
 
   // Plain Execute carries the same profile minus per-operator actuals.
-  auto plain = appliance_->Execute(sql);
+  auto plain = appliance_->Run(sql);
   ASSERT_TRUE(plain.ok());
   ASSERT_EQ(plain->profile.steps.size(), p.steps.size());
   EXPECT_TRUE(plain->profile.steps.back().operators.empty());
 }
 
 TEST_F(TpchApplianceTest, ExplainAnalyzeRendersEstimatedVsActual) {
-  auto text = appliance_->ExplainAnalyze(
+  QueryOptions analyze;
+  analyze.collect_operator_actuals = true;
+  auto r = appliance_->Run(
       "SELECT c_name, SUM(o_totalprice) AS total FROM customer, orders "
-      "WHERE c_custkey = o_custkey GROUP BY c_name");
-  ASSERT_TRUE(text.ok()) << text.status().ToString();
-  EXPECT_NE(text->find("EXPLAIN ANALYZE"), std::string::npos);
-  EXPECT_NE(text->find("parallel plan"), std::string::npos);
-  EXPECT_NE(text->find("DSQL step 0"), std::string::npos);
-  EXPECT_NE(text->find("modeled cost"), std::string::npos);
-  EXPECT_NE(text->find("measured"), std::string::npos);
-  EXPECT_NE(text->find("est. rows"), std::string::npos);
-  EXPECT_NE(text->find("actual rows"), std::string::npos);
-  EXPECT_NE(text->find("dms: reader{"), std::string::npos);
-  EXPECT_NE(text->find("optimizer: groups="), std::string::npos);
-  EXPECT_NE(text->find("operators"), std::string::npos);
+      "WHERE c_custkey = o_custkey GROUP BY c_name",
+      analyze);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::string& text = r->explain_text;
+  EXPECT_NE(text.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(text.find("parallel plan"), std::string::npos);
+  EXPECT_NE(text.find("DSQL step 0"), std::string::npos);
+  EXPECT_NE(text.find("modeled cost"), std::string::npos);
+  EXPECT_NE(text.find("measured"), std::string::npos);
+  EXPECT_NE(text.find("est. rows"), std::string::npos);
+  EXPECT_NE(text.find("actual rows"), std::string::npos);
+  EXPECT_NE(text.find("dms: reader{"), std::string::npos);
+  EXPECT_NE(text.find("optimizer: groups="), std::string::npos);
+  EXPECT_NE(text.find("operators"), std::string::npos);
+  // Per-node SQL wall times surface in the rendering.
+  EXPECT_NE(text.find("nodes:"), std::string::npos);
   // Execution really happened, and temp tables were cleaned up after.
   for (int n = 0; n < 4; ++n) {
     for (const std::string& t :
@@ -298,13 +311,13 @@ TEST_F(TpchApplianceTest, ExplainAnalyzeRendersEstimatedVsActual) {
 }
 
 TEST_F(TpchApplianceTest, ErrorsSurfaceCleanly) {
-  EXPECT_FALSE(appliance_->Execute("SELECT nope FROM customer").ok());
-  EXPECT_FALSE(appliance_->Execute("SELECT c_name FROM no_table").ok());
-  EXPECT_FALSE(appliance_->Execute("THIS IS NOT SQL").ok());
+  EXPECT_FALSE(appliance_->Run("SELECT nope FROM customer").ok());
+  EXPECT_FALSE(appliance_->Run("SELECT c_name FROM no_table").ok());
+  EXPECT_FALSE(appliance_->Run("THIS IS NOT SQL").ok());
 }
 
 TEST_F(TpchApplianceTest, TempTablesAreCleanedUp) {
-  auto r = appliance_->Execute(
+  auto r = appliance_->Run(
       "SELECT c_name, o_totalprice FROM customer, orders "
       "WHERE c_custkey = o_custkey");
   ASSERT_TRUE(r.ok());
@@ -351,7 +364,7 @@ TEST_P(TopologySweepTest, ResultsIndependentOfNodeCount) {
            "SELECT COUNT(*) AS c FROM lineitem, orders "
            "WHERE l_orderkey = o_orderkey",
        }) {
-    auto dist = appliance.Execute(sql);
+    auto dist = appliance.Run(sql);
     ASSERT_TRUE(dist.ok()) << sql << "\n" << dist.status().ToString();
     auto ref = appliance.ExecuteReference(sql);
     ASSERT_TRUE(ref.ok());
@@ -376,7 +389,7 @@ TEST(SkewTest, SkewedLoadStillCorrect) {
   const char* sql =
       "SELECT c_custkey, COUNT(*) AS c FROM customer, orders "
       "WHERE c_custkey = o_custkey GROUP BY c_custkey";
-  auto dist = appliance.Execute(sql);
+  auto dist = appliance.Run(sql);
   ASSERT_TRUE(dist.ok()) << dist.status().ToString();
   auto ref = appliance.ExecuteReference(sql);
   ASSERT_TRUE(ref.ok());

@@ -182,7 +182,7 @@ Appliance* RandomQueryTest::appliance_ = nullptr;
 TEST_P(RandomQueryTest, DistributedMatchesReference) {
   std::string sql = BuildRandomQuery(GetParam());
   SCOPED_TRACE(sql);
-  auto dist = appliance_->Execute(sql);
+  auto dist = appliance_->Run(sql);
   ASSERT_TRUE(dist.ok()) << sql << "\n" << dist.status().ToString();
   auto ref = appliance_->ExecuteReference(sql);
   ASSERT_TRUE(ref.ok()) << sql << "\n" << ref.status().ToString();

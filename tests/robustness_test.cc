@@ -22,9 +22,9 @@ TEST(FailureInjectionTest, NodeMissingTableFailsCleanly) {
   ASSERT_TRUE(tpch::LoadTpch(&appliance, cfg).ok());
 
   // Sabotage: drop orders on one compute node only.
-  ASSERT_TRUE(appliance.compute_node(2).DropTable("orders").ok());
+  ASSERT_TRUE(appliance.mutable_compute_node(2).DropTable("orders").ok());
 
-  auto r = appliance.Execute(
+  auto r = appliance.Run(
       "SELECT c_name, o_totalprice FROM customer, orders "
       "WHERE c_custkey = o_custkey");
   ASSERT_FALSE(r.ok());
@@ -44,7 +44,7 @@ TEST(FailureInjectionTest, NodeMissingTableFailsCleanly) {
   }
 
   // The appliance stays usable for queries that avoid the damaged table.
-  auto ok = appliance.Execute("SELECT COUNT(*) AS c FROM customer");
+  auto ok = appliance.Run("SELECT COUNT(*) AS c FROM customer");
   EXPECT_TRUE(ok.ok()) << ok.status().ToString();
 }
 
@@ -54,7 +54,7 @@ TEST(FailureInjectionTest, ReferenceEngineUnaffectedBySabotage) {
   tpch::TpchConfig cfg;
   cfg.scale = 0.02;
   ASSERT_TRUE(tpch::LoadTpch(&appliance, cfg).ok());
-  ASSERT_TRUE(appliance.compute_node(0).DropTable("lineitem").ok());
+  ASSERT_TRUE(appliance.mutable_compute_node(0).DropTable("lineitem").ok());
   // Reference execution holds its own copy of the data.
   auto ref = appliance.ExecuteReference("SELECT COUNT(*) AS c FROM lineitem");
   ASSERT_TRUE(ref.ok());

@@ -160,7 +160,7 @@ TEST(UnionApplianceTest, DistributedUnionMatchesReference) {
            "GROUP BY u.k",
        }) {
     SCOPED_TRACE(sql);
-    auto dist = appliance.Execute(sql);
+    auto dist = appliance.Run(sql);
     ASSERT_TRUE(dist.ok()) << sql << "\n" << dist.status().ToString();
     auto ref = appliance.ExecuteReference(sql);
     ASSERT_TRUE(ref.ok()) << ref.status().ToString();
