@@ -13,3 +13,10 @@ cmake --build build -j
 cmake -B build-tsan -S . -DPDW_SANITIZE=thread
 cmake --build build-tsan -j --target concurrency_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
+
+# The vectorized batch engine owns raw selection-vector / hash-table
+# indexing; run the whole suite through it under AddressSanitizer.
+cmake -B build-asan -S . -DPDW_SANITIZE=address
+cmake --build build-asan -j
+(cd build-asan && PDW_ENGINE=batch ASAN_OPTIONS="halt_on_error=1" \
+  ctest --output-on-failure -j)

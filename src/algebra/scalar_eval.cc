@@ -89,13 +89,26 @@ Datum EvalOr(const Datum& l, const Datum& r) {
 
 Result<Datum> EvalFunction(const FunctionExprB& fn, const Row& row,
                            const ColumnOrdinalMap& ordinals) {
-  if (fn.name() == "DATEADD") {
-    if (fn.args().size() != 3) {
+  std::vector<Datum> args;
+  args.reserve(fn.args().size());
+  for (const auto& arg : fn.args()) {
+    PDW_ASSIGN_OR_RETURN(Datum v, EvalScalar(*arg, row, ordinals));
+    args.push_back(std::move(v));
+  }
+  return EvalFunctionOp(fn.name(), args);
+}
+
+}  // namespace
+
+Result<Datum> EvalFunctionOp(const std::string& name,
+                             const std::vector<Datum>& args) {
+  if (name == "DATEADD") {
+    if (args.size() != 3) {
       return Status::ExecutionError("DATEADD expects 3 arguments");
     }
-    PDW_ASSIGN_OR_RETURN(Datum part, EvalScalar(*fn.args()[0], row, ordinals));
-    PDW_ASSIGN_OR_RETURN(Datum n, EvalScalar(*fn.args()[1], row, ordinals));
-    PDW_ASSIGN_OR_RETURN(Datum d, EvalScalar(*fn.args()[2], row, ordinals));
+    const Datum& part = args[0];
+    const Datum& n = args[1];
+    Datum d = args[2];
     if (n.is_null() || d.is_null()) return Datum::Null();
     if (d.type() == TypeId::kVarchar) {
       PDW_ASSIGN_OR_RETURN(d, d.CastTo(TypeId::kDate));
@@ -122,20 +135,20 @@ Result<Datum> EvalFunction(const FunctionExprB& fn, const Row& row,
     }
     return Status::ExecutionError("unsupported DATEADD part '" + p + "'");
   }
-  if (fn.name() == "ABS") {
-    if (fn.args().size() != 1) return Status::ExecutionError("ABS expects 1 arg");
-    PDW_ASSIGN_OR_RETURN(Datum v, EvalScalar(*fn.args()[0], row, ordinals));
+  if (name == "ABS") {
+    if (args.size() != 1) return Status::ExecutionError("ABS expects 1 arg");
+    const Datum& v = args[0];
     if (v.is_null()) return Datum::Null();
     if (v.type() == TypeId::kInt) return Datum::Int(std::abs(v.int_value()));
     return Datum::Double(std::fabs(v.AsDouble()));
   }
-  if (fn.name() == "SUBSTRING") {
-    if (fn.args().size() != 3) {
+  if (name == "SUBSTRING") {
+    if (args.size() != 3) {
       return Status::ExecutionError("SUBSTRING expects 3 arguments");
     }
-    PDW_ASSIGN_OR_RETURN(Datum s, EvalScalar(*fn.args()[0], row, ordinals));
-    PDW_ASSIGN_OR_RETURN(Datum from, EvalScalar(*fn.args()[1], row, ordinals));
-    PDW_ASSIGN_OR_RETURN(Datum len, EvalScalar(*fn.args()[2], row, ordinals));
+    const Datum& s = args[0];
+    const Datum& from = args[1];
+    const Datum& len = args[2];
     if (s.is_null() || from.is_null() || len.is_null()) return Datum::Null();
     const std::string& str = s.string_value();
     int64_t start = std::max<int64_t>(1, from.int_value()) - 1;
@@ -144,10 +157,41 @@ Result<Datum> EvalFunction(const FunctionExprB& fn, const Row& row,
     return Datum::Varchar(str.substr(static_cast<size_t>(start),
                                      static_cast<size_t>(count)));
   }
-  return Status::ExecutionError("unknown function '" + fn.name() + "'");
+  return Status::ExecutionError("unknown function '" + name + "'");
 }
 
-}  // namespace
+Result<Datum> EvalBinaryOp(BinaryOp op, const Datum& l, const Datum& r) {
+  switch (op) {
+    case BinaryOp::kAnd:
+      return EvalAnd(l, r);
+    case BinaryOp::kOr:
+      return EvalOr(l, r);
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return EvalArith(op, l, r);
+    case BinaryOp::kLike:
+    case BinaryOp::kNotLike: {
+      if (l.is_null() || r.is_null()) return Datum::Null();
+      if (l.type() != TypeId::kVarchar || r.type() != TypeId::kVarchar) {
+        return Status::ExecutionError("LIKE requires string operands");
+      }
+      bool m = LikeMatch(l.string_value(), r.string_value());
+      return Datum::Bool(op == BinaryOp::kLike ? m : !m);
+    }
+    default:
+      return EvalComparison(op, l, r);
+  }
+}
+
+Result<Datum> EvalUnaryOp(sql::UnaryOp op, const Datum& v) {
+  if (v.is_null()) return Datum::Null();
+  if (op == sql::UnaryOp::kNot) return Datum::Bool(!v.bool_value());
+  if (v.type() == TypeId::kInt) return Datum::Int(-v.int_value());
+  return Datum::Double(-v.AsDouble());
+}
 
 Result<Datum> EvalScalar(const ScalarExpr& expr, const Row& row,
                          const ColumnOrdinalMap& ordinals) {
@@ -164,40 +208,14 @@ Result<Datum> EvalScalar(const ScalarExpr& expr, const Row& row,
       return static_cast<const LiteralExprB&>(expr).value();
     case ScalarKind::kBinary: {
       const auto& b = static_cast<const BinaryExprB&>(expr);
-      if (b.op() == BinaryOp::kAnd || b.op() == BinaryOp::kOr) {
-        PDW_ASSIGN_OR_RETURN(Datum l, EvalScalar(*b.left(), row, ordinals));
-        PDW_ASSIGN_OR_RETURN(Datum r, EvalScalar(*b.right(), row, ordinals));
-        return b.op() == BinaryOp::kAnd ? EvalAnd(l, r) : EvalOr(l, r);
-      }
       PDW_ASSIGN_OR_RETURN(Datum l, EvalScalar(*b.left(), row, ordinals));
       PDW_ASSIGN_OR_RETURN(Datum r, EvalScalar(*b.right(), row, ordinals));
-      switch (b.op()) {
-        case BinaryOp::kAdd:
-        case BinaryOp::kSub:
-        case BinaryOp::kMul:
-        case BinaryOp::kDiv:
-        case BinaryOp::kMod:
-          return EvalArith(b.op(), l, r);
-        case BinaryOp::kLike:
-        case BinaryOp::kNotLike: {
-          if (l.is_null() || r.is_null()) return Datum::Null();
-          if (l.type() != TypeId::kVarchar || r.type() != TypeId::kVarchar) {
-            return Status::ExecutionError("LIKE requires string operands");
-          }
-          bool m = LikeMatch(l.string_value(), r.string_value());
-          return Datum::Bool(b.op() == BinaryOp::kLike ? m : !m);
-        }
-        default:
-          return EvalComparison(b.op(), l, r);
-      }
+      return EvalBinaryOp(b.op(), l, r);
     }
     case ScalarKind::kUnary: {
       const auto& u = static_cast<const UnaryExprB&>(expr);
       PDW_ASSIGN_OR_RETURN(Datum v, EvalScalar(*u.operand(), row, ordinals));
-      if (v.is_null()) return Datum::Null();
-      if (u.op() == sql::UnaryOp::kNot) return Datum::Bool(!v.bool_value());
-      if (v.type() == TypeId::kInt) return Datum::Int(-v.int_value());
-      return Datum::Double(-v.AsDouble());
+      return EvalUnaryOp(u.op(), v);
     }
     case ScalarKind::kIsNull: {
       const auto& n = static_cast<const IsNullExprB&>(expr);

@@ -29,6 +29,24 @@ Result<Datum> EvalConstant(const ScalarExpr& expr);
 Result<bool> EvalPredicate(const ScalarExpr& expr, const Row& row,
                            const ColumnOrdinalMap& ordinals);
 
+// --- value-level operator semantics ---
+//
+// The single source of truth for SQL operator behaviour on already-evaluated
+// operands (NULL propagation, Kleene AND/OR, date arithmetic, LIKE,
+// div/mod-by-zero errors). Both the row interpreter above and the batch
+// engine's compiled expression programs call these, so the two engines
+// cannot drift apart on value semantics.
+
+/// Any binary operator: arithmetic, comparison, LIKE and AND/OR.
+Result<Datum> EvalBinaryOp(sql::BinaryOp op, const Datum& l, const Datum& r);
+
+/// Unary NOT / numeric negation (NULL operand yields NULL).
+Result<Datum> EvalUnaryOp(sql::UnaryOp op, const Datum& v);
+
+/// Scalar function (DATEADD, ABS, SUBSTRING) applied to evaluated args.
+Result<Datum> EvalFunctionOp(const std::string& name,
+                             const std::vector<Datum>& args);
+
 }  // namespace pdw
 
 #endif  // PDW_ALGEBRA_SCALAR_EVAL_H_

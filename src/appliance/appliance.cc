@@ -39,10 +39,20 @@ void MergeOperators(const std::vector<obs::OperatorProfile>& from,
   }
   for (size_t i = 0; i < from.size(); ++i) {
     obs::OperatorProfile& dst = (*into)[i];
+    // Node-count-weighted mean, so the aggregate selectivity stays a ratio.
+    if (from[i].selectivity >= 0) {
+      dst.selectivity = dst.selectivity < 0
+                            ? from[i].selectivity
+                            : (dst.selectivity * dst.nodes +
+                               from[i].selectivity * from[i].nodes) /
+                                  (dst.nodes + from[i].nodes);
+    }
     dst.estimated_rows += from[i].estimated_rows;
     dst.actual_rows += from[i].actual_rows;
     dst.seconds += from[i].seconds;
     dst.nodes += from[i].nodes;
+    dst.batches += from[i].batches;
+    dst.morsels += from[i].morsels;
   }
 }
 
@@ -245,7 +255,8 @@ Status Appliance::DropTemps(const std::vector<std::string>& temps) {
 
 Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
                                                bool profile_operators,
-                                               int max_parallel_nodes) {
+                                               int max_parallel_nodes,
+                                               const ExecOptions& exec) {
   ApplianceResult result;
   result.dsql = dsql;
   result.column_names = dsql.output_names;
@@ -295,7 +306,8 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
           auto rows = engine_of(node).ExecuteSql(
               step.sql,
               profile_operators ? &node_profiles[static_cast<size_t>(i)]
-                                : nullptr);
+                                : nullptr,
+              exec);
           node_seconds[static_cast<size_t>(i)] = NowSeconds() - t0;
           if (!rows.ok()) {
             node_status[static_cast<size_t>(i)] = Status::ExecutionError(
@@ -536,7 +548,7 @@ Result<ApplianceResult> Appliance::Run(const std::string& sql,
   PDW_ASSIGN_OR_RETURN(
       ApplianceResult result,
       ExecuteDsql(dsql, options.collect_operator_actuals,
-                  options.max_parallel_nodes));
+                  options.max_parallel_nodes, options.engine));
   result.modeled_cost = modeled_cost;
   result.plan_text = plan_text;
   result.cache_hit = cache_hit;
@@ -556,39 +568,6 @@ Result<ApplianceResult> Appliance::Run(const std::string& sql,
   return result;
 }
 
-Result<ApplianceResult> Appliance::Execute(const std::string& sql,
-                                           const PdwCompilerOptions& options) {
-  QueryOptions q;
-  q.compile = options;
-  return Run(sql, q);
-}
-
-Result<ApplianceResult> Appliance::ExecuteAnalyze(
-    const std::string& sql, const PdwCompilerOptions& options) {
-  QueryOptions q;
-  q.compile = options;
-  q.collect_operator_actuals = true;
-  return Run(sql, q);
-}
-
-Result<std::string> Appliance::ExplainAnalyze(const std::string& sql,
-                                              const PdwCompilerOptions& options) {
-  QueryOptions q;
-  q.compile = options;
-  q.collect_operator_actuals = true;
-  PDW_ASSIGN_OR_RETURN(ApplianceResult result, Run(sql, q));
-  return result.explain_text;
-}
-
-Result<std::string> Appliance::Explain(const std::string& sql,
-                                        const PdwCompilerOptions& options) {
-  QueryOptions q;
-  q.compile = options;
-  q.explain_only = true;
-  PDW_ASSIGN_OR_RETURN(ApplianceResult result, Run(sql, q));
-  return result.explain_text;
-}
-
 Result<ApplianceResult> Appliance::ExecutePlan(
     const PlanNode& plan, std::vector<std::string> output_names) {
   PDW_ASSIGN_OR_RETURN(DsqlPlan dsql, GenerateDsql(plan, std::move(output_names)));
@@ -596,14 +575,15 @@ Result<ApplianceResult> Appliance::ExecutePlan(
                     next_query_id_.fetch_add(1, std::memory_order_relaxed));
   PDW_ASSIGN_OR_RETURN(ApplianceResult result,
                        ExecuteDsql(dsql, /*profile_operators=*/false,
-                                   /*max_parallel_nodes=*/0));
+                                   /*max_parallel_nodes=*/0, ExecOptions{}));
   result.modeled_cost = TotalMoveCost(plan);
   result.plan_text = PlanTreeToString(plan);
   return result;
 }
 
-Result<SqlResult> Appliance::ExecuteReference(const std::string& sql) {
-  return reference_.ExecuteSql(sql);
+Result<SqlResult> Appliance::ExecuteReference(const std::string& sql,
+                                              const ExecOptions& exec) {
+  return reference_.ExecuteSql(sql, nullptr, exec);
 }
 
 }  // namespace pdw

@@ -33,6 +33,10 @@ struct QueryOptions {
   /// appliance model of Fig. 1), 1 reproduces the serial node-by-node
   /// loop (the bench_serial_vs_parallel baseline).
   int max_parallel_nodes = 0;
+  /// Which local execution engine every node-local plan runs on: the
+  /// vectorized batch engine (default, also overridable process-wide via
+  /// PDW_ENGINE=row|batch) or the row-at-a-time reference interpreter.
+  ExecOptions engine;
 };
 
 /// Result of one distributed query execution.
@@ -111,26 +115,10 @@ class Appliance {
                                       std::vector<std::string> output_names);
 
   /// Runs the query on the single-node reference engine holding all data —
-  /// ground truth for validating distributed execution.
-  Result<SqlResult> ExecuteReference(const std::string& sql);
-
-  // --- deprecated pre-session-API entry points (one-PR grace period) ---
-
-  [[deprecated("use Run(sql, QueryOptions)")]]
-  Result<ApplianceResult> Execute(const std::string& sql,
-                                  const PdwCompilerOptions& options = {});
-
-  [[deprecated("use Run with QueryOptions.collect_operator_actuals")]]
-  Result<ApplianceResult> ExecuteAnalyze(const std::string& sql,
-                                         const PdwCompilerOptions& options = {});
-
-  [[deprecated("use Run with collect_operator_actuals; read explain_text")]]
-  Result<std::string> ExplainAnalyze(const std::string& sql,
-                                     const PdwCompilerOptions& options = {});
-
-  [[deprecated("use Run with QueryOptions.explain_only; read explain_text")]]
-  Result<std::string> Explain(const std::string& sql,
-                              const PdwCompilerOptions& options = {});
+  /// ground truth for validating distributed execution. `exec` selects the
+  /// local engine, so a caller can diff the two engines on the same data.
+  Result<SqlResult> ExecuteReference(const std::string& sql,
+                                     const ExecOptions& exec = {});
 
   /// Models the control→compute RPC of dispatching one step's SQL to a
   /// node (seconds; default 0). The pool overlaps these dispatches across
@@ -161,7 +149,8 @@ class Appliance {
  private:
   Result<ApplianceResult> ExecuteDsql(const DsqlPlan& dsql,
                                       bool profile_operators,
-                                      int max_parallel_nodes);
+                                      int max_parallel_nodes,
+                                      const ExecOptions& exec);
   /// Nodes that run a step's source SQL.
   std::vector<int> SourceNodes(const DsqlStep& step) const;
   /// Nodes that must host a DMS step's destination temp table.

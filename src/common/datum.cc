@@ -8,16 +8,6 @@
 
 namespace pdw {
 
-TypeId Datum::type() const {
-  if (std::holds_alternative<std::monostate>(value_)) return TypeId::kInvalid;
-  if (std::holds_alternative<bool>(value_)) return TypeId::kBool;
-  if (std::holds_alternative<int64_t>(value_)) {
-    return is_date_ ? TypeId::kDate : TypeId::kInt;
-  }
-  if (std::holds_alternative<double>(value_)) return TypeId::kDouble;
-  return TypeId::kVarchar;
-}
-
 double Datum::AsDouble() const {
   if (std::holds_alternative<bool>(value_)) return std::get<bool>(value_) ? 1.0 : 0.0;
   if (std::holds_alternative<int64_t>(value_)) {

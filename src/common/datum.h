@@ -33,8 +33,22 @@ class Datum {
 
   bool is_null() const { return std::holds_alternative<std::monostate>(value_); }
 
-  /// Runtime type of this value; NULL reports kInvalid.
-  TypeId type() const;
+  /// Runtime type of this value; NULL reports kInvalid. Inline: this is
+  /// the per-cell dispatch of the batch engine's row<->column converters.
+  TypeId type() const {
+    switch (value_.index()) {
+      case 0:
+        return TypeId::kInvalid;
+      case 1:
+        return TypeId::kBool;
+      case 2:
+        return is_date_ ? TypeId::kDate : TypeId::kInt;
+      case 3:
+        return TypeId::kDouble;
+      default:
+        return TypeId::kVarchar;
+    }
+  }
 
   bool bool_value() const { return std::get<bool>(value_); }
   int64_t int_value() const { return std::get<int64_t>(value_); }
@@ -74,6 +88,17 @@ class Datum {
 
   Value value_;
   bool is_date_ = false;
+};
+
+/// Strict weak order over Datums via Compare(), with NULLs first. Use as
+/// the comparator of ordered containers keyed on SQL values (e.g. the
+/// DISTINCT-aggregate sets of both execution engines), where value
+/// equality — not rendering — must decide collisions: 2 and 2.0 compare
+/// equal, while their ToString() forms do not collide.
+struct DatumLess {
+  bool operator()(const Datum& a, const Datum& b) const {
+    return a.Compare(b) < 0;
+  }
 };
 
 /// Parses 'YYYY-MM-DD' into days since epoch (proleptic Gregorian).

@@ -1,0 +1,1122 @@
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <set>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "engine/batch.h"
+#include "engine/executor.h"
+#include "engine/expr_program.h"
+#include "engine/hash_table.h"
+
+/// The vectorized batch execution engine. Plans execute operator-at-a-time
+/// over ColumnBatches instead of row-at-a-time over Datums:
+///
+///  - expressions are compiled once per operator into ExprPrograms with
+///    resolved ordinals; filters fuse their conjuncts into an in-place
+///    selection-vector shrink (no materialization between conjuncts);
+///  - hash joins and aggregates run on flat open-addressing tables with
+///    precomputed key columns (engine/hash_table.h);
+///  - batches double as morsels: per-batch work (scan slicing, filtering,
+///    projection, join probes, pre-aggregation) fans out on the global
+///    ThreadPool, and per-morsel aggregation states merge deterministically
+///    in morsel order, which reproduces the row engine's first-seen group
+///    order exactly.
+///
+/// Semantics match the row interpreter in executor.cc — same evaluation
+/// sets per (row, expression), same NULL and error behaviour — so the two
+/// engines are interchangeable and differential-testable (RowSetsEqual).
+
+namespace pdw {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One morsel of an operator's output: a column batch plus the selection
+/// vector of active rows, in emission order. Filters shrink `sel` without
+/// touching the batch; sorts reorder it.
+struct PipelineBatch {
+  ColumnBatch batch;
+  SelVector sel;
+};
+
+/// A fully executed operator: column types plus output morsels in stream
+/// order.
+struct BatchResult {
+  std::vector<TypeId> types;
+  std::vector<PipelineBatch> batches;
+
+  size_t ActiveRows() const {
+    size_t n = 0;
+    for (const PipelineBatch& b : batches) n += b.sel.size();
+    return n;
+  }
+};
+
+struct BatchExecCtx {
+  const TableProvider& tables;
+  ExecProfile* profile = nullptr;
+  int batch_size = 1024;
+  int max_parallelism = 0;
+};
+
+/// Batch/morsel counters one operator reports into its profile slot.
+struct OpStats {
+  double morsels = 0;
+  double selectivity = -1;
+};
+
+std::vector<TypeId> TypesOf(const std::vector<ColumnBinding>& cols) {
+  std::vector<TypeId> types;
+  types.reserve(cols.size());
+  for (const ColumnBinding& b : cols) types.push_back(b.type);
+  return types;
+}
+
+SelVector IdentitySel(size_t n) {
+  SelVector sel(n);
+  for (size_t i = 0; i < n; ++i) sel[i] = static_cast<int32_t>(i);
+  return sel;
+}
+
+/// Runs fn(0..n-1) as morsel tasks on the global pool; returns the
+/// lowest-index error so failures are deterministic regardless of task
+/// interleaving.
+Status ParallelMorsels(const BatchExecCtx& ctx, size_t n,
+                       const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  if (n == 1) return fn(0);
+  std::vector<Status> statuses(n);
+  ThreadPool::Global().ParallelFor(
+      static_cast<int>(n),
+      [&](int i) { statuses[static_cast<size_t>(i)] = fn(static_cast<size_t>(i)); },
+      ctx.max_parallelism);
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+/// True iff `sel` selects every one of `rows` rows in order. Must be an
+/// explicit check — sort emits permuted selections where size alone says
+/// nothing.
+bool IsIdentity(const SelVector& sel, size_t rows) {
+  if (sel.size() != rows) return false;
+  for (size_t i = 0; i < rows; ++i) {
+    if (sel[i] != static_cast<int32_t>(i)) return false;
+  }
+  return true;
+}
+
+/// Gathers every active row of `in` into one dense contiguous batch
+/// (hash-join build sides, sort inputs).
+ColumnBatch GatherConcat(const BatchResult& in) {
+  ColumnBatch out(in.types);
+  size_t total = in.ActiveRows();
+  for (ColumnVector& c : out.columns) c.Reserve(total);
+  for (const PipelineBatch& pb : in.batches) {
+    if (IsIdentity(pb.sel, pb.batch.rows)) {
+      for (size_t c = 0; c < out.columns.size(); ++c) {
+        out.columns[c].AppendRangeFrom(pb.batch.columns[c], 0, pb.batch.rows);
+      }
+    } else {
+      for (size_t c = 0; c < out.columns.size(); ++c) {
+        const ColumnVector& src = pb.batch.columns[c];
+        ColumnVector& dst = out.columns[c];
+        for (int32_t r : pb.sel) dst.AppendFrom(src, static_cast<size_t>(r));
+      }
+    }
+    out.rows += pb.sel.size();
+  }
+  return out;
+}
+
+/// Materializes the active rows as Datum rows (client boundary, nested
+/// loops).
+RowVector RowsFromResult(const BatchResult& in) {
+  RowVector rows;
+  rows.reserve(in.ActiveRows());
+  for (const PipelineBatch& pb : in.batches) {
+    for (int32_t r : pb.sel) {
+      Row row;
+      row.reserve(pb.batch.columns.size());
+      for (const ColumnVector& col : pb.batch.columns) {
+        row.push_back(col.GetDatum(static_cast<size_t>(r)));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+/// Ordinal of each column id of `cols` (compile-time resolution).
+Result<int> OrdinalOf(const std::vector<ColumnBinding>& cols, ColumnId id,
+                      const char* what) {
+  int pos = FindBinding(cols, id);
+  if (pos < 0) return Status::Internal(std::string(what));
+  return pos;
+}
+
+Result<std::vector<ExprProgram>> CompilePrograms(
+    const std::vector<ScalarExprPtr>& exprs,
+    const std::vector<ColumnBinding>& input) {
+  std::vector<ExprProgram> progs;
+  progs.reserve(exprs.size());
+  for (const ScalarExprPtr& e : exprs) {
+    PDW_ASSIGN_OR_RETURN(ExprProgram p, ExprProgram::Compile(e, input));
+    progs.push_back(std::move(p));
+  }
+  return progs;
+}
+
+Result<BatchResult> ExecBatchNode(const PlanNode& plan, const BatchExecCtx& ctx,
+                                  int depth);
+
+// --- scan ---
+
+Result<BatchResult> ExecScan(const PlanNode& node, const BatchExecCtx& ctx,
+                             OpStats* stats) {
+  PDW_ASSIGN_OR_RETURN(TableData data, ctx.tables.GetTableData(node.table_name));
+  std::vector<int> ordinals;
+  for (const auto& b : node.output) {
+    int pos = data.schema->FindColumn(b.name);
+    if (pos < 0) {
+      return Status::Internal("scan column '" + b.name +
+                              "' missing from table '" + node.table_name +
+                              "' (" + data.schema->ToString() + ")");
+    }
+    ordinals.push_back(pos);
+  }
+  BatchResult result;
+  result.types = TypesOf(node.output);
+  size_t n = data.rows->size();
+  size_t bs = static_cast<size_t>(ctx.batch_size);
+  size_t nb = (n + bs - 1) / bs;
+  result.batches.resize(nb);
+  for (PipelineBatch& pb : result.batches) pb.batch = ColumnBatch(result.types);
+  // Providers that maintain a columnar mirror (LocalEngine) let the scan
+  // slice column vectors directly; others fall back to row conversion.
+  const ColumnBatch* mirror = nullptr;
+  if (data.columns != nullptr && data.columns->batches.size() == 1 &&
+      data.columns->batches.front().rows == n) {
+    mirror = &data.columns->batches.front();
+  }
+  const RowVector& rows = *data.rows;
+  PDW_RETURN_NOT_OK(ParallelMorsels(ctx, nb, [&](size_t i) {
+    size_t begin = i * bs;
+    size_t end = std::min(n, begin + bs);
+    ColumnBatch& out = result.batches[i].batch;
+    if (mirror != nullptr) {
+      for (size_t c = 0; c < ordinals.size(); ++c) {
+        out.columns[c].AppendRangeFrom(
+            mirror->columns[static_cast<size_t>(ordinals[c])], begin, end);
+      }
+      out.rows += end - begin;
+    } else {
+      AppendRowsToBatch(rows, begin, end, ordinals, &out);
+    }
+    result.batches[i].sel = IdentitySel(end - begin);
+    return Status::OK();
+  }));
+  stats->morsels = static_cast<double>(nb);
+  return result;
+}
+
+// --- filter ---
+
+Result<BatchResult> ExecFilter(const PlanNode& node, BatchResult input,
+                               const BatchExecCtx& ctx, OpStats* stats) {
+  PDW_ASSIGN_OR_RETURN(std::vector<ExprProgram> progs,
+                       CompilePrograms(node.conjuncts, node.output));
+  size_t rows_in = input.ActiveRows();
+  PDW_RETURN_NOT_OK(ParallelMorsels(ctx, input.batches.size(), [&](size_t i) {
+    PipelineBatch& pb = input.batches[i];
+    // Conjuncts shrink the selection in order: each one only sees the
+    // previous one's survivors, exactly like the interpreter's per-row
+    // short-circuit over the conjunct list.
+    for (const ExprProgram& p : progs) {
+      PDW_RETURN_NOT_OK(p.Filter(pb.batch, &pb.sel));
+      if (pb.sel.empty()) break;
+    }
+    return Status::OK();
+  }));
+  stats->morsels = static_cast<double>(input.batches.size());
+  if (rows_in > 0) {
+    stats->selectivity =
+        static_cast<double>(input.ActiveRows()) / static_cast<double>(rows_in);
+  }
+  return input;
+}
+
+// --- project ---
+
+Result<BatchResult> ExecProject(const PlanNode& node, BatchResult input,
+                                const std::vector<ColumnBinding>& child_cols,
+                                const BatchExecCtx& ctx, OpStats* stats) {
+  std::vector<ExprProgram> progs;
+  progs.reserve(node.items.size());
+  for (const ProjectItem& item : node.items) {
+    PDW_ASSIGN_OR_RETURN(ExprProgram p,
+                         ExprProgram::Compile(item.expr, child_cols));
+    progs.push_back(std::move(p));
+  }
+  BatchResult result;
+  result.types = TypesOf(node.output);
+  result.batches.resize(input.batches.size());
+  PDW_RETURN_NOT_OK(ParallelMorsels(ctx, input.batches.size(), [&](size_t i) {
+    const PipelineBatch& pb = input.batches[i];
+    PipelineBatch& ob = result.batches[i];
+    ob.batch.columns.reserve(progs.size());
+    for (const ExprProgram& p : progs) {
+      PDW_ASSIGN_OR_RETURN(ColumnVector col, p.Eval(pb.batch, pb.sel));
+      ob.batch.columns.push_back(std::move(col));
+    }
+    ob.batch.rows = pb.sel.size();
+    ob.sel = IdentitySel(ob.batch.rows);
+    return Status::OK();
+  }));
+  stats->morsels = static_cast<double>(input.batches.size());
+  return result;
+}
+
+// --- joins ---
+
+/// True for conjuncts that restate an extracted equi-key pair; the hash
+/// table enforces exact key equality, so re-evaluating them per match is
+/// redundant.
+bool IsEquiKeyConjunct(const ScalarExprPtr& c,
+                       const std::vector<std::pair<ColumnId, ColumnId>>& keys) {
+  ColumnId a, b;
+  if (!IsColumnEquality(c, &a, &b)) return false;
+  for (const auto& [l, r] : keys) {
+    if ((a == l && b == r) || (a == r && b == l)) return true;
+  }
+  return false;
+}
+
+Result<BatchResult> ExecHashJoin(const PlanNode& node, BatchResult left,
+                                 const BatchResult& right,
+                                 const std::vector<ColumnBinding>& left_cols,
+                                 const std::vector<ColumnBinding>& right_cols,
+                                 const BatchExecCtx& ctx, OpStats* stats) {
+  LogicalJoinType jt = node.join_type;
+  bool emit_right = jt == LogicalJoinType::kInner ||
+                    jt == LogicalJoinType::kCross ||
+                    jt == LogicalJoinType::kLeftOuter;
+
+  // Residuals are the conjuncts beyond the equi keys, evaluated over the
+  // concatenated (left ++ right) row layout.
+  std::vector<ColumnBinding> combined = left_cols;
+  combined.insert(combined.end(), right_cols.begin(), right_cols.end());
+  std::vector<ScalarExprPtr> residual_exprs;
+  for (const ScalarExprPtr& c : node.conjuncts) {
+    if (!IsEquiKeyConjunct(c, node.equi_keys)) residual_exprs.push_back(c);
+  }
+  PDW_ASSIGN_OR_RETURN(std::vector<ExprProgram> residuals,
+                       CompilePrograms(residual_exprs, combined));
+
+  std::vector<int> l_key_ords, r_key_ords;
+  for (const auto& [a, b] : node.equi_keys) {
+    PDW_ASSIGN_OR_RETURN(int lo,
+                         OrdinalOf(left_cols, a, "join key missing from left"));
+    PDW_ASSIGN_OR_RETURN(
+        int ro, OrdinalOf(right_cols, b, "join key missing from right"));
+    l_key_ords.push_back(lo);
+    r_key_ords.push_back(ro);
+  }
+
+  // Build side: one dense batch, with the key columns copied into the
+  // table so probes never chase the original morsels.
+  ColumnBatch build = GatherConcat(right);
+  std::vector<ColumnVector> build_keys;
+  build_keys.reserve(r_key_ords.size());
+  for (int o : r_key_ords) build_keys.push_back(build.columns[static_cast<size_t>(o)]);
+  JoinHashTable table;
+  table.Build(std::move(build_keys));
+
+  BatchResult result;
+  result.types = TypesOf(node.output);
+  result.batches.resize(left.batches.size());
+  size_t left_in = left.ActiveRows();
+
+  PDW_RETURN_NOT_OK(ParallelMorsels(ctx, left.batches.size(), [&](size_t m) {
+    const PipelineBatch& pb = left.batches[m];
+    std::vector<const ColumnVector*> probe_keys;
+    probe_keys.reserve(l_key_ords.size());
+    for (int o : l_key_ords) {
+      probe_keys.push_back(&pb.batch.columns[static_cast<size_t>(o)]);
+    }
+
+    // Emission list: left row index + build row index (-1 = null pad /
+    // left-only emission), in probe (left-major) order.
+    std::vector<int32_t> emit_l, emit_b;
+
+    if (residuals.empty()) {
+      for (int32_t l : pb.sel) {
+        size_t lr = static_cast<size_t>(l);
+        bool has_null = false;
+        for (const ColumnVector* k : probe_keys) {
+          if (k->IsNull(lr)) {
+            has_null = true;
+            break;
+          }
+        }
+        bool matched = false;
+        if (!has_null) {
+          for (int32_t b = table.FindFirst(probe_keys, lr); b >= 0;
+               b = table.Next(b)) {
+            matched = true;
+            if (jt == LogicalJoinType::kSemi || jt == LogicalJoinType::kAnti) {
+              break;
+            }
+            emit_l.push_back(l);
+            emit_b.push_back(b);
+          }
+        }
+        if ((jt == LogicalJoinType::kSemi && matched) ||
+            (jt == LogicalJoinType::kAnti && !matched) ||
+            (jt == LogicalJoinType::kLeftOuter && !matched)) {
+          emit_l.push_back(l);
+          emit_b.push_back(-1);
+        }
+      }
+    } else {
+      // Candidate pairs first, then the residual predicate vectorized over
+      // the paired batch, then per-left-row join-type logic.
+      std::vector<int32_t> pl, pr;
+      std::vector<std::pair<size_t, size_t>> range(pb.sel.size());
+      for (size_t k = 0; k < pb.sel.size(); ++k) {
+        int32_t l = pb.sel[k];
+        size_t lr = static_cast<size_t>(l);
+        size_t start = pl.size();
+        bool has_null = false;
+        for (const ColumnVector* kc : probe_keys) {
+          if (kc->IsNull(lr)) {
+            has_null = true;
+            break;
+          }
+        }
+        if (!has_null) {
+          for (int32_t b = table.FindFirst(probe_keys, lr); b >= 0;
+               b = table.Next(b)) {
+            pl.push_back(l);
+            pr.push_back(b);
+          }
+        }
+        range[k] = {start, pl.size()};
+      }
+      ColumnBatch pairs;
+      pairs.columns.reserve(combined.size());
+      for (size_t c = 0; c < left_cols.size(); ++c) {
+        const ColumnVector& src = pb.batch.columns[c];
+        ColumnVector dst(src.declared_type());
+        dst.Reserve(pl.size());
+        for (int32_t l : pl) dst.AppendFrom(src, static_cast<size_t>(l));
+        pairs.columns.push_back(std::move(dst));
+      }
+      for (size_t c = 0; c < right_cols.size(); ++c) {
+        const ColumnVector& src = build.columns[c];
+        ColumnVector dst(src.declared_type());
+        dst.Reserve(pr.size());
+        for (int32_t b : pr) dst.AppendFrom(src, static_cast<size_t>(b));
+        pairs.columns.push_back(std::move(dst));
+      }
+      pairs.rows = pl.size();
+      SelVector psel = IdentitySel(pl.size());
+      for (const ExprProgram& p : residuals) {
+        PDW_RETURN_NOT_OK(p.Filter(pairs, &psel));
+        if (psel.empty()) break;
+      }
+      std::vector<uint8_t> survived(pl.size(), 0);
+      for (int32_t idx : psel) survived[static_cast<size_t>(idx)] = 1;
+      for (size_t k = 0; k < pb.sel.size(); ++k) {
+        int32_t l = pb.sel[k];
+        bool matched = false;
+        for (size_t idx = range[k].first; idx < range[k].second; ++idx) {
+          if (!survived[idx]) continue;
+          matched = true;
+          if (jt == LogicalJoinType::kSemi || jt == LogicalJoinType::kAnti) {
+            break;
+          }
+          emit_l.push_back(l);
+          emit_b.push_back(pr[idx]);
+        }
+        if ((jt == LogicalJoinType::kSemi && matched) ||
+            (jt == LogicalJoinType::kAnti && !matched) ||
+            (jt == LogicalJoinType::kLeftOuter && !matched)) {
+          emit_l.push_back(l);
+          emit_b.push_back(-1);
+        }
+      }
+    }
+
+    // Materialize the morsel's output columns by gathering.
+    PipelineBatch& ob = result.batches[m];
+    ob.batch.columns.reserve(left_cols.size() +
+                             (emit_right ? right_cols.size() : 0));
+    for (size_t c = 0; c < left_cols.size(); ++c) {
+      const ColumnVector& src = pb.batch.columns[c];
+      ColumnVector dst(src.declared_type());
+      dst.Reserve(emit_l.size());
+      for (int32_t l : emit_l) dst.AppendFrom(src, static_cast<size_t>(l));
+      ob.batch.columns.push_back(std::move(dst));
+    }
+    if (emit_right) {
+      for (size_t c = 0; c < right_cols.size(); ++c) {
+        const ColumnVector& src = build.columns[c];
+        ColumnVector dst(src.declared_type());
+        dst.Reserve(emit_b.size());
+        for (int32_t b : emit_b) {
+          if (b < 0) {
+            dst.AppendNull();
+          } else {
+            dst.AppendFrom(src, static_cast<size_t>(b));
+          }
+        }
+        ob.batch.columns.push_back(std::move(dst));
+      }
+    }
+    ob.batch.rows = emit_l.size();
+    ob.sel = IdentitySel(emit_l.size());
+    return Status::OK();
+  }));
+
+  stats->morsels = static_cast<double>(left.batches.size());
+  if (left_in > 0) {
+    stats->selectivity =
+        static_cast<double>(result.ActiveRows()) / static_cast<double>(left_in);
+  }
+  return result;
+}
+
+Result<BatchResult> ExecNestedLoopJoin(
+    const PlanNode& node, const BatchResult& left, const BatchResult& right,
+    const std::vector<ColumnBinding>& left_cols,
+    const std::vector<ColumnBinding>& right_cols, OpStats* stats) {
+  LogicalJoinType jt = node.join_type;
+  bool emit_right = jt == LogicalJoinType::kInner ||
+                    jt == LogicalJoinType::kCross ||
+                    jt == LogicalJoinType::kLeftOuter;
+  std::vector<ColumnBinding> combined = left_cols;
+  combined.insert(combined.end(), right_cols.begin(), right_cols.end());
+  PDW_ASSIGN_OR_RETURN(std::vector<ExprProgram> progs,
+                       CompilePrograms(node.conjuncts, combined));
+
+  // Nested loops run row-at-a-time (cross products have no vector shape),
+  // but still through compiled ordinal-resolved programs.
+  RowVector lrows = RowsFromResult(left);
+  RowVector rrows = RowsFromResult(right);
+  RowVector out;
+  auto pair_matches = [&](const Row& both) -> Result<bool> {
+    for (const ExprProgram& p : progs) {
+      PDW_ASSIGN_OR_RETURN(Datum v, p.EvalRow(both));
+      if (v.is_null() || !v.bool_value()) return false;
+    }
+    return true;
+  };
+  auto emit = [&](const Row& l, const Row* r) {
+    Row row = l;
+    if (emit_right) {
+      if (r != nullptr) {
+        row.insert(row.end(), r->begin(), r->end());
+      } else {
+        for (size_t i = 0; i < right_cols.size(); ++i) row.push_back(Datum::Null());
+      }
+    }
+    out.push_back(std::move(row));
+  };
+  for (const Row& l : lrows) {
+    bool matched = false;
+    for (const Row& r : rrows) {
+      Row both = l;
+      both.insert(both.end(), r.begin(), r.end());
+      PDW_ASSIGN_OR_RETURN(bool ok, pair_matches(both));
+      if (!ok) continue;
+      matched = true;
+      if (jt == LogicalJoinType::kSemi || jt == LogicalJoinType::kAnti) break;
+      emit(l, &r);
+    }
+    if ((jt == LogicalJoinType::kSemi && matched) ||
+        (jt == LogicalJoinType::kAnti && !matched) ||
+        (jt == LogicalJoinType::kLeftOuter && !matched)) {
+      emit(l, nullptr);
+    }
+  }
+
+  BatchResult result;
+  result.types = TypesOf(node.output);
+  if (!out.empty()) {
+    PipelineBatch pb;
+    pb.batch = ColumnBatch(result.types);
+    std::vector<int> identity(result.types.size());
+    for (size_t i = 0; i < identity.size(); ++i) identity[i] = static_cast<int>(i);
+    AppendRowsToBatch(out, 0, out.size(), identity, &pb.batch);
+    pb.sel = IdentitySel(out.size());
+    result.batches.push_back(std::move(pb));
+  }
+  stats->morsels = 1;
+  return result;
+}
+
+// --- aggregation ---
+
+/// Accumulator for one (group, aggregate) pair; same semantics as the row
+/// engine's AggState. DISTINCT aggregates keep only the value set per
+/// morsel — counts and sums are derived from the merged set at finalize,
+/// so cross-morsel duplicates collapse correctly.
+struct BatchAggState {
+  Datum value;
+  int64_t count = 0;
+  std::set<Datum, DatumLess> distinct;
+};
+
+void AccumulateValue(AggFunc func, const Datum& v, BatchAggState* state) {
+  switch (func) {
+    case AggFunc::kCount:
+      state->count += 1;
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (state->value.is_null()) {
+        state->value = v;
+      } else if (state->value.type() == TypeId::kInt &&
+                 v.type() == TypeId::kInt) {
+        state->value = Datum::Int(state->value.int_value() + v.int_value());
+      } else {
+        state->value = Datum::Double(state->value.AsDouble() + v.AsDouble());
+      }
+      state->count += 1;
+      break;
+    case AggFunc::kMin:
+      if (state->value.is_null() || v.Compare(state->value) < 0) state->value = v;
+      break;
+    case AggFunc::kMax:
+      if (state->value.is_null() || v.Compare(state->value) > 0) state->value = v;
+      break;
+    default:
+      break;
+  }
+}
+
+Result<BatchResult> ExecAggregate(const PlanNode& node, const BatchResult& input,
+                                  const std::vector<ColumnBinding>& child_cols,
+                                  const BatchExecCtx& ctx, OpStats* stats) {
+  std::vector<int> group_ords;
+  std::vector<TypeId> key_types;
+  for (ColumnId g : node.group_by) {
+    int pos = FindBinding(child_cols, g);
+    if (pos < 0) {
+      return Status::Internal("group-by column missing from aggregate input");
+    }
+    group_ords.push_back(pos);
+    key_types.push_back(child_cols[static_cast<size_t>(pos)].type);
+  }
+  size_t num_aggs = node.aggregates.size();
+  std::vector<ExprProgram> arg_progs(num_aggs);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    if (node.aggregates[a].func == AggFunc::kCountStar) continue;
+    PDW_ASSIGN_OR_RETURN(
+        arg_progs[a], ExprProgram::Compile(node.aggregates[a].arg, child_cols));
+  }
+
+  // Phase 1: per-morsel pre-aggregation into thread-local tables.
+  struct MorselAgg {
+    GroupTable table;
+    std::vector<BatchAggState> states;  // [group * num_aggs + a]
+    explicit MorselAgg(const std::vector<TypeId>& kt) : table(kt) {}
+  };
+  std::vector<MorselAgg> morsels;
+  morsels.reserve(input.batches.size());
+  for (size_t i = 0; i < input.batches.size(); ++i) morsels.emplace_back(key_types);
+
+  PDW_RETURN_NOT_OK(ParallelMorsels(ctx, input.batches.size(), [&](size_t m) {
+    const PipelineBatch& pb = input.batches[m];
+    MorselAgg& local = morsels[m];
+    std::vector<const ColumnVector*> keys;
+    keys.reserve(group_ords.size());
+    for (int o : group_ords) {
+      keys.push_back(&pb.batch.columns[static_cast<size_t>(o)]);
+    }
+    // Aggregate arguments evaluate densely over the selection once.
+    std::vector<ColumnVector> args(num_aggs);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      if (!arg_progs[a].valid()) continue;
+      PDW_ASSIGN_OR_RETURN(args[a], arg_progs[a].Eval(pb.batch, pb.sel));
+    }
+    // Group indices for the whole morsel first, then one typed pass per
+    // aggregate — column-at-a-time, no per-row Datum materialization on
+    // the numeric fast paths.
+    size_t n = pb.sel.size();
+    std::vector<uint32_t> gidx(n);
+    for (size_t k = 0; k < n; ++k) {
+      gidx[k] = static_cast<uint32_t>(
+          local.table.FindOrInsert(keys, static_cast<size_t>(pb.sel[k])));
+    }
+    size_t ng = local.table.num_groups();
+    if (local.states.size() < ng * num_aggs) {
+      local.states.resize(ng * num_aggs);
+    }
+    for (size_t a = 0; a < num_aggs; ++a) {
+      const AggregateItem& item = node.aggregates[a];
+      auto state_of = [&](size_t g) -> BatchAggState& {
+        return local.states[g * num_aggs + a];
+      };
+      if (item.func == AggFunc::kCountStar) {
+        for (size_t k = 0; k < n; ++k) state_of(gidx[k]).count += 1;
+        continue;
+      }
+      const ColumnVector& arg = args[a];
+      if (item.distinct) {
+        for (size_t k = 0; k < n; ++k) {
+          if (!arg.IsNull(k)) {
+            state_of(gidx[k]).distinct.insert(arg.GetDatum(k));
+          }
+        }
+        continue;
+      }
+      switch (item.func) {
+        case AggFunc::kCount:
+          for (size_t k = 0; k < n; ++k) {
+            if (!arg.IsNull(k)) state_of(gidx[k]).count += 1;
+          }
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          // Typed accumulators only when both storage and declared type
+          // are unambiguous (a true INT column sums as int64, like the
+          // row engine's int+int rule; a true DOUBLE column as double).
+          if (arg.tag() == VecTag::kInt64 &&
+              arg.declared_type() == TypeId::kInt) {
+            std::vector<int64_t> acc(ng, 0);
+            std::vector<int64_t> cnt(ng, 0);
+            for (size_t k = 0; k < n; ++k) {
+              if (arg.IsNull(k)) continue;
+              acc[gidx[k]] += arg.i64(k);
+              cnt[gidx[k]] += 1;
+            }
+            for (size_t g = 0; g < ng; ++g) {
+              if (cnt[g] == 0) continue;
+              BatchAggState& st = state_of(g);
+              st.value = Datum::Int(acc[g]);
+              st.count += cnt[g];
+            }
+          } else if (arg.tag() == VecTag::kDouble &&
+                     arg.declared_type() == TypeId::kDouble) {
+            std::vector<double> acc(ng, 0);
+            std::vector<int64_t> cnt(ng, 0);
+            for (size_t k = 0; k < n; ++k) {
+              if (arg.IsNull(k)) continue;
+              acc[gidx[k]] += arg.f64(k);
+              cnt[gidx[k]] += 1;
+            }
+            for (size_t g = 0; g < ng; ++g) {
+              if (cnt[g] == 0) continue;
+              BatchAggState& st = state_of(g);
+              st.value = Datum::Double(acc[g]);
+              st.count += cnt[g];
+            }
+          } else {
+            for (size_t k = 0; k < n; ++k) {
+              if (arg.IsNull(k)) continue;
+              AccumulateValue(item.func, arg.GetDatum(k),
+                              &state_of(gidx[k]));
+            }
+          }
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          if (arg.tag() != VecTag::kVariant) {
+            // Track the winning row per group; only the winners become
+            // Datums. Strict comparisons keep the first-seen row on ties,
+            // like the interpreter. Raw int64 order matches Datum::Compare
+            // for INT, DATE and BOOL payloads alike.
+            std::vector<int64_t> best(ng, -1);
+            bool want_min = item.func == AggFunc::kMin;
+            for (size_t k = 0; k < n; ++k) {
+              if (arg.IsNull(k)) continue;
+              int64_t b = best[gidx[k]];
+              if (b < 0) {
+                best[gidx[k]] = static_cast<int64_t>(k);
+                continue;
+              }
+              size_t bi = static_cast<size_t>(b);
+              bool better = false;
+              switch (arg.tag()) {
+                case VecTag::kInt64:
+                  better = want_min ? arg.i64(k) < arg.i64(bi)
+                                    : arg.i64(k) > arg.i64(bi);
+                  break;
+                case VecTag::kDouble:
+                  better = want_min ? arg.f64(k) < arg.f64(bi)
+                                    : arg.f64(k) > arg.f64(bi);
+                  break;
+                default:
+                  better = want_min ? arg.str(k) < arg.str(bi)
+                                    : arg.str(bi) < arg.str(k);
+                  break;
+              }
+              if (better) best[gidx[k]] = static_cast<int64_t>(k);
+            }
+            for (size_t g = 0; g < ng; ++g) {
+              if (best[g] >= 0) {
+                AccumulateValue(item.func,
+                                arg.GetDatum(static_cast<size_t>(best[g])),
+                                &state_of(g));
+              }
+            }
+          } else {
+            for (size_t k = 0; k < n; ++k) {
+              if (arg.IsNull(k)) continue;
+              AccumulateValue(item.func, arg.GetDatum(k),
+                              &state_of(gidx[k]));
+            }
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    return Status::OK();
+  }));
+
+  // Phase 2: merge in morsel order. Because morsels cover the input in
+  // stream order, first-seen group order here equals the row engine's.
+  GroupTable global(key_types);
+  std::vector<BatchAggState> states;
+  for (MorselAgg& local : morsels) {
+    std::vector<const ColumnVector*> keys;
+    keys.reserve(local.table.group_keys().size());
+    for (const ColumnVector& c : local.table.group_keys()) keys.push_back(&c);
+    for (size_t lg = 0; lg < local.table.num_groups(); ++lg) {
+      size_t gg = global.FindOrInsert(keys, lg);
+      if (states.size() < global.num_groups() * num_aggs) {
+        states.resize(global.num_groups() * num_aggs);
+      }
+      for (size_t a = 0; a < num_aggs; ++a) {
+        BatchAggState& src = local.states[lg * num_aggs + a];
+        BatchAggState& dst = states[gg * num_aggs + a];
+        const AggregateItem& item = node.aggregates[a];
+        if (item.distinct) {
+          dst.distinct.merge(src.distinct);
+          continue;
+        }
+        if (item.func == AggFunc::kCountStar || item.func == AggFunc::kCount) {
+          dst.count += src.count;
+          continue;
+        }
+        if (src.value.is_null()) {
+          dst.count += src.count;
+          continue;
+        }
+        switch (item.func) {
+          case AggFunc::kSum:
+          case AggFunc::kAvg:
+            if (dst.value.is_null()) {
+              dst.value = src.value;
+            } else if (dst.value.type() == TypeId::kInt &&
+                       src.value.type() == TypeId::kInt) {
+              dst.value =
+                  Datum::Int(dst.value.int_value() + src.value.int_value());
+            } else {
+              dst.value =
+                  Datum::Double(dst.value.AsDouble() + src.value.AsDouble());
+            }
+            dst.count += src.count;
+            break;
+          case AggFunc::kMin:
+            if (dst.value.is_null() || src.value.Compare(dst.value) < 0) {
+              dst.value = src.value;
+            }
+            break;
+          case AggFunc::kMax:
+            if (dst.value.is_null() || src.value.Compare(dst.value) > 0) {
+              dst.value = src.value;
+            }
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  // Finalize into one output batch: group keys then aggregate results.
+  BatchResult result;
+  result.types = TypesOf(node.output);
+  PipelineBatch ob;
+  ob.batch = ColumnBatch(result.types);
+  size_t num_groups = global.num_groups();
+  for (size_t c = 0; c < group_ords.size(); ++c) {
+    ColumnVector& dst = ob.batch.columns[c];
+    const ColumnVector& src = global.group_keys()[c];
+    dst.Reserve(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) dst.AppendFrom(src, g);
+  }
+  for (size_t a = 0; a < num_aggs; ++a) {
+    const AggregateItem& item = node.aggregates[a];
+    ColumnVector& dst = ob.batch.columns[group_ords.size() + a];
+    dst.Reserve(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      const BatchAggState& state = states[g * num_aggs + a];
+      if (item.distinct) {
+        // Derive the result from the merged distinct set.
+        if (item.func == AggFunc::kCount) {
+          dst.Append(Datum::Int(static_cast<int64_t>(state.distinct.size())));
+        } else if (state.distinct.empty()) {
+          dst.AppendNull();
+        } else if (item.func == AggFunc::kMin) {
+          dst.Append(*state.distinct.begin());
+        } else if (item.func == AggFunc::kMax) {
+          dst.Append(*state.distinct.rbegin());
+        } else {  // kSum / kAvg
+          Datum sum;
+          for (const Datum& v : state.distinct) {
+            if (sum.is_null()) {
+              sum = v;
+            } else if (sum.type() == TypeId::kInt && v.type() == TypeId::kInt) {
+              sum = Datum::Int(sum.int_value() + v.int_value());
+            } else {
+              sum = Datum::Double(sum.AsDouble() + v.AsDouble());
+            }
+          }
+          if (item.func == AggFunc::kAvg) {
+            dst.Append(Datum::Double(
+                sum.AsDouble() / static_cast<double>(state.distinct.size())));
+          } else {
+            dst.Append(sum);
+          }
+        }
+        continue;
+      }
+      switch (item.func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          dst.Append(Datum::Int(state.count));
+          break;
+        case AggFunc::kAvg:
+          if (state.count > 0) {
+            dst.Append(Datum::Double(state.value.AsDouble() /
+                                     static_cast<double>(state.count)));
+          } else {
+            dst.AppendNull();
+          }
+          break;
+        default:
+          dst.Append(state.value);
+      }
+    }
+  }
+  ob.batch.rows = num_groups;
+  // Scalar aggregate over empty input: one row of initial values.
+  if (group_ords.empty() && num_groups == 0) {
+    for (size_t a = 0; a < num_aggs; ++a) {
+      const AggregateItem& item = node.aggregates[a];
+      ColumnVector& dst = ob.batch.columns[a];
+      if (item.func == AggFunc::kCountStar ||
+          item.func == AggFunc::kCount) {
+        dst.Append(Datum::Int(0));
+      } else {
+        dst.AppendNull();
+      }
+    }
+    ob.batch.rows = 1;
+  }
+  ob.sel = IdentitySel(ob.batch.rows);
+  result.batches.push_back(std::move(ob));
+  stats->morsels = static_cast<double>(input.batches.size());
+  return result;
+}
+
+// --- sort / limit / union ---
+
+Result<BatchResult> ExecSort(const PlanNode& node, BatchResult input,
+                             OpStats* stats) {
+  std::vector<std::pair<int, bool>> keys;
+  for (const SortItem& item : node.sort_items) {
+    int pos = FindBinding(node.output, item.column);
+    if (pos < 0) return Status::Internal("sort column missing from input");
+    keys.emplace_back(pos, item.ascending);
+  }
+  ColumnBatch dense = GatherConcat(input);
+  SelVector order = IdentitySel(dense.rows);
+  std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    for (const auto& [o, asc] : keys) {
+      const ColumnVector& col = dense.columns[static_cast<size_t>(o)];
+      int c = CompareAt(col, static_cast<size_t>(a), col, static_cast<size_t>(b));
+      if (c != 0) return asc ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  BatchResult result;
+  result.types = std::move(input.types);
+  PipelineBatch pb;
+  pb.batch = std::move(dense);
+  pb.sel = std::move(order);  // the sort order IS the selection
+  result.batches.push_back(std::move(pb));
+  stats->morsels = 1;
+  return result;
+}
+
+BatchResult ExecLimit(const PlanNode& node, BatchResult input) {
+  if (node.limit < 0) return input;
+  size_t remaining = static_cast<size_t>(node.limit);
+  std::vector<PipelineBatch> kept;
+  for (PipelineBatch& pb : input.batches) {
+    if (remaining == 0) break;
+    if (pb.sel.size() > remaining) pb.sel.resize(remaining);
+    remaining -= pb.sel.size();
+    kept.push_back(std::move(pb));
+  }
+  input.batches = std::move(kept);
+  return input;
+}
+
+Result<BatchResult> ExecUnionAll(const PlanNode& node, const BatchExecCtx& ctx,
+                                 int depth, OpStats* stats) {
+  BatchResult result;
+  result.types = TypesOf(node.output);
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    PDW_ASSIGN_OR_RETURN(BatchResult child,
+                         ExecBatchNode(*node.children[i], ctx, depth + 1));
+    std::vector<int> positions;
+    for (ColumnId id : node.union_inputs[i]) {
+      int pos = FindBinding(node.children[i]->output, id);
+      if (pos < 0) {
+        return Status::Internal("union input column missing from child");
+      }
+      positions.push_back(pos);
+    }
+    for (PipelineBatch& pb : child.batches) {
+      PipelineBatch ob;
+      ob.batch.columns.reserve(positions.size());
+      // Copy (not move): union_inputs may reference a child column twice.
+      for (int p : positions) {
+        ob.batch.columns.push_back(pb.batch.columns[static_cast<size_t>(p)]);
+      }
+      ob.batch.rows = pb.batch.rows;
+      ob.sel = std::move(pb.sel);
+      result.batches.push_back(std::move(ob));
+    }
+  }
+  stats->morsels = static_cast<double>(result.batches.size());
+  return result;
+}
+
+// --- dispatch + profiling ---
+
+Result<BatchResult> DispatchBatchNode(const PlanNode& plan,
+                                      const BatchExecCtx& ctx, int depth,
+                                      OpStats* stats) {
+  switch (plan.kind) {
+    case PhysOpKind::kTableScan:
+    case PhysOpKind::kTempScan:
+      return ExecScan(plan, ctx, stats);
+    case PhysOpKind::kEmpty: {
+      BatchResult r;
+      r.types = TypesOf(plan.output);
+      return r;
+    }
+    case PhysOpKind::kFilter: {
+      PDW_ASSIGN_OR_RETURN(BatchResult input,
+                           ExecBatchNode(*plan.children[0], ctx, depth + 1));
+      return ExecFilter(plan, std::move(input), ctx, stats);
+    }
+    case PhysOpKind::kProject: {
+      PDW_ASSIGN_OR_RETURN(BatchResult input,
+                           ExecBatchNode(*plan.children[0], ctx, depth + 1));
+      return ExecProject(plan, std::move(input), plan.children[0]->output, ctx,
+                         stats);
+    }
+    case PhysOpKind::kHashJoin:
+    case PhysOpKind::kNestedLoopJoin: {
+      PDW_ASSIGN_OR_RETURN(BatchResult left,
+                           ExecBatchNode(*plan.children[0], ctx, depth + 1));
+      PDW_ASSIGN_OR_RETURN(BatchResult right,
+                           ExecBatchNode(*plan.children[1], ctx, depth + 1));
+      if (!plan.equi_keys.empty()) {
+        return ExecHashJoin(plan, std::move(left), right,
+                            plan.children[0]->output, plan.children[1]->output,
+                            ctx, stats);
+      }
+      return ExecNestedLoopJoin(plan, left, right, plan.children[0]->output,
+                                plan.children[1]->output, stats);
+    }
+    case PhysOpKind::kHashAggregate: {
+      PDW_ASSIGN_OR_RETURN(BatchResult input,
+                           ExecBatchNode(*plan.children[0], ctx, depth + 1));
+      return ExecAggregate(plan, input, plan.children[0]->output, ctx, stats);
+    }
+    case PhysOpKind::kSort: {
+      PDW_ASSIGN_OR_RETURN(BatchResult input,
+                           ExecBatchNode(*plan.children[0], ctx, depth + 1));
+      return ExecSort(plan, std::move(input), stats);
+    }
+    case PhysOpKind::kLimit: {
+      PDW_ASSIGN_OR_RETURN(BatchResult input,
+                           ExecBatchNode(*plan.children[0], ctx, depth + 1));
+      return ExecLimit(plan, std::move(input));
+    }
+    case PhysOpKind::kUnionAll:
+      return ExecUnionAll(plan, ctx, depth, stats);
+    case PhysOpKind::kMove:
+      return Status::Internal(
+          "executor reached a Move node; moves are executed by the DMS "
+          "service, not the per-node engine");
+  }
+  return Status::Internal("unreachable plan kind in executor");
+}
+
+Result<BatchResult> ExecBatchNode(const PlanNode& plan, const BatchExecCtx& ctx,
+                                  int depth) {
+  OpStats stats;
+  if (ctx.profile == nullptr) {
+    return DispatchBatchNode(plan, ctx, depth, &stats);
+  }
+  // Reserve the record before recursing so operators stay in pre-order.
+  size_t slot = ctx.profile->operators.size();
+  ctx.profile->operators.emplace_back();
+  double t0 = NowSeconds();
+  Result<BatchResult> result = DispatchBatchNode(plan, ctx, depth, &stats);
+  obs::OperatorProfile& op = ctx.profile->operators[slot];
+  op.depth = depth;
+  op.name = PhysOpKindToString(plan.kind);
+  if (plan.kind == PhysOpKind::kTableScan ||
+      plan.kind == PhysOpKind::kTempScan) {
+    op.name += "(" + plan.table_name + ")";
+  } else if (plan.kind == PhysOpKind::kHashAggregate &&
+             plan.agg_phase != AggPhase::kFull) {
+    op.name += plan.agg_phase == AggPhase::kLocal ? "(local)" : "(global)";
+  }
+  op.estimated_rows = plan.cardinality;
+  op.seconds = NowSeconds() - t0;
+  op.nodes = 1;
+  op.morsels = stats.morsels;
+  op.selectivity = stats.selectivity;
+  if (result.ok()) {
+    op.actual_rows = static_cast<double>(result->ActiveRows());
+    op.batches = static_cast<double>(result->batches.size());
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<RowVector> ExecuteBatchPlan(const PlanNode& plan,
+                                   const TableProvider& tables,
+                                   ExecProfile* profile,
+                                   const ExecOptions& options) {
+  BatchExecCtx ctx{tables, profile,
+                   options.batch_size >= 1 ? options.batch_size
+                                           : DefaultBatchSize(),
+                   options.max_morsel_parallelism};
+  PDW_ASSIGN_OR_RETURN(BatchResult result, ExecBatchNode(plan, ctx, 0));
+  return RowsFromResult(result);
+}
+
+}  // namespace pdw

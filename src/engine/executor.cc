@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <set>
 #include <unordered_map>
 
 #include "algebra/scalar_eval.h"
@@ -210,7 +212,10 @@ Result<RowVector> ExecuteJoin(const PlanNode& node, RowVector left,
 struct AggState {
   Datum value;          ///< SUM/MIN/MAX accumulator (NULL until first input).
   int64_t count = 0;    ///< COUNT / COUNT(*) accumulator.
-  std::set<std::vector<std::string>> distinct_seen;  ///< For DISTINCT.
+  /// Values already folded into a DISTINCT aggregate, deduplicated by SQL
+  /// value equality (DatumLess), not by rendered text: 2 and 2.0 are one
+  /// distinct value even though their ToString() forms differ.
+  std::set<Datum, DatumLess> distinct_seen;
 };
 
 Result<RowVector> ExecuteAggregate(const PlanNode& node, RowVector input,
@@ -267,7 +272,7 @@ Result<RowVector> ExecuteAggregate(const PlanNode& node, RowVector input,
       PDW_ASSIGN_OR_RETURN(Datum v, EvalScalar(*item.arg, r, ords));
       if (v.is_null()) continue;
       if (item.distinct) {
-        if (!state.distinct_seen.insert({v.ToString()}).second) continue;
+        if (!state.distinct_seen.insert(v).second) continue;
       }
       switch (item.func) {
         case AggFunc::kCount:
@@ -481,10 +486,23 @@ Result<RowVector> ExecuteNode(const PlanNode& plan, const TableProvider& tables,
 
 }  // namespace
 
+EngineKind DefaultEngineKind() {
+  static const EngineKind kKind = [] {
+    const char* env = std::getenv("PDW_ENGINE");
+    if (env != nullptr && std::string(env) == "row") return EngineKind::kRow;
+    return EngineKind::kBatch;
+  }();
+  return kKind;
+}
+
 Result<RowVector> ExecutePlan(const PlanNode& plan,
                               const TableProvider& tables,
-                              ExecProfile* profile) {
-  Result<RowVector> rows = ExecuteNode(plan, tables, profile, 0);
+                              ExecProfile* profile,
+                              const ExecOptions& options) {
+  Result<RowVector> rows =
+      options.engine == EngineKind::kBatch
+          ? ExecuteBatchPlan(plan, tables, profile, options)
+          : ExecuteNode(plan, tables, profile, 0);
   if (profile != nullptr && rows.ok()) {
     obs::MetricsRegistry::Global().Count("executor.rows_out",
                                          static_cast<double>(rows->size()));

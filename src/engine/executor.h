@@ -11,10 +11,17 @@
 
 namespace pdw {
 
-/// Row storage for one table as seen by the executor.
+struct ColumnTable;  // engine/batch.h
+
+/// Storage for one table as seen by the executor. `rows` is always
+/// present (the row engine's input and the authoritative copy);
+/// `columns` is an optional columnar mirror maintained at load time so
+/// batch-engine scans slice vectors instead of converting rows per
+/// query. When present it holds the same rows in the same order.
 struct TableData {
   const Schema* schema = nullptr;
   const RowVector* rows = nullptr;
+  const ColumnTable* columns = nullptr;
 };
 
 /// Supplies table contents to the executor (implemented by LocalEngine's
@@ -32,19 +39,54 @@ struct ExecProfile {
   std::vector<obs::OperatorProfile> operators;
 };
 
-/// Interprets a physical plan (without Move nodes) over materialized rows:
+/// Which local execution engine runs the plan. Both engines implement the
+/// same operator semantics and produce multiset-identical results; the row
+/// engine is the simple interpreter kept as the reference oracle, the batch
+/// engine is the vectorized production path.
+enum class EngineKind {
+  kRow,    ///< Row-at-a-time Volcano interpreter.
+  kBatch,  ///< Vectorized batches + compiled expressions + morsels.
+};
+
+/// Process default, read once from PDW_ENGINE ("row" or "batch");
+/// unset/unrecognized means kBatch.
+EngineKind DefaultEngineKind();
+
+/// Per-execution knobs. The defaults run the batch engine with
+/// PDW_BATCH_SIZE-sized batches and unconstrained morsel parallelism.
+struct ExecOptions {
+  EngineKind engine = DefaultEngineKind();
+  /// Rows per column batch; 0 = DefaultBatchSize().
+  int batch_size = 0;
+  /// Cap on concurrent morsel tasks per operator; 0 = pool size.
+  int max_morsel_parallelism = 0;
+};
+
+/// Executes a physical plan (without Move nodes) over materialized rows:
 /// scans, filters, projections, hash/nested-loop joins of all logical join
 /// types, hash aggregation (full/local/global phases behave identically at
 /// this level — the phase difference is in which rows each node holds),
 /// sort and limit. This is the per-node "SQL Server" execution backbone.
 ///
+/// `options.engine` picks the interpreter: the row-at-a-time reference
+/// engine, or the vectorized batch engine (default).
+///
 /// With a non-null `profile`, every operator records its emitted row count
 /// and inclusive wall time (and bumps the global `executor.rows_out`
-/// counter at the root); with nullptr the instrumented path is skipped
-/// entirely.
+/// counter at the root); the batch engine additionally records batch and
+/// morsel counts and filter/probe selectivity. With nullptr the
+/// instrumented path is skipped entirely.
 Result<RowVector> ExecutePlan(const PlanNode& plan,
                               const TableProvider& tables,
-                              ExecProfile* profile = nullptr);
+                              ExecProfile* profile = nullptr,
+                              const ExecOptions& options = {});
+
+/// The batch-engine entry point (batch_executor.cc); ExecutePlan dispatches
+/// here when options.engine == kBatch. Exposed for the engine benches.
+Result<RowVector> ExecuteBatchPlan(const PlanNode& plan,
+                                   const TableProvider& tables,
+                                   ExecProfile* profile,
+                                   const ExecOptions& options);
 
 }  // namespace pdw
 

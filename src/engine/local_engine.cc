@@ -20,9 +20,16 @@ LocalEngine::LocalEngine() {
 
 Status LocalEngine::CreateTable(TableDef def) {
   std::string key = ToLower(def.name);
+  std::vector<TypeId> types;
+  for (int i = 0; i < def.schema.num_columns(); ++i) {
+    types.push_back(def.schema.column(i).type);
+  }
   PDW_RETURN_NOT_OK(catalog_.CreateTable(std::move(def)));
   std::unique_lock lock(mu_);
-  storage_[key] = RowVector{};
+  StoredTable& table = storage_[key];
+  table.rows.clear();
+  table.columns.types = types;
+  table.columns.batches.assign(1, ColumnBatch(types));
   return Status::OK();
 }
 
@@ -43,16 +50,21 @@ Status LocalEngine::InsertRows(const std::string& name, RowVector rows) {
     }
   }
   // The shared lock protects the map lookup; appending to this table's
-  // vector is safe because no other thread touches *this* table (see the
+  // storage is safe because no other thread touches *this* table (see the
   // class thread-safety contract).
   std::shared_lock lock(mu_);
   auto it = storage_.find(ToLower(name));
   if (it == storage_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
-  RowVector& dest = it->second;
-  dest.insert(dest.end(), std::make_move_iterator(rows.begin()),
-              std::make_move_iterator(rows.end()));
+  StoredTable& dest = it->second;
+  // Keep the columnar mirror in sync before the rows are moved away.
+  ColumnBatch& mirror = dest.columns.batches.front();
+  std::vector<int> ordinals(mirror.columns.size());
+  for (size_t i = 0; i < ordinals.size(); ++i) ordinals[i] = static_cast<int>(i);
+  AppendRowsToBatch(rows, 0, rows.size(), ordinals, &mirror);
+  dest.rows.insert(dest.rows.end(), std::make_move_iterator(rows.begin()),
+                   std::make_move_iterator(rows.end()));
   return Status::OK();
 }
 
@@ -62,13 +74,17 @@ Result<const RowVector*> LocalEngine::GetRows(const std::string& name) const {
   if (it == storage_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
-  return &it->second;
+  return &it->second.rows;
 }
 
 Result<TableData> LocalEngine::GetTableData(const std::string& name) const {
   PDW_ASSIGN_OR_RETURN(const TableDef* def, catalog_.GetTable(name));
-  PDW_ASSIGN_OR_RETURN(const RowVector* rows, GetRows(name));
-  return TableData{&def->schema, rows};
+  std::shared_lock lock(mu_);
+  auto it = storage_.find(ToLower(name));
+  if (it == storage_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return TableData{&def->schema, &it->second.rows, &it->second.columns};
 }
 
 Result<TableStats> LocalEngine::ComputeLocalStats(const std::string& name,
@@ -89,7 +105,8 @@ Result<TableStats> LocalEngine::ComputeLocalStats(const std::string& name,
 }
 
 Result<SqlResult> LocalEngine::ExecuteSql(const std::string& sql,
-                                          ExecProfile* profile) {
+                                          ExecProfile* profile,
+                                          const ExecOptions& exec) {
   PDW_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
   SqlResult result;
   switch (stmt.kind) {
@@ -158,7 +175,7 @@ Result<SqlResult> LocalEngine::ExecuteSql(const std::string& sql,
                        CompileSelect(catalog_, *stmt.select));
   PDW_ASSIGN_OR_RETURN(PlanNodePtr plan,
                        ExtractBestSerialPlan(comp.memo.get()));
-  PDW_ASSIGN_OR_RETURN(result.rows, ExecutePlan(*plan, *this, profile));
+  PDW_ASSIGN_OR_RETURN(result.rows, ExecutePlan(*plan, *this, profile, exec));
   result.column_names = comp.output_names;
   for (const auto& b : plan->output) result.column_types.push_back(b.type);
   // Trim hidden ORDER BY carrier columns.

@@ -9,6 +9,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "engine/batch.h"
 #include "engine/executor.h"
 #include "optimizer/memo.h"
 
@@ -57,17 +58,29 @@ class LocalEngine : public TableProvider {
 
   /// Executes a SELECT (or CREATE TABLE / DROP TABLE / INSERT) statement.
   /// A non-null `profile` collects per-operator actual row counts and
-  /// timings of the SELECT's plan (EXPLAIN ANALYZE support).
+  /// timings of the SELECT's plan (EXPLAIN ANALYZE support). `exec` picks
+  /// the execution engine (row reference vs vectorized batch) and its
+  /// batch-size / parallelism knobs.
   Result<SqlResult> ExecuteSql(const std::string& sql,
-                               ExecProfile* profile = nullptr);
+                               ExecProfile* profile = nullptr,
+                               const ExecOptions& exec = {});
 
   // TableProvider:
   Result<TableData> GetTableData(const std::string& name) const override;
 
  private:
+  /// One table's storage: the authoritative row vector plus a columnar
+  /// mirror of the same rows (one contiguous batch), maintained at load
+  /// time so batch-engine scans slice column vectors instead of
+  /// converting rows on every query.
+  struct StoredTable {
+    RowVector rows;
+    ColumnTable columns;
+  };
+
   mutable std::shared_mutex mu_;  ///< Guards the structure of storage_.
   Catalog catalog_;
-  std::map<std::string, RowVector> storage_;  // keyed by lowercase name
+  std::map<std::string, StoredTable> storage_;  // keyed by lowercase name
 };
 
 }  // namespace pdw

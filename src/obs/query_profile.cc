@@ -76,9 +76,18 @@ std::string QueryProfile::ToText(double misestimate_threshold) const {
       out += "  operators (actuals summed over nodes):\n";
       for (const OperatorProfile& op : s.operators) {
         out.append(4 + static_cast<size_t>(op.depth) * 2, ' ');
-        out += StringFormat("%s  rows=%s time=%s nodes=%d\n", op.name.c_str(),
+        out += StringFormat("%s  rows=%s time=%s nodes=%d", op.name.c_str(),
                             FormatCount(op.actual_rows).c_str(),
                             FormatSeconds(op.seconds).c_str(), op.nodes);
+        if (op.batches > 0) {
+          out += StringFormat(" batches=%s morsels=%s",
+                              FormatCount(op.batches).c_str(),
+                              FormatCount(op.morsels).c_str());
+        }
+        if (op.selectivity >= 0) {
+          out += StringFormat(" sel=%.3f", op.selectivity);
+        }
+        out += "\n";
       }
     }
     if (!s.sql.empty()) out += "  " + s.sql + "\n";
@@ -161,6 +170,11 @@ std::string QueryProfile::ToJson() const {
       out += ",\"actual_rows\":" + JsonNumber(op.actual_rows);
       out += ",\"seconds\":" + JsonNumber(op.seconds);
       out += ",\"nodes\":" + JsonNumber(op.nodes);
+      out += ",\"batches\":" + JsonNumber(op.batches);
+      out += ",\"morsels\":" + JsonNumber(op.morsels);
+      if (op.selectivity >= 0) {
+        out += ",\"selectivity\":" + JsonNumber(op.selectivity);
+      }
       out += "}";
     }
     out += "]";
