@@ -96,7 +96,8 @@ void BM_DmsPackUnpack(benchmark::State& state) {
              Datum::Varchar("some payload text"), Datum::Date(9131)};
   for (auto _ : state) {
     std::vector<uint8_t> buf;
-    PackRow(row, &buf);
+    auto packed = PackRow(row, &buf);
+    benchmark::DoNotOptimize(packed);
     size_t offset = 0;
     auto out = UnpackRow(buf, &offset);
     benchmark::DoNotOptimize(out);

@@ -8,11 +8,14 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-# The parallel execution engine and plan cache are the racy surfaces; run
-# their tests instrumented. TSAN_OPTIONS halts on the first report.
+# The parallel execution engine, plan cache, and the pipelined DMS
+# (bounded queues + push-with-help backpressure + concurrent sessions
+# moving data through the same pool) are the racy surfaces; run their
+# tests instrumented. TSAN_OPTIONS halts on the first report.
 cmake -B build-tsan -S . -DPDW_SANITIZE=thread
-cmake --build build-tsan -j --target concurrency_test
+cmake --build build-tsan -j --target concurrency_test dms_pipeline_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dms_pipeline_test
 
 # The vectorized batch engine owns raw selection-vector / hash-table
 # indexing; run the whole suite through it under AddressSanitizer.

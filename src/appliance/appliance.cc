@@ -256,7 +256,8 @@ Status Appliance::DropTemps(const std::vector<std::string>& temps) {
 Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
                                                bool profile_operators,
                                                int max_parallel_nodes,
-                                               const ExecOptions& exec) {
+                                               const ExecOptions& exec,
+                                               DmsCodec dms_codec) {
   ApplianceResult result;
   result.dsql = dsql;
   result.column_names = dsql.output_names;
@@ -349,16 +350,74 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
       obs::TraceSpan step_span("dsql.step");
       step_span.AddAttr("kind", sp.move_kind);
       step_span.AddAttr("dest", step.dest_table);
-      // 1. Run the step's SQL on every source node simultaneously.
       int slots = dms_.num_compute_nodes() + 1;
-      std::vector<RowVector> source_rows(static_cast<size_t>(slots));
-      Status s = run_on_nodes(step, SourceNodes(step), &source_rows, &sp);
-      if (!s.ok()) return cleanup_and_fail(std::move(s));
-      // 2. Route through DMS (per-node phases fan out on the same pool).
       DmsRunMetrics metrics;
-      auto routed = dms_.Execute(step.move_kind, std::move(source_rows),
-                                 step.hash_column_ordinals, &metrics,
-                                 parallel ? &pool : nullptr);
+      Result<std::vector<RowVector>> routed =
+          Status::Internal("DMS step not executed");
+      if (dms_codec == DmsCodec::kColumnar) {
+        // Streaming path: each source node's SQL runs inside its DMS
+        // producer, so row production on one node overlaps pack/route/
+        // unpack of nodes that finished earlier — no materialization
+        // barrier between step execution and movement.
+        const std::vector<int> sources = SourceNodes(step);
+        std::vector<ExecProfile> node_profiles(
+            profile_operators ? sources.size() : 0);
+        std::vector<double> node_seconds(sources.size(), 0);
+        std::vector<std::vector<std::string>> node_names(sources.size());
+        std::vector<DmsProducer> producers(static_cast<size_t>(slots));
+        for (size_t i = 0; i < sources.size(); ++i) {
+          int node = sources[i];
+          producers[static_cast<size_t>(node)] =
+              [&, node, i]() -> Result<RowVector> {
+            // Control→compute RPC of shipping the SQL.
+            if (latency > 0) {
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(latency));
+            }
+            double t0 = NowSeconds();
+            auto rows = engine_of(node).ExecuteSql(
+                step.sql, profile_operators ? &node_profiles[i] : nullptr,
+                exec);
+            node_seconds[i] = NowSeconds() - t0;
+            if (!rows.ok()) {
+              return Status::ExecutionError(
+                  "DSQL step failed on node " + std::to_string(node) + ": " +
+                  rows.status().ToString() + "\nSQL: " + step.sql);
+            }
+            node_names[i] = std::move(rows->column_names);
+            return std::move(rows->rows);
+          };
+        }
+        DmsExecOptions dms_options;
+        dms_options.codec = DmsCodec::kColumnar;
+        for (const ColumnDef& col : step.dest_schema.columns()) {
+          dms_options.types.push_back(col.type);
+        }
+        routed = dms_.ExecutePipelined(step.move_kind, std::move(producers),
+                                       step.hash_column_ordinals, &metrics,
+                                       parallel ? &pool : nullptr, dms_options);
+        for (size_t i = 0; i < sources.size(); ++i) {
+          sp.node_seconds.emplace_back(sources[i], node_seconds[i]);
+          if (profile_operators) {
+            MergeOperators(node_profiles[i].operators, &sp.operators);
+          }
+          if (result.column_names.empty() && !node_names[i].empty()) {
+            result.column_names = node_names[i];
+          }
+        }
+      } else {
+        // Legacy row path: 1. run the step's SQL on every source node
+        // simultaneously, materializing all rows; 2. move them phase by
+        // phase through DMS.
+        std::vector<RowVector> source_rows(static_cast<size_t>(slots));
+        Status s = run_on_nodes(step, SourceNodes(step), &source_rows, &sp);
+        if (!s.ok()) return cleanup_and_fail(std::move(s));
+        DmsExecOptions dms_options;
+        dms_options.codec = DmsCodec::kRow;
+        routed = dms_.Execute(step.move_kind, std::move(source_rows),
+                              step.hash_column_ordinals, &metrics,
+                              parallel ? &pool : nullptr, dms_options);
+      }
       if (!routed.ok()) return cleanup_and_fail(routed.status());
       result.dms_metrics.Accumulate(metrics);
       FillComponents(metrics, &sp);
@@ -548,7 +607,8 @@ Result<ApplianceResult> Appliance::Run(const std::string& sql,
   PDW_ASSIGN_OR_RETURN(
       ApplianceResult result,
       ExecuteDsql(dsql, options.collect_operator_actuals,
-                  options.max_parallel_nodes, options.engine));
+                  options.max_parallel_nodes, options.engine,
+                  options.dms_codec));
   result.modeled_cost = modeled_cost;
   result.plan_text = plan_text;
   result.cache_hit = cache_hit;
@@ -575,7 +635,8 @@ Result<ApplianceResult> Appliance::ExecutePlan(
                     next_query_id_.fetch_add(1, std::memory_order_relaxed));
   PDW_ASSIGN_OR_RETURN(ApplianceResult result,
                        ExecuteDsql(dsql, /*profile_operators=*/false,
-                                   /*max_parallel_nodes=*/0, ExecOptions{}));
+                                   /*max_parallel_nodes=*/0, ExecOptions{},
+                                   DefaultDmsCodec()));
   result.modeled_cost = TotalMoveCost(plan);
   result.plan_text = PlanTreeToString(plan);
   return result;

@@ -37,6 +37,10 @@ struct QueryOptions {
   /// vectorized batch engine (default, also overridable process-wide via
   /// PDW_ENGINE=row|batch) or the row-at-a-time reference interpreter.
   ExecOptions engine;
+  /// DMS wire codec for this query's movement steps: the streaming
+  /// columnar pipeline (default; process-wide overridable via
+  /// PDW_DMS_CODEC=row|columnar) or the legacy materialized row path.
+  DmsCodec dms_codec = DefaultDmsCodec();
 };
 
 /// Result of one distributed query execution.
@@ -150,7 +154,8 @@ class Appliance {
   Result<ApplianceResult> ExecuteDsql(const DsqlPlan& dsql,
                                       bool profile_operators,
                                       int max_parallel_nodes,
-                                      const ExecOptions& exec);
+                                      const ExecOptions& exec,
+                                      DmsCodec dms_codec);
   /// Nodes that run a step's source SQL.
   std::vector<int> SourceNodes(const DsqlStep& step) const;
   /// Nodes that must host a DMS step's destination temp table.

@@ -12,10 +12,9 @@ int RowWidth(const Row& row) {
 }
 
 size_t HashRowColumns(const Row& row, const std::vector<int>& cols) {
-  size_t h = 0x9e3779b97f4a7c15ULL;
+  size_t h = kRowHashSeed;
   for (int c : cols) {
-    size_t x = row[static_cast<size_t>(c)].Hash();
-    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h = MixColumnHash(h, row[static_cast<size_t>(c)].Hash());
   }
   return h;
 }

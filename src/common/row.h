@@ -21,6 +21,17 @@ using RowVector = std::vector<Row>;
 /// cost model and byte metering are driven by this.
 int RowWidth(const Row& row);
 
+/// Mixes one column's value hash into a running multi-column hash. Both
+/// the row-level HashRowColumns and the DMS batch routing kernel go
+/// through this single definition, so row and columnar shuffles can never
+/// disagree on a row's destination node.
+inline size_t MixColumnHash(size_t h, size_t x) {
+  return h ^ (x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+/// Seed of the multi-column hash chain (also the hash of SQL NULL).
+inline constexpr size_t kRowHashSeed = 0x9e3779b97f4a7c15ULL;
+
 /// Hash of the sub-tuple `row[cols]`; used for DMS hash routing and joins.
 size_t HashRowColumns(const Row& row, const std::vector<int>& cols);
 

@@ -1,0 +1,99 @@
+#ifndef PDW_DMS_BOUNDED_QUEUE_H_
+#define PDW_DMS_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace pdw {
+
+/// A bounded FIFO connecting DMS pipeline stages. Producers feel
+/// backpressure through TryPush/WaitNotFullFor (the pipeline's
+/// push-with-help protocol never blocks a producer indefinitely);
+/// consumers block in Pop until an item arrives or the queue is closed
+/// and drained. All methods are thread-safe.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  /// Appends when there is room; returns false when full or closed
+  /// (the backpressure signal — callers drain or wait, never spin).
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until the queue has room, is closed, or `timeout` elapses.
+  template <typename Rep, typename Period>
+  void WaitNotFullFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait_for(lock, timeout, [this] {
+      return closed_ || items_.size() < capacity_;
+    });
+  }
+
+  /// Pops the oldest item; blocks until one arrives. Returns nullopt only
+  /// when the queue is closed and fully drained.
+  std::optional<T> Pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Non-blocking Pop; nullopt when currently empty.
+  std::optional<T> TryPop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Marks the producer side done; pending items stay poppable, blocked
+  /// producers and consumers wake.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace pdw
+
+#endif  // PDW_DMS_BOUNDED_QUEUE_H_

@@ -2,12 +2,14 @@
 #define PDW_DMS_DMS_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/row.h"
 #include "common/thread_pool.h"
+#include "dms/wire_format.h"
 #include "pdw/cost_model.h"
 #include "plan/distribution.h"
 
@@ -35,6 +37,39 @@ struct DmsRunMetrics {
   std::string ToString() const;
 };
 
+/// Default rows per columnar wire batch (see DmsExecOptions::batch_size).
+/// Sized so that even an 8-way shuffle split leaves ~thousand-row
+/// messages — per-message framing, queue handoff, and assembly overhead is
+/// what erodes the columnar win as fan-out grows.
+inline constexpr int kDmsWireBatchRows = 8192;
+
+/// Knobs of one DMS execution.
+struct DmsExecOptions {
+  /// Wire encoding: the streaming columnar pipeline (default) or the
+  /// legacy materialize-then-move row codec kept as the reference oracle.
+  DmsCodec codec = DefaultDmsCodec();
+  /// Rows per wire batch on the columnar path; 0 = kDmsWireBatchRows.
+  /// Wire batches are deliberately larger than the engine's execution
+  /// batches: movement cost is framing + memcpy, so bigger slices amortize
+  /// per-message headers, queue handoffs, and assembly bookkeeping.
+  int batch_size = 0;
+  /// Bounded depth (in messages) of each destination's inbound queue —
+  /// the pipeline's backpressure window. Deep enough that a full shuffle
+  /// fan-in (every source sending this destination a slice of the same
+  /// wire batch) fits without stalling readers; shallow enough to bound
+  /// buffered bytes per destination.
+  int queue_capacity = 32;
+  /// Declared column types of the moved stream (the DMS step's destination
+  /// temp-table schema). Empty = infer per source from the produced rows.
+  std::vector<TypeId> types;
+};
+
+/// Produces one source node's rows for a pipelined movement — typically by
+/// running the DSQL step's SQL on that node. Called exactly once, on a
+/// pipeline worker, so production overlaps packing/transfer of nodes that
+/// finished earlier.
+using DmsProducer = std::function<Result<RowVector>()>;
+
 /// The Data Movement Service simulator (Fig. 5). It reproduces the DMS
 /// operator's source/target structure with real work per component:
 ///  * reader  — serialize rows into byte buffers (hashing for Shuffle/Trim);
@@ -45,11 +80,19 @@ struct DmsRunMetrics {
 /// λ constants can be calibrated against this substrate exactly as the
 /// paper calibrates against hardware.
 ///
+/// Two execution paths share those component semantics:
+///  * the legacy row path materializes every phase before the next starts
+///    and encodes one type tag per value (the paper's no-pipelining DMS);
+///  * the columnar path streams ColumnBatch-sized wire messages through
+///    bounded, backpressured per-destination queues, so reader/pack,
+///    network and writer/unpack run concurrently on the shared pool and
+///    movement overlaps production.
+///
 /// Thread safety: DmsService holds no mutable state, so concurrent
 /// Execute calls (one per in-flight query) are safe as long as each call
 /// gets its own `metrics` accumulator. Within one call, passing a
-/// ThreadPool fans the per-node reader/writer/bulk-copy work out across
-/// nodes — the instances really do run simultaneously, as in Fig. 5.
+/// ThreadPool fans the per-node work out across nodes — the instances
+/// really do run simultaneously, as in Fig. 5.
 class DmsService {
  public:
   /// `num_compute_nodes` compute nodes; node index `num_compute_nodes`
@@ -64,37 +107,57 @@ class DmsService {
   /// the step's SQL on node i (size num_compute_nodes + 1; the last slot
   /// is the control node). Returns the rows landing on each node (same
   /// indexing). `hash_ordinals` drive Shuffle/Trim routing. A non-null
-  /// `pool` runs each phase's per-node work in parallel across nodes
-  /// (component seconds then sum per-node durations, as in the serial
-  /// loop); null keeps the deterministic serial schedule.
+  /// `pool` runs the per-node work in parallel across nodes (component
+  /// seconds then sum per-node durations, as in the serial loop); null
+  /// keeps the deterministic serial schedule. `options.codec` picks the
+  /// wire path; the columnar default routes through ExecutePipelined.
   Result<std::vector<RowVector>> Execute(DmsOpKind kind,
                                          std::vector<RowVector> source_rows,
                                          const std::vector<int>& hash_ordinals,
                                          DmsRunMetrics* metrics = nullptr,
-                                         ThreadPool* pool = nullptr);
+                                         ThreadPool* pool = nullptr,
+                                         const DmsExecOptions& options = {});
+
+  /// The streaming columnar pipeline. `producers[i]` (size
+  /// num_compute_nodes + 1, null entries = no source on that node) runs on
+  /// a pipeline worker and feeds its rows straight into the reader stage:
+  /// rows are sliced into ColumnBatches, hash-routed column-at-a-time
+  /// (Shuffle/Trim), packed with the columnar wire codec, and pushed into
+  /// the destination's bounded inbound queue; destination workers unpack
+  /// and bulk-copy concurrently. Backpressure: a producer that finds a
+  /// queue full first tries to drain that destination itself (so progress
+  /// never depends on free pool capacity — no deadlock under any pool
+  /// size), else waits briefly. Per-slot result rows are assembled in
+  /// deterministic (source, sequence) order.
+  Result<std::vector<RowVector>> ExecutePipelined(
+      DmsOpKind kind, std::vector<DmsProducer> producers,
+      const std::vector<int>& hash_ordinals, DmsRunMetrics* metrics = nullptr,
+      ThreadPool* pool = nullptr, const DmsExecOptions& options = {});
 
   /// Hash routing used for both table loads and shuffles, so collocated
-  /// joins really are collocated.
+  /// joins really are collocated. HashPartitionBatch is the vectorized
+  /// equivalent; both chain per-column value hashes through MixColumnHash.
   int TargetNode(const Row& row, const std::vector<int>& hash_ordinals) const {
     return static_cast<int>(HashRowColumns(row, hash_ordinals) %
                             static_cast<size_t>(nodes_));
   }
 
  private:
+  Result<std::vector<RowVector>> ExecuteRowCodec(
+      DmsOpKind kind, std::vector<RowVector> source_rows,
+      const std::vector<int>& hash_ordinals, DmsRunMetrics* metrics,
+      ThreadPool* pool);
+
   int nodes_;
 };
 
-/// Serializes a row into `buffer` (the reader's packing work); returns the
-/// encoded size in bytes.
-size_t PackRow(const Row& row, std::vector<uint8_t>* buffer);
-
-/// Inverse of PackRow; reads one row starting at `offset`, advancing it.
-Result<Row> UnpackRow(const std::vector<uint8_t>& buffer, size_t* offset);
-
 /// Runs targeted micro-measurements against the simulator's component
 /// implementations and fits the per-byte λ constants (§3.3.3 "cost
-/// calibration"). `rows_per_probe` controls measurement size.
-DmsCostParameters CalibrateCostModel(int rows_per_probe = 20000);
+/// calibration"). `rows_per_probe` controls measurement size; `codec`
+/// selects which wire path's work is measured (default: the process-wide
+/// codec, so costing matches what execution actually does).
+DmsCostParameters CalibrateCostModel(int rows_per_probe = 20000,
+                                     DmsCodec codec = DefaultDmsCodec());
 
 }  // namespace pdw
 

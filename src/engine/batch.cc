@@ -69,6 +69,18 @@ Datum ColumnVector::GetDatum(size_t i) const {
   return Datum::Null();
 }
 
+Datum ColumnVector::TakeDatum(size_t i) {
+  if (nulls_[i]) return Datum::Null();
+  switch (tag_) {
+    case VecTag::kString:
+      return Datum::Varchar(std::move(str_[i]));
+    case VecTag::kVariant:
+      return std::move(var_[i]);
+    default:
+      return GetDatum(i);
+  }
+}
+
 void ColumnVector::PromoteToVariant() {
   size_t n = nulls_.size();
   var_.clear();
@@ -233,6 +245,26 @@ void ColumnVector::AppendRowsColumn(const RowVector& rows, size_t begin,
   }
 }
 
+void ColumnVector::AppendI64Bulk(const int64_t* v, const uint8_t* null_bytes,
+                                 size_t n) {
+  i64_.insert(i64_.end(), v, v + n);
+  if (null_bytes == nullptr) {
+    nulls_.insert(nulls_.end(), n, 0);
+  } else {
+    nulls_.insert(nulls_.end(), null_bytes, null_bytes + n);
+  }
+}
+
+void ColumnVector::AppendF64Bulk(const double* v, const uint8_t* null_bytes,
+                                 size_t n) {
+  f64_.insert(f64_.end(), v, v + n);
+  if (null_bytes == nullptr) {
+    nulls_.insert(nulls_.end(), n, 0);
+  } else {
+    nulls_.insert(nulls_.end(), null_bytes, null_bytes + n);
+  }
+}
+
 size_t ColumnVector::HashAt(size_t i) const {
   // Mirrors Datum::Hash exactly so hash-partitioned structures agree with
   // Datum-level equality (notably integral doubles hashing like ints).
@@ -324,6 +356,18 @@ void AppendBatchToRows(const ColumnBatch& batch, RowVector* out) {
     row.reserve(batch.columns.size());
     for (const ColumnVector& col : batch.columns) {
       row.push_back(col.GetDatum(r));
+    }
+    out->push_back(std::move(row));
+  }
+}
+
+void MoveBatchToRows(ColumnBatch* batch, RowVector* out) {
+  out->reserve(out->size() + batch->rows);
+  for (size_t r = 0; r < batch->rows; ++r) {
+    Row row;
+    row.reserve(batch->columns.size());
+    for (ColumnVector& col : batch->columns) {
+      row.push_back(col.TakeDatum(r));
     }
     out->push_back(std::move(row));
   }

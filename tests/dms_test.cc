@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "dms/dms_service.h"
+#include "dms/wire_format.h"
 
 namespace pdw {
 namespace {
@@ -32,8 +35,9 @@ TEST_F(DmsTest, PackUnpackRoundTrip) {
   Row row = {Datum::Int(-42), Datum::Double(3.25), Datum::Varchar("hello"),
              Datum::Null(), Datum::Bool(true), Datum::Date(8888)};
   std::vector<uint8_t> buf;
-  size_t n = PackRow(row, &buf);
-  EXPECT_EQ(n, buf.size());
+  auto packed = PackRow(row, &buf);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(*packed, buf.size());
   size_t offset = 0;
   auto out = UnpackRow(buf, &offset);
   ASSERT_TRUE(out.ok());
@@ -52,7 +56,7 @@ TEST_F(DmsTest, PackUnpackRoundTrip) {
 TEST_F(DmsTest, UnpackDetectsTruncation) {
   Row row = {Datum::Varchar("hello world")};
   std::vector<uint8_t> buf;
-  PackRow(row, &buf);
+  ASSERT_TRUE(PackRow(row, &buf).ok());
   buf.resize(buf.size() - 3);
   size_t offset = 0;
   EXPECT_FALSE(UnpackRow(buf, &offset).ok());
@@ -101,13 +105,37 @@ TEST_F(DmsTest, BroadcastReplicatesEverywhere) {
   auto slots = EmptySlots();
   for (int n = 0; n < 4; ++n) slots[static_cast<size_t>(n)] = MakeRows(n * 10, 10);
   DmsRunMetrics m;
-  auto out = dms_.Execute(DmsOpKind::kBroadcastMove, std::move(slots), {}, &m);
+  DmsExecOptions opts;
+  opts.codec = DmsCodec::kRow;
+  auto out = dms_.Execute(DmsOpKind::kBroadcastMove, std::move(slots), {}, &m,
+                          nullptr, opts);
   ASSERT_TRUE(out.ok());
   for (int n = 0; n < 4; ++n) {
     EXPECT_EQ((*out)[static_cast<size_t>(n)].size(), 40u);
   }
-  // Broadcast reader packs N copies.
+  // The legacy row reader packs one copy per target.
   EXPECT_GT(m.reader.bytes, m.writer.bytes / 2);
+}
+
+TEST_F(DmsTest, ColumnarBroadcastPacksOnce) {
+  auto slots = EmptySlots();
+  for (int n = 0; n < 4; ++n) {
+    slots[static_cast<size_t>(n)] = MakeRows(n * 10, 10);
+  }
+  DmsRunMetrics m;
+  DmsExecOptions opts;
+  opts.codec = DmsCodec::kColumnar;
+  auto out = dms_.Execute(DmsOpKind::kBroadcastMove, std::move(slots), {}, &m,
+                          nullptr, opts);
+  ASSERT_TRUE(out.ok());
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ((*out)[static_cast<size_t>(n)].size(), 40u);
+  }
+  // The columnar reader packs each source slice once and the network fans
+  // it out: reader bytes ≈ writer bytes / N (writer unpacks every copy).
+  EXPECT_GT(m.reader.bytes, 0);
+  EXPECT_LT(m.reader.bytes, m.writer.bytes / 2);
+  EXPECT_NEAR(m.writer.bytes, m.reader.bytes * 4, m.reader.bytes * 0.01);
 }
 
 TEST_F(DmsTest, TrimKeepsOwnSliceWithoutNetwork) {
@@ -161,6 +189,163 @@ TEST_F(DmsTest, HashMoveWithoutColumnsRejected) {
   auto slots = EmptySlots();
   slots[0] = MakeRows(0, 5);
   EXPECT_FALSE(dms_.Execute(DmsOpKind::kShuffle, std::move(slots), {}).ok());
+}
+
+// Datum menagerie used by the routing and fuzz tests: every TypeId, NULLs,
+// empty varchars, and the integral-double case whose hash must match kInt.
+std::vector<Datum> AllKindsOfDatums() {
+  return {Datum::Int(0),
+          Datum::Int(-1),
+          Datum::Int(1234567890123LL),
+          Datum::Double(0.0),
+          Datum::Double(-2.5),
+          Datum::Double(42.0),  // integral double: hashes like Int(42)
+          Datum::Varchar(""),
+          Datum::Varchar("x"),
+          Datum::Varchar(std::string(300, 'q')),
+          Datum::Bool(true),
+          Datum::Bool(false),
+          Datum::Date(0),
+          Datum::Date(-400),
+          Datum::Date(20000),
+          Datum::Null()};
+}
+
+Row RandomRow(std::mt19937* rng, const std::vector<Datum>& pool,
+              size_t arity) {
+  Row row;
+  for (size_t i = 0; i < arity; ++i) {
+    row.push_back(pool[(*rng)() % pool.size()]);
+  }
+  return row;
+}
+
+TEST_F(DmsTest, VectorizedRoutingMatchesTargetNode) {
+  // The tentpole's consistency guarantee: HashPartitionBatch must send
+  // every row exactly where the row-at-a-time TargetNode would, for every
+  // type, NULLs, empty strings, and integral doubles, over 1..3 key
+  // columns.
+  std::mt19937 rng(20120520);
+  const std::vector<Datum> pool = AllKindsOfDatums();
+  for (size_t num_keys : {1u, 2u, 3u}) {
+    const size_t arity = 4;
+    RowVector rows;
+    for (int i = 0; i < 500; ++i) rows.push_back(RandomRow(&rng, pool, arity));
+    std::vector<int> ordinals;
+    for (size_t k = 0; k < num_keys; ++k) {
+      ordinals.push_back(static_cast<int>(k));
+    }
+    std::vector<TypeId> types = InferRowTypes(rows);
+    std::vector<int> all(arity);
+    for (size_t c = 0; c < arity; ++c) all[static_cast<size_t>(c)] = static_cast<int>(c);
+    ColumnBatch batch(types);
+    AppendRowsToBatch(rows, 0, rows.size(), all, &batch);
+    std::vector<SelVector> parts;
+    HashPartitionBatch(batch, ordinals, dms_.num_compute_nodes(), &parts);
+    ASSERT_EQ(parts.size(), static_cast<size_t>(dms_.num_compute_nodes()));
+    size_t covered = 0;
+    for (int node = 0; node < dms_.num_compute_nodes(); ++node) {
+      for (int32_t r : parts[static_cast<size_t>(node)]) {
+        EXPECT_EQ(dms_.TargetNode(rows[static_cast<size_t>(r)], ordinals),
+                  node)
+            << "row " << r << " keys=" << num_keys;
+        ++covered;
+      }
+    }
+    EXPECT_EQ(covered, rows.size());  // a partition for every row
+  }
+}
+
+TEST_F(DmsTest, WireStringOverflowGuard) {
+  // Length fields on the wire are u32; the guard must reject anything
+  // longer instead of silently truncating the length.
+  EXPECT_TRUE(ValidateWireString(0).ok());
+  EXPECT_TRUE(ValidateWireString(kDmsMaxVarcharBytes).ok());
+  EXPECT_FALSE(ValidateWireString(kDmsMaxVarcharBytes + 1).ok());
+  EXPECT_FALSE(ValidateWireString(static_cast<size_t>(1) << 40).ok());
+}
+
+TEST_F(DmsTest, RowCodecFuzzRoundTripAndTruncation) {
+  std::mt19937 rng(424242);
+  const std::vector<Datum> pool = AllKindsOfDatums();
+  for (int iter = 0; iter < 200; ++iter) {
+    size_t arity = rng() % 7;  // includes zero-column rows
+    Row row = RandomRow(&rng, pool, arity);
+    std::vector<uint8_t> buf;
+    auto packed = PackRow(row, &buf);
+    ASSERT_TRUE(packed.ok());
+    size_t offset = 0;
+    auto out = UnpackRow(buf, &offset);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(offset, buf.size());
+    ASSERT_EQ(out->size(), row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      EXPECT_EQ((*out)[i].is_null(), row[i].is_null());
+      if (!row[i].is_null()) {
+        EXPECT_EQ((*out)[i].Compare(row[i]), 0);
+        EXPECT_EQ((*out)[i].type(), row[i].type());
+      }
+    }
+    // Every strict prefix must fail cleanly — never read past the end,
+    // never crash (the buffer-underrun guard).
+    for (size_t cut = buf.empty() ? 0 : rng() % buf.size(); cut < buf.size();
+         cut += 1 + rng() % 7) {
+      std::vector<uint8_t> trunc(buf.begin(),
+                                 buf.begin() + static_cast<long>(cut));
+      size_t o = 0;
+      EXPECT_FALSE(UnpackRow(trunc, &o).ok()) << "cut=" << cut;
+    }
+  }
+  // Garbage tag bytes must be rejected, not interpreted.
+  std::vector<uint8_t> evil = {1, 0, 250};  // arity 1, bogus type tag 250
+  size_t o = 0;
+  EXPECT_FALSE(UnpackRow(evil, &o).ok());
+}
+
+TEST_F(DmsTest, BatchCodecFuzzRoundTripAndTruncation) {
+  std::mt19937 rng(77777);
+  const std::vector<Datum> pool = AllKindsOfDatums();
+  for (int iter = 0; iter < 60; ++iter) {
+    size_t arity = 1 + rng() % 5;
+    size_t count = rng() % 40;  // includes empty batches
+    RowVector rows;
+    for (size_t i = 0; i < count; ++i) {
+      rows.push_back(RandomRow(&rng, pool, arity));
+    }
+    std::vector<TypeId> types = InferRowTypes(rows);
+    if (types.size() != arity) types.assign(arity, TypeId::kInvalid);
+    std::vector<int> all;
+    for (size_t c = 0; c < arity; ++c) all.push_back(static_cast<int>(c));
+    ColumnBatch batch(types);
+    AppendRowsToBatch(rows, 0, rows.size(), all, &batch);
+    std::vector<uint8_t> buf;
+    auto packed = PackBatch(batch, &buf);
+    ASSERT_TRUE(packed.ok());
+    EXPECT_EQ(*packed, buf.size());
+    size_t offset = 0;
+    auto out = UnpackBatch(buf, &offset);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(offset, buf.size());
+    RowVector round;
+    AppendBatchToRows(*out, &round);
+    ASSERT_EQ(round.size(), rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      for (size_t c = 0; c < arity; ++c) {
+        EXPECT_EQ(round[r][c].is_null(), rows[r][c].is_null());
+        if (!rows[r][c].is_null()) {
+          EXPECT_EQ(round[r][c].Compare(rows[r][c]), 0) << r << "," << c;
+        }
+      }
+    }
+    // Truncated batch buffers fail cleanly at every sampled prefix.
+    for (size_t cut = buf.empty() ? 0 : rng() % buf.size(); cut < buf.size();
+         cut += 1 + rng() % 13) {
+      std::vector<uint8_t> trunc(buf.begin(),
+                                 buf.begin() + static_cast<long>(cut));
+      size_t o = 0;
+      EXPECT_FALSE(UnpackBatch(trunc, &o).ok()) << "cut=" << cut;
+    }
+  }
 }
 
 TEST_F(DmsTest, CalibrationProducesPositiveLambdas) {
