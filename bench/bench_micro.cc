@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "common/fault.h"
 #include "dms/dms_service.h"
 #include "engine/executor.h"
 #include "engine/local_engine.h"
@@ -105,6 +106,24 @@ void BM_DmsPackUnpack(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 40);
 }
 BENCHMARK(BM_DmsPackUnpack);
+
+/// Status-returning wrapper so the macro's early-return path is compiled
+/// exactly as it is at real injection sites.
+Status TouchFaultPoint() {
+  PDW_FAULT_POINT("dms.pack");
+  return Status::OK();
+}
+
+// The disarmed overhead of one injection-point traversal — the acceptance
+// bar for sprinkling PDW_FAULT_POINT on per-batch DMS paths. Expected: a
+// relaxed atomic load + never-taken branch, low single-digit nanoseconds.
+void BM_FaultPointDisarmed(benchmark::State& state) {
+  for (auto _ : state) {
+    Status s = TouchFaultPoint();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_FaultPointDisarmed);
 
 void BM_DmsShuffle(benchmark::State& state) {
   DmsService dms(8);

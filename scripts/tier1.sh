@@ -23,3 +23,16 @@ cmake -B build-asan -S . -DPDW_SANITIZE=address
 cmake --build build-asan -j
 (cd build-asan && PDW_ENGINE=batch ASAN_OPTIONS="halt_on_error=1" \
   ctest --output-on-failure -j)
+
+# Chaos leg: the seeded fault-injection differential suite under both
+# sanitizers, at a fixed seed so a CI failure reproduces exactly.
+# Override the seed (or widen the sweep) with PDW_CHAOS_SEED /
+# PDW_CHAOS_RUNS; failures print the seed and fault schedule of the
+# offending run in their SCOPED_TRACE.
+: "${PDW_CHAOS_SEED:=20120520}"
+cmake --build build-asan -j --target chaos_test
+PDW_CHAOS_SEED="$PDW_CHAOS_SEED" ASAN_OPTIONS="halt_on_error=1" \
+  ./build-asan/tests/chaos_test
+cmake --build build-tsan -j --target chaos_test
+PDW_CHAOS_SEED="$PDW_CHAOS_SEED" TSAN_OPTIONS="halt_on_error=1" \
+  ./build-tsan/tests/chaos_test

@@ -6,6 +6,8 @@
 #include <set>
 #include <thread>
 
+#include "common/fault.h"
+#include "common/retry.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -54,6 +56,17 @@ void MergeOperators(const std::vector<obs::OperatorProfile>& from,
     dst.batches += from[i].batches;
     dst.morsels += from[i].morsels;
   }
+}
+
+/// Wraps a node-local failure with the node id and SQL, preserving the
+/// transient-vs-permanent classification so RetryPolicy sees through the
+/// wrapper.
+Status WrapNodeStatus(int node, const Status& s, const std::string& sql) {
+  StatusCode code = s.code() == StatusCode::kTransient
+                        ? StatusCode::kTransient
+                        : StatusCode::kExecutionError;
+  return Status(code, "DSQL step failed on node " + std::to_string(node) +
+                          ": " + s.ToString() + "\nSQL: " + sql);
 }
 
 void FillComponents(const DmsRunMetrics& m, obs::StepProfile* sp) {
@@ -113,10 +126,11 @@ void CollectScanTables(const PlanNode& node, const PlanCache& cache,
   }
 }
 
-/// Wires the shared worker pool's live counters into the obs metrics
-/// registry (pool.queue_depth / pool.active_workers gauges) — once per
-/// process, on first appliance construction.
-void InstallPoolGauges() {
+/// Wires the shared worker pool's live counters and the fault registry's
+/// firings into the obs metrics registry — once per process, on first
+/// appliance construction (pdw_common cannot depend on pdw_obs, so both
+/// subsystems expose hooks instead of counting themselves).
+void InstallObsHooks() {
   static std::once_flag once;
   std::call_once(once, [] {
     obs::MetricsRegistry::Global().SetGauge(
@@ -126,6 +140,14 @@ void InstallPoolGauges() {
       reg.SetGauge("pool.queue_depth", static_cast<double>(queue_depth));
       reg.SetGauge("pool.active_workers", static_cast<double>(active));
     });
+    fault::FaultRegistry::Global().SetMetricsHook(
+        [](const std::string& point, fault::FaultKind kind) {
+          obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+          reg.Count("fault.injected.total");
+          reg.Count(std::string("fault.injected.") +
+                    fault::FaultKindToString(kind));
+          reg.Count("fault.injected.point." + point);
+        });
   });
 }
 
@@ -136,7 +158,7 @@ Appliance::Appliance(Topology topology)
   for (int i = 0; i < topology.num_compute_nodes; ++i) {
     compute_.push_back(std::make_unique<LocalEngine>());
   }
-  InstallPoolGauges();
+  InstallObsHooks();
 }
 
 Status Appliance::CreateTable(TableDef def) {
@@ -257,7 +279,8 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
                                                bool profile_operators,
                                                int max_parallel_nodes,
                                                const ExecOptions& exec,
-                                               DmsCodec dms_codec) {
+                                               DmsCodec dms_codec,
+                                               const RetryPolicy& retry) {
   ApplianceResult result;
   result.dsql = dsql;
   result.column_names = dsql.output_names;
@@ -275,6 +298,9 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
                                        : *compute_[static_cast<size_t>(node)];
   };
 
+  // Every abort funnels through here, and DropTemps traverses no fault
+  // points, so a failed plan can never leak a TEMP_ID table — the appliance
+  // stays serviceable for the next query.
   auto cleanup_and_fail = [&](Status s) -> Status {
     Status drop = DropTemps(temps);
     (void)drop;
@@ -300,6 +326,12 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
         [&](int i) {
           int node = nodes[static_cast<size_t>(i)];
           // Control→compute RPC of shipping the SQL and collecting status.
+          Status fs = fault::Check("appliance.step.dispatch");
+          if (!fs.ok()) {
+            node_status[static_cast<size_t>(i)] =
+                WrapNodeStatus(node, fs, step.sql);
+            return;
+          }
           if (latency > 0) {
             std::this_thread::sleep_for(std::chrono::duration<double>(latency));
           }
@@ -311,9 +343,8 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
               exec);
           node_seconds[static_cast<size_t>(i)] = NowSeconds() - t0;
           if (!rows.ok()) {
-            node_status[static_cast<size_t>(i)] = Status::ExecutionError(
-                "DSQL step failed on node " + std::to_string(node) + ": " +
-                rows.status().ToString() + "\nSQL: " + step.sql);
+            node_status[static_cast<size_t>(i)] =
+                WrapNodeStatus(node, rows.status(), step.sql);
             return;
           }
           node_results[static_cast<size_t>(i)] = std::move(*rows);
@@ -334,134 +365,128 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
     return Status::OK();
   };
 
-  int step_index = 0;
-  for (const DsqlStep& step : dsql.steps) {
-    obs::StepProfile sp;
-    sp.index = step_index++;
-    sp.sql = step.sql;
-    sp.estimated_rows = step.estimated_rows;
-    sp.estimated_cost = step.estimated_cost;
-    double step_start = NowSeconds();
-
-    if (step.kind == DsqlStepKind::kDms) {
-      sp.kind = "DMS";
-      sp.move_kind = DmsOpKindToString(step.move_kind);
-      sp.dest_table = step.dest_table;
-      obs::TraceSpan step_span("dsql.step");
-      step_span.AddAttr("kind", sp.move_kind);
-      step_span.AddAttr("dest", step.dest_table);
-      int slots = dms_.num_compute_nodes() + 1;
-      DmsRunMetrics metrics;
-      Result<std::vector<RowVector>> routed =
-          Status::Internal("DMS step not executed");
-      if (dms_codec == DmsCodec::kColumnar) {
-        // Streaming path: each source node's SQL runs inside its DMS
-        // producer, so row production on one node overlaps pack/route/
-        // unpack of nodes that finished earlier — no materialization
-        // barrier between step execution and movement.
-        const std::vector<int> sources = SourceNodes(step);
-        std::vector<ExecProfile> node_profiles(
-            profile_operators ? sources.size() : 0);
-        std::vector<double> node_seconds(sources.size(), 0);
-        std::vector<std::vector<std::string>> node_names(sources.size());
-        std::vector<DmsProducer> producers(static_cast<size_t>(slots));
-        for (size_t i = 0; i < sources.size(); ++i) {
-          int node = sources[i];
-          producers[static_cast<size_t>(node)] =
-              [&, node, i]() -> Result<RowVector> {
-            // Control→compute RPC of shipping the SQL.
-            if (latency > 0) {
-              std::this_thread::sleep_for(
-                  std::chrono::duration<double>(latency));
-            }
-            double t0 = NowSeconds();
-            auto rows = engine_of(node).ExecuteSql(
-                step.sql, profile_operators ? &node_profiles[i] : nullptr,
-                exec);
-            node_seconds[i] = NowSeconds() - t0;
-            if (!rows.ok()) {
-              return Status::ExecutionError(
-                  "DSQL step failed on node " + std::to_string(node) + ": " +
-                  rows.status().ToString() + "\nSQL: " + step.sql);
-            }
-            node_names[i] = std::move(rows->column_names);
-            return std::move(rows->rows);
-          };
-        }
-        DmsExecOptions dms_options;
-        dms_options.codec = DmsCodec::kColumnar;
-        for (const ColumnDef& col : step.dest_schema.columns()) {
-          dms_options.types.push_back(col.type);
-        }
-        routed = dms_.ExecutePipelined(step.move_kind, std::move(producers),
-                                       step.hash_column_ordinals, &metrics,
-                                       parallel ? &pool : nullptr, dms_options);
-        for (size_t i = 0; i < sources.size(); ++i) {
-          sp.node_seconds.emplace_back(sources[i], node_seconds[i]);
-          if (profile_operators) {
-            MergeOperators(node_profiles[i].operators, &sp.operators);
+  // Runs one DMS step end-to-end: source SQL on every source node, rows
+  // through DMS, destination temp table materialized on every target node.
+  auto run_dms_step = [&](const DsqlStep& step,
+                          obs::StepProfile* sp) -> Status {
+    sp->kind = "DMS";
+    sp->move_kind = DmsOpKindToString(step.move_kind);
+    sp->dest_table = step.dest_table;
+    obs::TraceSpan step_span("dsql.step");
+    step_span.AddAttr("kind", sp->move_kind);
+    step_span.AddAttr("dest", step.dest_table);
+    int slots = dms_.num_compute_nodes() + 1;
+    DmsRunMetrics metrics;
+    Result<std::vector<RowVector>> routed =
+        Status::Internal("DMS step not executed");
+    if (dms_codec == DmsCodec::kColumnar) {
+      // Streaming path: each source node's SQL runs inside its DMS
+      // producer, so row production on one node overlaps pack/route/
+      // unpack of nodes that finished earlier — no materialization
+      // barrier between step execution and movement.
+      const std::vector<int> sources = SourceNodes(step);
+      std::vector<ExecProfile> node_profiles(
+          profile_operators ? sources.size() : 0);
+      std::vector<double> node_seconds(sources.size(), 0);
+      std::vector<std::vector<std::string>> node_names(sources.size());
+      std::vector<DmsProducer> producers(static_cast<size_t>(slots));
+      for (size_t i = 0; i < sources.size(); ++i) {
+        int node = sources[i];
+        producers[static_cast<size_t>(node)] =
+            [&, node, i]() -> Result<RowVector> {
+          // Control→compute RPC of shipping the SQL.
+          Status fs = fault::Check("appliance.step.dispatch");
+          if (!fs.ok()) return WrapNodeStatus(node, fs, step.sql);
+          if (latency > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(latency));
           }
-          if (result.column_names.empty() && !node_names[i].empty()) {
-            result.column_names = node_names[i];
+          double t0 = NowSeconds();
+          auto rows = engine_of(node).ExecuteSql(
+              step.sql, profile_operators ? &node_profiles[i] : nullptr,
+              exec);
+          node_seconds[i] = NowSeconds() - t0;
+          if (!rows.ok()) {
+            return WrapNodeStatus(node, rows.status(), step.sql);
           }
+          node_names[i] = std::move(rows->column_names);
+          return std::move(rows->rows);
+        };
+      }
+      DmsExecOptions dms_options;
+      dms_options.codec = DmsCodec::kColumnar;
+      for (const ColumnDef& col : step.dest_schema.columns()) {
+        dms_options.types.push_back(col.type);
+      }
+      routed = dms_.ExecutePipelined(step.move_kind, std::move(producers),
+                                     step.hash_column_ordinals, &metrics,
+                                     parallel ? &pool : nullptr, dms_options);
+      for (size_t i = 0; i < sources.size(); ++i) {
+        sp->node_seconds.emplace_back(sources[i], node_seconds[i]);
+        if (profile_operators) {
+          MergeOperators(node_profiles[i].operators, &sp->operators);
         }
-      } else {
-        // Legacy row path: 1. run the step's SQL on every source node
-        // simultaneously, materializing all rows; 2. move them phase by
-        // phase through DMS.
-        std::vector<RowVector> source_rows(static_cast<size_t>(slots));
-        Status s = run_on_nodes(step, SourceNodes(step), &source_rows, &sp);
-        if (!s.ok()) return cleanup_and_fail(std::move(s));
-        DmsExecOptions dms_options;
-        dms_options.codec = DmsCodec::kRow;
-        routed = dms_.Execute(step.move_kind, std::move(source_rows),
-                              step.hash_column_ordinals, &metrics,
-                              parallel ? &pool : nullptr, dms_options);
+        if (result.column_names.empty() && !node_names[i].empty()) {
+          result.column_names = node_names[i];
+        }
       }
-      if (!routed.ok()) return cleanup_and_fail(routed.status());
-      result.dms_metrics.Accumulate(metrics);
-      FillComponents(metrics, &sp);
-      sp.actual_rows = static_cast<double>(metrics.rows_moved);
-      // 3. Materialize the destination temp table on every target node,
-      // again simultaneously — engines are per-node, so each target only
-      // touches its own catalog and storage.
-      TableDef temp_def;
-      temp_def.name = step.dest_table;
-      temp_def.schema = step.dest_schema;
-      temps.push_back(step.dest_table);
-      const std::vector<int> targets = TargetNodes(step);
-      std::vector<Status> target_status(targets.size());
-      pool.ParallelFor(
-          static_cast<int>(targets.size()),
-          [&](int i) {
-            int node = targets[static_cast<size_t>(i)];
-            LocalEngine& engine = engine_of(node);
-            Status ts = engine.CreateTable(temp_def);
-            if (ts.ok()) {
-              ts = engine.InsertRows(
-                  step.dest_table,
-                  std::move((*routed)[static_cast<size_t>(node)]));
-            }
-            target_status[static_cast<size_t>(i)] = std::move(ts);
-          },
-          parallel ? max_parallel_nodes : 1);
-      for (Status& ts : target_status) {
-        if (!ts.ok()) return cleanup_and_fail(std::move(ts));
-      }
-      sp.measured_seconds = NowSeconds() - step_start;
-      result.profile.steps.push_back(std::move(sp));
-      continue;
+    } else {
+      // Legacy row path: 1. run the step's SQL on every source node
+      // simultaneously, materializing all rows; 2. move them phase by
+      // phase through DMS.
+      std::vector<RowVector> source_rows(static_cast<size_t>(slots));
+      PDW_RETURN_NOT_OK(
+          run_on_nodes(step, SourceNodes(step), &source_rows, sp));
+      DmsExecOptions dms_options;
+      dms_options.codec = DmsCodec::kRow;
+      routed = dms_.Execute(step.move_kind, std::move(source_rows),
+                            step.hash_column_ordinals, &metrics,
+                            parallel ? &pool : nullptr, dms_options);
     }
+    if (!routed.ok()) return routed.status();
+    result.dms_metrics.Accumulate(metrics);
+    FillComponents(metrics, sp);
+    sp->actual_rows = static_cast<double>(metrics.rows_moved);
+    // 3. Materialize the destination temp table on every target node,
+    // again simultaneously — engines are per-node, so each target only
+    // touches its own catalog and storage.
+    TableDef temp_def;
+    temp_def.name = step.dest_table;
+    temp_def.schema = step.dest_schema;
+    const std::vector<int> targets = TargetNodes(step);
+    std::vector<Status> target_status(targets.size());
+    pool.ParallelFor(
+        static_cast<int>(targets.size()),
+        [&](int i) {
+          int node = targets[static_cast<size_t>(i)];
+          LocalEngine& engine = engine_of(node);
+          Status ts = fault::Check("appliance.temp.create");
+          if (ts.ok()) ts = engine.CreateTable(temp_def);
+          if (ts.ok()) {
+            ts = engine.InsertRows(
+                step.dest_table,
+                std::move((*routed)[static_cast<size_t>(node)]));
+          }
+          target_status[static_cast<size_t>(i)] = std::move(ts);
+        },
+        parallel ? max_parallel_nodes : 1);
+    for (Status& ts : target_status) {
+      if (!ts.ok()) return std::move(ts);
+    }
+    return Status::OK();
+  };
 
-    // Return step: run per source node, assemble, finalize.
-    sp.kind = "RETURN";
+  // Runs the Return step: per-source-node SQL, deterministic assembly,
+  // merge sort, limit, visible-column trim.
+  auto run_return_step = [&](const DsqlStep& step,
+                             obs::StepProfile* sp) -> Status {
+    sp->kind = "RETURN";
     obs::TraceSpan step_span("dsql.step");
     step_span.AddAttr("kind", std::string("Return"));
     int slots = dms_.num_compute_nodes() + 1;
     std::vector<RowVector> per_node(static_cast<size_t>(slots));
     const std::vector<int> sources = SourceNodes(step);
-    Status s = run_on_nodes(step, sources, &per_node, &sp);
-    if (!s.ok()) return cleanup_and_fail(std::move(s));
+    PDW_RETURN_NOT_OK(run_on_nodes(step, sources, &per_node, sp));
     // Assemble in node order, keeping the serial loop's deterministic
     // stream order regardless of which node finished first.
     RowVector assembled;
@@ -495,12 +520,66 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
       }
     }
     result.rows = std::move(assembled);
-    sp.actual_rows = static_cast<double>(result.rows.size());
-    sp.measured_seconds = NowSeconds() - step_start;
+    sp->actual_rows = static_cast<double>(result.rows.size());
+    return Status::OK();
+  };
+
+  // Each step runs under the retry policy: a transient failure (node
+  // hiccup, injected fault) re-runs the whole step after its partial dest
+  // temp is dropped everywhere, with exponential backoff in between; any
+  // other failure aborts the plan through cleanup_and_fail. The profile
+  // keeps the successful attempt's numbers plus the retry count.
+  int max_attempts = std::max(1, retry.max_attempts);
+  int step_index = 0;
+  for (const DsqlStep& step : dsql.steps) {
+    bool is_dms = step.kind == DsqlStepKind::kDms;
+    if (is_dms) temps.push_back(step.dest_table);
+    obs::StepProfile sp;
+    for (int attempt = 0;; ++attempt) {
+      sp = obs::StepProfile{};
+      sp.index = step_index;
+      sp.sql = step.sql;
+      sp.estimated_rows = step.estimated_rows;
+      sp.estimated_cost = step.estimated_cost;
+      sp.retries = attempt;
+      double step_start = NowSeconds();
+      Status s = is_dms ? run_dms_step(step, &sp) : run_return_step(step, &sp);
+      if (s.ok()) {
+        sp.measured_seconds = NowSeconds() - step_start;
+        break;
+      }
+      if (!retry.IsRetryable(s) || attempt + 1 >= max_attempts) {
+        return cleanup_and_fail(std::move(s));
+      }
+      // The failed attempt may have materialized a partial dest temp on
+      // some target nodes: drop it so the retry starts clean.
+      if (is_dms) (void)DropTemps({step.dest_table});
+      double backoff = retry.BackoffForAttempt(attempt + 1);
+      obs::MetricsRegistry::Global().Count("retry.attempts");
+      obs::MetricsRegistry::Global().Count("retry.backoff_seconds", backoff);
+      retry.Sleep(backoff);
+    }
+    ++step_index;
     result.profile.steps.push_back(std::move(sp));
   }
 
-  PDW_RETURN_NOT_OK(DropTemps(temps));
+  // End-of-query temp cleanup passes through its own injection point under
+  // the same retry policy; a permanently injected drop failure still cleans
+  // up (DropTemps itself is fault-exempt) but surfaces the error.
+  Status drop = RunWithRetries(
+      retry,
+      [&]() -> Status {
+        PDW_FAULT_POINT("appliance.temp.drop");
+        return DropTemps(temps);
+      },
+      [&](int, double backoff) {
+        obs::MetricsRegistry::Global().Count("retry.attempts");
+        obs::MetricsRegistry::Global().Count("retry.backoff_seconds", backoff);
+      });
+  if (!drop.ok()) {
+    (void)DropTemps(temps);
+    return drop;
+  }
   result.measured_seconds = NowSeconds() - start;
   result.profile.measured_seconds = result.measured_seconds;
   result.profile.modeled_cost = dsql.total_move_cost;
@@ -510,6 +589,13 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
 Result<ApplianceResult> Appliance::Run(const std::string& sql,
                                        const QueryOptions& options) {
   obs::TraceSpan span("appliance.run");
+  // Arm this query's fault schedule (if any) for the duration of the call
+  // and open a new query scope, so query#-scoped specs — '1' in
+  // QueryOptions::faults, the matching serial in PDW_FAULTS — target it.
+  fault::ScopedFaults scoped_faults(options.faults);
+  if (fault::FaultRegistry::Armed()) {
+    fault::FaultRegistry::Global().BeginQuery();
+  }
   obs::QueryProfile profile;
   profile.sql = sql;
 
@@ -608,7 +694,7 @@ Result<ApplianceResult> Appliance::Run(const std::string& sql,
       ApplianceResult result,
       ExecuteDsql(dsql, options.collect_operator_actuals,
                   options.max_parallel_nodes, options.engine,
-                  options.dms_codec));
+                  options.dms_codec, options.retry));
   result.modeled_cost = modeled_cost;
   result.plan_text = plan_text;
   result.cache_hit = cache_hit;
@@ -636,7 +722,7 @@ Result<ApplianceResult> Appliance::ExecutePlan(
   PDW_ASSIGN_OR_RETURN(ApplianceResult result,
                        ExecuteDsql(dsql, /*profile_operators=*/false,
                                    /*max_parallel_nodes=*/0, ExecOptions{},
-                                   DefaultDmsCodec()));
+                                   DefaultDmsCodec(), RetryPolicy{}));
   result.modeled_cost = TotalMoveCost(plan);
   result.plan_text = PlanTreeToString(plan);
   return result;

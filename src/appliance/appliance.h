@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
+#include "common/retry.h"
 #include "dms/dms_service.h"
 #include "engine/local_engine.h"
 #include "obs/query_profile.h"
@@ -41,6 +43,13 @@ struct QueryOptions {
   /// columnar pipeline (default; process-wide overridable via
   /// PDW_DMS_CODEC=row|columnar) or the legacy materialized row path.
   DmsCodec dms_codec = DefaultDmsCodec();
+  /// Faults armed for this query only (on top of any process-wide
+  /// PDW_FAULTS schedule). Specs with query# = 1 or '*' target this query.
+  fault::FaultSchedule faults;
+  /// Retry policy for transient step failures: each DSQL step is retried
+  /// at step granularity (its partial temp table dropped first), with
+  /// exponential backoff between attempts.
+  RetryPolicy retry;
 };
 
 /// Result of one distributed query execution.
@@ -155,7 +164,8 @@ class Appliance {
                                       bool profile_operators,
                                       int max_parallel_nodes,
                                       const ExecOptions& exec,
-                                      DmsCodec dms_codec);
+                                      DmsCodec dms_codec,
+                                      const RetryPolicy& retry);
   /// Nodes that run a step's source SQL.
   std::vector<int> SourceNodes(const DsqlStep& step) const;
   /// Nodes that must host a DMS step's destination temp table.

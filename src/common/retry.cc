@@ -1,0 +1,42 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace pdw {
+
+double RetryPolicy::BackoffForAttempt(int retry) const {
+  double backoff = initial_backoff_seconds;
+  for (int i = 1; i < retry; ++i) backoff *= backoff_multiplier;
+  return std::min(backoff, max_backoff_seconds);
+}
+
+void RetryPolicy::Sleep(double seconds) const {
+  if (sleep_fn) {
+    sleep_fn(seconds);
+    return;
+  }
+  if (seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+Status RunWithRetries(const RetryPolicy& policy,
+                      const std::function<Status()>& body,
+                      const std::function<void(int, double)>& on_retry) {
+  int attempts = std::max(1, policy.max_attempts);
+  Status status;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    status = body();
+    if (status.ok() || !policy.IsRetryable(status) || attempt == attempts) {
+      return status;
+    }
+    double backoff = policy.BackoffForAttempt(attempt);
+    if (on_retry) on_retry(attempt, backoff);
+    policy.Sleep(backoff);
+  }
+  return status;
+}
+
+}  // namespace pdw

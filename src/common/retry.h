@@ -1,0 +1,52 @@
+#ifndef PDW_COMMON_RETRY_H_
+#define PDW_COMMON_RETRY_H_
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace pdw {
+
+/// Bounded retry with exponential backoff for transient distributed
+/// failures. The appliance applies one policy per DSQL step: a transient
+/// step or DMS failure is retried at step granularity (after the step's
+/// partial temp tables are dropped); everything else is permanent and
+/// aborts the whole plan.
+///
+/// The clock is injectable: `sleep_fn` replaces the real sleep so tests
+/// can assert the exact backoff sequence without waiting it out.
+struct RetryPolicy {
+  /// Total tries of a step, including the first (1 = never retry).
+  int max_attempts = 3;
+  double initial_backoff_seconds = 0.001;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.050;
+  /// Replaces the real sleep when set (fake clock for tests / chaos runs).
+  std::function<void(double)> sleep_fn;
+
+  /// Only StatusCode::kTransient is retryable — real executor and DMS
+  /// errors are permanent by classification.
+  bool IsRetryable(const Status& status) const {
+    return status.code() == StatusCode::kTransient;
+  }
+
+  /// Backoff before the `retry`-th retry (1-based): initial * mult^(n-1),
+  /// capped at max_backoff_seconds.
+  double BackoffForAttempt(int retry) const;
+
+  /// Sleeps `seconds` through sleep_fn when set, else for real.
+  void Sleep(double seconds) const;
+};
+
+/// Runs `body` up to policy.max_attempts times. Before each retry of a
+/// transient failure, calls on_retry(retry_index, backoff_seconds) — the
+/// caller's cleanup hook — then sleeps the backoff. Returns the first OK
+/// status, the first non-retryable status, or the last transient status
+/// once attempts are exhausted.
+Status RunWithRetries(const RetryPolicy& policy,
+                      const std::function<Status()>& body,
+                      const std::function<void(int, double)>& on_retry = {});
+
+}  // namespace pdw
+
+#endif  // PDW_COMMON_RETRY_H_

@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kExecutionError:
       return "execution error";
+    case StatusCode::kTransient:
+      return "transient";
   }
   return "unknown";
 }

@@ -17,6 +17,7 @@ enum class StatusCode {
   kNotImplemented,    ///< Feature intentionally unsupported.
   kInternal,          ///< Invariant violation inside the library.
   kExecutionError,    ///< Runtime failure while evaluating a plan.
+  kTransient,         ///< Retryable failure (node hiccup, injected fault).
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "not found").
@@ -62,6 +63,9 @@ class Status {
   }
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Transient(std::string msg) {
+    return Status(StatusCode::kTransient, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

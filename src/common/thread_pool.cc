@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/fault.h"
+
 namespace pdw {
 
 /// Shared state of one ParallelFor call. Indices are claimed from `next`;
@@ -71,6 +73,10 @@ void ThreadPool::SetMetricsHook(std::function<void(int, int)> hook) {
 }
 
 void ThreadPool::RunOne(const std::function<void()>& task) {
+  // A task has no error frame to surface an injected status into: delay
+  // faults stall the task before it starts (modeling a slow worker), error
+  // kinds are counted by the registry but otherwise dropped here.
+  (void)fault::Check("pool.task_start");
   int active = active_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
     std::lock_guard<std::mutex> lock(hook_mu_);

@@ -80,6 +80,20 @@ class BoundedQueue {
     not_full_.notify_all();
   }
 
+  /// The abort path of a failed pipeline: closes the queue AND discards
+  /// everything pending, so backpressured producers stop immediately
+  /// (TryPush fails) and consumers drain to nullopt without processing
+  /// doomed messages.
+  void Abort() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      items_.clear();
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return items_.size();

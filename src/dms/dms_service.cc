@@ -6,6 +6,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "dms/bounded_queue.h"
 #include "obs/format.h"
@@ -149,6 +150,11 @@ Result<std::vector<RowVector>> DmsService::ExecuteRowCodec(
   std::vector<Status> node_status(static_cast<size_t>(total_slots));
   each_node([&](int src) {
     DmsRunMetrics& nm = node_m[static_cast<size_t>(src)];
+    Status fs = fault::Check("dms.pack");
+    if (!fs.ok()) {
+      node_status[static_cast<size_t>(src)] = std::move(fs);
+      return;
+    }
     double t0 = NowSeconds();
     for (const Row& row : source_rows[static_cast<size_t>(src)]) {
       std::vector<int> targets;
@@ -193,6 +199,11 @@ Result<std::vector<RowVector>> DmsService::ExecuteRowCodec(
   std::vector<std::vector<uint8_t>> inbound(static_cast<size_t>(total_slots));
   each_node([&](int dst) {
     DmsRunMetrics& nm = node_m[static_cast<size_t>(dst)];
+    Status fs = fault::Check("dms.network");
+    if (!fs.ok()) {
+      node_status[static_cast<size_t>(dst)] = std::move(fs);
+      return;
+    }
     double t0 = NowSeconds();
     for (int src = 0; src < total_slots; ++src) {
       std::vector<uint8_t>& buf =
@@ -206,11 +217,19 @@ Result<std::vector<RowVector>> DmsService::ExecuteRowCodec(
     }
     nm.network.seconds += NowSeconds() - t0;
   });
+  for (const Status& s : node_status) {
+    if (!s.ok()) return s;
+  }
 
   // Writer phase: unpack rows on each target.
   std::vector<RowVector> unpacked(static_cast<size_t>(total_slots));
   each_node([&](int dst) {
     DmsRunMetrics& nm = node_m[static_cast<size_t>(dst)];
+    Status fs = fault::Check("dms.unpack");
+    if (!fs.ok()) {
+      node_status[static_cast<size_t>(dst)] = std::move(fs);
+      return;
+    }
     double t0 = NowSeconds();
     const std::vector<uint8_t>& buf = inbound[static_cast<size_t>(dst)];
     size_t offset = 0;
@@ -234,6 +253,11 @@ Result<std::vector<RowVector>> DmsService::ExecuteRowCodec(
   std::vector<RowVector> result(static_cast<size_t>(total_slots));
   each_node([&](int dst) {
     DmsRunMetrics& nm = node_m[static_cast<size_t>(dst)];
+    Status fs = fault::Check("dms.bulkcopy");
+    if (!fs.ok()) {
+      node_status[static_cast<size_t>(dst)] = std::move(fs);
+      return;
+    }
     double t0 = NowSeconds();
     RowVector& out = result[static_cast<size_t>(dst)];
     out.reserve(unpacked[static_cast<size_t>(dst)].size());
@@ -243,6 +267,9 @@ Result<std::vector<RowVector>> DmsService::ExecuteRowCodec(
     }
     nm.bulkcopy.seconds += NowSeconds() - t0;
   });
+  for (const Status& s : node_status) {
+    if (!s.ok()) return s;
+  }
 
   for (const DmsRunMetrics& nm : node_m) m->Accumulate(nm);
   m->wall_seconds += NowSeconds() - wall_start;
@@ -303,6 +330,17 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
   std::atomic<bool> failed{false};
   std::atomic<uint64_t> backpressure_events{0};
 
+  // Abort signal: the first failure closes and drains every inbound queue,
+  // so backpressured producers stop pushing (TryPush on a closed queue
+  // never succeeds, and `send` re-checks `failed`) and writer loops run
+  // out promptly instead of deadlocking on a full queue whose consumer
+  // died.
+  auto mark_failed = [&] {
+    if (!failed.exchange(true, std::memory_order_acq_rel)) {
+      for (auto& d : dests) d->queue.Abort();
+    }
+  };
+
   // Unpacks one message into its destination's chunk matrix. Must be
   // called with dests[dst]->mu held; meters writer/bulk-copy work on the
   // destination node. After a failure messages are drained unprocessed so
@@ -311,6 +349,12 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
     DestState& d = *dests[static_cast<size_t>(dst)];
     if (failed.load(std::memory_order_relaxed)) return;
     DmsRunMetrics& nm = node_m[static_cast<size_t>(dst)];
+    Status fs = fault::Check("dms.unpack");
+    if (!fs.ok()) {
+      if (d.status.ok()) d.status = std::move(fs);
+      mark_failed();
+      return;
+    }
     double t0 = NowSeconds();
     size_t offset = 0;
     // Decode the wire batch straight into destination row storage — no
@@ -318,13 +362,19 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
     RowVector chunk;
     auto unpacked = UnpackBatchToRows(msg.bytes, &offset, &chunk);
     if (!unpacked.ok()) {
-      d.status = unpacked.status();
-      failed.store(true, std::memory_order_relaxed);
+      if (d.status.ok()) d.status = unpacked.status();
+      mark_failed();
       return;
     }
     nm.writer.bytes += static_cast<double>(msg.bytes.size());
     double t1 = NowSeconds();
     nm.writer.seconds += t1 - t0;
+    fs = fault::Check("dms.bulkcopy");
+    if (!fs.ok()) {
+      if (d.status.ok()) d.status = std::move(fs);
+      mark_failed();
+      return;
+    }
     // Bulk copy: account the materialized rows for the destination
     // temp-table storage, metered in row widths exactly like the legacy
     // path.
@@ -351,18 +401,28 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
     return true;
   };
 
-  auto send = [&](int src, int dst, WireMessage msg, DmsRunMetrics& nm) {
+  auto send = [&](int src, int dst, WireMessage msg,
+                  DmsRunMetrics& nm) -> Status {
+    PDW_FAULT_POINT("dms.queue_push");
     bool cross = src != dst;
     double t0 = NowSeconds();
-    if (cross) nm.network.bytes += static_cast<double>(msg.bytes.size());
+    if (cross) {
+      PDW_FAULT_POINT("dms.network");
+      nm.network.bytes += static_cast<double>(msg.bytes.size());
+    }
     DestState& d = *dests[static_cast<size_t>(dst)];
     while (!d.queue.TryPush(std::move(msg))) {
+      // Abort signal: after a failure every queue is closed, so TryPush
+      // can never succeed again — drop the message and let the reader
+      // loop observe `failed` instead of helping/waiting forever.
+      if (failed.load(std::memory_order_relaxed)) return Status::OK();
       backpressure_events.fetch_add(1, std::memory_order_relaxed);
       if (!try_consume_one(dst)) {
         d.queue.WaitNotFullFor(std::chrono::microseconds(200));
       }
     }
     if (cross) nm.network.seconds += NowSeconds() - t0;
+    return Status::OK();
   };
 
   // Reader slots and the close protocol: the last reader to finish closes
@@ -382,7 +442,7 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
     auto produced = producers[static_cast<size_t>(src)]();
     if (!produced.ok()) {
       reader_status[static_cast<size_t>(src)] = produced.status();
-      failed.store(true, std::memory_order_relaxed);
+      mark_failed();
     } else {
       RowVector rows = std::move(*produced);
       size_t arity = rows.empty() ? 0 : rows[0].size();
@@ -397,6 +457,12 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
       // is reader work; queue wait is network time (metered inside send).
       auto emit = [&](int dst, size_t begin, size_t end, const SelVector* sel,
                       double* reader_dt) {
+        Status fs = fault::Check("dms.pack");
+        if (!fs.ok()) {
+          reader_status[static_cast<size_t>(src)] = std::move(fs);
+          mark_failed();
+          return;
+        }
         WireMessage msg;
         msg.src = src;
         msg.seq = seqs[static_cast<size_t>(dst)]++;
@@ -409,11 +475,15 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
         *reader_dt += NowSeconds() - t0;
         if (!bytes.ok()) {
           reader_status[static_cast<size_t>(src)] = bytes.status();
-          failed.store(true, std::memory_order_relaxed);
+          mark_failed();
           return;
         }
         nm.reader.bytes += static_cast<double>(*bytes);
-        send(src, dst, std::move(msg), nm);
+        Status ss = send(src, dst, std::move(msg), nm);
+        if (!ss.ok()) {
+          reader_status[static_cast<size_t>(src)] = std::move(ss);
+          mark_failed();
+        }
       };
 
       for (size_t begin = 0;
@@ -460,6 +530,12 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
             // Pack the slice once; every target receives a copy of the
             // same bytes (reader reads once, the network fans out — the
             // Fig. 5 broadcast byte structure).
+            Status fs = fault::Check("dms.pack");
+            if (!fs.ok()) {
+              reader_status[static_cast<size_t>(src)] = std::move(fs);
+              mark_failed();
+              break;
+            }
             WireMessage proto;
             proto.src = src;
             proto.rows = end - begin;
@@ -468,14 +544,18 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
             reader_dt += NowSeconds() - t0;
             if (!bytes.ok()) {
               reader_status[static_cast<size_t>(src)] = bytes.status();
-              failed.store(true, std::memory_order_relaxed);
+              mark_failed();
               break;
             }
             nm.reader.bytes += static_cast<double>(*bytes);
             for (int dst = 0; dst < n; ++dst) {
               WireMessage msg = proto;  // copy of the packed bytes
               msg.seq = seqs[static_cast<size_t>(dst)]++;
-              send(src, dst, std::move(msg), nm);
+              Status ss = send(src, dst, std::move(msg), nm);
+              if (!ss.ok()) {
+                reader_status[static_cast<size_t>(src)] = std::move(ss);
+                mark_failed();
+              }
               if (failed.load(std::memory_order_relaxed)) break;
             }
             break;

@@ -41,6 +41,7 @@ std::string QueryProfile::ToText(double misestimate_threshold) const {
     out += StringFormat("DSQL step %d: %s", s.index, s.kind.c_str());
     if (!s.move_kind.empty()) out += " " + s.move_kind;
     if (!s.dest_table.empty()) out += " -> " + s.dest_table;
+    if (s.retries > 0) out += StringFormat("  [retries=%d]", s.retries);
     out += "\n";
     out += StringFormat("  modeled cost %.6f   measured %s\n",
                         s.estimated_cost,
@@ -147,6 +148,7 @@ std::string QueryProfile::ToJson() const {
     out += ",\"actual_rows\":" + JsonNumber(s.actual_rows);
     out += ",\"estimated_cost\":" + JsonNumber(s.estimated_cost);
     out += ",\"measured_seconds\":" + JsonNumber(s.measured_seconds);
+    out += ",\"retries\":" + JsonNumber(s.retries);
     out += ",\"misestimate_factor\":" + JsonNumber(s.MisestimateFactor());
     out += ",\"rows_moved\":" + JsonNumber(s.rows_moved);
     out += ",\"dms\":{" + ComponentJson("reader", s.reader) + "," +

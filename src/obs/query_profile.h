@@ -45,7 +45,10 @@ struct StepProfile {
   double estimated_rows = 0;   ///< PDW optimizer's global estimate.
   double actual_rows = 0;      ///< Rows moved (DMS) / returned (RETURN).
   double estimated_cost = 0;   ///< Modeled DMS cost of the move.
-  double measured_seconds = 0; ///< Wall time of the whole step.
+  double measured_seconds = 0; ///< Wall time of the successful attempt.
+  /// Transient-failure retries this step needed before succeeding (0 on
+  /// the common path); retried attempts' partial temp tables were dropped.
+  int retries = 0;
 
   double rows_moved = 0;
   ComponentProfile reader, network, writer, bulkcopy;

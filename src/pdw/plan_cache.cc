@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 
@@ -108,6 +109,9 @@ void PlanCache::Insert(const std::string& normalized_sql,
                        const std::string& options_fingerprint,
                        CachedDsqlPlan plan) {
   if (capacity_ == 0) return;
+  // An injected control-node failure while filling the cache degrades the
+  // query to uncached execution — it must never fail the query itself.
+  if (!fault::Check("plan_cache.fill").ok()) return;
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   std::lock_guard<std::mutex> lock(mu_);
   std::string key = Key(normalized_sql, options_fingerprint);
