@@ -17,6 +17,13 @@ cmake --build build-tsan -j --target concurrency_test dms_pipeline_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dms_pipeline_test
 
+# DMV leg: the live-introspection suite under TSan — a session thread
+# polls sys.dm_pdw_exec_requests / _steps while a storm of queries runs,
+# exercising the request registry, the DMS progress feed, and virtual-table
+# snapshot materialization against concurrent temp-table DDL.
+cmake --build build-tsan -j --target dmv_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dmv_test
+
 # The vectorized batch engine owns raw selection-vector / hash-table
 # indexing; run the whole suite through it under AddressSanitizer.
 cmake -B build-asan -S . -DPDW_SANITIZE=address

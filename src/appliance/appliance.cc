@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
 #include <set>
 #include <thread>
 
+#include "appliance/dmv.h"
 #include "common/fault.h"
 #include "common/retry.h"
 #include "common/string_util.h"
@@ -126,13 +128,67 @@ void CollectScanTables(const PlanNode& node, const PlanCache& cache,
   }
 }
 
+const char* EngineLabel(const ExecOptions& exec) {
+  return exec.engine == EngineKind::kRow ? "row" : "batch";
+}
+
+bool SelectReadsSystemViews(const sql::SelectStatement& stmt);
+
+bool RefReadsSystemViews(const sql::TableRef& ref) {
+  switch (ref.kind) {
+    case sql::TableRefKind::kBase:
+      return ToLower(static_cast<const sql::BaseTableRef&>(ref).table)
+                 .rfind("sys.", 0) == 0;
+    case sql::TableRefKind::kJoin: {
+      const auto& join = static_cast<const sql::JoinTableRef&>(ref);
+      return RefReadsSystemViews(*join.left) ||
+             RefReadsSystemViews(*join.right);
+    }
+    case sql::TableRefKind::kDerived:
+      return SelectReadsSystemViews(
+          *static_cast<const sql::DerivedTableRef&>(ref).subquery);
+  }
+  return false;
+}
+
+/// True when any FROM entry (through joins, derived tables and UNION arms)
+/// reads a sys.* system view — such queries route to the control node's
+/// engine instead of the distributed pipeline.
+bool SelectReadsSystemViews(const sql::SelectStatement& stmt) {
+  for (const auto& ref : stmt.from) {
+    if (RefReadsSystemViews(*ref)) return true;
+  }
+  if (stmt.union_next != nullptr) {
+    return SelectReadsSystemViews(*stmt.union_next);
+  }
+  return false;
+}
+
+/// Latency bucket bounds (seconds) shared by every duration histogram:
+/// 1µs..300s with extra resolution where query phases actually land.
+std::vector<double> LatencyBuckets() {
+  return {1e-6, 1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 0.01,
+          0.025, 0.05,  0.1,  0.25,  0.5,  1,    2.5,    5,    10,
+          30,    60,    120,  300};
+}
+
 /// Wires the shared worker pool's live counters and the fault registry's
 /// firings into the obs metrics registry — once per process, on first
 /// appliance construction (pdw_common cannot depend on pdw_obs, so both
-/// subsystems expose hooks instead of counting themselves).
+/// subsystems expose hooks instead of counting themselves). Also declares
+/// the appliance's latency histograms so sys.dm_pdw_metrics reports
+/// meaningful sub-second quantiles instead of decade-bucket defaults.
 void InstallObsHooks() {
   static std::once_flag once;
   std::call_once(once, [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.DefineHistogram("appliance.query.seconds", LatencyBuckets());
+    reg.DefineHistogram("optimizer.compile.seconds", LatencyBuckets());
+    reg.DefineHistogram("dsql.step.seconds", LatencyBuckets());
+    reg.DefineHistogram("dms.reader.seconds", LatencyBuckets());
+    reg.DefineHistogram("dms.network.seconds", LatencyBuckets());
+    reg.DefineHistogram("dms.writer.seconds", LatencyBuckets());
+    reg.DefineHistogram("dms.bulkcopy.seconds", LatencyBuckets());
     obs::MetricsRegistry::Global().SetGauge(
         "pool.size", static_cast<double>(ThreadPool::Global().size()));
     ThreadPool::Global().SetMetricsHook([](int queue_depth, int active) {
@@ -159,6 +215,11 @@ Appliance::Appliance(Topology topology)
     compute_.push_back(std::make_unique<LocalEngine>());
   }
   InstallObsHooks();
+  // The control node's engine doubles as the DMV host: sys.dm_pdw_* view
+  // names can never collide with user tables (the parser reserves the
+  // sys. prefix for dotted names), so registration cannot fail.
+  Status views = InstallSystemViews(&control_, &requests_, &plan_cache_);
+  (void)views;
 }
 
 Status Appliance::CreateTable(TableDef def) {
@@ -276,6 +337,7 @@ Status Appliance::DropTemps(const std::vector<std::string>& temps) {
 }
 
 Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
+                                               uint64_t query_id,
                                                bool profile_operators,
                                                int max_parallel_nodes,
                                                const ExecOptions& exec,
@@ -288,6 +350,26 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
   std::vector<std::string> temps;
   obs::TraceSpan dsql_span("appliance.execute_dsql");
   dsql_span.AddAttr("steps", static_cast<double>(dsql.steps.size()));
+
+  // Transition the registry entry to executing with the plan's step
+  // skeleton, so DMV queries see every step (pending ones included) from
+  // the moment execution starts.
+  {
+    std::vector<obs::RequestStepState> skeleton;
+    for (size_t i = 0; i < dsql.steps.size(); ++i) {
+      const DsqlStep& step = dsql.steps[i];
+      obs::RequestStepState s;
+      s.index = static_cast<int>(i);
+      s.kind = step.kind == DsqlStepKind::kDms ? "DMS" : "RETURN";
+      if (step.kind == DsqlStepKind::kDms) {
+        s.move_kind = DmsOpKindToString(step.move_kind);
+      }
+      s.dest_table = step.dest_table;
+      s.sql = step.sql;
+      skeleton.push_back(std::move(s));
+    }
+    requests_.BeginExecute(query_id, std::move(skeleton));
+  }
 
   ThreadPool& pool = ThreadPool::Global();
   bool parallel = max_parallel_nodes != 1;
@@ -415,6 +497,10 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
       }
       DmsExecOptions dms_options;
       dms_options.codec = DmsCodec::kColumnar;
+      dms_options.progress = [this, query_id, idx = sp->index](
+                                 double rows_delta, double bytes_delta) {
+        requests_.StepProgress(query_id, idx, rows_delta, bytes_delta);
+      };
       for (const ColumnDef& col : step.dest_schema.columns()) {
         dms_options.types.push_back(col.type);
       }
@@ -439,6 +525,10 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
           run_on_nodes(step, SourceNodes(step), &source_rows, sp));
       DmsExecOptions dms_options;
       dms_options.codec = DmsCodec::kRow;
+      dms_options.progress = [this, query_id, idx = sp->index](
+                                 double rows_delta, double bytes_delta) {
+        requests_.StepProgress(query_id, idx, rows_delta, bytes_delta);
+      };
       routed = dms_.Execute(step.move_kind, std::move(source_rows),
                             step.hash_column_ordinals, &metrics,
                             parallel ? &pool : nullptr, dms_options);
@@ -542,6 +632,7 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
       sp.estimated_rows = step.estimated_rows;
       sp.estimated_cost = step.estimated_cost;
       sp.retries = attempt;
+      requests_.BeginStep(query_id, step_index, attempt);
       double step_start = NowSeconds();
       Status s = is_dms ? run_dms_step(step, &sp) : run_return_step(step, &sp);
       if (s.ok()) {
@@ -558,6 +649,38 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
       obs::MetricsRegistry::Global().Count("retry.attempts");
       obs::MetricsRegistry::Global().Count("retry.backoff_seconds", backoff);
       retry.Sleep(backoff);
+    }
+    // Finalize the registry's step with the successful attempt's metered
+    // totals (replacing live-progress counts, which double-count broadcast
+    // fan-out) and feed the latency histograms behind sys.dm_pdw_metrics.
+    {
+      obs::RequestStepState fin;
+      fin.index = sp.index;
+      fin.kind = sp.kind;
+      fin.move_kind = sp.move_kind;
+      fin.dest_table = sp.dest_table;
+      fin.sql = sp.sql;
+      fin.retries = sp.retries;
+      fin.rows_moved = sp.actual_rows;
+      fin.bytes_moved = sp.network.bytes;
+      fin.seconds = sp.measured_seconds;
+      fin.component_bytes[0] = sp.reader.bytes;
+      fin.component_bytes[1] = sp.network.bytes;
+      fin.component_bytes[2] = sp.writer.bytes;
+      fin.component_bytes[3] = sp.bulkcopy.bytes;
+      fin.component_seconds[0] = sp.reader.seconds;
+      fin.component_seconds[1] = sp.network.seconds;
+      fin.component_seconds[2] = sp.writer.seconds;
+      fin.component_seconds[3] = sp.bulkcopy.seconds;
+      requests_.EndStep(query_id, fin);
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      reg.Observe("dsql.step.seconds", sp.measured_seconds);
+      if (is_dms) {
+        reg.Observe("dms.reader.seconds", sp.reader.seconds);
+        reg.Observe("dms.network.seconds", sp.network.seconds);
+        reg.Observe("dms.writer.seconds", sp.writer.seconds);
+        reg.Observe("dms.bulkcopy.seconds", sp.bulkcopy.seconds);
+      }
     }
     ++step_index;
     result.profile.steps.push_back(std::move(sp));
@@ -588,7 +711,82 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
 
 Result<ApplianceResult> Appliance::Run(const std::string& sql,
                                        const QueryOptions& options) {
-  obs::TraceSpan span("appliance.run");
+  // Trace export: a per-query path (QueryOptions::trace_out) or the
+  // process-wide PDW_TRACE_OUT turns the global tracer on before the run
+  // and dumps a Chrome-trace JSON file after it.
+  std::string trace_path = options.trace_out;
+  if (trace_path.empty()) {
+    const char* env = std::getenv("PDW_TRACE_OUT");
+    if (env != nullptr && *env != '\0') trace_path = env;
+  }
+  if (!trace_path.empty()) obs::Tracer::Global().Enable();
+
+  // Register the request before any work happens, so even a parse failure
+  // shows up in sys.dm_pdw_exec_requests; every exit path of RunImpl then
+  // lands in exactly one terminal phase below.
+  uint64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  requests_.Register(query_id, NormalizeSqlForPlanCache(sql),
+                     EngineLabel(options.engine));
+  double start = NowSeconds();
+  Result<ApplianceResult> result = Status::Internal("query not executed");
+  {
+    obs::TraceSpan span("appliance.run");
+    span.AddAttr("query_id", static_cast<double>(query_id));
+    result = RunImpl(query_id, sql, options);
+  }
+  obs::MetricsRegistry::Global().Observe("appliance.query.seconds",
+                                         NowSeconds() - start);
+  if (result.ok()) {
+    result->query_id = query_id;
+    result->profile.query_id = query_id;
+    requests_.Complete(query_id);
+  } else {
+    requests_.Fail(query_id, result.status().ToString());
+  }
+  if (!trace_path.empty()) {
+    Status written = obs::Tracer::Global().WriteChromeTrace(trace_path);
+    (void)written;
+  }
+  return result;
+}
+
+Result<ApplianceResult> Appliance::RunDmvQuery(uint64_t query_id,
+                                               const std::string& sql,
+                                               const QueryOptions& options) {
+  obs::TraceSpan span("appliance.dmv_query");
+  requests_.BeginCompile(query_id);
+  requests_.EndCompile(query_id, /*cache_hit=*/false);
+  requests_.BeginExecute(query_id, {});
+  double start = NowSeconds();
+  PDW_ASSIGN_OR_RETURN(SqlResult rows,
+                       control_.ExecuteSql(sql, nullptr, options.engine));
+  ApplianceResult result;
+  result.column_names = std::move(rows.column_names);
+  result.rows = std::move(rows.rows);
+  result.measured_seconds = NowSeconds() - start;
+  result.plan_text = "-- control-node DMV query (system-view snapshot scan)";
+  result.explain_text = result.plan_text;
+  result.profile.sql = sql;
+  result.profile.measured_seconds = result.measured_seconds;
+  return result;
+}
+
+Result<ApplianceResult> Appliance::RunImpl(uint64_t query_id,
+                                           const std::string& sql,
+                                           const QueryOptions& options) {
+  // Queries over sys.dm_pdw_* system views never enter the distributed
+  // pipeline: they run on the control node, like DMVs on the real
+  // appliance. A parse failure falls through so the ordinary pipeline
+  // reports its usual error.
+  {
+    auto parsed = sql::ParseStatement(sql);
+    if (parsed.ok() && parsed->kind == sql::StatementKind::kSelect &&
+        SelectReadsSystemViews(*parsed->select)) {
+      return RunDmvQuery(query_id, sql, options);
+    }
+  }
+
   // Arm this query's fault schedule (if any) for the duration of the call
   // and open a new query scope, so query#-scoped specs — '1' in
   // QueryOptions::faults, the matching serial in PDW_FAULTS — target it.
@@ -598,6 +796,7 @@ Result<ApplianceResult> Appliance::Run(const std::string& sql,
   }
   obs::QueryProfile profile;
   profile.sql = sql;
+  profile.query_id = query_id;
 
   // 1. Obtain a DSQL plan: from the plan cache when allowed and fresh,
   // else through the full parse→memo→XML→enumeration pipeline.
@@ -607,6 +806,7 @@ Result<ApplianceResult> Appliance::Run(const std::string& sql,
   std::vector<std::string> output_names;
   bool cache_hit = false;
 
+  requests_.BeginCompile(query_id);
   std::string normalized, fingerprint;
   if (options.use_plan_cache) {
     double t0 = NowSeconds();
@@ -669,6 +869,9 @@ Result<ApplianceResult> Appliance::Run(const std::string& sql,
   }
   profile.modeled_cost = modeled_cost;
   profile.cache_hit = cache_hit;
+  requests_.EndCompile(query_id, cache_hit);
+  obs::MetricsRegistry::Global().Observe("optimizer.compile.seconds",
+                                         profile.compile_seconds);
 
   // 2. EXPLAIN only: render without executing.
   if (options.explain_only) {
@@ -687,12 +890,12 @@ Result<ApplianceResult> Appliance::Run(const std::string& sql,
     return result;
   }
 
-  // 3. Execute with per-execution-unique temp names.
-  UniquifyTempNames(&dsql,
-                    next_query_id_.fetch_add(1, std::memory_order_relaxed));
+  // 3. Execute with per-execution-unique temp names — TEMP_ID_Q<id>_k,
+  // where <id> is the same request id sys.dm_pdw_exec_requests shows.
+  UniquifyTempNames(&dsql, query_id);
   PDW_ASSIGN_OR_RETURN(
       ApplianceResult result,
-      ExecuteDsql(dsql, options.collect_operator_actuals,
+      ExecuteDsql(dsql, query_id, options.collect_operator_actuals,
                   options.max_parallel_nodes, options.engine,
                   options.dms_codec, options.retry));
   result.modeled_cost = modeled_cost;
@@ -717,14 +920,23 @@ Result<ApplianceResult> Appliance::Run(const std::string& sql,
 Result<ApplianceResult> Appliance::ExecutePlan(
     const PlanNode& plan, std::vector<std::string> output_names) {
   PDW_ASSIGN_OR_RETURN(DsqlPlan dsql, GenerateDsql(plan, std::move(output_names)));
-  UniquifyTempNames(&dsql,
-                    next_query_id_.fetch_add(1, std::memory_order_relaxed));
-  PDW_ASSIGN_OR_RETURN(ApplianceResult result,
-                       ExecuteDsql(dsql, /*profile_operators=*/false,
-                                   /*max_parallel_nodes=*/0, ExecOptions{},
-                                   DefaultDmsCodec(), RetryPolicy{}));
-  result.modeled_cost = TotalMoveCost(plan);
-  result.plan_text = PlanTreeToString(plan);
+  uint64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  requests_.Register(query_id, "(precompiled parallel plan)",
+                     EngineLabel(ExecOptions{}));
+  UniquifyTempNames(&dsql, query_id);
+  Result<ApplianceResult> result =
+      ExecuteDsql(dsql, query_id, /*profile_operators=*/false,
+                  /*max_parallel_nodes=*/0, ExecOptions{},
+                  DefaultDmsCodec(), RetryPolicy{});
+  if (!result.ok()) {
+    requests_.Fail(query_id, result.status().ToString());
+    return result.status();
+  }
+  requests_.Complete(query_id);
+  result->query_id = query_id;
+  result->modeled_cost = TotalMoveCost(plan);
+  result->plan_text = PlanTreeToString(plan);
   return result;
 }
 

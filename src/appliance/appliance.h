@@ -12,6 +12,7 @@
 #include "dms/dms_service.h"
 #include "engine/local_engine.h"
 #include "obs/query_profile.h"
+#include "obs/request_registry.h"
 #include "pdw/compiler.h"
 #include "pdw/dsql.h"
 #include "pdw/plan_cache.h"
@@ -50,10 +51,19 @@ struct QueryOptions {
   /// at step granularity (its partial temp table dropped first), with
   /// exponential backoff between attempts.
   RetryPolicy retry;
+  /// When non-empty, the global tracer is enabled for this query and a
+  /// Chrome-trace JSON file (chrome://tracing / Perfetto "Open trace
+  /// file") is written here when the query finishes. The process-wide
+  /// PDW_TRACE_OUT environment variable is the same knob for every query.
+  std::string trace_out;
 };
 
 /// Result of one distributed query execution.
 struct ApplianceResult {
+  /// Appliance-wide monotonically unique request id — the same number that
+  /// keys this run in sys.dm_pdw_exec_requests and in the TEMP_ID_Q<id>_k
+  /// temp-table names the run created.
+  uint64_t query_id = 0;
   std::vector<std::string> column_names;
   RowVector rows;
   DsqlPlan dsql;
@@ -158,9 +168,26 @@ class Appliance {
   LocalEngine& mutable_control_engine() { return control_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
   PlanCache& plan_cache() { return plan_cache_; }
+  /// The always-on request registry behind sys.dm_pdw_exec_requests: every
+  /// Run (and ExecutePlan) registers itself here and updates its lifecycle
+  /// phase, current step, retry counts and rows/bytes moved live, so a DMV
+  /// query from another session thread observes queries mid-flight.
+  const obs::RequestRegistry& requests() const { return requests_; }
+  obs::RequestRegistry& requests() { return requests_; }
 
  private:
+  /// The body of Run, bracketed by the caller's registry Register +
+  /// Complete/Fail so every exit path lands in exactly one terminal phase.
+  Result<ApplianceResult> RunImpl(uint64_t query_id, const std::string& sql,
+                                  const QueryOptions& options);
+  /// Runs a query over sys.dm_pdw_* system views directly on the control
+  /// node's engine (DMVs are control-node state on the real appliance; the
+  /// distributed pipeline never sees them).
+  Result<ApplianceResult> RunDmvQuery(uint64_t query_id,
+                                      const std::string& sql,
+                                      const QueryOptions& options);
   Result<ApplianceResult> ExecuteDsql(const DsqlPlan& dsql,
+                                      uint64_t query_id,
                                       bool profile_operators,
                                       int max_parallel_nodes,
                                       const ExecOptions& exec,
@@ -178,6 +205,7 @@ class Appliance {
   LocalEngine control_;
   LocalEngine reference_;
   PlanCache plan_cache_;
+  obs::RequestRegistry requests_;
   /// Per-execution id used to uniquify temp-table names so concurrent
   /// queries (and re-executions of one cached plan) never collide.
   std::atomic<uint64_t> next_query_id_{1};

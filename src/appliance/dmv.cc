@@ -1,0 +1,234 @@
+#include "appliance/dmv.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/datum.h"
+#include "obs/metrics.h"
+
+namespace pdw {
+
+namespace {
+
+/// Milliseconds between two registry timestamps; `end < 0` means the phase
+/// is still open, so it is measured against `now` instead. Returns null
+/// when the phase never started.
+Datum PhaseMs(double start, double end, double now) {
+  if (start < 0) return Datum::Null();
+  double stop = end < 0 ? now : end;
+  return Datum::Double((stop - start) * 1e3);
+}
+
+TableDef ViewDef(std::string name, std::vector<ColumnDef> columns) {
+  TableDef def;
+  def.name = std::move(name);
+  def.schema = Schema(std::move(columns));
+  return def;
+}
+
+Status InstallExecRequests(LocalEngine* engine,
+                           const obs::RequestRegistry* requests) {
+  TableDef def = ViewDef("sys.dm_pdw_exec_requests",
+                         {{"request_id", TypeId::kInt, false},
+                          {"status", TypeId::kVarchar, false},
+                          {"sql_text", TypeId::kVarchar, false},
+                          {"engine", TypeId::kVarchar, true},
+                          {"cache_hit", TypeId::kBool, false},
+                          {"submit_time_s", TypeId::kDouble, false},
+                          {"compile_ms", TypeId::kDouble, true},
+                          {"exec_ms", TypeId::kDouble, true},
+                          {"total_ms", TypeId::kDouble, false},
+                          {"current_step", TypeId::kInt, false},
+                          {"total_steps", TypeId::kInt, false},
+                          {"retries", TypeId::kInt, false},
+                          {"rows_moved", TypeId::kDouble, false},
+                          {"bytes_moved", TypeId::kDouble, false},
+                          {"error_text", TypeId::kVarchar, true}});
+  return engine->RegisterVirtualTable(
+      std::move(def), [requests]() -> Result<RowVector> {
+        double now = requests->NowSeconds();
+        RowVector rows;
+        for (const obs::RequestState& r : requests->Snapshot()) {
+          Row row;
+          row.push_back(Datum::Int(static_cast<int64_t>(r.query_id)));
+          row.push_back(Datum::Varchar(obs::RequestPhaseName(r.phase)));
+          row.push_back(Datum::Varchar(r.sql));
+          row.push_back(r.engine.empty() ? Datum::Null()
+                                         : Datum::Varchar(r.engine));
+          row.push_back(Datum::Bool(r.cache_hit));
+          row.push_back(Datum::Double(r.submit_seconds));
+          row.push_back(
+              PhaseMs(r.compile_start_seconds, r.exec_start_seconds, now));
+          row.push_back(PhaseMs(r.exec_start_seconds, r.end_seconds, now));
+          double stop = r.end_seconds < 0 ? now : r.end_seconds;
+          row.push_back(Datum::Double((stop - r.submit_seconds) * 1e3));
+          row.push_back(Datum::Int(r.current_step));
+          row.push_back(Datum::Int(r.total_steps));
+          row.push_back(Datum::Int(r.TotalRetries()));
+          row.push_back(Datum::Double(r.RowsMoved()));
+          row.push_back(Datum::Double(r.BytesMoved()));
+          row.push_back(r.error.empty() ? Datum::Null()
+                                        : Datum::Varchar(r.error));
+          rows.push_back(std::move(row));
+        }
+        return rows;
+      });
+}
+
+Status InstallExecSteps(LocalEngine* engine,
+                        const obs::RequestRegistry* requests) {
+  TableDef def = ViewDef("sys.dm_pdw_exec_steps",
+                         {{"request_id", TypeId::kInt, false},
+                          {"step_index", TypeId::kInt, false},
+                          {"kind", TypeId::kVarchar, false},
+                          {"move_kind", TypeId::kVarchar, true},
+                          {"dest_table", TypeId::kVarchar, true},
+                          {"status", TypeId::kVarchar, false},
+                          {"retries", TypeId::kInt, false},
+                          {"rows_moved", TypeId::kDouble, false},
+                          {"bytes_moved", TypeId::kDouble, false},
+                          {"elapsed_ms", TypeId::kDouble, false},
+                          {"sql_text", TypeId::kVarchar, true}});
+  return engine->RegisterVirtualTable(
+      std::move(def), [requests]() -> Result<RowVector> {
+        RowVector rows;
+        for (const obs::RequestState& r : requests->Snapshot()) {
+          for (const obs::RequestStepState& s : r.steps) {
+            Row row;
+            row.push_back(Datum::Int(static_cast<int64_t>(r.query_id)));
+            row.push_back(Datum::Int(s.index));
+            row.push_back(Datum::Varchar(s.kind));
+            row.push_back(s.move_kind.empty() ? Datum::Null()
+                                              : Datum::Varchar(s.move_kind));
+            row.push_back(s.dest_table.empty() ? Datum::Null()
+                                               : Datum::Varchar(s.dest_table));
+            row.push_back(Datum::Varchar(s.status));
+            row.push_back(Datum::Int(s.retries));
+            row.push_back(Datum::Double(s.rows_moved));
+            row.push_back(Datum::Double(s.bytes_moved));
+            row.push_back(Datum::Double(s.seconds * 1e3));
+            row.push_back(s.sql.empty() ? Datum::Null()
+                                        : Datum::Varchar(s.sql));
+            rows.push_back(std::move(row));
+          }
+        }
+        return rows;
+      });
+}
+
+Status InstallDmsWorkers(LocalEngine* engine,
+                         const obs::RequestRegistry* requests) {
+  TableDef def = ViewDef("sys.dm_pdw_dms_workers",
+                         {{"request_id", TypeId::kInt, false},
+                          {"step_index", TypeId::kInt, false},
+                          {"worker_type", TypeId::kVarchar, false},
+                          {"status", TypeId::kVarchar, false},
+                          {"bytes_processed", TypeId::kDouble, false},
+                          {"seconds", TypeId::kDouble, false}});
+  return engine->RegisterVirtualTable(
+      std::move(def), [requests]() -> Result<RowVector> {
+        RowVector rows;
+        for (const obs::RequestState& r : requests->Snapshot()) {
+          for (const obs::RequestStepState& s : r.steps) {
+            if (s.kind != "DMS") continue;
+            for (int c = 0; c < 4; ++c) {
+              Row row;
+              row.push_back(Datum::Int(static_cast<int64_t>(r.query_id)));
+              row.push_back(Datum::Int(s.index));
+              row.push_back(Datum::Varchar(obs::kDmsComponentNames[c]));
+              row.push_back(Datum::Varchar(s.status));
+              row.push_back(Datum::Double(s.component_bytes[c]));
+              row.push_back(Datum::Double(s.component_seconds[c]));
+              rows.push_back(std::move(row));
+            }
+          }
+        }
+        return rows;
+      });
+}
+
+Status InstallMetrics(LocalEngine* engine) {
+  TableDef def = ViewDef("sys.dm_pdw_metrics",
+                         {{"metric_name", TypeId::kVarchar, false},
+                          {"metric_kind", TypeId::kVarchar, false},
+                          {"value", TypeId::kDouble, false},
+                          {"total", TypeId::kDouble, true},
+                          {"mean", TypeId::kDouble, true},
+                          {"min_value", TypeId::kDouble, true},
+                          {"max_value", TypeId::kDouble, true},
+                          {"p50", TypeId::kDouble, true},
+                          {"p95", TypeId::kDouble, true},
+                          {"p99", TypeId::kDouble, true}});
+  return engine->RegisterVirtualTable(
+      std::move(def), []() -> Result<RowVector> {
+        obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+        RowVector rows;
+        for (const auto& [name, value] : snap.counters) {
+          rows.push_back({Datum::Varchar(name), Datum::Varchar("counter"),
+                          Datum::Double(value), Datum::Null(), Datum::Null(),
+                          Datum::Null(), Datum::Null(), Datum::Null(),
+                          Datum::Null(), Datum::Null()});
+        }
+        for (const auto& [name, value] : snap.gauges) {
+          rows.push_back({Datum::Varchar(name), Datum::Varchar("gauge"),
+                          Datum::Double(value), Datum::Null(), Datum::Null(),
+                          Datum::Null(), Datum::Null(), Datum::Null(),
+                          Datum::Null(), Datum::Null()});
+        }
+        for (const auto& [name, h] : snap.histograms) {
+          // `value` of a histogram row is its observation count.
+          rows.push_back({Datum::Varchar(name), Datum::Varchar("histogram"),
+                          Datum::Double(static_cast<double>(h.count)),
+                          Datum::Double(h.sum), Datum::Double(h.Mean()),
+                          Datum::Double(h.min), Datum::Double(h.max),
+                          Datum::Double(h.Quantile(0.50)),
+                          Datum::Double(h.Quantile(0.95)),
+                          Datum::Double(h.Quantile(0.99))});
+        }
+        return rows;
+      });
+}
+
+Status InstallPlanCache(LocalEngine* engine, const PlanCache* plan_cache) {
+  TableDef def = ViewDef("sys.dm_pdw_plan_cache",
+                         {{"sql_text", TypeId::kVarchar, false},
+                          {"fingerprint", TypeId::kVarchar, false},
+                          {"hits", TypeId::kInt, false},
+                          {"num_steps", TypeId::kInt, false},
+                          {"modeled_cost", TypeId::kDouble, false},
+                          {"base_tables", TypeId::kVarchar, false}});
+  return engine->RegisterVirtualTable(
+      std::move(def), [plan_cache]() -> Result<RowVector> {
+        RowVector rows;
+        for (const PlanCache::EntryInfo& e : plan_cache->ListEntries()) {
+          std::string tables;
+          for (const std::string& t : e.tables) {
+            if (!tables.empty()) tables += ",";
+            tables += t;
+          }
+          rows.push_back({Datum::Varchar(e.normalized_sql),
+                          Datum::Varchar(e.options_fingerprint),
+                          Datum::Int(static_cast<int64_t>(e.hits)),
+                          Datum::Int(e.num_steps),
+                          Datum::Double(e.modeled_cost),
+                          Datum::Varchar(tables)});
+        }
+        return rows;
+      });
+}
+
+}  // namespace
+
+Status InstallSystemViews(LocalEngine* engine,
+                          const obs::RequestRegistry* requests,
+                          const PlanCache* plan_cache) {
+  PDW_RETURN_NOT_OK(InstallExecRequests(engine, requests));
+  PDW_RETURN_NOT_OK(InstallExecSteps(engine, requests));
+  PDW_RETURN_NOT_OK(InstallDmsWorkers(engine, requests));
+  PDW_RETURN_NOT_OK(InstallMetrics(engine));
+  PDW_RETURN_NOT_OK(InstallPlanCache(engine, plan_cache));
+  return Status::OK();
+}
+
+}  // namespace pdw

@@ -47,6 +47,11 @@ struct TableDef {
   /// referential integrity of foreign keys, as in the paper's TPC-H setup.
   std::vector<std::string> primary_key;
 
+  /// True for synthesized system views (the sys.dm_pdw_* DMVs): the table
+  /// has no stored rows — its scan materializes from live appliance state
+  /// at execution time — and it is served on the control node only.
+  bool is_system_view = false;
+
   /// Stats lookup by column name; returns nullptr if the column has no
   /// statistics (estimation then falls back to magic-number heuristics).
   const ColumnStats* GetColumnStats(const std::string& column) const;

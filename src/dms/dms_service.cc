@@ -83,7 +83,7 @@ Result<std::vector<RowVector>> DmsService::Execute(
     ThreadPool* pool, const DmsExecOptions& options) {
   if (options.codec == DmsCodec::kRow) {
     return ExecuteRowCodec(kind, std::move(source_rows), hash_ordinals,
-                           metrics, pool);
+                           metrics, pool, options);
   }
   int total_slots = nodes_ + 1;
   if (static_cast<int>(source_rows.size()) != total_slots) {
@@ -107,7 +107,7 @@ Result<std::vector<RowVector>> DmsService::Execute(
 Result<std::vector<RowVector>> DmsService::ExecuteRowCodec(
     DmsOpKind kind, std::vector<RowVector> source_rows,
     const std::vector<int>& hash_ordinals, DmsRunMetrics* metrics,
-    ThreadPool* pool) {
+    ThreadPool* pool, const DmsExecOptions& options) {
   int n = nodes_;
   int total_slots = n + 1;
   if (static_cast<int>(source_rows.size()) != total_slots) {
@@ -261,11 +261,17 @@ Result<std::vector<RowVector>> DmsService::ExecuteRowCodec(
     double t0 = NowSeconds();
     RowVector& out = result[static_cast<size_t>(dst)];
     out.reserve(unpacked[static_cast<size_t>(dst)].size());
+    double landed_bytes = 0;
     for (const Row& row : unpacked[static_cast<size_t>(dst)]) {
-      nm.bulkcopy.bytes += static_cast<double>(RowWidth(row));
+      double width = static_cast<double>(RowWidth(row));
+      nm.bulkcopy.bytes += width;
+      landed_bytes += width;
       out.push_back(row);
     }
     nm.bulkcopy.seconds += NowSeconds() - t0;
+    if (options.progress && !out.empty()) {
+      options.progress(static_cast<double>(out.size()), landed_bytes);
+    }
   });
   for (const Status& s : node_status) {
     if (!s.ok()) return s;
@@ -380,6 +386,10 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
     // path.
     for (const Row& row : chunk) {
       nm.bulkcopy.bytes += static_cast<double>(RowWidth(row));
+    }
+    if (options.progress && !chunk.empty()) {
+      options.progress(static_cast<double>(chunk.size()),
+                       static_cast<double>(msg.bytes.size()));
     }
     auto& per_src = d.chunks[static_cast<size_t>(msg.src)];
     if (per_src.size() <= msg.seq) per_src.resize(msg.seq + 1);

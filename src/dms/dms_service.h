@@ -62,6 +62,12 @@ struct DmsExecOptions {
   /// Declared column types of the moved stream (the DMS step's destination
   /// temp-table schema). Empty = infer per source from the produced rows.
   std::vector<TypeId> types;
+  /// Optional live progress feed: invoked as row chunks land on their
+  /// destination with (rows, wire bytes) of that chunk — on the columnar
+  /// path from concurrent pipeline workers mid-flight, on the legacy row
+  /// path per destination during bulk copy. Must be thread-safe and cheap;
+  /// feeds sys.dm_pdw_exec_requests' rows/bytes-moved-so-far columns.
+  std::function<void(double rows_delta, double bytes_delta)> progress;
 };
 
 /// Produces one source node's rows for a pipelined movement — typically by
@@ -146,7 +152,7 @@ class DmsService {
   Result<std::vector<RowVector>> ExecuteRowCodec(
       DmsOpKind kind, std::vector<RowVector> source_rows,
       const std::vector<int>& hash_ordinals, DmsRunMetrics* metrics,
-      ThreadPool* pool);
+      ThreadPool* pool, const DmsExecOptions& options);
 
   int nodes_;
 };

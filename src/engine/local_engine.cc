@@ -10,6 +10,50 @@
 
 namespace pdw {
 
+namespace {
+
+/// Per-query view over the engine's storage with virtual-table snapshots
+/// layered on top: scans of registered system views read the rows
+/// materialized for *this* execution (stable for the query's duration),
+/// everything else falls through to the engine.
+class OverlayTableProvider : public TableProvider {
+ public:
+  struct Entry {
+    const Schema* schema = nullptr;  ///< Points into the engine catalog.
+    RowVector rows;
+    ColumnTable columns;
+  };
+
+  explicit OverlayTableProvider(const TableProvider& base) : base_(base) {}
+
+  void Add(std::string key, Entry entry) {
+    tables_[std::move(key)] = std::move(entry);
+  }
+
+  Result<TableData> GetTableData(const std::string& name) const override {
+    auto it = tables_.find(ToLower(name));
+    if (it != tables_.end()) {
+      return TableData{it->second.schema, &it->second.rows,
+                       &it->second.columns};
+    }
+    return base_.GetTableData(name);
+  }
+
+ private:
+  const TableProvider& base_;
+  std::map<std::string, Entry> tables_;
+};
+
+/// Collects the (lowercased) names of every base table the plan scans.
+void CollectScanNames(const PlanNode& node, std::vector<std::string>* out) {
+  if (node.kind == PhysOpKind::kTableScan) {
+    out->push_back(ToLower(node.table_name));
+  }
+  for (const auto& child : node.children) CollectScanNames(*child, out);
+}
+
+}  // namespace
+
 LocalEngine::LocalEngine() {
   TableDef empty;
   empty.name = "pdw_empty";
@@ -37,6 +81,19 @@ Status LocalEngine::DropTable(const std::string& name) {
   PDW_RETURN_NOT_OK(catalog_.DropTable(name));
   std::unique_lock lock(mu_);
   storage_.erase(ToLower(name));
+  virtual_.erase(ToLower(name));
+  return Status::OK();
+}
+
+Status LocalEngine::RegisterVirtualTable(TableDef def, VirtualTableFn fn) {
+  if (fn == nullptr) {
+    return Status::InvalidArgument("virtual table needs a producer");
+  }
+  std::string key = ToLower(def.name);
+  def.is_system_view = true;
+  PDW_RETURN_NOT_OK(catalog_.CreateTable(std::move(def)));
+  std::unique_lock lock(mu_);
+  virtual_[key] = std::move(fn);
   return Status::OK();
 }
 
@@ -175,7 +232,43 @@ Result<SqlResult> LocalEngine::ExecuteSql(const std::string& sql,
                        CompileSelect(catalog_, *stmt.select));
   PDW_ASSIGN_OR_RETURN(PlanNodePtr plan,
                        ExtractBestSerialPlan(comp.memo.get()));
-  PDW_ASSIGN_OR_RETURN(result.rows, ExecutePlan(*plan, *this, profile, exec));
+  // Virtual-table scans (system views) read a snapshot materialized now,
+  // for this execution only: call each view's producer once, mirror the
+  // rows into one column batch so either engine can scan them, and layer
+  // the snapshots over the stored tables.
+  std::vector<std::string> scans;
+  CollectScanNames(*plan, &scans);
+  OverlayTableProvider overlay(*this);
+  bool has_virtual = false;
+  for (const std::string& key : scans) {
+    VirtualTableFn fn;
+    {
+      std::shared_lock lock(mu_);
+      auto vit = virtual_.find(key);
+      if (vit == virtual_.end()) continue;
+      fn = vit->second;
+    }
+    PDW_ASSIGN_OR_RETURN(const TableDef* def, catalog_.GetTable(key));
+    OverlayTableProvider::Entry entry;
+    entry.schema = &def->schema;
+    PDW_ASSIGN_OR_RETURN(entry.rows, fn());
+    std::vector<TypeId> types;
+    std::vector<int> ordinals;
+    for (int i = 0; i < def->schema.num_columns(); ++i) {
+      types.push_back(def->schema.column(i).type);
+      ordinals.push_back(i);
+    }
+    entry.columns.types = types;
+    entry.columns.batches.assign(1, ColumnBatch(types));
+    AppendRowsToBatch(entry.rows, 0, entry.rows.size(), ordinals,
+                      &entry.columns.batches.front());
+    overlay.Add(key, std::move(entry));
+    has_virtual = true;
+  }
+  const TableProvider& provider =
+      has_virtual ? static_cast<const TableProvider&>(overlay) : *this;
+  PDW_ASSIGN_OR_RETURN(result.rows,
+                       ExecutePlan(*plan, provider, profile, exec));
   result.column_names = comp.output_names;
   for (const auto& b : plan->output) result.column_types.push_back(b.type);
   // Trim hidden ORDER BY carrier columns.

@@ -1,6 +1,7 @@
 #ifndef PDW_ENGINE_LOCAL_ENGINE_H_
 #define PDW_ENGINE_LOCAL_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -21,6 +22,12 @@ struct SqlResult {
   std::vector<TypeId> column_types;
   RowVector rows;
 };
+
+/// Produces the current rows of a virtual table (a sys.dm_pdw_* system
+/// view), matching the registered schema. Called on the querying thread at
+/// scan-materialization time; must be thread-safe — concurrent DMV queries
+/// invoke it simultaneously.
+using VirtualTableFn = std::function<Result<RowVector>()>;
 
 /// A complete single-node SQL engine: catalog + in-memory row storage +
 /// parse/bind/normalize/optimize/execute pipeline. One instance runs on
@@ -46,6 +53,13 @@ class LocalEngine : public TableProvider {
   /// DDL / storage.
   Status CreateTable(TableDef def);
   Status DropTable(const std::string& name);
+  /// Registers a virtual table: `def` enters the catalog (marked
+  /// is_system_view) so binding and optimization see an ordinary leaf, but
+  /// no rows are stored — each SELECT touching it calls `fn` once and scans
+  /// the materialized snapshot (row vector + columnar mirror, so both
+  /// engines work). Registration is setup-time; queries afterwards are
+  /// fully concurrent.
+  Status RegisterVirtualTable(TableDef def, VirtualTableFn fn);
   Status InsertRows(const std::string& name, RowVector rows);
   bool HasTable(const std::string& name) const { return catalog_.HasTable(name); }
   Result<const RowVector*> GetRows(const std::string& name) const;
@@ -81,6 +95,7 @@ class LocalEngine : public TableProvider {
   mutable std::shared_mutex mu_;  ///< Guards the structure of storage_.
   Catalog catalog_;
   std::map<std::string, StoredTable> storage_;  // keyed by lowercase name
+  std::map<std::string, VirtualTableFn> virtual_;  // keyed by lowercase name
 };
 
 }  // namespace pdw

@@ -7,6 +7,27 @@
 
 namespace pdw::obs {
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  double target = q * static_cast<double>(count);
+  double cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    double c = static_cast<double>(counts[i]);
+    if (c > 0 && cum + c >= target) {
+      double lo = i == 0 ? min : bounds[i - 1];
+      double hi = i < bounds.size() ? bounds[i] : max;
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      if (hi <= lo) return lo;
+      double frac = std::min(1.0, std::max(0.0, (target - cum) / c));
+      return lo + frac * (hi - lo);
+    }
+    cum += c;
+  }
+  return max;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
@@ -104,7 +125,11 @@ std::string MetricsSnapshot::ToJson() const {
     out += "\"" + JsonEscape(name) + "\":{\"count\":" + JsonNumber(
                static_cast<double>(h.count)) +
            ",\"sum\":" + JsonNumber(h.sum) + ",\"min\":" + JsonNumber(h.min) +
-           ",\"max\":" + JsonNumber(h.max) + ",\"bounds\":[";
+           ",\"max\":" + JsonNumber(h.max) +
+           ",\"mean\":" + JsonNumber(h.Mean()) +
+           ",\"p50\":" + JsonNumber(h.Quantile(0.50)) +
+           ",\"p95\":" + JsonNumber(h.Quantile(0.95)) +
+           ",\"p99\":" + JsonNumber(h.Quantile(0.99)) + ",\"bounds\":[";
     for (size_t i = 0; i < h.bounds.size(); ++i) {
       if (i > 0) out += ",";
       out += JsonNumber(h.bounds[i]);
@@ -129,11 +154,16 @@ std::string MetricsSnapshot::ToText() const {
     out += name + " = " + FormatCount(value) + " (gauge)\n";
   }
   for (const auto& [name, h] : histograms) {
-    out += name + StringFormat(" = {count=%llu sum=%s min=%s max=%s}\n",
-                               static_cast<unsigned long long>(h.count),
-                               FormatCount(h.sum).c_str(),
-                               FormatCount(h.min).c_str(),
-                               FormatCount(h.max).c_str());
+    out += name +
+           StringFormat(
+               " = {count=%llu sum=%s min=%s max=%s mean=%s p50=%s p95=%s "
+               "p99=%s}\n",
+               static_cast<unsigned long long>(h.count),
+               FormatCount(h.sum).c_str(), FormatCount(h.min).c_str(),
+               FormatCount(h.max).c_str(), FormatCount(h.Mean()).c_str(),
+               FormatCount(h.Quantile(0.50)).c_str(),
+               FormatCount(h.Quantile(0.95)).c_str(),
+               FormatCount(h.Quantile(0.99)).c_str());
   }
   return out;
 }

@@ -20,6 +20,14 @@ struct HistogramSnapshot {
   double sum = 0;
   double min = 0;
   double max = 0;
+
+  double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+
+  /// Estimated value at quantile `q` in [0, 1] (0 when empty): finds the
+  /// bucket holding the q-th observation and interpolates linearly inside
+  /// it, clamping bucket edges to the observed [min, max] so open-ended
+  /// buckets (below the first bound, the overflow bucket) stay finite.
+  double Quantile(double q) const;
 };
 
 /// Point-in-time copy of a whole registry.

@@ -17,6 +17,10 @@ double StepProfile::MisestimateFactor() const {
 std::string QueryProfile::ToText(double misestimate_threshold) const {
   std::string out;
   out += "EXPLAIN ANALYZE";
+  if (query_id > 0) {
+    out += StringFormat(" [query %llu]",
+                        static_cast<unsigned long long>(query_id));
+  }
   if (!sql.empty()) out += " " + sql;
   out += "\n";
 
@@ -110,7 +114,8 @@ std::string ComponentJson(const char* name, const ComponentProfile& c) {
 
 std::string QueryProfile::ToJson() const {
   std::string out = "{";
-  out += "\"sql\":\"" + JsonEscape(sql) + "\"";
+  out += "\"query_id\":" + JsonNumber(static_cast<double>(query_id));
+  out += ",\"sql\":\"" + JsonEscape(sql) + "\"";
   out += ",\"compile_seconds\":" + JsonNumber(compile_seconds);
   out += ",\"modeled_cost\":" + JsonNumber(modeled_cost);
   out += ",\"measured_seconds\":" + JsonNumber(measured_seconds);

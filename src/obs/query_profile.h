@@ -1,6 +1,7 @@
 #ifndef PDW_OBS_QUERY_PROFILE_H_
 #define PDW_OBS_QUERY_PROFILE_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -86,6 +87,9 @@ struct OptimizerProfile {
 /// counters. Pure data — benches serialize it to JSON, the appliance
 /// renders it as text.
 struct QueryProfile {
+  /// Appliance-wide monotonically unique request id (0 = not assigned);
+  /// joins this profile with sys.dm_pdw_exec_requests rows and trace spans.
+  uint64_t query_id = 0;
   std::string sql;
   std::vector<PhaseProfile> compile_phases;
   OptimizerProfile optimizer;

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace pdw::obs {
 
 /// One closed (or still-open) span as recorded by a Tracer. Spans form a
@@ -18,6 +20,9 @@ struct TraceRecord {
   int id = 0;
   int parent = -1;
   int depth = 0;
+  /// Small dense index of the recording thread (first thread seen = 0);
+  /// the Chrome-trace tid, so each thread gets its own track.
+  int tid = 0;
   std::string name;
   double start_seconds = 0;  ///< Relative to the tracer's epoch.
   double wall_seconds = 0;
@@ -54,6 +59,13 @@ class Tracer {
   std::string ToText() const;
   /// JSON: array of root spans, children nested recursively.
   std::string ToJson() const;
+  /// Chrome-trace JSON (the chrome://tracing / Perfetto "traceEvents"
+  /// format): every span becomes a complete ("X") event on its thread's
+  /// track, with flow events stitching parent->child links that cross
+  /// threads so a whole query reads as one flame graph.
+  std::string ToChromeJson() const;
+  /// Writes ToChromeJson() to `path` (overwriting).
+  Status WriteChromeTrace(const std::string& path) const;
 
  private:
   friend class TraceSpan;
@@ -70,6 +82,8 @@ class Tracer {
   /// Stack of open span ids per thread — gives each thread its own
   /// nesting chain while all spans land in one shared record vector.
   std::map<std::thread::id, std::vector<int>> open_;
+  /// Dense per-thread index for TraceRecord::tid.
+  std::map<std::thread::id, int> thread_index_;
 };
 
 /// RAII span: records wall and thread-CPU time between construction and

@@ -101,6 +101,7 @@ std::optional<CachedDsqlPlan> PlanCache::Lookup(
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
   ++stats_.hits;
+  ++it->second->hits;
   reg.Count("plan_cache.hit");
   return it->second->plan;
 }
@@ -120,7 +121,7 @@ void PlanCache::Insert(const std::string& normalized_sql,
     it->second->plan = std::move(plan);
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
-    lru_.push_front(Entry{key, std::move(plan)});
+    lru_.push_front(Entry{key, std::move(plan), /*hits=*/0});
     index_[std::move(key)] = lru_.begin();
     if (lru_.size() > capacity_) {
       index_.erase(lru_.back().key);
@@ -148,6 +149,31 @@ size_t PlanCache::size() const {
 PlanCache::Stats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::vector<PlanCache::EntryInfo> PlanCache::ListEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EntryInfo> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) {
+    EntryInfo info;
+    // The key is fingerprint + '\n' + normalized SQL (see Key()).
+    size_t nl = e.key.find('\n');
+    if (nl == std::string::npos) {
+      info.normalized_sql = e.key;
+    } else {
+      info.options_fingerprint = e.key.substr(0, nl);
+      info.normalized_sql = e.key.substr(nl + 1);
+    }
+    info.hits = e.hits;
+    info.num_steps = static_cast<int>(e.plan.dsql.steps.size());
+    info.modeled_cost = e.plan.modeled_cost;
+    for (const auto& [table, version] : e.plan.table_versions) {
+      info.tables.push_back(table);
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 }  // namespace pdw

@@ -60,6 +60,18 @@ class PlanCache {
     uint64_t evictions = 0;       ///< LRU capacity evictions.
   };
 
+  /// Introspection row of one cached plan, as surfaced through the
+  /// sys.dm_pdw_plan_cache system view (MRU first).
+  struct EntryInfo {
+    std::string normalized_sql;
+    std::string options_fingerprint;
+    uint64_t hits = 0;          ///< Lookups served from this entry.
+    int num_steps = 0;          ///< DSQL steps of the cached plan.
+    double modeled_cost = 0;
+    /// Base tables the plan reads (the invalidation anchors).
+    std::vector<std::string> tables;
+  };
+
   explicit PlanCache(size_t capacity = 128);
 
   /// Current statistics version of a table (0 until first bump).
@@ -83,10 +95,15 @@ class PlanCache {
   size_t capacity() const { return capacity_; }
   Stats stats() const;
 
+  /// Point-in-time copy of every cached entry in LRU order (most recently
+  /// used first), for DMV queries.
+  std::vector<EntryInfo> ListEntries() const;
+
  private:
   struct Entry {
     std::string key;
     CachedDsqlPlan plan;
+    uint64_t hits = 0;
   };
 
   std::string Key(const std::string& normalized_sql,

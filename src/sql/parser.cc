@@ -303,7 +303,14 @@ class Parser {
     }
     auto name = ParseDottedName();
     if (!name.ok()) return name.status();
-    std::string table = name.ValueOrDie().back();
+    const std::vector<std::string>& parts = name.ValueOrDie();
+    std::string table = parts.back();
+    // The `sys` schema is a real namespace (the PDW DMVs live there), so
+    // its qualifier is part of the table name; any other qualifier is
+    // ignored as before.
+    if (parts.size() >= 2 && ToLower(parts[parts.size() - 2]) == "sys") {
+      table = "sys." + table;
+    }
     std::string alias;
     if (Peek().IsKeyword("AS")) {
       Advance();

@@ -249,6 +249,32 @@ TEST_F(ChaosTest, SeededDifferentialSweep) {
   // The appliance stays serviceable after the whole sweep.
   auto after = appliance_->Run("SELECT COUNT(*) AS c FROM lineitem");
   ASSERT_TRUE(after.ok()) << after.status().ToString();
+
+  // The request registry drained with the sweep: nothing is still active,
+  // and every request the DMV layer can see landed in a terminal phase —
+  // injected-fault runs as 'failed' (with error text), survivors as
+  // 'complete'. Mid-flight states leaking past the end of a query would
+  // show up here as 'executing'/'compiling' rows.
+  EXPECT_EQ(appliance_->requests().active_count(), 0u);
+  // The snapshot includes the DMV query observing it, which is mid-flight
+  // with zero steps by definition; every other request must be terminal.
+  auto dmv = appliance_->Run(
+      "SELECT status, COUNT(*) AS c FROM sys.dm_pdw_exec_requests "
+      "WHERE NOT (status = 'executing' AND total_steps = 0) "
+      "GROUP BY status");
+  ASSERT_TRUE(dmv.ok()) << dmv.status().ToString();
+  for (const Row& r : dmv->rows) {
+    EXPECT_TRUE(r[0].string_value() == "complete" ||
+                r[0].string_value() == "failed")
+        << "non-terminal request leaked: " << r[0].string_value();
+  }
+  auto failed = appliance_->Run(
+      "SELECT error_text FROM sys.dm_pdw_exec_requests "
+      "WHERE status = 'failed'");
+  ASSERT_TRUE(failed.ok()) << failed.status().ToString();
+  for (const Row& r : failed->rows) {
+    EXPECT_FALSE(r[0].is_null()) << "failed request without an error";
+  }
 }
 
 TEST_F(ChaosTest, TransientStepFailureRetriesVisibly) {
@@ -288,6 +314,28 @@ TEST_F(ChaosTest, TransientStepFailureRetriesVisibly) {
   ASSERT_TRUE(reference.ok());
   EXPECT_TRUE(RowSetsEqual(result->rows, reference->rows));
   ExpectNoTempLitter("after retried query");
+
+  // The DMV layer reports the same retry counts as the step profile, and
+  // the recovered request finished as 'complete' with every step complete.
+  auto steps = appliance_->Run(
+      "SELECT step_index, retries, status FROM sys.dm_pdw_exec_steps "
+      "WHERE request_id = " + std::to_string(result->query_id));
+  ASSERT_TRUE(steps.ok()) << steps.status().ToString();
+  ASSERT_EQ(steps->rows.size(), result->profile.steps.size());
+  int dmv_retries = 0;
+  for (const Row& r : steps->rows) {
+    dmv_retries += static_cast<int>(r[1].int_value());
+    EXPECT_EQ(r[2].string_value(), "complete");
+  }
+  EXPECT_EQ(dmv_retries, total_retries);
+  auto req = appliance_->Run(
+      "SELECT status, retries FROM sys.dm_pdw_exec_requests "
+      "WHERE request_id = " + std::to_string(result->query_id));
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  ASSERT_EQ(req->rows.size(), 1u);
+  EXPECT_EQ(req->rows[0][0].string_value(), "complete");
+  EXPECT_EQ(static_cast<int>(req->rows[0][1].int_value()), total_retries);
+  EXPECT_EQ(appliance_->requests().active_count(), 0u);
 }
 
 TEST_F(ChaosTest, PermanentFaultAbortsCleanlyAndApplianceStaysUp) {

@@ -1,0 +1,335 @@
+// The live-introspection subsystem end to end: sys.dm_pdw_* system views
+// queried through ordinary SQL must observe requests *while they run* (from
+// a second session thread, during a concurrent storm), aggregate like any
+// other table on either execution engine, expose latency quantiles and the
+// plan cache, and export Chrome-trace JSON of a whole query.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "appliance/appliance.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tpch/tpch.h"
+
+namespace pdw {
+namespace {
+
+std::unique_ptr<Appliance> MakeLoadedAppliance(int nodes, double scale) {
+  auto appliance = std::make_unique<Appliance>(Topology{nodes});
+  EXPECT_TRUE(tpch::CreateTpchTables(appliance.get()).ok());
+  tpch::TpchConfig cfg;
+  cfg.scale = scale;
+  EXPECT_TRUE(tpch::LoadTpch(appliance.get(), cfg).ok());
+  return appliance;
+}
+
+/// Runs a DMV query and returns its rows, failing the test on error.
+RowVector Dmv(Appliance* appliance, const std::string& sql,
+              const QueryOptions& options = {}) {
+  auto r = appliance->Run(sql, options);
+  EXPECT_TRUE(r.ok()) << sql << "\n" << r.status().ToString();
+  return r.ok() ? std::move(r->rows) : RowVector{};
+}
+
+// A multi-step distributed join: customer/orders are incompatibly
+// distributed at these scales, so the plan has DMS movement plus a Return
+// step — enough steps for current_step to be observable mid-flight.
+const char* kJoinSql =
+    "SELECT c_name, o_totalprice FROM customer, orders "
+    "WHERE c_custkey = o_custkey AND o_totalprice > 1000";
+
+// --- the registry through SQL: finished requests -------------------------
+
+TEST(DmvTest, FinishedRequestVisibleWithStepsAndWorkers) {
+  auto appliance = MakeLoadedAppliance(3, 0.02);
+  auto run = appliance->Run(kJoinSql);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_GT(run->query_id, 0u);
+
+  std::string by_id = " WHERE request_id = " + std::to_string(run->query_id);
+  RowVector reqs = Dmv(appliance.get(),
+                       "SELECT status, cache_hit, total_steps, rows_moved, "
+                       "total_ms FROM sys.dm_pdw_exec_requests" + by_id);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0][0].string_value(), "complete");
+  EXPECT_FALSE(reqs[0][1].bool_value());
+  EXPECT_EQ(reqs[0][2].int_value(),
+            static_cast<int64_t>(run->dsql.steps.size()));
+  EXPECT_GT(reqs[0][4].double_value(), 0);
+
+  RowVector steps = Dmv(appliance.get(),
+                        "SELECT step_index, kind, status, elapsed_ms "
+                        "FROM sys.dm_pdw_exec_steps" + by_id +
+                        " ORDER BY step_index");
+  ASSERT_EQ(steps.size(), run->dsql.steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_EQ(steps[i][0].int_value(), static_cast<int64_t>(i));
+    EXPECT_EQ(steps[i][2].string_value(), "complete");
+  }
+  EXPECT_EQ(steps.back()[1].string_value(), "RETURN");
+
+  // Every DMS step exposes its four component workers.
+  RowVector workers = Dmv(appliance.get(),
+                          "SELECT worker_type, COUNT(*) AS c "
+                          "FROM sys.dm_pdw_dms_workers" + by_id +
+                          " GROUP BY worker_type");
+  int dms_steps = 0;
+  for (const auto& step : run->dsql.steps) {
+    if (step.kind == DsqlStepKind::kDms) ++dms_steps;
+  }
+  if (dms_steps > 0) {
+    ASSERT_EQ(workers.size(), 4u);
+    for (const Row& w : workers) {
+      EXPECT_EQ(w[1].int_value(), dms_steps) << w[0].string_value();
+    }
+  }
+}
+
+TEST(DmvTest, QueryIdsAreMonotonicallyUnique) {
+  auto appliance = MakeLoadedAppliance(2, 0.01);
+  uint64_t last = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto r = appliance->Run("SELECT COUNT(*) AS c FROM nation");
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r->query_id, last);
+    last = r->query_id;
+    // The id threads through EXPLAIN ANALYZE and the JSON profile.
+    EXPECT_NE(r->explain_text.find(
+                  "[query " + std::to_string(r->query_id) + "]"),
+              std::string::npos)
+        << r->explain_text;
+    EXPECT_NE(r->profile.ToJson().find("\"query_id\""), std::string::npos);
+  }
+}
+
+// --- live observation during a concurrent storm --------------------------
+
+TEST(DmvTest, StormObservedExecutingWithAdvancingSteps) {
+  auto appliance = MakeLoadedAppliance(3, 0.02);
+  // Per-step dispatch latency keeps every storm query in flight for a
+  // deterministic, observable window without growing the dataset.
+  appliance->set_dispatch_latency_seconds(0.005);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> completed{0};
+  constexpr int kThreads = 4;
+  constexpr int kMaxReps = 200;
+  std::vector<std::thread> storm;
+  for (int t = 0; t < kThreads; ++t) {
+    storm.emplace_back([&] {
+      for (int rep = 0; rep < kMaxReps && !stop.load(); ++rep) {
+        auto r = appliance->Run(kJoinSql);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        completed.fetch_add(1);
+      }
+    });
+  }
+
+  // Poll from this session thread until a storm query is seen mid-flight:
+  // status 'executing' with a valid current step. The DMV request itself
+  // appears in the view too (it is also a request), but with zero steps —
+  // total_steps > 0 filters it out.
+  bool seen_executing = false;
+  bool seen_running_step = false;
+  while (!(seen_executing && seen_running_step) &&
+         completed.load() < kThreads * kMaxReps) {
+    RowVector live = Dmv(appliance.get(),
+                         "SELECT request_id, current_step, total_steps "
+                         "FROM sys.dm_pdw_exec_requests "
+                         "WHERE status = 'executing' AND current_step >= 0");
+    for (const Row& r : live) {
+      EXPECT_GE(r[1].int_value(), 0);
+      EXPECT_LT(r[1].int_value(), r[2].int_value());
+      seen_executing = true;
+    }
+    RowVector running = Dmv(appliance.get(),
+                            "SELECT request_id, step_index "
+                            "FROM sys.dm_pdw_exec_steps "
+                            "WHERE status = 'running'");
+    if (!running.empty()) seen_running_step = true;
+  }
+  stop.store(true);
+  for (auto& t : storm) t.join();
+  EXPECT_TRUE(seen_executing)
+      << "never observed a request in status 'executing' ("
+      << completed.load() << " storm queries completed)";
+  EXPECT_TRUE(seen_running_step)
+      << "never observed a step in status 'running'";
+
+  // Once the storm drains, nothing is left active in the registry.
+  EXPECT_EQ(appliance->requests().active_count(), 0u);
+  RowVector still = Dmv(appliance.get(),
+                        "SELECT COUNT(*) AS c FROM sys.dm_pdw_exec_requests "
+                        "WHERE status = 'executing' AND total_steps > 0");
+  ASSERT_EQ(still.size(), 1u);
+  EXPECT_EQ(still[0][0].int_value(), 0);
+}
+
+// --- DMV-on-DMV aggregation, on both engines ------------------------------
+
+TEST(DmvTest, AggregationOverViewsMatchesAcrossEngines) {
+  auto appliance = MakeLoadedAppliance(2, 0.01);
+  for (int i = 0; i < 4; ++i) {
+    auto r = appliance->Run("SELECT COUNT(*) AS c FROM region");
+    ASSERT_TRUE(r.ok());
+  }
+  const std::string agg =
+      "SELECT status, COUNT(*) AS c, SUM(total_steps) AS s "
+      "FROM sys.dm_pdw_exec_requests "
+      "WHERE total_steps > 0 GROUP BY status ORDER BY status";
+  QueryOptions row_engine;
+  row_engine.engine.engine = EngineKind::kRow;
+  QueryOptions batch_engine;
+  batch_engine.engine.engine = EngineKind::kBatch;
+  RowVector on_rows = Dmv(appliance.get(), agg, row_engine);
+  RowVector on_batches = Dmv(appliance.get(), agg, batch_engine);
+  // DMV requests themselves have zero steps, so the total_steps > 0 filter
+  // makes the aggregate identical across the two runs: exactly the four
+  // distributed region queries, on either engine.
+  ASSERT_EQ(on_rows.size(), 1u);
+  EXPECT_EQ(on_rows[0][0].string_value(), "complete");
+  EXPECT_EQ(on_rows[0][1].int_value(), 4);
+  EXPECT_TRUE(RowSetsEqual(on_rows, on_batches));
+
+  // A DMV joined against itself through a derived table also works — the
+  // views are ordinary leaves to the optimizer.
+  RowVector joined = Dmv(appliance.get(),
+                         "SELECT r.request_id, s.step_index "
+                         "FROM sys.dm_pdw_exec_requests AS r, "
+                         "sys.dm_pdw_exec_steps AS s "
+                         "WHERE r.request_id = s.request_id AND "
+                         "r.total_steps > 0");
+  EXPECT_FALSE(joined.empty());
+}
+
+// --- metrics view: latency quantiles --------------------------------------
+
+TEST(DmvTest, MetricsViewReportsQueryLatencyQuantiles) {
+  auto appliance = MakeLoadedAppliance(2, 0.01);
+  for (int i = 0; i < 5; ++i) {
+    auto r = appliance->Run("SELECT COUNT(*) AS c FROM nation");
+    ASSERT_TRUE(r.ok());
+  }
+  RowVector rows = Dmv(appliance.get(),
+                       "SELECT value, mean, p50, p95, p99 "
+                       "FROM sys.dm_pdw_metrics "
+                       "WHERE metric_name = 'appliance.query.seconds'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GE(rows[0][0].double_value(), 5);  // observation count
+  EXPECT_GT(rows[0][1].double_value(), 0);  // mean
+  double p50 = rows[0][2].double_value();
+  double p95 = rows[0][3].double_value();
+  double p99 = rows[0][4].double_value();
+  EXPECT_GT(p50, 0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+
+  RowVector compile = Dmv(appliance.get(),
+                          "SELECT value FROM sys.dm_pdw_metrics "
+                          "WHERE metric_name = 'optimizer.compile.seconds'");
+  ASSERT_EQ(compile.size(), 1u);
+  EXPECT_GE(compile[0][0].double_value(), 5);
+}
+
+// --- plan cache view -------------------------------------------------------
+
+TEST(DmvTest, PlanCacheViewShowsEntriesAndHits) {
+  auto appliance = MakeLoadedAppliance(2, 0.01);
+  QueryOptions cached;
+  cached.use_plan_cache = true;
+  const char* sql = "SELECT COUNT(*) AS c FROM supplier";
+  for (int i = 0; i < 3; ++i) {
+    auto r = appliance->Run(sql, cached);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->cache_hit, i > 0);
+  }
+  RowVector rows = Dmv(appliance.get(),
+                       "SELECT sql_text, hits, num_steps, base_tables "
+                       "FROM sys.dm_pdw_plan_cache");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].string_value(), NormalizeSqlForPlanCache(sql));
+  EXPECT_EQ(rows[0][1].int_value(), 2);  // two of the three runs hit
+  EXPECT_GT(rows[0][2].int_value(), 0);
+  EXPECT_NE(rows[0][3].string_value().find("supplier"), std::string::npos);
+}
+
+// --- finished-request ring eviction ---------------------------------------
+
+TEST(DmvTest, FinishedRingEvictsOldestBeyondCapacity) {
+  auto appliance = MakeLoadedAppliance(2, 0.01);
+  appliance->requests().set_ring_capacity(4);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    auto r = appliance->Run("SELECT COUNT(*) AS c FROM region");
+    ASSERT_TRUE(r.ok());
+    ids.push_back(r->query_id);
+  }
+  EXPECT_EQ(appliance->requests().finished_count(), 4u);
+  std::set<uint64_t> kept;
+  for (const auto& req : appliance->requests().Snapshot()) {
+    kept.insert(req.query_id);
+  }
+  // The survivors are the four most recent requests.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(kept.count(ids[i]), i + 4 >= ids.size() ? 1u : 0u) << i;
+  }
+}
+
+// --- failed requests -------------------------------------------------------
+
+TEST(DmvTest, FailedRequestSurfacesErrorText) {
+  auto appliance = MakeLoadedAppliance(2, 0.01);
+  auto bad = appliance->Run("SELECT nope FROM no_such_table");
+  ASSERT_FALSE(bad.ok());
+  RowVector rows = Dmv(appliance.get(),
+                       "SELECT sql_text, error_text "
+                       "FROM sys.dm_pdw_exec_requests "
+                       "WHERE status = 'failed'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_NE(rows[0][0].string_value().find("no_such_table"),
+            std::string::npos);
+  EXPECT_FALSE(rows[0][1].is_null());
+}
+
+// --- Chrome trace export ---------------------------------------------------
+
+TEST(DmvTest, TraceOutWritesLoadableChromeTraceJson) {
+  auto appliance = MakeLoadedAppliance(2, 0.01);
+  std::string path = ::testing::TempDir() + "pdw_dmv_trace.json";
+  std::remove(path.c_str());
+  QueryOptions options;
+  options.trace_out = path;
+  auto r = appliance->Run(kJoinSql, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  obs::Tracer::Global().Disable();
+  obs::Tracer::Global().Clear();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace file not written: " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  // The chrome://tracing envelope with the whole query as one span tree:
+  // the root appliance.run span plus compile and step phases under it.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("appliance.run"), std::string::npos);
+  EXPECT_NE(json.find("compile.pipeline"), std::string::npos);
+  EXPECT_NE(json.find("dsql.step"), std::string::npos);
+  EXPECT_NE(json.find("dms.execute"), std::string::npos);
+  EXPECT_EQ(json.find("appliance.run"), json.rfind("appliance.run"))
+      << "expected exactly one root query span";
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pdw
