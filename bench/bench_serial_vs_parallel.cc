@@ -56,6 +56,7 @@ void RunSweep(const char* label, const char* query,
   for (int nodes : {2, 4, 8, 16}) {
     for (double scale : {0.05, 0.2}) {
       auto appliance = bench::MakeTpchAppliance(nodes, scale);
+      Session session = appliance->Connect();
       auto comp = CompilePdwQuery(appliance->shell(), query);
       if (!comp.ok()) {
         std::printf("compile failed: %s\n", comp.status().ToString().c_str());
@@ -75,8 +76,8 @@ void RunSweep(const char* label, const char* query,
       if (sink->enabled()) {
         // Full pipeline run with per-operator actuals for the JSON dump.
         QueryOptions analyze;
-        analyze.collect_operator_actuals = true;
-        auto analyzed = appliance->Run(query, analyze);
+        analyze.observe.collect_operator_actuals = true;
+        auto analyzed = session.Run(query, analyze);
         if (analyzed.ok()) {
           sink->Add(std::string(label) + "/nodes=" + std::to_string(nodes) +
                         "/scale=" + std::to_string(scale),
@@ -113,17 +114,18 @@ void RunPoolSweep() {
               "speedup");
   for (int nodes : {2, 4, 8, 16}) {
     auto appliance = bench::MakeTpchAppliance(nodes, 0.05);
+    Session session = appliance->Connect();
     appliance->set_dispatch_latency_seconds(0.002);
     QueryOptions serial;
-    serial.max_parallel_nodes = 1;
+    serial.execute.max_parallel_nodes = 1;
     QueryOptions pooled;  // 0 = all nodes at once
     // Warm up once so first-touch costs don't skew either side.
-    (void)appliance->Run(kQuery, pooled);
+    (void)session.Run(kQuery, pooled);
     double serial_s = 0, pooled_s = 0;
     const int reps = 3;
     for (int r = 0; r < reps; ++r) {
-      auto s = appliance->Run(kQuery, serial);
-      auto p = appliance->Run(kQuery, pooled);
+      auto s = session.Run(kQuery, serial);
+      auto p = session.Run(kQuery, pooled);
       if (!s.ok() || !p.ok()) {
         std::printf("execution failed\n");
         return;

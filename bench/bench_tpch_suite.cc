@@ -15,6 +15,7 @@ namespace {
 void Run(bench::ProfileJsonSink* sink) {
   bench::Header("TPCH-SUITE: PDW optimizer vs parallelized-serial baseline");
   auto appliance = bench::MakeTpchAppliance(8, 0.2);
+  Session session = appliance->Connect();
 
   std::printf("\n%-5s %5s | %11s %11s %7s | %11s %11s %7s | %8s %8s | %5s"
               " | %9s %9s %4s\n",
@@ -48,12 +49,12 @@ void Run(bench::ProfileJsonSink* sink) {
     // cache is on, so the first run compiles and inserts, the repeat is
     // served from cache with compile time ≈ the cache-lookup cost.
     QueryOptions opts;
-    opts.collect_operator_actuals = sink->enabled();
-    opts.use_plan_cache = true;
-    auto dist = appliance->Run(q.sql, opts);
+    opts.observe.collect_operator_actuals = sink->enabled();
+    opts.compile.use_plan_cache = true;
+    auto dist = session.Run(q.sql, opts);
     bool match = dist.ok() && RowSetsEqual(dist->rows, ref->rows);
     if (dist.ok()) sink->Add(q.name, dist->profile);
-    auto repeat = appliance->Run(q.sql, opts);
+    auto repeat = session.Run(q.sql, opts);
     double compile1 = dist.ok() ? dist->profile.compile_seconds : 0;
     double compile2 = repeat.ok() ? repeat->profile.compile_seconds : 0;
     bool hit = repeat.ok() && repeat->cache_hit;

@@ -27,7 +27,8 @@ void Run() {
               "error", "correct");
   for (double skew : {0.0, 1.0, 2.0, 3.0, 4.0}) {
     auto appliance = bench::MakeTpchAppliance(8, 0.2, skew);
-    auto result = appliance->Run(sql);
+    Session session = appliance->Connect();
+    auto result = session.Run(sql);
     if (!result.ok()) {
       std::printf("%-6.1f | execution failed: %s\n", skew,
                   result.status().ToString().c_str());

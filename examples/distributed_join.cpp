@@ -20,6 +20,7 @@ using namespace pdw;
 
 int main() {
   Appliance appliance(Topology{8});
+  Session session = appliance.Connect();
   Status s = tpch::CreateTpchTables(&appliance);
   if (!s.ok()) { std::printf("%s\n", s.ToString().c_str()); return 1; }
   tpch::TpchConfig cfg;
@@ -62,7 +63,7 @@ int main() {
   std::printf("\nchosen parallel plan (cost %.6f):\n%s\n", plan->cost,
               PlanTreeToString(*plan->plan).c_str());
 
-  auto result = appliance.Run(sql);
+  auto result = session.Run(sql);
   if (!result.ok()) {
     std::printf("execution failed: %s\n", result.status().ToString().c_str());
     return 1;

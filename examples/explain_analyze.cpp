@@ -16,6 +16,7 @@ using namespace pdw;
 
 int main() {
   Appliance appliance(Topology{8});
+  Session session = appliance.Connect();
   Status s = tpch::CreateTpchTables(&appliance);
   if (!s.ok()) { std::printf("%s\n", s.ToString().c_str()); return 1; }
   tpch::TpchConfig cfg;
@@ -31,8 +32,8 @@ int main() {
 
   const tpch::TpchQuery* q20 = tpch::FindQuery("Q20");
   QueryOptions opts;
-  opts.collect_operator_actuals = true;
-  auto analyzed = appliance.Run(q20->sql, opts);
+  opts.observe.collect_operator_actuals = true;
+  auto analyzed = session.Run(q20->sql, opts);
   if (!analyzed.ok()) {
     std::printf("failed: %s\n", analyzed.status().ToString().c_str());
     return 1;

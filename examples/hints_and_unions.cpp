@@ -13,6 +13,7 @@ using namespace pdw;
 
 int main() {
   Appliance appliance(Topology{8});
+  Session session = appliance.Connect();
   Status s = tpch::CreateTpchTables(&appliance);
   if (!s.ok()) { std::printf("%s\n", s.ToString().c_str()); return 1; }
   tpch::TpchConfig cfg;
@@ -47,7 +48,7 @@ int main() {
       "WHERE l_quantity = 50";
   std::printf("\n\ncollocated UNION ALL (both operands hash-distributed):\n"
               "  %s\n", union_sql);
-  auto result = appliance.Run(union_sql);
+  auto result = session.Run(union_sql);
   if (!result.ok()) {
     std::printf("failed: %s\n", result.status().ToString().c_str());
     return 1;

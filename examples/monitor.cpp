@@ -22,9 +22,8 @@ using namespace pdw;
 namespace {
 
 /// Runs a DMV query and prints its rows as a fixed-width table.
-void PrintDmv(Appliance* appliance, const char* title,
-              const std::string& sql) {
-  auto r = appliance->Run(sql);
+void PrintDmv(Session* session, const char* title, const std::string& sql) {
+  auto r = session->Run(sql);
   if (!r.ok()) {
     std::printf("%s: %s\n", title, r.status().ToString().c_str());
     return;
@@ -74,34 +73,37 @@ int main(int argc, char** argv) {
   for (int t = 0; t < 3; ++t) {
     sessions.emplace_back([&, t] {
       QueryOptions options;
-      options.use_plan_cache = t % 2 == 0;
+      options.compile.use_plan_cache = t % 2 == 0;
+      Session session = appliance.Connect(options);
       for (int i = 0; !stop.load(); ++i) {
-        auto r = appliance.Run(workload[(t + i) % 4], options);
+        auto r = session.Run(workload[(t + i) % 4]);
         if (!r.ok()) break;
       }
     });
   }
 
+  // The operator's own session for DMV polling.
+  Session monitor = appliance.Connect();
   for (int frame = 0; frame < refreshes; ++frame) {
     std::printf("\x1b[2J\x1b[H");  // clear screen, cursor home
     std::printf("pdw appliance monitor — frame %d/%d — all data via DMV "
                 "queries\n\n", frame + 1, refreshes);
-    PrintDmv(&appliance, "executing now (sys.dm_pdw_exec_requests)",
+    PrintDmv(&monitor, "executing now (sys.dm_pdw_exec_requests)",
              "SELECT request_id, status, current_step, total_steps, "
              "retries, rows_moved FROM sys.dm_pdw_exec_requests "
              "WHERE status = 'executing' AND total_steps > 0");
-    PrintDmv(&appliance, "running steps (sys.dm_pdw_exec_steps)",
+    PrintDmv(&monitor, "running steps (sys.dm_pdw_exec_steps)",
              "SELECT request_id, step_index, kind, move_kind, rows_moved "
              "FROM sys.dm_pdw_exec_steps WHERE status = 'running'");
-    PrintDmv(&appliance, "throughput (sys.dm_pdw_exec_requests)",
+    PrintDmv(&monitor, "throughput (sys.dm_pdw_exec_requests)",
              "SELECT status, COUNT(*) AS requests, SUM(retries) AS retries "
              "FROM sys.dm_pdw_exec_requests WHERE total_steps > 0 "
              "GROUP BY status");
-    PrintDmv(&appliance, "latency quantiles (sys.dm_pdw_metrics)",
+    PrintDmv(&monitor, "latency quantiles (sys.dm_pdw_metrics)",
              "SELECT metric_name, value, p50, p95, p99 "
              "FROM sys.dm_pdw_metrics WHERE metric_kind = 'histogram' AND "
              "p99 > 0");
-    PrintDmv(&appliance, "plan cache (sys.dm_pdw_plan_cache)",
+    PrintDmv(&monitor, "plan cache (sys.dm_pdw_plan_cache)",
              "SELECT sql_text, hits, num_steps FROM sys.dm_pdw_plan_cache");
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }

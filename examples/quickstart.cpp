@@ -13,6 +13,7 @@ using namespace pdw;
 int main() {
   // 1. An appliance: one control node + four compute nodes (Fig. 1).
   Appliance appliance(Topology{4});
+  Session session = appliance.Connect();
 
   // 2. DDL with PDW distribution clauses (§2.1): orders hash-distributed,
   //    nation replicated on every compute node.
@@ -50,7 +51,7 @@ int main() {
       "SELECT n_name, COUNT(*) AS orders_count, SUM(o_totalprice) AS total "
       "FROM orders, nation WHERE o_nationkey = n_nationkey "
       "GROUP BY n_name ORDER BY total DESC";
-  auto result = appliance.Run(sql);
+  auto result = session.Run(sql);
   if (!result.ok()) {
     std::printf("query failed: %s\n", result.status().ToString().c_str());
     return 1;

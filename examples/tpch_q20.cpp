@@ -14,6 +14,7 @@ using namespace pdw;
 
 int main() {
   Appliance appliance(Topology{8});
+  Session session = appliance.Connect();
   Status s = tpch::CreateTpchTables(&appliance);
   if (!s.ok()) { std::printf("%s\n", s.ToString().c_str()); return 1; }
   tpch::TpchConfig cfg;
@@ -24,7 +25,7 @@ int main() {
   const tpch::TpchQuery* q20 = tpch::FindQuery("Q20");
   std::printf("TPC-H Q20 (%s):\n%s\n\n", q20->notes.c_str(), q20->sql.c_str());
 
-  auto result = appliance.Run(q20->sql);
+  auto result = session.Run(q20->sql);
   if (!result.ok()) {
     std::printf("execution failed: %s\n", result.status().ToString().c_str());
     return 1;

@@ -24,6 +24,13 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dms_pipeline_test
 cmake --build build-tsan -j --target dmv_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dmv_test
 
+# Workload leg: admission control (slot handoff, priority queue, overload
+# fast-fail), result-cache coalescing (leader/follower wakeups), and
+# cooperative cancellation racing queued and mid-DMS queries — all
+# lock/condvar surfaces, so they run instrumented.
+cmake --build build-tsan -j --target workload_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/workload_test
+
 # The vectorized batch engine owns raw selection-vector / hash-table
 # indexing; run the whole suite through it under AddressSanitizer.
 cmake -B build-asan -S . -DPDW_SANITIZE=address

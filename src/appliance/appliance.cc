@@ -184,6 +184,7 @@ void InstallObsHooks() {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
     reg.DefineHistogram("appliance.query.seconds", LatencyBuckets());
     reg.DefineHistogram("optimizer.compile.seconds", LatencyBuckets());
+    reg.DefineHistogram("wlm.queue_wait.seconds", LatencyBuckets());
     reg.DefineHistogram("dsql.step.seconds", LatencyBuckets());
     reg.DefineHistogram("dms.reader.seconds", LatencyBuckets());
     reg.DefineHistogram("dms.network.seconds", LatencyBuckets());
@@ -210,7 +211,12 @@ void InstallObsHooks() {
 }  // namespace
 
 Appliance::Appliance(Topology topology)
-    : shell_(topology), dms_(topology.num_compute_nodes) {
+    : shell_(topology),
+      dms_(topology.num_compute_nodes),
+      table_versions_(std::make_shared<TableVersionTracker>()),
+      plan_cache_(/*capacity=*/128, table_versions_),
+      result_cache_(/*capacity=*/64, table_versions_),
+      workload_(WorkloadManagerConfig::FromEnv()) {
   for (int i = 0; i < topology.num_compute_nodes; ++i) {
     compute_.push_back(std::make_unique<LocalEngine>());
   }
@@ -218,7 +224,8 @@ Appliance::Appliance(Topology topology)
   // The control node's engine doubles as the DMV host: sys.dm_pdw_* view
   // names can never collide with user tables (the parser reserves the
   // sys. prefix for dotted names), so registration cannot fail.
-  Status views = InstallSystemViews(&control_, &requests_, &plan_cache_);
+  Status views = InstallSystemViews(&control_, &requests_, &plan_cache_,
+                                    &workload_, &result_cache_);
   (void)views;
 }
 
@@ -287,8 +294,9 @@ Status Appliance::RefreshStatistics(const std::string& table) {
   } else {
     def->stats = TableStats::Merge(parts, dist_col);
   }
-  // Fresh statistics can change distribution-dependent plan choices: any
-  // cached plan reading this table must recompile.
+  // Fresh statistics can change distribution-dependent plan choices — and
+  // fresh rows change answers. The bump goes through the tracker shared by
+  // the plan cache and the result cache, so both invalidate at once.
   plan_cache_.BumpTableVersion(table);
   return Status::OK();
 }
@@ -342,7 +350,8 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
                                                int max_parallel_nodes,
                                                const ExecOptions& exec,
                                                DmsCodec dms_codec,
-                                               const RetryPolicy& retry) {
+                                               const RetryPolicy& retry,
+                                               const std::atomic<bool>* cancel) {
   ApplianceResult result;
   result.dsql = dsql;
   result.column_names = dsql.output_names;
@@ -497,6 +506,8 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
       }
       DmsExecOptions dms_options;
       dms_options.codec = DmsCodec::kColumnar;
+      dms_options.cancel = cancel;
+      dms_options.max_workers = max_parallel_nodes;
       dms_options.progress = [this, query_id, idx = sp->index](
                                  double rows_delta, double bytes_delta) {
         requests_.StepProgress(query_id, idx, rows_delta, bytes_delta);
@@ -525,6 +536,8 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
           run_on_nodes(step, SourceNodes(step), &source_rows, sp));
       DmsExecOptions dms_options;
       dms_options.codec = DmsCodec::kRow;
+      dms_options.cancel = cancel;
+      dms_options.max_workers = max_parallel_nodes;
       dms_options.progress = [this, query_id, idx = sp->index](
                                  double rows_delta, double bytes_delta) {
         requests_.StepProgress(query_id, idx, rows_delta, bytes_delta);
@@ -626,6 +639,13 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
     if (is_dms) temps.push_back(step.dest_table);
     obs::StepProfile sp;
     for (int attempt = 0;; ++attempt) {
+      // Cooperative cancellation is observed at every step boundary and at
+      // every retry re-entry; the abort goes through cleanup_and_fail so a
+      // cancelled query never leaks temp tables.
+      if (cancel != nullptr && cancel->load()) {
+        return cleanup_and_fail(
+            Status::Cancelled("query cancelled at step boundary"));
+      }
       sp = obs::StepProfile{};
       sp.index = step_index;
       sp.sql = step.sql;
@@ -711,10 +731,47 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
 
 Result<ApplianceResult> Appliance::Run(const std::string& sql,
                                        const QueryOptions& options) {
-  // Trace export: a per-query path (QueryOptions::trace_out) or the
+  return RunAs(kDefaultSessionId, sql, options);
+}
+
+std::shared_ptr<std::atomic<bool>> Appliance::RegisterCancelFlag(
+    uint64_t query_id) {
+  auto flag = std::make_shared<std::atomic<bool>>(false);
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  cancel_flags_[query_id] = flag;
+  return flag;
+}
+
+void Appliance::UnregisterCancelFlag(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  cancel_flags_.erase(query_id);
+}
+
+Status Appliance::Cancel(uint64_t query_id) {
+  std::shared_ptr<std::atomic<bool>> flag;
+  {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    auto it = cancel_flags_.find(query_id);
+    if (it == cancel_flags_.end()) {
+      return Status::NotFound("no in-flight query with id " +
+                              std::to_string(query_id));
+    }
+    flag = it->second;
+  }
+  flag->store(true);
+  // Wake admission-queue waiters so a queued (not yet executing) query
+  // observes the flag immediately instead of after getting a slot.
+  workload_.Poke();
+  return Status::OK();
+}
+
+Result<ApplianceResult> Appliance::RunAs(uint64_t session_id,
+                                         const std::string& sql,
+                                         const QueryOptions& options) {
+  // Trace export: a per-query path (ObserveOptions::trace_out) or the
   // process-wide PDW_TRACE_OUT turns the global tracer on before the run
   // and dumps a Chrome-trace JSON file after it.
-  std::string trace_path = options.trace_out;
+  std::string trace_path = options.observe.trace_out;
   if (trace_path.empty()) {
     const char* env = std::getenv("PDW_TRACE_OUT");
     if (env != nullptr && *env != '\0') trace_path = env;
@@ -726,21 +783,26 @@ Result<ApplianceResult> Appliance::Run(const std::string& sql,
   // lands in exactly one terminal phase below.
   uint64_t query_id =
       next_query_id_.fetch_add(1, std::memory_order_relaxed);
-  requests_.Register(query_id, NormalizeSqlForPlanCache(sql),
-                     EngineLabel(options.engine));
+  requests_.Register(query_id, session_id, NormalizeSqlForPlanCache(sql),
+                     EngineLabel(options.execute.engine));
+  std::shared_ptr<std::atomic<bool>> cancel = RegisterCancelFlag(query_id);
   double start = NowSeconds();
   Result<ApplianceResult> result = Status::Internal("query not executed");
   {
     obs::TraceSpan span("appliance.run");
     span.AddAttr("query_id", static_cast<double>(query_id));
-    result = RunImpl(query_id, sql, options);
+    result = RunImpl(query_id, sql, options, cancel.get());
   }
+  UnregisterCancelFlag(query_id);
   obs::MetricsRegistry::Global().Observe("appliance.query.seconds",
                                          NowSeconds() - start);
   if (result.ok()) {
     result->query_id = query_id;
+    result->session_id = session_id;
     result->profile.query_id = query_id;
     requests_.Complete(query_id);
+  } else if (result.status().code() == StatusCode::kCancelled) {
+    requests_.Cancel(query_id, result.status().ToString());
   } else {
     requests_.Fail(query_id, result.status().ToString());
   }
@@ -759,8 +821,8 @@ Result<ApplianceResult> Appliance::RunDmvQuery(uint64_t query_id,
   requests_.EndCompile(query_id, /*cache_hit=*/false);
   requests_.BeginExecute(query_id, {});
   double start = NowSeconds();
-  PDW_ASSIGN_OR_RETURN(SqlResult rows,
-                       control_.ExecuteSql(sql, nullptr, options.engine));
+  PDW_ASSIGN_OR_RETURN(
+      SqlResult rows, control_.ExecuteSql(sql, nullptr, options.execute.engine));
   ApplianceResult result;
   result.column_names = std::move(rows.column_names);
   result.rows = std::move(rows.rows);
@@ -774,11 +836,13 @@ Result<ApplianceResult> Appliance::RunDmvQuery(uint64_t query_id,
 
 Result<ApplianceResult> Appliance::RunImpl(uint64_t query_id,
                                            const std::string& sql,
-                                           const QueryOptions& options) {
+                                           const QueryOptions& options,
+                                           const std::atomic<bool>* cancel) {
   // Queries over sys.dm_pdw_* system views never enter the distributed
   // pipeline: they run on the control node, like DMVs on the real
-  // appliance. A parse failure falls through so the ordinary pipeline
-  // reports its usual error.
+  // appliance — bypassing the workload manager and the result cache too,
+  // so monitoring stays responsive on a saturated appliance. A parse
+  // failure falls through so the ordinary pipeline reports its usual error.
   {
     auto parsed = sql::ParseStatement(sql);
     if (parsed.ok() && parsed->kind == sql::StatementKind::kSelect &&
@@ -787,133 +851,220 @@ Result<ApplianceResult> Appliance::RunImpl(uint64_t query_id,
     }
   }
 
-  // Arm this query's fault schedule (if any) for the duration of the call
-  // and open a new query scope, so query#-scoped specs — '1' in
-  // QueryOptions::faults, the matching serial in PDW_FAULTS — target it.
-  fault::ScopedFaults scoped_faults(options.faults);
-  if (fault::FaultRegistry::Armed()) {
-    fault::FaultRegistry::Global().BeginQuery();
-  }
-  obs::QueryProfile profile;
-  profile.sql = sql;
-  profile.query_id = query_id;
-
-  // 1. Obtain a DSQL plan: from the plan cache when allowed and fresh,
-  // else through the full parse→memo→XML→enumeration pipeline.
-  DsqlPlan dsql;
-  std::string plan_text;
-  double modeled_cost = 0;
-  std::vector<std::string> output_names;
-  bool cache_hit = false;
-
-  requests_.BeginCompile(query_id);
-  std::string normalized, fingerprint;
-  if (options.use_plan_cache) {
-    double t0 = NowSeconds();
-    normalized = NormalizeSqlForPlanCache(sql);
-    fingerprint = FingerprintCompilerOptions(options.compile);
-    if (auto cached = plan_cache_.Lookup(normalized, fingerprint)) {
-      dsql = std::move(cached->dsql);
-      plan_text = std::move(cached->plan_text);
-      modeled_cost = cached->modeled_cost;
-      output_names = std::move(cached->output_names);
-      profile.optimizer = cached->optimizer;
-      cache_hit = true;
-      double dt = NowSeconds() - t0;
-      profile.compile_phases.push_back({"plan_cache_lookup", dt});
-      profile.compile_seconds = dt;
+  // Result cache: served entirely from the control node — no compile, no
+  // admission, no execution. A miss makes this call the *leader* of its
+  // key: identical queries arriving while it runs coalesce onto its
+  // result, so the Publish/FailFlight obligation below must cover every
+  // exit path of the body.
+  const bool use_result_cache =
+      options.execute.use_result_cache && !options.compile.explain_only;
+  std::string rc_normalized, rc_fingerprint;
+  if (use_result_cache) {
+    rc_normalized = NormalizeSqlForPlanCache(sql);
+    rc_fingerprint = FingerprintCompilerOptions(options.compile.compiler);
+    bool coalesced = false;
+    if (auto hit = result_cache_.LookupOrJoin(rc_normalized, rc_fingerprint,
+                                              &coalesced)) {
+      requests_.MarkResultCacheHit(query_id);
+      ApplianceResult result;
+      result.column_names = std::move(hit->column_names);
+      result.rows = std::move(hit->rows);
+      result.plan_text = std::move(hit->plan_text);
+      result.modeled_cost = hit->modeled_cost;
+      result.result_cache_hit = true;
+      result.explain_text =
+          std::string("-- served from result cache") +
+          (coalesced ? " (coalesced onto identical in-flight query)" : "") +
+          "\n" + result.plan_text;
+      result.profile.sql = sql;
+      result.profile.query_id = query_id;
+      result.profile.modeled_cost = result.modeled_cost;
+      return result;
     }
   }
 
-  if (!cache_hit) {
-    PDW_ASSIGN_OR_RETURN(PdwCompilation comp,
-                         CompilePdwQuery(shell_, sql, options.compile));
-    double t0 = NowSeconds();
-    {
-      obs::TraceSpan gen("compile.dsql_gen");
-      PDW_ASSIGN_OR_RETURN(dsql,
-                           GenerateDsql(*comp.parallel.plan, comp.output_names,
-                                        "tpch", comp.serial.visible_columns));
+  auto body = [&]() -> Result<ApplianceResult> {
+    // Arm this query's fault schedule (if any) for the duration of the call
+    // and open a new query scope, so query#-scoped specs — '1' in
+    // ExecutionOptions::faults, the matching serial in PDW_FAULTS — target
+    // it.
+    fault::ScopedFaults scoped_faults(options.execute.faults);
+    if (fault::FaultRegistry::Armed()) {
+      fault::FaultRegistry::Global().BeginQuery();
     }
-    comp.phase_seconds.emplace_back("dsql_gen", NowSeconds() - t0);
-    plan_text = PlanTreeToString(*comp.parallel.plan);
-    modeled_cost = comp.parallel.cost;
-    output_names = comp.output_names;
-    for (const auto& [name, seconds] : comp.phase_seconds) {
-      profile.compile_phases.push_back({name, seconds});
-      profile.compile_seconds += seconds;
-    }
-    profile.optimizer.groups =
-        static_cast<double>(comp.parallel.groups_optimized);
-    profile.optimizer.options_considered =
-        static_cast<double>(comp.parallel.options_considered);
-    profile.optimizer.options_kept =
-        static_cast<double>(comp.parallel.options_kept);
-    profile.optimizer.options_pruned =
-        static_cast<double>(comp.parallel.options_pruned);
-    profile.optimizer.enforcers_inserted =
-        static_cast<double>(comp.parallel.enforcers_inserted);
+    obs::QueryProfile profile;
+    profile.sql = sql;
+    profile.query_id = query_id;
 
-    if (options.use_plan_cache) {
-      CachedDsqlPlan entry;
-      entry.dsql = dsql;
-      entry.output_names = output_names;
-      entry.plan_text = plan_text;
-      entry.modeled_cost = modeled_cost;
-      entry.optimizer = profile.optimizer;
+    // 1. Obtain a DSQL plan: from the plan cache when allowed and fresh,
+    // else through the full parse→memo→XML→enumeration pipeline.
+    DsqlPlan dsql;
+    std::string plan_text;
+    double modeled_cost = 0;
+    std::vector<std::string> output_names;
+    bool cache_hit = false;
+    // Base tables the plan scans with their stats versions: the
+    // invalidation anchor for both the plan cache and the result cache.
+    std::vector<std::pair<std::string, uint64_t>> scan_versions;
+
+    requests_.BeginCompile(query_id);
+    std::string normalized, fingerprint;
+    if (options.compile.use_plan_cache) {
+      double t0 = NowSeconds();
+      normalized = NormalizeSqlForPlanCache(sql);
+      fingerprint = FingerprintCompilerOptions(options.compile.compiler);
+      if (auto cached = plan_cache_.Lookup(normalized, fingerprint)) {
+        dsql = std::move(cached->dsql);
+        plan_text = std::move(cached->plan_text);
+        modeled_cost = cached->modeled_cost;
+        output_names = std::move(cached->output_names);
+        profile.optimizer = cached->optimizer;
+        scan_versions = std::move(cached->table_versions);
+        cache_hit = true;
+        double dt = NowSeconds() - t0;
+        profile.compile_phases.push_back({"plan_cache_lookup", dt});
+        profile.compile_seconds = dt;
+      }
+    }
+
+    if (!cache_hit) {
+      PDW_ASSIGN_OR_RETURN(
+          PdwCompilation comp,
+          CompilePdwQuery(shell_, sql, options.compile.compiler));
+      double t0 = NowSeconds();
+      {
+        obs::TraceSpan gen("compile.dsql_gen");
+        PDW_ASSIGN_OR_RETURN(
+            dsql, GenerateDsql(*comp.parallel.plan, comp.output_names, "tpch",
+                               comp.serial.visible_columns));
+      }
+      comp.phase_seconds.emplace_back("dsql_gen", NowSeconds() - t0);
+      plan_text = PlanTreeToString(*comp.parallel.plan);
+      modeled_cost = comp.parallel.cost;
+      output_names = comp.output_names;
+      for (const auto& [name, seconds] : comp.phase_seconds) {
+        profile.compile_phases.push_back({name, seconds});
+        profile.compile_seconds += seconds;
+      }
+      profile.optimizer.groups =
+          static_cast<double>(comp.parallel.groups_optimized);
+      profile.optimizer.options_considered =
+          static_cast<double>(comp.parallel.options_considered);
+      profile.optimizer.options_kept =
+          static_cast<double>(comp.parallel.options_kept);
+      profile.optimizer.options_pruned =
+          static_cast<double>(comp.parallel.options_pruned);
+      profile.optimizer.enforcers_inserted =
+          static_cast<double>(comp.parallel.enforcers_inserted);
+
       std::set<std::string> seen;
       CollectScanTables(*comp.parallel.plan, plan_cache_, &seen,
-                        &entry.table_versions);
-      plan_cache_.Insert(normalized, fingerprint, std::move(entry));
+                        &scan_versions);
+      if (options.compile.use_plan_cache) {
+        CachedDsqlPlan entry;
+        entry.dsql = dsql;
+        entry.output_names = output_names;
+        entry.plan_text = plan_text;
+        entry.modeled_cost = modeled_cost;
+        entry.optimizer = profile.optimizer;
+        entry.table_versions = scan_versions;
+        plan_cache_.Insert(normalized, fingerprint, std::move(entry));
+      }
     }
-  }
-  profile.modeled_cost = modeled_cost;
-  profile.cache_hit = cache_hit;
-  requests_.EndCompile(query_id, cache_hit);
-  obs::MetricsRegistry::Global().Observe("optimizer.compile.seconds",
-                                         profile.compile_seconds);
+    profile.modeled_cost = modeled_cost;
+    profile.cache_hit = cache_hit;
+    requests_.EndCompile(query_id, cache_hit);
+    obs::MetricsRegistry::Global().Observe("optimizer.compile.seconds",
+                                           profile.compile_seconds);
 
-  // 2. EXPLAIN only: render without executing.
-  if (options.explain_only) {
-    ApplianceResult result;
-    result.dsql = std::move(dsql);
-    result.column_names = output_names;
+    // 2. EXPLAIN only: render without executing (no admission needed).
+    if (options.compile.explain_only) {
+      ApplianceResult result;
+      result.dsql = std::move(dsql);
+      result.column_names = output_names;
+      result.modeled_cost = modeled_cost;
+      result.plan_text = plan_text;
+      result.cache_hit = cache_hit;
+      result.explain_text =
+          "-- parallel plan (modeled DMS cost " +
+          StringFormat("%.6f", modeled_cost) + ")" +
+          (cache_hit ? "  [plan cache hit]" : "") + "\n" + plan_text + "\n" +
+          result.dsql.ToString();
+      result.profile = std::move(profile);
+      return result;
+    }
+
+    // 3. Workload management: classify from the optimizer's modeled cost
+    // (unless the session pinned a class) and acquire a concurrency slot
+    // of that class — queueing behind the bounded admission gate, or
+    // fast-failing with kOverloaded when the queue itself is full. The
+    // ticket holds the slot for the whole execution.
+    ResourceClass rc =
+        workload_.Classify(modeled_cost, options.execute.resource_class);
+    requests_.BeginQueue(query_id, ResourceClassName(rc));
+    double queue_seconds = 0;
+    PDW_ASSIGN_OR_RETURN(
+        WorkloadManager::Ticket ticket,
+        workload_.Admit(query_id, rc, options.execute.priority, cancel,
+                        &queue_seconds));
+    requests_.Admit(query_id);
+    if (cancel != nullptr && cancel->load()) {
+      return Status::Cancelled("query cancelled before execution");
+    }
+    // The admitted class's fan-out cap composes with the caller's own:
+    // the stricter one wins (0 = uncapped). It bounds both per-step node
+    // parallelism and DMS pipeline workers.
+    int max_parallel = options.execute.max_parallel_nodes;
+    int class_cap = ticket.max_parallel_nodes();
+    if (class_cap > 0 && (max_parallel == 0 || class_cap < max_parallel)) {
+      max_parallel = class_cap;
+    }
+
+    // 4. Execute with per-execution-unique temp names — TEMP_ID_Q<id>_k,
+    // where <id> is the same request id sys.dm_pdw_exec_requests shows.
+    UniquifyTempNames(&dsql, query_id);
+    PDW_ASSIGN_OR_RETURN(
+        ApplianceResult result,
+        ExecuteDsql(dsql, query_id, options.observe.collect_operator_actuals,
+                    max_parallel, options.execute.engine,
+                    options.execute.dms_codec, options.execute.retry, cancel));
     result.modeled_cost = modeled_cost;
     result.plan_text = plan_text;
     result.cache_hit = cache_hit;
-    result.explain_text =
-        "-- parallel plan (modeled DMS cost " +
-        StringFormat("%.6f", modeled_cost) + ")" +
-        (cache_hit ? "  [plan cache hit]" : "") + "\n" + plan_text + "\n" +
-        result.dsql.ToString();
+    result.resource_class = ResourceClassName(rc);
+    result.queue_seconds = queue_seconds;
+    if (result.column_names.empty()) result.column_names = output_names;
+
+    // ExecuteDsql filled the per-step profile; graft the compile-side half
+    // (phases, optimizer counters) in.
+    profile.steps = std::move(result.profile.steps);
+    profile.measured_seconds = result.profile.measured_seconds;
+    profile.modeled_cost = result.profile.modeled_cost;
     result.profile = std::move(profile);
+
+    result.explain_text = "-- parallel plan (modeled DMS cost " +
+                          StringFormat("%.6f", result.modeled_cost) + ")" +
+                          (cache_hit ? "  [plan cache hit]" : "") + "\n" +
+                          result.plan_text + "\n" + result.profile.ToText();
+
+    if (use_result_cache) {
+      CachedQueryResult cached;
+      cached.column_names = result.column_names;
+      cached.rows = result.rows;
+      cached.plan_text = result.plan_text;
+      cached.modeled_cost = result.modeled_cost;
+      cached.table_versions = std::move(scan_versions);
+      result_cache_.Publish(rc_normalized, rc_fingerprint, std::move(cached));
+    }
     return result;
+  };
+
+  Result<ApplianceResult> result = body();
+  if (use_result_cache && !result.ok()) {
+    // Leader failed (or was cancelled): release coalesced followers so one
+    // of them retries as the new leader instead of inheriting this error.
+    result_cache_.FailFlight(rc_normalized, rc_fingerprint);
   }
-
-  // 3. Execute with per-execution-unique temp names — TEMP_ID_Q<id>_k,
-  // where <id> is the same request id sys.dm_pdw_exec_requests shows.
-  UniquifyTempNames(&dsql, query_id);
-  PDW_ASSIGN_OR_RETURN(
-      ApplianceResult result,
-      ExecuteDsql(dsql, query_id, options.collect_operator_actuals,
-                  options.max_parallel_nodes, options.engine,
-                  options.dms_codec, options.retry));
-  result.modeled_cost = modeled_cost;
-  result.plan_text = plan_text;
-  result.cache_hit = cache_hit;
-  if (result.column_names.empty()) result.column_names = output_names;
-
-  // ExecuteDsql filled the per-step profile; graft the compile-side half
-  // (phases, optimizer counters) in.
-  profile.steps = std::move(result.profile.steps);
-  profile.measured_seconds = result.profile.measured_seconds;
-  profile.modeled_cost = result.profile.modeled_cost;
-  result.profile = std::move(profile);
-
-  result.explain_text = "-- parallel plan (modeled DMS cost " +
-                        StringFormat("%.6f", result.modeled_cost) + ")" +
-                        (cache_hit ? "  [plan cache hit]" : "") + "\n" +
-                        result.plan_text + "\n" + result.profile.ToText();
   return result;
 }
 
@@ -922,19 +1073,20 @@ Result<ApplianceResult> Appliance::ExecutePlan(
   PDW_ASSIGN_OR_RETURN(DsqlPlan dsql, GenerateDsql(plan, std::move(output_names)));
   uint64_t query_id =
       next_query_id_.fetch_add(1, std::memory_order_relaxed);
-  requests_.Register(query_id, "(precompiled parallel plan)",
-                     EngineLabel(ExecOptions{}));
+  requests_.Register(query_id, kDefaultSessionId,
+                     "(precompiled parallel plan)", EngineLabel(ExecOptions{}));
   UniquifyTempNames(&dsql, query_id);
   Result<ApplianceResult> result =
       ExecuteDsql(dsql, query_id, /*profile_operators=*/false,
                   /*max_parallel_nodes=*/0, ExecOptions{},
-                  DefaultDmsCodec(), RetryPolicy{});
+                  DefaultDmsCodec(), RetryPolicy{}, /*cancel=*/nullptr);
   if (!result.ok()) {
     requests_.Fail(query_id, result.status().ToString());
     return result.status();
   }
   requests_.Complete(query_id);
   result->query_id = query_id;
+  result->session_id = kDefaultSessionId;
   result->modeled_cost = TotalMoveCost(plan);
   result->plan_text = PlanTreeToString(plan);
   return result;

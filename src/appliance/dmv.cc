@@ -31,12 +31,16 @@ Status InstallExecRequests(LocalEngine* engine,
                            const obs::RequestRegistry* requests) {
   TableDef def = ViewDef("sys.dm_pdw_exec_requests",
                          {{"request_id", TypeId::kInt, false},
+                          {"session_id", TypeId::kInt, false},
                           {"status", TypeId::kVarchar, false},
                           {"sql_text", TypeId::kVarchar, false},
                           {"engine", TypeId::kVarchar, true},
+                          {"resource_class", TypeId::kVarchar, true},
                           {"cache_hit", TypeId::kBool, false},
+                          {"result_cache_hit", TypeId::kBool, false},
                           {"submit_time_s", TypeId::kDouble, false},
                           {"compile_ms", TypeId::kDouble, true},
+                          {"queue_ms", TypeId::kDouble, true},
                           {"exec_ms", TypeId::kDouble, true},
                           {"total_ms", TypeId::kDouble, false},
                           {"current_step", TypeId::kInt, false},
@@ -52,14 +56,25 @@ Status InstallExecRequests(LocalEngine* engine,
         for (const obs::RequestState& r : requests->Snapshot()) {
           Row row;
           row.push_back(Datum::Int(static_cast<int64_t>(r.query_id)));
+          row.push_back(Datum::Int(static_cast<int64_t>(r.session_id)));
           row.push_back(Datum::Varchar(obs::RequestPhaseName(r.phase)));
           row.push_back(Datum::Varchar(r.sql));
           row.push_back(r.engine.empty() ? Datum::Null()
                                          : Datum::Varchar(r.engine));
+          row.push_back(r.resource_class.empty()
+                            ? Datum::Null()
+                            : Datum::Varchar(r.resource_class));
           row.push_back(Datum::Bool(r.cache_hit));
+          row.push_back(Datum::Bool(r.result_cache_hit));
           row.push_back(Datum::Double(r.submit_seconds));
           row.push_back(
-              PhaseMs(r.compile_start_seconds, r.exec_start_seconds, now));
+              PhaseMs(r.compile_start_seconds, r.queue_start_seconds < 0
+                                                   ? r.exec_start_seconds
+                                                   : r.queue_start_seconds,
+                      now));
+          // Queue wait runs from entering the admission queue until a slot
+          // was granted; still-queued requests measure against `now`.
+          row.push_back(PhaseMs(r.queue_start_seconds, r.admit_seconds, now));
           row.push_back(PhaseMs(r.exec_start_seconds, r.end_seconds, now));
           double stop = r.end_seconds < 0 ? now : r.end_seconds;
           row.push_back(Datum::Double((stop - r.submit_seconds) * 1e3));
@@ -218,16 +233,84 @@ Status InstallPlanCache(LocalEngine* engine, const PlanCache* plan_cache) {
       });
 }
 
+Status InstallWorkload(LocalEngine* engine, const WorkloadManager* workload) {
+  TableDef def = ViewDef("sys.dm_pdw_workload",
+                         {{"resource_class", TypeId::kVarchar, false},
+                          {"concurrency_slots", TypeId::kInt, false},
+                          {"active", TypeId::kInt, false},
+                          {"queued", TypeId::kInt, false},
+                          {"queue_capacity", TypeId::kInt, false},
+                          {"max_parallel_nodes", TypeId::kInt, false},
+                          {"admitted_total", TypeId::kInt, false},
+                          {"rejected_total", TypeId::kInt, false},
+                          {"cancelled_total", TypeId::kInt, false},
+                          {"queue_wait_ms_total", TypeId::kDouble, false},
+                          {"cost_threshold", TypeId::kDouble, false}});
+  return engine->RegisterVirtualTable(
+      std::move(def), [workload]() -> Result<RowVector> {
+        RowVector rows;
+        for (const WorkloadClassSnapshot& c : workload->Snapshot()) {
+          Row row;
+          row.push_back(Datum::Varchar(ResourceClassName(c.resource_class)));
+          row.push_back(Datum::Int(c.concurrency_slots));
+          row.push_back(Datum::Int(c.active));
+          row.push_back(Datum::Int(c.queued));
+          row.push_back(Datum::Int(c.queue_depth));
+          row.push_back(Datum::Int(c.max_parallel_nodes));
+          row.push_back(Datum::Int(static_cast<int64_t>(c.admitted_total)));
+          row.push_back(Datum::Int(static_cast<int64_t>(c.rejected_total)));
+          row.push_back(Datum::Int(static_cast<int64_t>(c.cancelled_total)));
+          row.push_back(Datum::Double(c.queue_wait_seconds_total * 1e3));
+          row.push_back(Datum::Double(c.cost_threshold));
+          rows.push_back(std::move(row));
+        }
+        return rows;
+      });
+}
+
+Status InstallResultCache(LocalEngine* engine,
+                          const ResultCache* result_cache) {
+  TableDef def = ViewDef("sys.dm_pdw_result_cache",
+                         {{"sql_text", TypeId::kVarchar, false},
+                          {"fingerprint", TypeId::kVarchar, false},
+                          {"hits", TypeId::kInt, false},
+                          {"result_rows", TypeId::kInt, false},
+                          {"modeled_cost", TypeId::kDouble, false},
+                          {"base_tables", TypeId::kVarchar, false}});
+  return engine->RegisterVirtualTable(
+      std::move(def), [result_cache]() -> Result<RowVector> {
+        RowVector rows;
+        for (const ResultCache::EntryInfo& e : result_cache->ListEntries()) {
+          std::string tables;
+          for (const std::string& t : e.tables) {
+            if (!tables.empty()) tables += ",";
+            tables += t;
+          }
+          rows.push_back({Datum::Varchar(e.normalized_sql),
+                          Datum::Varchar(e.options_fingerprint),
+                          Datum::Int(static_cast<int64_t>(e.hits)),
+                          Datum::Int(e.rows),
+                          Datum::Double(e.modeled_cost),
+                          Datum::Varchar(tables)});
+        }
+        return rows;
+      });
+}
+
 }  // namespace
 
 Status InstallSystemViews(LocalEngine* engine,
                           const obs::RequestRegistry* requests,
-                          const PlanCache* plan_cache) {
+                          const PlanCache* plan_cache,
+                          const WorkloadManager* workload,
+                          const ResultCache* result_cache) {
   PDW_RETURN_NOT_OK(InstallExecRequests(engine, requests));
   PDW_RETURN_NOT_OK(InstallExecSteps(engine, requests));
   PDW_RETURN_NOT_OK(InstallDmsWorkers(engine, requests));
   PDW_RETURN_NOT_OK(InstallMetrics(engine));
   PDW_RETURN_NOT_OK(InstallPlanCache(engine, plan_cache));
+  PDW_RETURN_NOT_OK(InstallWorkload(engine, workload));
+  PDW_RETURN_NOT_OK(InstallResultCache(engine, result_cache));
   return Status::OK();
 }
 

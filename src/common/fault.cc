@@ -26,6 +26,7 @@ const char* const kFaultPointNames[] = {
     "dms.bulkcopy",             ///< Insert into destination temp storage.
     "plan_cache.fill",          ///< Control-node plan-cache insertion.
     "pool.task_start",          ///< Worker-pool task startup.
+    "wlm.admit",                ///< Workload-manager admission decision.
 };
 
 std::vector<std::string> SplitSpecs(const std::string& text) {

@@ -1,0 +1,94 @@
+#ifndef PDW_COMMON_SEMAPHORE_H_
+#define PDW_COMMON_SEMAPHORE_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace pdw {
+
+/// A counting semaphore used as the workload manager's per-resource-class
+/// concurrency budget: each admitted query holds one permit for the length
+/// of its execution. Unlike std::counting_semaphore (C++20), permits can be
+/// queried for introspection (the sys.dm_pdw_workload "active" column is
+/// permits() - available()).
+///
+/// All methods are thread-safe. Fairness is the *caller's* job: the
+/// workload manager serializes TryAcquire through its own admission queue
+/// so FIFO-with-priority ordering holds; raw Acquire wakes waiters in an
+/// unspecified order.
+class CountingSemaphore {
+ public:
+  explicit CountingSemaphore(int permits)
+      : permits_(permits < 0 ? 0 : permits),
+        available_(permits < 0 ? 0 : permits) {}
+
+  CountingSemaphore(const CountingSemaphore&) = delete;
+  CountingSemaphore& operator=(const CountingSemaphore&) = delete;
+
+  /// Takes one permit without blocking; false when none are available.
+  bool TryAcquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (available_ == 0) return false;
+    --available_;
+    return true;
+  }
+
+  /// Blocks until a permit is available, then takes it.
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return available_ > 0; });
+    --available_;
+  }
+
+  /// Returns one permit. Releasing beyond the initial permit count is a
+  /// caller bug; the count saturates at permits() instead of growing.
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (available_ < permits_) ++available_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Grows or shrinks the budget. Shrinking below the number of permits
+  /// currently held never goes negative: outstanding holders drain the
+  /// deficit as they release.
+  void SetPermits(int permits) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (permits < 0) permits = 0;
+      int delta = permits - permits_;
+      permits_ = permits;
+      available_ += delta;
+      if (available_ < 0) available_ = 0;
+      if (available_ > permits_) available_ = permits_;
+    }
+    cv_.notify_all();
+  }
+
+  int permits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return permits_;
+  }
+
+  int available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return available_;
+  }
+
+  /// Permits currently held (permits - available).
+  int in_use() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return permits_ - available_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int permits_;
+  int available_;
+};
+
+}  // namespace pdw
+
+#endif  // PDW_COMMON_SEMAPHORE_H_

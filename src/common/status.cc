@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "execution error";
     case StatusCode::kTransient:
       return "transient";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

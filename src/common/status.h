@@ -18,6 +18,8 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation inside the library.
   kExecutionError,    ///< Runtime failure while evaluating a plan.
   kTransient,         ///< Retryable failure (node hiccup, injected fault).
+  kOverloaded,        ///< Admission queue full — fast-fail, retry later.
+  kCancelled,         ///< Query cancelled by the client session.
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "not found").
@@ -66,6 +68,12 @@ class Status {
   }
   static Status Transient(std::string msg) {
     return Status(StatusCode::kTransient, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

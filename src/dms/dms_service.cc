@@ -125,12 +125,18 @@ Result<std::vector<RowVector>> DmsService::ExecuteRowCodec(
   if (hashes && hash_ordinals.empty()) {
     return Status::InvalidArgument("hash move without hash columns");
   }
+  // The row path materializes whole phases; cancellation is only observed
+  // up front (the streaming path checks every queue push instead).
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled before DMS row move");
+  }
 
   // Runs one phase's per-node body, in parallel when a pool is supplied;
   // each body only touches its own node's slots, so no locking is needed.
   auto each_node = [&](const std::function<void(int)>& body) {
     if (pool != nullptr) {
-      pool->ParallelFor(total_slots, body);
+      pool->ParallelFor(total_slots, body, options.max_workers);
     } else {
       for (int i = 0; i < total_slots; ++i) body(i);
     }
@@ -414,6 +420,13 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
   auto send = [&](int src, int dst, WireMessage msg,
                   DmsRunMetrics& nm) -> Status {
     PDW_FAULT_POINT("dms.queue_push");
+    // Queue pushes are the pipeline's cancellation points: every produced
+    // batch passes through here, so a cancelled query stops moving data
+    // within one wire batch instead of draining the whole stream.
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled during DMS queue push");
+    }
     bool cross = src != dst;
     double t0 = NowSeconds();
     if (cross) {
@@ -426,6 +439,13 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
       // can never succeed again — drop the message and let the reader
       // loop observe `failed` instead of helping/waiting forever.
       if (failed.load(std::memory_order_relaxed)) return Status::OK();
+      // A backpressured producer must also observe cancellation, or a
+      // cancelled query with a full queue would block until its writer
+      // happened to drain.
+      if (options.cancel != nullptr &&
+          options.cancel->load(std::memory_order_relaxed)) {
+        return Status::Cancelled("query cancelled during DMS queue push");
+      }
       backpressure_events.fetch_add(1, std::memory_order_relaxed);
       if (!try_consume_one(dst)) {
         d.queue.WaitNotFullFor(std::chrono::microseconds(200));
@@ -607,7 +627,9 @@ Result<std::vector<RowVector>> DmsService::ExecutePipelined(
     }
   };
   if (pool != nullptr) {
-    pool->ParallelFor(total_tasks, run_task);
+    // max_workers is the per-query thread budget (WLM resource class);
+    // the caller participates, so any cap still makes progress.
+    pool->ParallelFor(total_tasks, run_task, options.max_workers);
   } else {
     for (int i = 0; i < total_tasks; ++i) run_task(i);
   }

@@ -1,6 +1,7 @@
 #ifndef PDW_DMS_DMS_SERVICE_H_
 #define PDW_DMS_DMS_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -68,6 +69,18 @@ struct DmsExecOptions {
   /// path per destination during bulk copy. Must be thread-safe and cheap;
   /// feeds sys.dm_pdw_exec_requests' rows/bytes-moved-so-far columns.
   std::function<void(double rows_delta, double bytes_delta)> progress;
+  /// Cooperative cancellation token (owned by the session that issued the
+  /// query). Checked at every queue push — including inside the
+  /// backpressure wait, so a blocked producer unblocks — and per packed
+  /// batch; when it flips, the movement aborts with StatusCode::kCancelled
+  /// and the pipeline's normal failure path drains every queue.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Cap on how many pipeline tasks (readers + writers) this movement may
+  /// run concurrently on the shared pool — the workload manager's
+  /// per-query thread budget. 0 = no cap beyond pool size. The calling
+  /// thread still participates, so 1 degrades to the serial schedule
+  /// rather than deadlocking.
+  int max_workers = 0;
 };
 
 /// Produces one source node's rows for a pipelined movement — typically by

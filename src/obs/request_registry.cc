@@ -21,14 +21,23 @@ const char* RequestPhaseName(RequestPhase phase) {
       return "queued";
     case RequestPhase::kCompiling:
       return "compiling";
+    case RequestPhase::kAdmitted:
+      return "admitted";
     case RequestPhase::kExecuting:
       return "executing";
     case RequestPhase::kComplete:
       return "complete";
     case RequestPhase::kFailed:
       return "failed";
+    case RequestPhase::kCancelled:
+      return "cancelled";
   }
   return "unknown";
+}
+
+bool IsTerminalPhase(RequestPhase phase) {
+  return phase == RequestPhase::kComplete || phase == RequestPhase::kFailed ||
+         phase == RequestPhase::kCancelled;
 }
 
 int RequestState::TotalRetries() const {
@@ -55,12 +64,13 @@ RequestRegistry::RequestRegistry(size_t ring_capacity)
 
 double RequestRegistry::NowSeconds() const { return SteadySeconds() - epoch_; }
 
-void RequestRegistry::Register(uint64_t query_id, std::string sql,
-                               std::string engine) {
+void RequestRegistry::Register(uint64_t query_id, uint64_t session_id,
+                               std::string sql, std::string engine) {
   double now = NowSeconds();
   std::lock_guard<std::mutex> lock(mu_);
   RequestState& r = active_[query_id];
   r.query_id = query_id;
+  r.session_id = session_id;
   r.sql = std::move(sql);
   r.engine = std::move(engine);
   r.phase = RequestPhase::kQueued;
@@ -81,6 +91,33 @@ void RequestRegistry::EndCompile(uint64_t query_id, bool cache_hit) {
   auto it = active_.find(query_id);
   if (it == active_.end()) return;
   it->second.cache_hit = cache_hit;
+}
+
+void RequestRegistry::BeginQueue(uint64_t query_id,
+                                 std::string resource_class) {
+  double now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(query_id);
+  if (it == active_.end()) return;
+  it->second.phase = RequestPhase::kQueued;
+  it->second.resource_class = std::move(resource_class);
+  it->second.queue_start_seconds = now;
+}
+
+void RequestRegistry::Admit(uint64_t query_id) {
+  double now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(query_id);
+  if (it == active_.end()) return;
+  it->second.phase = RequestPhase::kAdmitted;
+  it->second.admit_seconds = now;
+}
+
+void RequestRegistry::MarkResultCacheHit(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(query_id);
+  if (it == active_.end()) return;
+  it->second.result_cache_hit = true;
 }
 
 void RequestRegistry::BeginExecute(uint64_t query_id,
@@ -154,7 +191,7 @@ void RequestRegistry::Retire(uint64_t query_id, RequestPhase phase,
   r.phase = phase;
   r.end_seconds = NowSeconds();
   r.error = std::move(error);
-  if (phase == RequestPhase::kFailed) {
+  if (phase == RequestPhase::kFailed || phase == RequestPhase::kCancelled) {
     // The step that was running when the request died is the failed one.
     for (RequestStepState& s : r.steps) {
       if (s.status == "running") s.status = "failed";
@@ -172,6 +209,11 @@ void RequestRegistry::Complete(uint64_t query_id) {
 void RequestRegistry::Fail(uint64_t query_id, std::string error) {
   std::lock_guard<std::mutex> lock(mu_);
   Retire(query_id, RequestPhase::kFailed, std::move(error));
+}
+
+void RequestRegistry::Cancel(uint64_t query_id, std::string error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Retire(query_id, RequestPhase::kCancelled, std::move(error));
 }
 
 std::vector<RequestState> RequestRegistry::Snapshot() const {

@@ -11,10 +11,24 @@
 namespace pdw::obs {
 
 /// Lifecycle of one request through the appliance, mirroring the status
-/// column of sys.dm_pdw_exec_requests: queued on submit, compiling while
-/// the control node builds (or cache-loads) the DSQL plan, executing while
-/// steps run, then complete or failed.
-enum class RequestPhase { kQueued, kCompiling, kExecuting, kComplete, kFailed };
+/// column of sys.dm_pdw_exec_requests: queued on submit *and again* while
+/// waiting in the workload manager's admission queue, compiling while the
+/// control node builds (or cache-loads) the DSQL plan, admitted once a
+/// concurrency slot of its resource class is granted, executing while
+/// steps run, then complete, failed, or cancelled.
+enum class RequestPhase {
+  kQueued,
+  kCompiling,
+  kAdmitted,
+  kExecuting,
+  kComplete,
+  kFailed,
+  kCancelled,
+};
+
+/// True for the phases a retired request can land in (complete / failed /
+/// cancelled) — everything the DMV shows from the finished ring.
+bool IsTerminalPhase(RequestPhase phase);
 
 const char* RequestPhaseName(RequestPhase phase);
 
@@ -46,14 +60,28 @@ inline constexpr const char* kDmsComponentNames[4] = {"reader", "network",
 /// negative means "hasn't happened yet".
 struct RequestState {
   uint64_t query_id = 0;
+  /// Session the request belongs to (Appliance::Connect handle; 1 is the
+  /// implicit default session behind bare Appliance::Run).
+  uint64_t session_id = 0;
   std::string sql;        ///< Normalized SQL text.
   std::string engine;     ///< Local execution engine label ("row"/"batch").
   RequestPhase phase = RequestPhase::kQueued;
+  /// Workload-manager resource class ("small"/"medium"/"large"), set when
+  /// the request enters admission; empty for DMV/explain-only requests
+  /// that bypass the workload manager.
+  std::string resource_class;
   double submit_seconds = 0;
   double compile_start_seconds = -1;
   double exec_start_seconds = -1;
   double end_seconds = -1;
+  /// Admission-queue bracket: wait starts when compilation classified the
+  /// request, ends when a concurrency slot was granted (-1 = not yet).
+  double queue_start_seconds = -1;
+  double admit_seconds = -1;
   bool cache_hit = false;
+  /// Served straight from the keyed result cache (no execution at all) —
+  /// either an LRU hit or a coalesced wait on an identical in-flight query.
+  bool result_cache_hit = false;
   /// Index of the step currently running (-1 before execution starts).
   int current_step = -1;
   int total_steps = 0;
@@ -84,10 +112,20 @@ class RequestRegistry {
   double NowSeconds() const;
 
   /// Admits a request in phase queued.
-  void Register(uint64_t query_id, std::string sql, std::string engine);
+  void Register(uint64_t query_id, uint64_t session_id, std::string sql,
+                std::string engine);
 
   void BeginCompile(uint64_t query_id);
   void EndCompile(uint64_t query_id, bool cache_hit);
+
+  /// Transition back to queued while the request waits in the workload
+  /// manager's admission queue of `resource_class`.
+  void BeginQueue(uint64_t query_id, std::string resource_class);
+  /// The workload manager granted a concurrency slot.
+  void Admit(uint64_t query_id);
+  /// The request was served straight from the result cache (terminal
+  /// Complete follows); records the fact for the DMV's result_cache_hit.
+  void MarkResultCacheHit(uint64_t query_id);
 
   /// Transition to executing with the plan's step skeleton (index/kind/
   /// move_kind/dest_table/sql filled, counters zero).
@@ -106,6 +144,8 @@ class RequestRegistry {
 
   void Complete(uint64_t query_id);
   void Fail(uint64_t query_id, std::string error);
+  /// Terminal phase for a client-cancelled request (kCancelled).
+  void Cancel(uint64_t query_id, std::string error);
 
   /// Point-in-time copy of every known request, in-flight first, then the
   /// ring of finished ones, both in ascending query-id order.

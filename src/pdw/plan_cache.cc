@@ -61,17 +61,41 @@ std::string FingerprintCompilerOptions(const PdwCompilerOptions& o) {
       o.use_xml_interface ? 1 : 0, o.build_baseline ? 1 : 0);
 }
 
-PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {}
-
-uint64_t PlanCache::TableVersion(const std::string& table) const {
+uint64_t TableVersionTracker::Version(const std::string& table) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = versions_.find(ToLower(table));
   return it == versions_.end() ? 0 : it->second;
 }
 
-void PlanCache::BumpTableVersion(const std::string& table) {
+void TableVersionTracker::Bump(const std::string& table) {
   std::lock_guard<std::mutex> lock(mu_);
   ++versions_[ToLower(table)];
+}
+
+bool TableVersionTracker::IsCurrent(
+    const std::vector<std::pair<std::string, uint64_t>>& versions) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [table, version] : versions) {
+    auto it = versions_.find(table);
+    uint64_t current = it == versions_.end() ? 0 : it->second;
+    if (current != version) return false;
+  }
+  return true;
+}
+
+PlanCache::PlanCache(size_t capacity,
+                     std::shared_ptr<TableVersionTracker> versions)
+    : capacity_(capacity),
+      versions_(versions != nullptr ? std::move(versions)
+                                    : std::make_shared<TableVersionTracker>()) {
+}
+
+uint64_t PlanCache::TableVersion(const std::string& table) const {
+  return versions_->Version(table);
+}
+
+void PlanCache::BumpTableVersion(const std::string& table) {
+  versions_->Bump(table);
 }
 
 std::optional<CachedDsqlPlan> PlanCache::Lookup(
@@ -84,20 +108,16 @@ std::optional<CachedDsqlPlan> PlanCache::Lookup(
     reg.Count("plan_cache.miss");
     return std::nullopt;
   }
-  for (const auto& [table, version] : it->second->plan.table_versions) {
-    auto v = versions_.find(table);
-    uint64_t current = v == versions_.end() ? 0 : v->second;
-    if (current != version) {
-      // Stale statistics: drop the entry so it recompiles fresh.
-      lru_.erase(it->second);
-      index_.erase(it);
-      ++stats_.misses;
-      ++stats_.invalidations;
-      reg.Count("plan_cache.miss");
-      reg.Count("plan_cache.invalidation");
-      reg.SetGauge("plan_cache.size", static_cast<double>(lru_.size()));
-      return std::nullopt;
-    }
+  if (!versions_->IsCurrent(it->second->plan.table_versions)) {
+    // Stale statistics: drop the entry so it recompiles fresh.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.misses;
+    ++stats_.invalidations;
+    reg.Count("plan_cache.miss");
+    reg.Count("plan_cache.invalidation");
+    reg.SetGauge("plan_cache.size", static_cast<double>(lru_.size()));
+    return std::nullopt;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
   ++stats_.hits;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -15,6 +16,28 @@
 #include "pdw/dsql.h"
 
 namespace pdw {
+
+/// Per-table statistics versions — the invalidation anchor shared by every
+/// keyed cache on the control node (plan cache, result cache). The
+/// appliance bumps a table's version on LoadRows / RefreshStatistics; a
+/// cache entry recording an older version for any table it depends on is
+/// stale and must not be served.
+///
+/// Thread-safe; one instance per appliance, shared by its caches.
+class TableVersionTracker {
+ public:
+  /// Current version of a table (0 until first bump). Case-insensitive.
+  uint64_t Version(const std::string& table) const;
+  void Bump(const std::string& table);
+
+  /// True when every recorded (table, version) pair still matches.
+  bool IsCurrent(
+      const std::vector<std::pair<std::string, uint64_t>>& versions) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> versions_;  ///< Lowercase table -> version.
+};
 
 /// Canonical cache-key form of a query text: whitespace runs collapse to a
 /// single space and everything *outside* single-quoted string literals is
@@ -72,12 +95,20 @@ class PlanCache {
     std::vector<std::string> tables;
   };
 
-  explicit PlanCache(size_t capacity = 128);
+  /// `versions` is the stats-version tracker invalidating this cache;
+  /// null creates a private one (standalone/unit-test use). The appliance
+  /// passes one shared tracker to both the plan and the result cache so a
+  /// single LoadRows invalidates both.
+  explicit PlanCache(size_t capacity = 128,
+                     std::shared_ptr<TableVersionTracker> versions = nullptr);
 
   /// Current statistics version of a table (0 until first bump).
   uint64_t TableVersion(const std::string& table) const;
   /// Invalidates every cached plan reading `table` (lazily, at lookup).
   void BumpTableVersion(const std::string& table);
+  const std::shared_ptr<TableVersionTracker>& versions() const {
+    return versions_;
+  }
 
   /// Returns the cached plan for the key if present and every recorded
   /// table version still matches; stale entries are evicted and counted as
@@ -113,9 +144,9 @@ class PlanCache {
 
   mutable std::mutex mu_;
   size_t capacity_;
+  std::shared_ptr<TableVersionTracker> versions_;
   std::list<Entry> lru_;  ///< Front = most recently used.
   std::map<std::string, std::list<Entry>::iterator> index_;
-  std::map<std::string, uint64_t> versions_;  ///< Lowercase table -> version.
   Stats stats_;
 };
 

@@ -15,18 +15,21 @@ class TpchApplianceTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     appliance_ = new Appliance(Topology{4});
+    session_ = new Session(appliance_->Connect());
     ASSERT_TRUE(tpch::CreateTpchTables(appliance_).ok());
     tpch::TpchConfig cfg;
     cfg.scale = 0.05;
     ASSERT_TRUE(tpch::LoadTpch(appliance_, cfg).ok());
   }
   static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
     delete appliance_;
     appliance_ = nullptr;
   }
 
   void ExpectMatchesReference(const std::string& sql) {
-    auto dist = appliance_->Run(sql);
+    auto dist = session_->Run(sql);
     ASSERT_TRUE(dist.ok()) << sql << "\n" << dist.status().ToString();
     auto ref = appliance_->ExecuteReference(sql);
     ASSERT_TRUE(ref.ok()) << sql << "\n" << ref.status().ToString();
@@ -37,9 +40,11 @@ class TpchApplianceTest : public ::testing::Test {
   }
 
   static Appliance* appliance_;
+  static Session* session_;
 };
 
 Appliance* TpchApplianceTest::appliance_ = nullptr;
+Session* TpchApplianceTest::session_ = nullptr;
 
 TEST_F(TpchApplianceTest, LoadDistributesRows) {
   // Hash-distributed table: rows split across nodes, none duplicated.
@@ -74,7 +79,7 @@ TEST_F(TpchApplianceTest, GlobalStatsAreMergedFromNodes) {
 }
 
 TEST_F(TpchApplianceTest, CollocatedJoinMovesNothing) {
-  auto r = appliance_->Run(
+  auto r = session_->Run(
       "SELECT o_orderkey, COUNT(*) AS lines FROM orders, lineitem "
       "WHERE o_orderkey = l_orderkey GROUP BY o_orderkey");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -140,7 +145,7 @@ TEST_F(TpchApplianceTest, AggregationShapes) {
 }
 
 TEST_F(TpchApplianceTest, OrderByAndTopN) {
-  auto dist = appliance_->Run(
+  auto dist = session_->Run(
       "SELECT o_orderkey, o_totalprice FROM orders "
       "ORDER BY o_totalprice DESC, o_orderkey LIMIT 10");
   ASSERT_TRUE(dist.ok());
@@ -156,7 +161,7 @@ TEST_F(TpchApplianceTest, OrderByAndTopN) {
 }
 
 TEST_F(TpchApplianceTest, ContradictionExecutesTrivially) {
-  auto r = appliance_->Run(
+  auto r = session_->Run(
       "SELECT c_name FROM customer WHERE c_acctbal > 10 AND c_acctbal < 5");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_TRUE(r->rows.empty());
@@ -164,8 +169,8 @@ TEST_F(TpchApplianceTest, ContradictionExecutesTrivially) {
 
 TEST_F(TpchApplianceTest, ExplainRendersPlanWithoutExecuting) {
   QueryOptions opts;
-  opts.explain_only = true;
-  auto r = appliance_->Run(
+  opts.compile.explain_only = true;
+  auto r = session_->Run(
       "SELECT c_name, o_totalprice FROM customer, orders "
       "WHERE c_custkey = o_custkey",
       opts);
@@ -210,8 +215,8 @@ TEST_F(TpchApplianceTest, ExecuteAnalyzeProfilesJoinAggregate) {
       "SELECT c_name, SUM(o_totalprice) AS total FROM customer, orders "
       "WHERE c_custkey = o_custkey GROUP BY c_name";
   QueryOptions analyze;
-  analyze.collect_operator_actuals = true;
-  auto r = appliance_->Run(sql, analyze);
+  analyze.observe.collect_operator_actuals = true;
+  auto r = session_->Run(sql, analyze);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   const obs::QueryProfile& p = r->profile;
 
@@ -274,7 +279,7 @@ TEST_F(TpchApplianceTest, ExecuteAnalyzeProfilesJoinAggregate) {
   EXPECT_TRUE(JsonBalanced(p.ToJson()));
 
   // Plain Execute carries the same profile minus per-operator actuals.
-  auto plain = appliance_->Run(sql);
+  auto plain = session_->Run(sql);
   ASSERT_TRUE(plain.ok());
   ASSERT_EQ(plain->profile.steps.size(), p.steps.size());
   EXPECT_TRUE(plain->profile.steps.back().operators.empty());
@@ -282,8 +287,8 @@ TEST_F(TpchApplianceTest, ExecuteAnalyzeProfilesJoinAggregate) {
 
 TEST_F(TpchApplianceTest, ExplainAnalyzeRendersEstimatedVsActual) {
   QueryOptions analyze;
-  analyze.collect_operator_actuals = true;
-  auto r = appliance_->Run(
+  analyze.observe.collect_operator_actuals = true;
+  auto r = session_->Run(
       "SELECT c_name, SUM(o_totalprice) AS total FROM customer, orders "
       "WHERE c_custkey = o_custkey GROUP BY c_name",
       analyze);
@@ -311,13 +316,13 @@ TEST_F(TpchApplianceTest, ExplainAnalyzeRendersEstimatedVsActual) {
 }
 
 TEST_F(TpchApplianceTest, ErrorsSurfaceCleanly) {
-  EXPECT_FALSE(appliance_->Run("SELECT nope FROM customer").ok());
-  EXPECT_FALSE(appliance_->Run("SELECT c_name FROM no_table").ok());
-  EXPECT_FALSE(appliance_->Run("THIS IS NOT SQL").ok());
+  EXPECT_FALSE(session_->Run("SELECT nope FROM customer").ok());
+  EXPECT_FALSE(session_->Run("SELECT c_name FROM no_table").ok());
+  EXPECT_FALSE(session_->Run("THIS IS NOT SQL").ok());
 }
 
 TEST_F(TpchApplianceTest, TempTablesAreCleanedUp) {
-  auto r = appliance_->Run(
+  auto r = session_->Run(
       "SELECT c_name, o_totalprice FROM customer, orders "
       "WHERE c_custkey = o_custkey");
   ASSERT_TRUE(r.ok());
@@ -356,6 +361,7 @@ TEST_P(TopologySweepTest, ResultsIndependentOfNodeCount) {
   tpch::TpchConfig cfg;
   cfg.scale = 0.02;
   ASSERT_TRUE(tpch::LoadTpch(&appliance, cfg).ok());
+  Session session = appliance.Connect();
   for (const char* sql : {
            "SELECT o_custkey, SUM(o_totalprice) AS s FROM orders "
            "GROUP BY o_custkey",
@@ -364,7 +370,7 @@ TEST_P(TopologySweepTest, ResultsIndependentOfNodeCount) {
            "SELECT COUNT(*) AS c FROM lineitem, orders "
            "WHERE l_orderkey = o_orderkey",
        }) {
-    auto dist = appliance.Run(sql);
+    auto dist = session.Run(sql);
     ASSERT_TRUE(dist.ok()) << sql << "\n" << dist.status().ToString();
     auto ref = appliance.ExecuteReference(sql);
     ASSERT_TRUE(ref.ok());
@@ -389,7 +395,7 @@ TEST(SkewTest, SkewedLoadStillCorrect) {
   const char* sql =
       "SELECT c_custkey, COUNT(*) AS c FROM customer, orders "
       "WHERE c_custkey = o_custkey GROUP BY c_custkey";
-  auto dist = appliance.Run(sql);
+  auto dist = appliance.Connect().Run(sql);
   ASSERT_TRUE(dist.ok()) << dist.status().ToString();
   auto ref = appliance.ExecuteReference(sql);
   ASSERT_TRUE(ref.ok());

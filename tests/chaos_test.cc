@@ -12,9 +12,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "appliance/appliance.h"
@@ -156,12 +158,15 @@ class ChaosTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     appliance_ = new Appliance(Topology{kNodes});
+    session_ = new Session(appliance_->Connect());
     ASSERT_TRUE(tpch::CreateTpchTables(appliance_).ok());
     tpch::TpchConfig cfg;
     cfg.scale = 0.01;
     ASSERT_TRUE(tpch::LoadTpch(appliance_, cfg).ok());
   }
   static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
     delete appliance_;
     appliance_ = nullptr;
   }
@@ -184,9 +189,11 @@ class ChaosTest : public ::testing::Test {
   }
 
   static Appliance* appliance_;
+  static Session* session_;
 };
 
 Appliance* ChaosTest::appliance_ = nullptr;
+Session* ChaosTest::session_ = nullptr;
 
 TEST_F(ChaosTest, SeededDifferentialSweep) {
   uint64_t base = BaseSeed();
@@ -201,27 +208,27 @@ TEST_F(ChaosTest, SeededDifferentialSweep) {
                           ? tpch_queries[rng() % tpch_queries.size()].sql
                           : BuildRandomQuery(seed);
     QueryOptions options;
-    options.engine.engine =
+    options.execute.engine.engine =
         rng() % 2 == 0 ? EngineKind::kRow : EngineKind::kBatch;
-    options.dms_codec = rng() % 2 == 0 ? DmsCodec::kRow : DmsCodec::kColumnar;
-    options.use_plan_cache = rng() % 4 == 0;
-    options.retry.max_attempts = 3;
-    options.retry.sleep_fn = [](double) {};  // fake clock: no real backoff
+    options.execute.dms_codec = rng() % 2 == 0 ? DmsCodec::kRow : DmsCodec::kColumnar;
+    options.compile.use_plan_cache = rng() % 4 == 0;
+    options.execute.retry.max_attempts = 3;
+    options.execute.retry.sleep_fn = [](double) {};  // fake clock: no real backoff
 
     FaultSchedule schedule = BuildRandomSchedule(seed);
     SCOPED_TRACE("chaos seed=" + std::to_string(seed) + " schedule=" +
                  fault::FaultScheduleToString(schedule) + " engine=" +
-                 (options.engine.engine == EngineKind::kRow ? "row" : "batch") +
+                 (options.execute.engine.engine == EngineKind::kRow ? "row" : "batch") +
                  " codec=" +
-                 (options.dms_codec == DmsCodec::kRow ? "row" : "columnar") +
+                 (options.execute.dms_codec == DmsCodec::kRow ? "row" : "columnar") +
                  "\nsql: " + sql);
 
     // Fault-free reference of the exact same configuration.
-    auto reference = appliance_->Run(sql, options);
+    auto reference = session_->Run(sql, options);
     ASSERT_TRUE(reference.ok()) << reference.status().ToString();
 
-    options.faults = schedule;
-    auto chaotic = appliance_->Run(sql, options);
+    options.execute.faults = schedule;
+    auto chaotic = session_->Run(sql, options);
     if (chaotic.ok()) {
       ++matches;
       EXPECT_EQ(chaotic->rows.size(), reference->rows.size());
@@ -247,7 +254,7 @@ TEST_F(ChaosTest, SeededDifferentialSweep) {
     EXPECT_GT(matches, 0) << "no chaos run survived: retry/recovery is dead";
   }
   // The appliance stays serviceable after the whole sweep.
-  auto after = appliance_->Run("SELECT COUNT(*) AS c FROM lineitem");
+  auto after = session_->Run("SELECT COUNT(*) AS c FROM lineitem");
   ASSERT_TRUE(after.ok()) << after.status().ToString();
 
   // The request registry drained with the sweep: nothing is still active,
@@ -258,7 +265,7 @@ TEST_F(ChaosTest, SeededDifferentialSweep) {
   EXPECT_EQ(appliance_->requests().active_count(), 0u);
   // The snapshot includes the DMV query observing it, which is mid-flight
   // with zero steps by definition; every other request must be terminal.
-  auto dmv = appliance_->Run(
+  auto dmv = session_->Run(
       "SELECT status, COUNT(*) AS c FROM sys.dm_pdw_exec_requests "
       "WHERE NOT (status = 'executing' AND total_steps = 0) "
       "GROUP BY status");
@@ -268,7 +275,7 @@ TEST_F(ChaosTest, SeededDifferentialSweep) {
                 r[0].string_value() == "failed")
         << "non-terminal request leaked: " << r[0].string_value();
   }
-  auto failed = appliance_->Run(
+  auto failed = session_->Run(
       "SELECT error_text FROM sys.dm_pdw_exec_requests "
       "WHERE status = 'failed'");
   ASSERT_TRUE(failed.ok()) << failed.status().ToString();
@@ -283,14 +290,14 @@ TEST_F(ChaosTest, TransientStepFailureRetriesVisibly) {
   double injected_before = metrics.counter("fault.injected.total");
 
   QueryOptions options;
-  options.retry.max_attempts = 3;
-  options.retry.sleep_fn = [](double) {};
+  options.execute.retry.max_attempts = 3;
+  options.execute.retry.sleep_fn = [](double) {};
   ASSERT_TRUE(
       fault::ParseFaultSchedule("appliance.step.dispatch:*:1:transient").ok());
-  options.faults = {{"appliance.step.dispatch", 0, 1,
+  options.execute.faults = {{"appliance.step.dispatch", 0, 1,
                      FaultKind::kTransientError}};
 
-  auto result = appliance_->Run(
+  auto result = session_->Run(
       "SELECT o_custkey, COUNT(*) AS cnt FROM orders GROUP BY o_custkey",
       options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -317,7 +324,7 @@ TEST_F(ChaosTest, TransientStepFailureRetriesVisibly) {
 
   // The DMV layer reports the same retry counts as the step profile, and
   // the recovered request finished as 'complete' with every step complete.
-  auto steps = appliance_->Run(
+  auto steps = session_->Run(
       "SELECT step_index, retries, status FROM sys.dm_pdw_exec_steps "
       "WHERE request_id = " + std::to_string(result->query_id));
   ASSERT_TRUE(steps.ok()) << steps.status().ToString();
@@ -328,7 +335,7 @@ TEST_F(ChaosTest, TransientStepFailureRetriesVisibly) {
     EXPECT_EQ(r[2].string_value(), "complete");
   }
   EXPECT_EQ(dmv_retries, total_retries);
-  auto req = appliance_->Run(
+  auto req = session_->Run(
       "SELECT status, retries FROM sys.dm_pdw_exec_requests "
       "WHERE request_id = " + std::to_string(result->query_id));
   ASSERT_TRUE(req.ok()) << req.status().ToString();
@@ -340,10 +347,10 @@ TEST_F(ChaosTest, TransientStepFailureRetriesVisibly) {
 
 TEST_F(ChaosTest, PermanentFaultAbortsCleanlyAndApplianceStaysUp) {
   QueryOptions options;
-  options.retry.max_attempts = 3;
-  options.retry.sleep_fn = [](double) {};
-  options.faults = {{"dms.bulkcopy", 0, -1, FaultKind::kPermanentError}};
-  auto result = appliance_->Run(
+  options.execute.retry.max_attempts = 3;
+  options.execute.retry.sleep_fn = [](double) {};
+  options.execute.faults = {{"dms.bulkcopy", 0, -1, FaultKind::kPermanentError}};
+  auto result = session_->Run(
       "SELECT c_nationkey, COUNT(*) AS cnt FROM customer, orders "
       "WHERE c_custkey = o_custkey GROUP BY c_nationkey",
       options);
@@ -352,20 +359,66 @@ TEST_F(ChaosTest, PermanentFaultAbortsCleanlyAndApplianceStaysUp) {
   EXPECT_NE(result.status().message().find("dms.bulkcopy"), std::string::npos);
   ExpectNoTempLitter("after permanent fault");
 
-  auto ok = appliance_->Run("SELECT COUNT(*) AS c FROM customer");
+  auto ok = session_->Run("SELECT COUNT(*) AS c FROM customer");
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
 }
 
 TEST_F(ChaosTest, TransientFaultsExhaustingRetriesFailCleanly) {
   QueryOptions options;
-  options.retry.max_attempts = 2;
-  options.retry.sleep_fn = [](double) {};
-  options.faults = {{"appliance.step.dispatch", 0, -1,
+  options.execute.retry.max_attempts = 2;
+  options.execute.retry.sleep_fn = [](double) {};
+  options.execute.faults = {{"appliance.step.dispatch", 0, -1,
                      FaultKind::kTransientError}};
-  auto result = appliance_->Run("SELECT COUNT(*) AS c FROM orders", options);
+  auto result = session_->Run("SELECT COUNT(*) AS c FROM orders", options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kTransient);
   ExpectNoTempLitter("after exhausted retries");
+}
+
+// Faults at the admission decision itself must never leak workload state:
+// the "wlm.admit" point fires before any slot or queue mutation, so a
+// faulted admission leaves no held slot and no queued waiter behind. A
+// concurrent storm where a third of the admissions blow up must drain to
+// zero active/queued across every resource class.
+TEST_F(ChaosTest, AdmissionFaultsNeverLeakSlotsOrWaiters) {
+  constexpr int kThreads = 9;
+  std::atomic<int> survived{0}, faulted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session session = appliance_->Connect();
+      QueryOptions options;
+      if (t % 3 == 0) {
+        options.execute.faults = {{"wlm.admit", 0, 1,
+                                   t % 2 == 0 ? FaultKind::kPermanentError
+                                              : FaultKind::kTransientError}};
+      }
+      auto r = session.Run("SELECT COUNT(*) AS c FROM nation", options);
+      if (r.ok()) {
+        survived.fetch_add(1);
+      } else {
+        faulted.fetch_add(1);
+        StatusCode code = r.status().code();
+        EXPECT_TRUE(code == StatusCode::kExecutionError ||
+                    code == StatusCode::kTransient)
+            << r.status().ToString();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(survived.load(), kThreads - kThreads / 3);
+  EXPECT_EQ(faulted.load(), kThreads / 3);
+  for (const WorkloadClassSnapshot& s : appliance_->workload().Snapshot()) {
+    EXPECT_EQ(s.active, 0) << "leaked slot in class "
+                           << ResourceClassName(s.resource_class);
+    EXPECT_EQ(s.queued, 0) << "leaked waiter in class "
+                           << ResourceClassName(s.resource_class);
+  }
+  // Every faulted request landed terminal and the appliance still admits.
+  EXPECT_EQ(appliance_->requests().active_count(), 0u);
+  auto after = session_->Run("SELECT COUNT(*) AS c FROM region");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ExpectNoTempLitter("after admission-fault storm");
 }
 
 // Every registered injection point must be traversed by the covering
@@ -384,15 +437,19 @@ TEST_F(ChaosTest, AllFaultPointsReachable) {
       "WHERE c_custkey = o_custkey GROUP BY c_nationkey";
   for (DmsCodec codec : {DmsCodec::kColumnar, DmsCodec::kRow}) {
     QueryOptions options;
-    options.dms_codec = codec;
-    auto r = appliance_->Run(join_sql, options);
+    options.execute.dms_codec = codec;
+    auto r = session_->Run(join_sql, options);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
   }
   {
-    // plan_cache.fill is traversed on the insert after a cache miss.
+    // plan_cache.fill is traversed on the insert after a cache miss. The
+    // suite shares one appliance and the cache is on by default, so an
+    // earlier test may already have cached this statement — clear first
+    // to force the miss.
+    appliance_->plan_cache().Clear();
     QueryOptions options;
-    options.use_plan_cache = true;
-    auto r = appliance_->Run(join_sql, options);
+    options.compile.use_plan_cache = true;
+    auto r = session_->Run(join_sql, options);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
   }
   reg.Disarm(token);

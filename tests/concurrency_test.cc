@@ -44,12 +44,13 @@ const char* kQueries[] = {
 
 TEST(ParallelExecutionTest, PooledMatchesSerialLoop) {
   auto appliance = MakeLoadedAppliance(4, 0.05);
+  Session session = appliance->Connect();
   for (const char* sql : kQueries) {
     QueryOptions serial;
-    serial.max_parallel_nodes = 1;
-    auto s = appliance->Run(sql, serial);
+    serial.execute.max_parallel_nodes = 1;
+    auto s = session.Run(sql, serial);
     ASSERT_TRUE(s.ok()) << sql << "\n" << s.status().ToString();
-    auto p = appliance->Run(sql);  // default: full fan-out
+    auto p = session.Run(sql);  // default: full fan-out
     ASSERT_TRUE(p.ok()) << sql << "\n" << p.status().ToString();
     EXPECT_TRUE(RowSetsEqual(s->rows, p->rows)) << sql;
     auto ref = appliance->ExecuteReference(sql);
@@ -60,7 +61,8 @@ TEST(ParallelExecutionTest, PooledMatchesSerialLoop) {
 
 TEST(ParallelExecutionTest, StepProfileRecordsPerNodeTimings) {
   auto appliance = MakeLoadedAppliance(4, 0.05);
-  auto r = appliance->Run(
+  Session session = appliance->Connect();
+  auto r = session.Run(
       "SELECT c_name, o_totalprice FROM customer, orders "
       "WHERE c_custkey = o_custkey");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -74,6 +76,7 @@ TEST(ParallelExecutionTest, StepProfileRecordsPerNodeTimings) {
 
 TEST(ConcurrencyTest, ConcurrentSessionsMatchReference) {
   auto appliance = MakeLoadedAppliance(4, 0.05);
+  Session session = appliance->Connect();
   constexpr int kThreads = 8;
   constexpr int kReps = 4;
 
@@ -91,7 +94,7 @@ TEST(ConcurrencyTest, ConcurrentSessionsMatchReference) {
     threads.emplace_back([&, t] {
       for (int rep = 0; rep < kReps; ++rep) {
         size_t qi = static_cast<size_t>(t + rep) % std::size(kQueries);
-        auto r = appliance->Run(kQueries[qi]);
+        auto r = session.Run(kQueries[qi]);
         if (!r.ok() || !RowSetsEqual(r->rows, expected[qi])) {
           failures.fetch_add(1);
         }
@@ -114,6 +117,7 @@ TEST(ConcurrencyTest, ConcurrentSessionsMatchReference) {
 
 TEST(ConcurrencyTest, ConcurrentSessionsWithPlanCache) {
   auto appliance = MakeLoadedAppliance(4, 0.05);
+  Session session = appliance->Connect();
   constexpr int kThreads = 8;
   constexpr int kReps = 4;
 
@@ -129,10 +133,10 @@ TEST(ConcurrencyTest, ConcurrentSessionsWithPlanCache) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       QueryOptions opts;
-      opts.use_plan_cache = true;
+      opts.compile.use_plan_cache = true;
       for (int rep = 0; rep < kReps; ++rep) {
         size_t qi = static_cast<size_t>(t + rep) % std::size(kQueries);
-        auto r = appliance->Run(kQueries[qi], opts);
+        auto r = session.Run(kQueries[qi], opts);
         if (!r.ok() || !RowSetsEqual(r->rows, expected[qi])) {
           failures.fetch_add(1);
         }
@@ -152,14 +156,15 @@ TEST(ConcurrencyTest, ConcurrentSessionsWithPlanCache) {
 
 TEST(PlanCacheTest, RepeatRunHitsCache) {
   auto appliance = MakeLoadedAppliance(4, 0.02);
+  Session session = appliance->Connect();
   QueryOptions opts;
-  opts.use_plan_cache = true;
+  opts.compile.use_plan_cache = true;
   const char* sql = "SELECT COUNT(*) AS c FROM orders";
 
-  auto first = appliance->Run(sql, opts);
+  auto first = session.Run(sql, opts);
   ASSERT_TRUE(first.ok());
   EXPECT_FALSE(first->cache_hit);
-  auto second = appliance->Run(sql, opts);
+  auto second = session.Run(sql, opts);
   ASSERT_TRUE(second.ok());
   EXPECT_TRUE(second->cache_hit);
   EXPECT_TRUE(second->profile.cache_hit);
@@ -167,7 +172,7 @@ TEST(PlanCacheTest, RepeatRunHitsCache) {
 
   // Normalization: whitespace and keyword case don't miss.
   auto reformatted =
-      appliance->Run("select   COUNT(*)  as C\nfrom ORDERS", opts);
+      session.Run("select   COUNT(*)  as C\nfrom ORDERS", opts);
   ASSERT_TRUE(reformatted.ok());
   EXPECT_TRUE(reformatted->cache_hit);
 
@@ -178,13 +183,14 @@ TEST(PlanCacheTest, RepeatRunHitsCache) {
 
 TEST(PlanCacheTest, LoadRowsInvalidatesPlansReadingTheTable) {
   auto appliance = MakeLoadedAppliance(4, 0.02);
+  Session session = appliance->Connect();
   QueryOptions opts;
-  opts.use_plan_cache = true;
+  opts.compile.use_plan_cache = true;
   const char* orders_sql = "SELECT COUNT(*) AS c FROM orders";
   const char* nation_sql = "SELECT n_name FROM nation WHERE n_regionkey = 2";
 
-  ASSERT_TRUE(appliance->Run(orders_sql, opts).ok());
-  ASSERT_TRUE(appliance->Run(nation_sql, opts).ok());
+  ASSERT_TRUE(session.Run(orders_sql, opts).ok());
+  ASSERT_TRUE(session.Run(nation_sql, opts).ok());
 
   // Loading into orders bumps its statistics version...
   auto def = appliance->shell().GetTable("orders");
@@ -200,14 +206,14 @@ TEST(PlanCacheTest, LoadRowsInvalidatesPlansReadingTheTable) {
 
   // ...so the orders plan recompiles (and sees the new row), while the
   // nation plan is untouched and still hits.
-  auto after = appliance->Run(orders_sql, opts);
+  auto after = session.Run(orders_sql, opts);
   ASSERT_TRUE(after.ok());
   EXPECT_FALSE(after->cache_hit);
   auto ref = appliance->ExecuteReference(orders_sql);
   ASSERT_TRUE(ref.ok());
   EXPECT_TRUE(RowSetsEqual(after->rows, ref->rows));
 
-  auto nation_again = appliance->Run(nation_sql, opts);
+  auto nation_again = session.Run(nation_sql, opts);
   ASSERT_TRUE(nation_again.ok());
   EXPECT_TRUE(nation_again->cache_hit);
 
@@ -216,38 +222,40 @@ TEST(PlanCacheTest, LoadRowsInvalidatesPlansReadingTheTable) {
 
 TEST(PlanCacheTest, RefreshStatisticsInvalidates) {
   auto appliance = MakeLoadedAppliance(4, 0.02);
+  Session session = appliance->Connect();
   QueryOptions opts;
-  opts.use_plan_cache = true;
+  opts.compile.use_plan_cache = true;
   const char* sql = "SELECT c_name FROM customer WHERE c_acctbal > 5000";
 
-  ASSERT_TRUE(appliance->Run(sql, opts).ok());
+  ASSERT_TRUE(session.Run(sql, opts).ok());
   ASSERT_TRUE(appliance->RefreshStatistics("customer").ok());
-  auto after = appliance->Run(sql, opts);
+  auto after = session.Run(sql, opts);
   ASSERT_TRUE(after.ok());
   EXPECT_FALSE(after->cache_hit);
 }
 
 TEST(PlanCacheTest, DistinctCompilerOptionsGetDistinctEntries) {
   auto appliance = MakeLoadedAppliance(4, 0.02);
+  Session session = appliance->Connect();
   const char* sql =
       "SELECT c_name, o_totalprice FROM customer, orders "
       "WHERE c_custkey = o_custkey";
 
   QueryOptions a;
-  a.use_plan_cache = true;
+  a.compile.use_plan_cache = true;
   QueryOptions b = a;
-  b.compile.pdw.enable_trim_move = !b.compile.pdw.enable_trim_move;
+  b.compile.compiler.pdw.enable_trim_move = !b.compile.compiler.pdw.enable_trim_move;
 
-  ASSERT_TRUE(appliance->Run(sql, a).ok());
-  auto with_b = appliance->Run(sql, b);
+  ASSERT_TRUE(session.Run(sql, a).ok());
+  auto with_b = session.Run(sql, b);
   ASSERT_TRUE(with_b.ok());
   EXPECT_FALSE(with_b->cache_hit);  // different fingerprint, distinct entry
   EXPECT_EQ(appliance->plan_cache().size(), 2u);
 
-  auto again_a = appliance->Run(sql, a);
+  auto again_a = session.Run(sql, a);
   ASSERT_TRUE(again_a.ok());
   EXPECT_TRUE(again_a->cache_hit);
-  auto again_b = appliance->Run(sql, b);
+  auto again_b = session.Run(sql, b);
   ASSERT_TRUE(again_b.ok());
   EXPECT_TRUE(again_b->cache_hit);
 }

@@ -256,14 +256,15 @@ const char* kDmsQueries[] = {
 
 TEST(DmsPipelineApplianceTest, QueriesMatchAcrossCodecs) {
   auto appliance = MakeLoadedAppliance(4, 0.05);
+  Session session = appliance->Connect();
   for (const char* sql : kDmsQueries) {
     QueryOptions row_opts;
-    row_opts.dms_codec = DmsCodec::kRow;
-    auto row_r = appliance->Run(sql, row_opts);
+    row_opts.execute.dms_codec = DmsCodec::kRow;
+    auto row_r = session.Run(sql, row_opts);
     ASSERT_TRUE(row_r.ok()) << sql << "\n" << row_r.status().ToString();
     QueryOptions col_opts;
-    col_opts.dms_codec = DmsCodec::kColumnar;
-    auto col_r = appliance->Run(sql, col_opts);
+    col_opts.execute.dms_codec = DmsCodec::kColumnar;
+    auto col_r = session.Run(sql, col_opts);
     ASSERT_TRUE(col_r.ok()) << sql << "\n" << col_r.status().ToString();
     EXPECT_TRUE(RowSetsEqual(row_r->rows, col_r->rows)) << sql;
     EXPECT_EQ(row_r->dms_metrics.rows_moved, col_r->dms_metrics.rows_moved)
@@ -278,9 +279,10 @@ TEST(DmsPipelineApplianceTest, PipelinedStepProfileStaysPopulated) {
   // EXPLAIN ANALYZE and λ calibration read per-component DMS metrics; the
   // pipelined path must keep them flowing into the step profile.
   auto appliance = MakeLoadedAppliance(4, 0.05);
+  Session session = appliance->Connect();
   QueryOptions opts;
-  opts.dms_codec = DmsCodec::kColumnar;
-  auto r = appliance->Run(
+  opts.execute.dms_codec = DmsCodec::kColumnar;
+  auto r = session.Run(
       "SELECT o_custkey, COUNT(*) AS c FROM orders GROUP BY o_custkey", opts);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   bool saw_dms = false;
@@ -301,6 +303,7 @@ TEST(DmsPipelineApplianceTest, PipelinedStepProfileStaysPopulated) {
 
 TEST(DmsPipelineConcurrencyTest, ConcurrentSessionsOverPipelinedDms) {
   auto appliance = MakeLoadedAppliance(4, 0.03);
+  Session session = appliance->Connect();
   constexpr int kThreads = 8;
   constexpr int kReps = 3;
 
@@ -320,8 +323,8 @@ TEST(DmsPipelineConcurrencyTest, ConcurrentSessionsOverPipelinedDms) {
         size_t qi = static_cast<size_t>(t + rep) %
                     (sizeof(kDmsQueries) / sizeof(kDmsQueries[0]));
         QueryOptions opts;
-        opts.dms_codec = DmsCodec::kColumnar;
-        auto r = appliance->Run(kDmsQueries[qi], opts);
+        opts.execute.dms_codec = DmsCodec::kColumnar;
+        auto r = session.Run(kDmsQueries[qi], opts);
         if (!r.ok() || !RowSetsEqual(r->rows, expected[qi])) {
           failures.fetch_add(1);
         }

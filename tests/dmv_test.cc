@@ -52,7 +52,8 @@ const char* kJoinSql =
 
 TEST(DmvTest, FinishedRequestVisibleWithStepsAndWorkers) {
   auto appliance = MakeLoadedAppliance(3, 0.02);
-  auto run = appliance->Run(kJoinSql);
+  Session session = appliance->Connect();
+  auto run = session.Run(kJoinSql);
   ASSERT_TRUE(run.ok()) << run.status().ToString();
   ASSERT_GT(run->query_id, 0u);
 
@@ -97,9 +98,10 @@ TEST(DmvTest, FinishedRequestVisibleWithStepsAndWorkers) {
 
 TEST(DmvTest, QueryIdsAreMonotonicallyUnique) {
   auto appliance = MakeLoadedAppliance(2, 0.01);
+  Session session = appliance->Connect();
   uint64_t last = 0;
   for (int i = 0; i < 3; ++i) {
-    auto r = appliance->Run("SELECT COUNT(*) AS c FROM nation");
+    auto r = session.Run("SELECT COUNT(*) AS c FROM nation");
     ASSERT_TRUE(r.ok());
     EXPECT_GT(r->query_id, last);
     last = r->query_id;
@@ -116,6 +118,7 @@ TEST(DmvTest, QueryIdsAreMonotonicallyUnique) {
 
 TEST(DmvTest, StormObservedExecutingWithAdvancingSteps) {
   auto appliance = MakeLoadedAppliance(3, 0.02);
+  Session session = appliance->Connect();
   // Per-step dispatch latency keeps every storm query in flight for a
   // deterministic, observable window without growing the dataset.
   appliance->set_dispatch_latency_seconds(0.005);
@@ -128,7 +131,7 @@ TEST(DmvTest, StormObservedExecutingWithAdvancingSteps) {
   for (int t = 0; t < kThreads; ++t) {
     storm.emplace_back([&] {
       for (int rep = 0; rep < kMaxReps && !stop.load(); ++rep) {
-        auto r = appliance->Run(kJoinSql);
+        auto r = session.Run(kJoinSql);
         ASSERT_TRUE(r.ok()) << r.status().ToString();
         completed.fetch_add(1);
       }
@@ -179,8 +182,9 @@ TEST(DmvTest, StormObservedExecutingWithAdvancingSteps) {
 
 TEST(DmvTest, AggregationOverViewsMatchesAcrossEngines) {
   auto appliance = MakeLoadedAppliance(2, 0.01);
+  Session session = appliance->Connect();
   for (int i = 0; i < 4; ++i) {
-    auto r = appliance->Run("SELECT COUNT(*) AS c FROM region");
+    auto r = session.Run("SELECT COUNT(*) AS c FROM region");
     ASSERT_TRUE(r.ok());
   }
   const std::string agg =
@@ -188,9 +192,9 @@ TEST(DmvTest, AggregationOverViewsMatchesAcrossEngines) {
       "FROM sys.dm_pdw_exec_requests "
       "WHERE total_steps > 0 GROUP BY status ORDER BY status";
   QueryOptions row_engine;
-  row_engine.engine.engine = EngineKind::kRow;
+  row_engine.execute.engine.engine = EngineKind::kRow;
   QueryOptions batch_engine;
-  batch_engine.engine.engine = EngineKind::kBatch;
+  batch_engine.execute.engine.engine = EngineKind::kBatch;
   RowVector on_rows = Dmv(appliance.get(), agg, row_engine);
   RowVector on_batches = Dmv(appliance.get(), agg, batch_engine);
   // DMV requests themselves have zero steps, so the total_steps > 0 filter
@@ -216,8 +220,9 @@ TEST(DmvTest, AggregationOverViewsMatchesAcrossEngines) {
 
 TEST(DmvTest, MetricsViewReportsQueryLatencyQuantiles) {
   auto appliance = MakeLoadedAppliance(2, 0.01);
+  Session session = appliance->Connect();
   for (int i = 0; i < 5; ++i) {
-    auto r = appliance->Run("SELECT COUNT(*) AS c FROM nation");
+    auto r = session.Run("SELECT COUNT(*) AS c FROM nation");
     ASSERT_TRUE(r.ok());
   }
   RowVector rows = Dmv(appliance.get(),
@@ -245,11 +250,12 @@ TEST(DmvTest, MetricsViewReportsQueryLatencyQuantiles) {
 
 TEST(DmvTest, PlanCacheViewShowsEntriesAndHits) {
   auto appliance = MakeLoadedAppliance(2, 0.01);
+  Session session = appliance->Connect();
   QueryOptions cached;
-  cached.use_plan_cache = true;
+  cached.compile.use_plan_cache = true;
   const char* sql = "SELECT COUNT(*) AS c FROM supplier";
   for (int i = 0; i < 3; ++i) {
-    auto r = appliance->Run(sql, cached);
+    auto r = session.Run(sql, cached);
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(r->cache_hit, i > 0);
   }
@@ -267,10 +273,11 @@ TEST(DmvTest, PlanCacheViewShowsEntriesAndHits) {
 
 TEST(DmvTest, FinishedRingEvictsOldestBeyondCapacity) {
   auto appliance = MakeLoadedAppliance(2, 0.01);
+  Session session = appliance->Connect();
   appliance->requests().set_ring_capacity(4);
   std::vector<uint64_t> ids;
   for (int i = 0; i < 10; ++i) {
-    auto r = appliance->Run("SELECT COUNT(*) AS c FROM region");
+    auto r = session.Run("SELECT COUNT(*) AS c FROM region");
     ASSERT_TRUE(r.ok());
     ids.push_back(r->query_id);
   }
@@ -289,7 +296,8 @@ TEST(DmvTest, FinishedRingEvictsOldestBeyondCapacity) {
 
 TEST(DmvTest, FailedRequestSurfacesErrorText) {
   auto appliance = MakeLoadedAppliance(2, 0.01);
-  auto bad = appliance->Run("SELECT nope FROM no_such_table");
+  Session session = appliance->Connect();
+  auto bad = session.Run("SELECT nope FROM no_such_table");
   ASSERT_FALSE(bad.ok());
   RowVector rows = Dmv(appliance.get(),
                        "SELECT sql_text, error_text "
@@ -305,11 +313,12 @@ TEST(DmvTest, FailedRequestSurfacesErrorText) {
 
 TEST(DmvTest, TraceOutWritesLoadableChromeTraceJson) {
   auto appliance = MakeLoadedAppliance(2, 0.01);
+  Session session = appliance->Connect();
   std::string path = ::testing::TempDir() + "pdw_dmv_trace.json";
   std::remove(path.c_str());
   QueryOptions options;
-  options.trace_out = path;
-  auto r = appliance->Run(kJoinSql, options);
+  options.observe.trace_out = path;
+  auto r = session.Run(kJoinSql, options);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   obs::Tracer::Global().Disable();
   obs::Tracer::Global().Clear();

@@ -165,24 +165,29 @@ class RandomQueryTest : public ::testing::TestWithParam<uint32_t> {
  protected:
   static void SetUpTestSuite() {
     appliance_ = new Appliance(Topology{4});
+    session_ = new Session(appliance_->Connect());
     ASSERT_TRUE(tpch::CreateTpchTables(appliance_).ok());
     tpch::TpchConfig cfg;
     cfg.scale = 0.03;
     ASSERT_TRUE(tpch::LoadTpch(appliance_, cfg).ok());
   }
   static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
     delete appliance_;
     appliance_ = nullptr;
   }
   static Appliance* appliance_;
+  static Session* session_;
 };
 
 Appliance* RandomQueryTest::appliance_ = nullptr;
+Session* RandomQueryTest::session_ = nullptr;
 
 TEST_P(RandomQueryTest, DistributedMatchesReference) {
   std::string sql = BuildRandomQuery(GetParam());
   SCOPED_TRACE(sql);
-  auto dist = appliance_->Run(sql);
+  auto dist = session_->Run(sql);
   ASSERT_TRUE(dist.ok()) << sql << "\n" << dist.status().ToString();
   auto ref = appliance_->ExecuteReference(sql);
   ASSERT_TRUE(ref.ok()) << sql << "\n" << ref.status().ToString();

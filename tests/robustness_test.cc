@@ -16,6 +16,7 @@ namespace {
 
 TEST(FailureInjectionTest, NodeMissingTableFailsCleanly) {
   Appliance appliance(Topology{4});
+  Session session = appliance.Connect();
   ASSERT_TRUE(tpch::CreateTpchTables(&appliance).ok());
   tpch::TpchConfig cfg;
   cfg.scale = 0.02;
@@ -24,7 +25,7 @@ TEST(FailureInjectionTest, NodeMissingTableFailsCleanly) {
   // Sabotage: drop orders on one compute node only.
   ASSERT_TRUE(appliance.mutable_compute_node(2).DropTable("orders").ok());
 
-  auto r = appliance.Run(
+  auto r = session.Run(
       "SELECT c_name, o_totalprice FROM customer, orders "
       "WHERE c_custkey = o_custkey");
   ASSERT_FALSE(r.ok());
@@ -44,7 +45,7 @@ TEST(FailureInjectionTest, NodeMissingTableFailsCleanly) {
   }
 
   // The appliance stays usable for queries that avoid the damaged table.
-  auto ok = appliance.Run("SELECT COUNT(*) AS c FROM customer");
+  auto ok = session.Run("SELECT COUNT(*) AS c FROM customer");
   EXPECT_TRUE(ok.ok()) << ok.status().ToString();
 }
 
@@ -71,12 +72,15 @@ class PlanValidityTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     appliance_ = new Appliance(Topology{8});
+    session_ = new Session(appliance_->Connect());
     ASSERT_TRUE(tpch::CreateTpchTables(appliance_).ok());
     tpch::TpchConfig cfg;
     cfg.scale = 0.05;
     ASSERT_TRUE(tpch::LoadTpch(appliance_, cfg).ok());
   }
   static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
     delete appliance_;
     appliance_ = nullptr;
   }
@@ -163,9 +167,11 @@ class PlanValidityTest : public ::testing::Test {
   }
 
   static Appliance* appliance_;
+  static Session* session_;
 };
 
 Appliance* PlanValidityTest::appliance_ = nullptr;
+Session* PlanValidityTest::session_ = nullptr;
 
 TEST_F(PlanValidityTest, SuitePlansAreDistributionValid) {
   for (const auto& q : tpch::Queries()) {

@@ -138,6 +138,7 @@ TEST_F(UnionPdwTest, UnionDistinctAggregatesOverUnion) {
 
 TEST(UnionApplianceTest, DistributedUnionMatchesReference) {
   Appliance appliance(Topology{4});
+  Session session = appliance.Connect();
   ASSERT_TRUE(tpch::CreateTpchTables(&appliance).ok());
   tpch::TpchConfig cfg;
   cfg.scale = 0.03;
@@ -160,7 +161,7 @@ TEST(UnionApplianceTest, DistributedUnionMatchesReference) {
            "GROUP BY u.k",
        }) {
     SCOPED_TRACE(sql);
-    auto dist = appliance.Run(sql);
+    auto dist = session.Run(sql);
     ASSERT_TRUE(dist.ok()) << sql << "\n" << dist.status().ToString();
     auto ref = appliance.ExecuteReference(sql);
     ASSERT_TRUE(ref.ok()) << ref.status().ToString();
