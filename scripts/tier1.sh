@@ -31,6 +31,13 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dmv_test
 cmake --build build-tsan -j --target workload_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/workload_test
 
+# Parallel-optimizer leg: multi-threaded memo enumeration and the
+# level-ordered cost sweeps must stay byte-identical to serial under TSan
+# (the determinism proof doubles as a race detector: any unsynchronized
+# write to the shared memo shows up as a report or a diff).
+cmake --build build-tsan -j --target optimizer_parallel_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/optimizer_parallel_test
+
 # The vectorized batch engine owns raw selection-vector / hash-table
 # indexing; run the whole suite through it under AddressSanitizer.
 cmake -B build-asan -S . -DPDW_SANITIZE=address

@@ -3,19 +3,28 @@
 namespace pdw {
 
 ColumnId ColumnEquivalence::FindRoot(ColumnId id) const {
-  auto it = parent_.find(id);
-  if (it == parent_.end()) return id;
-  if (it->second == id) return id;
-  ColumnId root = FindRoot(it->second);
-  parent_[id] = root;  // path compression
+  for (;;) {
+    auto it = parent_.find(id);
+    if (it == parent_.end() || it->second == id) return id;
+    id = it->second;
+  }
+}
+
+ColumnId ColumnEquivalence::FindRootCompress(ColumnId id) {
+  ColumnId root = FindRoot(id);
+  while (id != root) {
+    ColumnId next = parent_[id];
+    parent_[id] = root;
+    id = next;
+  }
   return root;
 }
 
 void ColumnEquivalence::AddEquality(ColumnId a, ColumnId b) {
   if (parent_.find(a) == parent_.end()) parent_[a] = a;
   if (parent_.find(b) == parent_.end()) parent_[b] = b;
-  ColumnId ra = FindRoot(a);
-  ColumnId rb = FindRoot(b);
+  ColumnId ra = FindRootCompress(a);
+  ColumnId rb = FindRootCompress(b);
   if (ra != rb) {
     // Smaller id wins as representative for determinism.
     if (ra < rb) {

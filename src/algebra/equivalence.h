@@ -32,10 +32,15 @@ class ColumnEquivalence {
   std::vector<std::set<ColumnId>> NonTrivialClasses() const;
 
  private:
+  /// Read-only root walk. Deliberately no path compression: const lookups
+  /// run concurrently from the parallel memo expansion, so they must not
+  /// mutate shared state. AddEquality (single-threaded build phase)
+  /// compresses instead.
   ColumnId FindRoot(ColumnId id) const;
+  /// Root walk with path compression, for use during construction only.
+  ColumnId FindRootCompress(ColumnId id);
 
-  // Parent pointers; mutable for path compression in const Find.
-  mutable std::map<ColumnId, ColumnId> parent_;
+  std::map<ColumnId, ColumnId> parent_;
 };
 
 }  // namespace pdw

@@ -184,6 +184,11 @@ void InstallObsHooks() {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
     reg.DefineHistogram("appliance.query.seconds", LatencyBuckets());
     reg.DefineHistogram("optimizer.compile.seconds", LatencyBuckets());
+    reg.DefineHistogram("optimizer.phase.bind.seconds", LatencyBuckets());
+    reg.DefineHistogram("optimizer.phase.normalize.seconds", LatencyBuckets());
+    reg.DefineHistogram("optimizer.phase.memo.seconds", LatencyBuckets());
+    reg.DefineHistogram("optimizer.phase.pdw_optimize.seconds",
+                        LatencyBuckets());
     reg.DefineHistogram("wlm.queue_wait.seconds", LatencyBuckets());
     reg.DefineHistogram("dsql.step.seconds", LatencyBuckets());
     reg.DefineHistogram("dms.reader.seconds", LatencyBuckets());
@@ -196,6 +201,11 @@ void InstallObsHooks() {
       obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
       reg.SetGauge("pool.queue_depth", static_cast<double>(queue_depth));
       reg.SetGauge("pool.active_workers", static_cast<double>(active));
+      ThreadPool& pool = ThreadPool::Global();
+      reg.SetGauge("pool.nested_depth",
+                   static_cast<double>(pool.max_nesting_depth()));
+      reg.SetGauge("pool.nested_serial_fallbacks",
+                   static_cast<double>(pool.nested_serial_fallbacks()));
     });
     fault::FaultRegistry::Global().SetMetricsHook(
         [](const std::string& point, fault::FaultKind kind) {
@@ -956,6 +966,10 @@ Result<ApplianceResult> Appliance::RunImpl(uint64_t query_id,
           static_cast<double>(comp.parallel.options_pruned);
       profile.optimizer.enforcers_inserted =
           static_cast<double>(comp.parallel.enforcers_inserted);
+      profile.optimizer.memo_groups = static_cast<double>(comp.memo_groups);
+      profile.optimizer.memo_exprs = static_cast<double>(comp.memo_exprs);
+      profile.optimizer.budget_exhausted = comp.budget_exhausted;
+      profile.optimizer.beam_used = comp.beam_used;
 
       std::set<std::string> seen;
       CollectScanTables(*comp.parallel.plan, plan_cache_, &seen,
@@ -974,8 +988,24 @@ Result<ApplianceResult> Appliance::RunImpl(uint64_t query_id,
     profile.modeled_cost = modeled_cost;
     profile.cache_hit = cache_hit;
     requests_.EndCompile(query_id, cache_hit);
+    // Cache hits restore the memo stats from the cached plan's profile, so
+    // the DMV columns are populated either way.
+    std::vector<std::pair<std::string, double>> phase_pairs;
+    phase_pairs.reserve(profile.compile_phases.size());
+    for (const obs::PhaseProfile& p : profile.compile_phases) {
+      phase_pairs.emplace_back(p.name, p.seconds);
+    }
+    requests_.SetCompileInfo(query_id, std::move(phase_pairs),
+                             profile.optimizer.memo_groups,
+                             profile.optimizer.memo_exprs,
+                             profile.optimizer.budget_exhausted,
+                             profile.optimizer.beam_used);
     obs::MetricsRegistry::Global().Observe("optimizer.compile.seconds",
                                            profile.compile_seconds);
+    for (const auto& [phase_name, phase_secs] : profile.compile_phases) {
+      obs::MetricsRegistry::Global().Observe(
+          "optimizer.phase." + phase_name + ".seconds", phase_secs);
+    }
 
     // 2. EXPLAIN only: render without executing (no admission needed).
     if (options.compile.explain_only) {
@@ -985,11 +1015,18 @@ Result<ApplianceResult> Appliance::RunImpl(uint64_t query_id,
       result.modeled_cost = modeled_cost;
       result.plan_text = plan_text;
       result.cache_hit = cache_hit;
+      std::string warning;
+      if (profile.optimizer.budget_exhausted) {
+        warning = std::string("-- WARNING: join enumeration degraded") +
+                  (profile.optimizer.beam_used
+                       ? " (beam search used)\n"
+                       : " (single seeded join order)\n");
+      }
       result.explain_text =
           "-- parallel plan (modeled DMS cost " +
           StringFormat("%.6f", modeled_cost) + ")" +
-          (cache_hit ? "  [plan cache hit]" : "") + "\n" + plan_text + "\n" +
-          result.dsql.ToString();
+          (cache_hit ? "  [plan cache hit]" : "") + "\n" + warning +
+          plan_text + "\n" + result.dsql.ToString();
       result.profile = std::move(profile);
       return result;
     }

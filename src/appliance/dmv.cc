@@ -48,10 +48,28 @@ Status InstallExecRequests(LocalEngine* engine,
                           {"retries", TypeId::kInt, false},
                           {"rows_moved", TypeId::kDouble, false},
                           {"bytes_moved", TypeId::kDouble, false},
-                          {"error_text", TypeId::kVarchar, true}});
+                          {"error_text", TypeId::kVarchar, true},
+                          // Optimizer observability (new columns appended so
+                          // positional readers of the older shape keep working).
+                          {"bind_ms", TypeId::kDouble, true},
+                          {"normalize_ms", TypeId::kDouble, true},
+                          {"memo_ms", TypeId::kDouble, true},
+                          {"enumerate_ms", TypeId::kDouble, true},
+                          {"memo_groups", TypeId::kDouble, false},
+                          {"memo_exprs", TypeId::kDouble, false},
+                          {"budget_exhausted", TypeId::kBool, false},
+                          {"beam_used", TypeId::kBool, false}});
   return engine->RegisterVirtualTable(
       std::move(def), [requests]() -> Result<RowVector> {
         double now = requests->NowSeconds();
+        // Phase wall time by name, in ms; NULL when the phase didn't run
+        // (e.g. a plan-cache hit skips the whole pipeline).
+        auto phase_ms = [](const obs::RequestState& r, const char* name) {
+          for (const auto& [phase, seconds] : r.compile_phases) {
+            if (phase == name) return Datum::Double(seconds * 1e3);
+          }
+          return Datum::Null();
+        };
         RowVector rows;
         for (const obs::RequestState& r : requests->Snapshot()) {
           Row row;
@@ -85,6 +103,14 @@ Status InstallExecRequests(LocalEngine* engine,
           row.push_back(Datum::Double(r.BytesMoved()));
           row.push_back(r.error.empty() ? Datum::Null()
                                         : Datum::Varchar(r.error));
+          row.push_back(phase_ms(r, "bind"));
+          row.push_back(phase_ms(r, "normalize"));
+          row.push_back(phase_ms(r, "memo"));
+          row.push_back(phase_ms(r, "pdw_optimize"));
+          row.push_back(Datum::Double(r.memo_groups));
+          row.push_back(Datum::Double(r.memo_exprs));
+          row.push_back(Datum::Bool(r.budget_exhausted));
+          row.push_back(Datum::Bool(r.beam_used));
           rows.push_back(std::move(row));
         }
         return rows;

@@ -34,12 +34,21 @@ std::string QueryProfile::ToText(double misestimate_threshold) const {
     out += "\n";
   }
   out += StringFormat(
-      "optimizer: groups=%s options=%s kept=%s pruned=%s enforcers=%s\n",
+      "optimizer: groups=%s options=%s kept=%s pruned=%s enforcers=%s "
+      "memo_groups=%s memo_exprs=%s\n",
       FormatCount(optimizer.groups).c_str(),
       FormatCount(optimizer.options_considered).c_str(),
       FormatCount(optimizer.options_kept).c_str(),
       FormatCount(optimizer.options_pruned).c_str(),
-      FormatCount(optimizer.enforcers_inserted).c_str());
+      FormatCount(optimizer.enforcers_inserted).c_str(),
+      FormatCount(optimizer.memo_groups).c_str(),
+      FormatCount(optimizer.memo_exprs).c_str());
+  if (optimizer.budget_exhausted) {
+    out += "WARNING: join enumeration degraded (expression budget / "
+           "max_dp_relations)";
+    out += optimizer.beam_used ? " — beam search used\n"
+                               : " — single seeded join order\n";
+  }
 
   for (const StepProfile& s : steps) {
     out += StringFormat("DSQL step %d: %s", s.index, s.kind.c_str());
@@ -135,6 +144,11 @@ std::string QueryProfile::ToJson() const {
   out += ",\"options_kept\":" + JsonNumber(optimizer.options_kept);
   out += ",\"options_pruned\":" + JsonNumber(optimizer.options_pruned);
   out += ",\"enforcers_inserted\":" + JsonNumber(optimizer.enforcers_inserted);
+  out += ",\"memo_groups\":" + JsonNumber(optimizer.memo_groups);
+  out += ",\"memo_exprs\":" + JsonNumber(optimizer.memo_exprs);
+  out += std::string(",\"budget_exhausted\":") +
+         (optimizer.budget_exhausted ? "true" : "false");
+  out += std::string(",\"beam_used\":") + (optimizer.beam_used ? "true" : "false");
   out += "}";
 
   out += ",\"steps\":[";

@@ -79,6 +79,15 @@ struct OptimizerProfile {
   double options_kept = 0;
   double options_pruned = 0;
   double enforcers_inserted = 0;
+  /// Serial-memo search-space size (groups / group expressions).
+  double memo_groups = 0;
+  double memo_exprs = 0;
+  /// Join enumeration was degraded (budget hit or too many relations);
+  /// ToText then emits a WARNING line so the cliff is never silent.
+  bool budget_exhausted = false;
+  /// The degradation ran as a beam search rather than a single seeded
+  /// left-deep order.
+  bool beam_used = false;
 };
 
 /// The machine-readable result of EXPLAIN ANALYZE: every DSQL step with

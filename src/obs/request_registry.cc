@@ -93,6 +93,21 @@ void RequestRegistry::EndCompile(uint64_t query_id, bool cache_hit) {
   it->second.cache_hit = cache_hit;
 }
 
+void RequestRegistry::SetCompileInfo(
+    uint64_t query_id, std::vector<std::pair<std::string, double>> phases,
+    double memo_groups, double memo_exprs, bool budget_exhausted,
+    bool beam_used) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(query_id);
+  if (it == active_.end()) return;
+  RequestState& r = it->second;
+  r.compile_phases = std::move(phases);
+  r.memo_groups = memo_groups;
+  r.memo_exprs = memo_exprs;
+  r.budget_exhausted = budget_exhausted;
+  r.beam_used = beam_used;
+}
+
 void RequestRegistry::BeginQueue(uint64_t query_id,
                                  std::string resource_class) {
   double now = NowSeconds();

@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pdw::obs {
@@ -87,6 +88,15 @@ struct RequestState {
   int total_steps = 0;
   std::string error;
   std::vector<RequestStepState> steps;
+  /// Compile-phase wall seconds in pipeline order (bind, normalize, memo,
+  /// pdw_optimize, ...; a single plan_cache_lookup entry on cache hits).
+  std::vector<std::pair<std::string, double>> compile_phases;
+  /// Serial-memo search-space stats (restored from the cached plan's
+  /// profile on cache hits, so they are populated either way).
+  double memo_groups = 0;
+  double memo_exprs = 0;
+  bool budget_exhausted = false;  ///< Join enumeration was degraded.
+  bool beam_used = false;         ///< Degradation ran as a beam search.
 
   /// Sums over steps — the "so far" view while executing.
   int TotalRetries() const;
@@ -117,6 +127,12 @@ class RequestRegistry {
 
   void BeginCompile(uint64_t query_id);
   void EndCompile(uint64_t query_id, bool cache_hit);
+  /// Attaches the compile's phase timings and memo search-space stats (the
+  /// optimizer-observability columns of sys.dm_pdw_exec_requests).
+  void SetCompileInfo(uint64_t query_id,
+                      std::vector<std::pair<std::string, double>> phases,
+                      double memo_groups, double memo_exprs,
+                      bool budget_exhausted, bool beam_used);
 
   /// Transition back to queued while the request waits in the workload
   /// manager's admission queue of `resource_class`.

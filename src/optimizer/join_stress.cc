@@ -1,0 +1,162 @@
+#include "optimizer/join_stress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/types.h"
+
+namespace pdw {
+
+namespace {
+
+/// Deterministic row count in [1e3, 1e6), log-uniform so the generated
+/// workload mixes small dimensions with large facts.
+double RandomRows(std::mt19937& rng) {
+  std::uniform_real_distribution<double> exp_dist(3.0, 6.0);
+  double rows = std::pow(10.0, exp_dist(rng));
+  return std::floor(rows);
+}
+
+void AddTable(Catalog* catalog, const std::string& name,
+              std::vector<ColumnDef> cols, double rows,
+              std::vector<double> ndvs, std::mt19937& rng) {
+  TableDef def;
+  def.name = name;
+  def.schema = Schema(std::move(cols));
+  // Hash-distribute on the first column; small tables replicate, as a DBA
+  // would lay out dimension tables.
+  if (rows < 5000) {
+    def.distribution = DistributionSpec::Replicated();
+  } else {
+    def.distribution = DistributionSpec::HashOn(def.schema.column(0).name);
+  }
+  def.stats.row_count = rows;
+  double width = 0;
+  for (int i = 0; i < def.schema.num_columns(); ++i) {
+    const ColumnDef& c = def.schema.column(i);
+    ColumnStats cs;
+    cs.row_count = rows;
+    cs.distinct_count = std::max(1.0, std::min(rows, ndvs[static_cast<size_t>(i)]));
+    cs.avg_width = DefaultTypeWidth(c.type);
+    width += cs.avg_width;
+    def.stats.columns[c.name] = cs;
+  }
+  def.stats.avg_row_width = width;
+  Status s = catalog->CreateTable(std::move(def));
+  (void)s;
+  (void)rng;
+}
+
+}  // namespace
+
+const char* JoinStressShapeName(JoinStressShape shape) {
+  switch (shape) {
+    case JoinStressShape::kStar:
+      return "star";
+    case JoinStressShape::kChain:
+      return "chain";
+    case JoinStressShape::kClique:
+      return "clique";
+  }
+  return "unknown";
+}
+
+JoinStressQuery MakeJoinStressQuery(const JoinStressSpec& spec) {
+  int n = std::max(2, std::min(31, spec.relations));
+  std::mt19937 rng(spec.seed);
+  std::uniform_real_distribution<double> frac(0.1, 1.0);
+
+  JoinStressQuery out{Catalog(Topology{spec.nodes}), ""};
+  std::vector<std::string> conditions;
+
+  auto col = [](int table, const char* suffix) {
+    return StringFormat("t%d_%s", table, suffix);
+  };
+
+  switch (spec.shape) {
+    case JoinStressShape::kStar: {
+      // t0 is the fact table carrying one foreign-key column per dimension;
+      // each dimension t1..t{n-1} joins the fact on its key.
+      std::vector<double> dim_rows(static_cast<size_t>(n), 0);
+      for (int i = 1; i < n; ++i) dim_rows[static_cast<size_t>(i)] = RandomRows(rng);
+      double fact_rows = 1e6 + std::floor(frac(rng) * 1e6);
+      std::vector<ColumnDef> fact_cols;
+      std::vector<double> fact_ndvs;
+      for (int i = 1; i < n; ++i) {
+        fact_cols.push_back({col(0, StringFormat("k%d", i).c_str()),
+                             TypeId::kInt, false});
+        fact_ndvs.push_back(
+            std::max(1.0, dim_rows[static_cast<size_t>(i)] * frac(rng)));
+      }
+      fact_cols.push_back({col(0, "payload"), TypeId::kDouble, false});
+      fact_ndvs.push_back(fact_rows * frac(rng));
+      AddTable(&out.catalog, "t0", std::move(fact_cols), fact_rows,
+               std::move(fact_ndvs), rng);
+      for (int i = 1; i < n; ++i) {
+        double rows = dim_rows[static_cast<size_t>(i)];
+        AddTable(&out.catalog, StringFormat("t%d", i),
+                 {{col(i, "key"), TypeId::kInt, false},
+                  {col(i, "payload"), TypeId::kDouble, false}},
+                 rows, {rows, rows * frac(rng)}, rng);
+        conditions.push_back(col(0, StringFormat("k%d", i).c_str()) + " = " +
+                             col(i, "key"));
+      }
+      break;
+    }
+    case JoinStressShape::kChain: {
+      for (int i = 0; i < n; ++i) {
+        double rows = RandomRows(rng);
+        AddTable(&out.catalog, StringFormat("t%d", i),
+                 {{col(i, "key"), TypeId::kInt, false},
+                  {col(i, "next"), TypeId::kInt, false},
+                  {col(i, "payload"), TypeId::kDouble, false}},
+                 rows, {rows * frac(rng), rows * frac(rng), rows * frac(rng)},
+                 rng);
+        if (i > 0) {
+          conditions.push_back(col(i - 1, "next") + " = " + col(i, "key"));
+        }
+      }
+      break;
+    }
+    case JoinStressShape::kClique: {
+      // Every pair joins on its key column: the join graph is complete, so
+      // every one of the 2^n - 1 nonempty subsets is connected.
+      for (int i = 0; i < n; ++i) {
+        double rows = RandomRows(rng);
+        AddTable(&out.catalog, StringFormat("t%d", i),
+                 {{col(i, "key"), TypeId::kInt, false},
+                  {col(i, "payload"), TypeId::kDouble, false}},
+                 rows, {rows * frac(rng), rows * frac(rng)}, rng);
+      }
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          conditions.push_back(col(i, "key") + " = " + col(j, "key"));
+        }
+      }
+      break;
+    }
+  }
+
+  std::string select = "SELECT ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) select += ", ";
+    select += col(i, "payload");
+  }
+  select += " FROM ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) select += ", ";
+    select += StringFormat("t%d", i);
+  }
+  select += " WHERE ";
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (i > 0) select += " AND ";
+    select += conditions[i];
+  }
+  out.sql = std::move(select);
+  return out;
+}
+
+}  // namespace pdw

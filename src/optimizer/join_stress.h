@@ -1,0 +1,43 @@
+#ifndef PDW_OPTIMIZER_JOIN_STRESS_H_
+#define PDW_OPTIMIZER_JOIN_STRESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+
+namespace pdw {
+
+/// Join-graph topologies for optimizer stress queries, ordered by how fast
+/// the connected-subset count grows with the relation count: a star has
+/// 2^(n-1) connected subsets, a chain n(n+1)/2, a clique all 2^n - 1.
+enum class JoinStressShape { kStar, kChain, kClique };
+
+const char* JoinStressShapeName(JoinStressShape shape);
+
+struct JoinStressSpec {
+  JoinStressShape shape = JoinStressShape::kStar;
+  /// Number of base relations (2..31 — the memo's full DP is mask-based).
+  int relations = 15;
+  /// Seeds the synthetic statistics (row counts, NDVs), so two specs with
+  /// the same seed produce byte-identical catalogs and SQL.
+  uint32_t seed = 42;
+  /// Compute nodes in the shell catalog's topology.
+  int nodes = 8;
+};
+
+/// A generated stress query: a shell catalog of `relations` tables with
+/// randomized-but-deterministic statistics, plus a SELECT that joins all of
+/// them in the spec's shape. Every table contributes a payload column to
+/// the select list and no table declares a primary key, so the normalizer
+/// cannot eliminate any join — the optimizer must order all n relations.
+struct JoinStressQuery {
+  Catalog catalog;
+  std::string sql;
+};
+
+JoinStressQuery MakeJoinStressQuery(const JoinStressSpec& spec);
+
+}  // namespace pdw
+
+#endif  // PDW_OPTIMIZER_JOIN_STRESS_H_

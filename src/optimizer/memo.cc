@@ -2,10 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <thread>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace pdw {
+
+int ResolveOptThreads(int opt_threads) {
+  if (opt_threads >= 1) return opt_threads;
+  if (const char* env = std::getenv("PDW_OPT_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  // CPU-bound work: one claimer per core. The executor pool oversubscribes
+  // cores on purpose (its tasks block on modeled dispatch latency); letting
+  // the optimizer do the same just adds contention — most visibly on a
+  // single-core host, where this default collapses to serial inline.
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw >= 1 ? hw : 1;
+}
+
+int ResolveBeamWidth(int beam_width) {
+  if (beam_width >= 0) return beam_width;
+  if (const char* env = std::getenv("PDW_OPT_BEAM")) {
+    int n = std::atoi(env);
+    if (n >= 0) return n;
+  }
+  return 64;
+}
 
 namespace {
 
@@ -48,24 +74,27 @@ GroupId Memo::NewGroup(std::vector<ColumnBinding> output, double cardinality,
   return groups_.back().id;
 }
 
-GroupId Memo::FindExistingExpr(const LogicalOp& payload,
-                               const std::vector<GroupId>& children) const {
-  size_t fp = ExprFingerprint(payload, children);
-  auto [lo, hi] = expr_index_.equal_range(fp);
-  for (auto it = lo; it != hi; ++it) {
-    const auto& [gid, idx] = it->second;
-    const GroupExpr& e = groups_[static_cast<size_t>(gid)].exprs[static_cast<size_t>(idx)];
-    if (e.children == children && e.op->PayloadEquals(payload)) return gid;
-  }
-  return kInvalidGroupId;
-}
-
 GroupId Memo::AddExpr(LogicalOpPtr payload, std::vector<GroupId> children,
                       GroupId target_group) {
-  GroupId existing = FindExistingExpr(*payload, children);
-  if (existing != kInvalidGroupId) {
-    // Already present somewhere; never duplicate.
-    return target_group != kInvalidGroupId ? target_group : existing;
+  size_t fp = ExprFingerprint(*payload, children);
+  return AddExprWithFingerprint(std::move(payload), std::move(children), fp,
+                                target_group);
+}
+
+GroupId Memo::AddExprWithFingerprint(LogicalOpPtr payload,
+                                     std::vector<GroupId> children, size_t fp,
+                                     GroupId target_group) {
+  {
+    auto [lo, hi] = expr_index_.equal_range(fp);
+    for (auto it = lo; it != hi; ++it) {
+      const auto& [gid, idx] = it->second;
+      const GroupExpr& e =
+          groups_[static_cast<size_t>(gid)].exprs[static_cast<size_t>(idx)];
+      if (e.children == children && e.op->PayloadEquals(*payload)) {
+        // Already present somewhere; never duplicate.
+        return target_group != kInvalidGroupId ? target_group : gid;
+      }
+    }
   }
   GroupExpr e;
   e.op = std::move(payload);
@@ -77,7 +106,6 @@ GroupId Memo::AddExpr(LogicalOpPtr payload, std::vector<GroupId> children,
     ComputeGroupProperties(&groups_[static_cast<size_t>(gid)], e);
   }
   Group& g = groups_[static_cast<size_t>(gid)];
-  size_t fp = ExprFingerprint(*e.op, e.children);
   expr_index_.emplace(fp, std::make_pair(gid, static_cast<int>(g.exprs.size())));
   g.exprs.push_back(std::move(e));
   ++num_exprs_;
@@ -338,152 +366,402 @@ GroupId Memo::InsertJoinCluster(const LogicalOpPtr& top) {
 
   const uint32_t full = n >= 32 ? 0xffffffffu : (1u << n) - 1;
   bool graph_connected = connected(full);
+  const int threads = ResolveOptThreads(options_.opt_threads);
+  ThreadPool& pool = ThreadPool::Global();
 
-  // Decide full DP vs. seeded left-deep chain (the "timeout" fallback).
-  bool full_dp = options_.enumerate_joins && n <= options_.max_dp_relations &&
-                 graph_connected;
+  // Decide full DP vs. degraded enumeration (the "timeout" fallback).
+  bool full_dp = options_.enumerate_joins && n < 32 &&
+                 n <= options_.max_dp_relations && graph_connected;
+  // level_masks[s]: connected masks of popcount s, ascending — the DP
+  // levels. Enumerated in parallel chunks merged in chunk order, which is
+  // ascending-mask order, so the levels are independent of thread count.
+  std::vector<std::vector<uint32_t>> level_masks;
   if (full_dp) {
-    // Pre-count connected subsets to respect the expression budget.
-    int connected_subsets = 0;
-    for (uint32_t mask = 1; mask <= full; ++mask) {
-      if (Popcount(mask) >= 2 && connected(mask)) ++connected_subsets;
+    level_masks.assign(static_cast<size_t>(n) + 1, {});
+    constexpr uint64_t kChunk = 4096;
+    const uint64_t total = static_cast<uint64_t>(full);  // masks 1..full
+    if (threads != 1 && total >= 2 * kChunk) {
+      const uint64_t num_chunks = (total + kChunk - 1) / kChunk;
+      std::vector<std::vector<std::vector<uint32_t>>> chunk_levels(
+          static_cast<size_t>(num_chunks));
+      pool.ParallelFor(
+          static_cast<int>(num_chunks),
+          [&](int ci) {
+            auto& lv = chunk_levels[static_cast<size_t>(ci)];
+            lv.assign(static_cast<size_t>(n) + 1, {});
+            const uint64_t lo = 1 + static_cast<uint64_t>(ci) * kChunk;
+            const uint64_t hi = std::min(total, lo + kChunk - 1);
+            for (uint64_t m = lo; m <= hi; ++m) {
+              uint32_t mask = static_cast<uint32_t>(m);
+              int size = Popcount(mask);
+              if (size >= 2 && connected(mask)) {
+                lv[static_cast<size_t>(size)].push_back(mask);
+              }
+            }
+          },
+          threads);
+      for (auto& lv : chunk_levels) {
+        for (int s = 2; s <= n; ++s) {
+          auto& dst = level_masks[static_cast<size_t>(s)];
+          auto& src = lv[static_cast<size_t>(s)];
+          dst.insert(dst.end(), src.begin(), src.end());
+        }
+      }
+    } else {
+      for (uint32_t mask = 1; mask <= full; ++mask) {
+        int size = Popcount(mask);
+        if (size >= 2 && connected(mask)) {
+          level_masks[static_cast<size_t>(size)].push_back(mask);
+        }
+      }
     }
     // Rough bound: each subset contributes ~2*size split expressions.
-    if (static_cast<size_t>(connected_subsets) * 2 * static_cast<size_t>(n) +
-            num_exprs_ >
+    size_t connected_subsets = 0;
+    for (int s = 2; s <= n; ++s) {
+      connected_subsets += level_masks[static_cast<size_t>(s)].size();
+    }
+    if (connected_subsets * 2 * static_cast<size_t>(n) + num_exprs_ >
         static_cast<size_t>(options_.expr_budget)) {
       full_dp = false;
-      budget_exhausted_ = true;
     }
+  }
+  // Any degradation of a connected cluster — budget hit or cluster wider
+  // than max_dp_relations — is the graceful-degradation path and is
+  // surfaced to EXPLAIN / DMVs. A disconnected cluster is not: it needs
+  // cross joins that the DP never enumerates anyway.
+  if (!full_dp && options_.enumerate_joins && graph_connected) {
+    budget_exhausted_ = true;
   }
 
   if (full_dp) {
-    std::map<uint32_t, GroupId> subset_group;
-    for (int i = 0; i < n; ++i) {
-      subset_group[1u << i] = leaves[static_cast<size_t>(i)].gid;
+    // Dense mask -> group table: the split loop probes it ~3^n times (every
+    // submask of every connected subset), so indexed loads beat a std::map
+    // by an order of magnitude. 4 bytes * 2^n stays under 64 MB through
+    // n = 24; the budget check above caps realistic n far below that, and
+    // the sparse map covers anyone who raises every knob at once.
+    const bool dense = n <= 24;
+    std::vector<GroupId> dense_group;
+    if (dense) {
+      dense_group.assign(static_cast<size_t>(full) + 1, kInvalidGroupId);
     }
+    std::map<uint32_t, GroupId> sparse_group;
+    auto subset_lookup = [&](uint32_t m) -> GroupId {
+      if (dense) return dense_group[m];
+      auto it = sparse_group.find(m);
+      return it == sparse_group.end() ? kInvalidGroupId : it->second;
+    };
+    auto subset_store = [&](uint32_t m, GroupId g) {
+      if (dense) {
+        dense_group[m] = g;
+      } else {
+        sparse_group[m] = g;
+      }
+    };
+    for (int i = 0; i < n; ++i) {
+      subset_store(1u << i, leaves[static_cast<size_t>(i)].gid);
+    }
+    // One DP level per subset size. Within a level no subset depends on
+    // another, so the expansion — properties, splits, fingerprints; all
+    // pure reads of lower levels' subset_group entries — fans out across
+    // the pool. The commit then replays the expansions serially in
+    // ascending-mask order, mutating groups_/expr_index_/num_exprs_ in
+    // exactly the serial DP's order, which keeps the memo byte-identical
+    // at every thread count.
+    struct SplitPlan {
+      LogicalOpPtr payload;
+      GroupId left = kInvalidGroupId;
+      GroupId right = kInvalidGroupId;
+      size_t fp = 0;
+    };
+    struct MaskPlan {
+      uint32_t mask = 0;
+      double card = 0;
+      double row_width = 0;
+      std::vector<ColumnBinding> output;
+      std::vector<SplitPlan> splits;
+    };
     for (int size = 2; size <= n; ++size) {
-      for (uint32_t mask = 1; mask <= full; ++mask) {
-        if (Popcount(mask) != size || !connected(mask)) continue;
-        GroupId gid = NewGroup(subset_output(mask), subset_cardinality(mask), 0);
-        mutable_group(gid).row_width =
-            estimator_->RowWidth(group(gid).output);
-        subset_group[mask] = gid;
-        // All splits (both orders arise as (L,R) and (R,L)).
-        for (uint32_t l = (mask - 1) & mask; l != 0; l = (l - 1) & mask) {
-          uint32_t r = mask ^ l;
-          auto it_l = subset_group.find(l);
-          auto it_r = subset_group.find(r);
-          if (it_l == subset_group.end() || it_r == subset_group.end()) continue;
-          std::vector<ScalarExprPtr> conds = split_conditions(l, r);
-          if (conds.empty()) continue;  // connected mask => no cross needed
-          auto payload = std::make_shared<LogicalJoin>(
-              LogicalJoinType::kInner, std::move(conds), nullptr, nullptr);
-          AddExpr(std::move(payload), {it_l->second, it_r->second}, gid);
+      const std::vector<uint32_t>& masks =
+          level_masks[static_cast<size_t>(size)];
+      if (masks.empty()) continue;
+      std::vector<MaskPlan> plans(masks.size());
+      // Small levels are not worth the fan-out (~masks * 2^size split work).
+      int par =
+          (static_cast<uint64_t>(masks.size()) << size) < 4096 ? 1 : threads;
+      pool.ParallelFor(
+          static_cast<int>(masks.size()),
+          [&](int mi) {
+            const uint32_t mask = masks[static_cast<size_t>(mi)];
+            MaskPlan& p = plans[static_cast<size_t>(mi)];
+            p.mask = mask;
+            p.card = subset_cardinality(mask);
+            p.output = subset_output(mask);
+            p.row_width = estimator_->RowWidth(p.output);
+            // All splits (both orders arise as (L,R) and (R,L)).
+            for (uint32_t l = (mask - 1) & mask; l != 0; l = (l - 1) & mask) {
+              uint32_t r = mask ^ l;
+              GroupId gl = subset_lookup(l);
+              GroupId gr = subset_lookup(r);
+              if (gl == kInvalidGroupId || gr == kInvalidGroupId) continue;
+              std::vector<ScalarExprPtr> conds = split_conditions(l, r);
+              if (conds.empty()) continue;  // connected mask => no cross needed
+              SplitPlan sp;
+              sp.payload = std::make_shared<LogicalJoin>(
+                  LogicalJoinType::kInner, std::move(conds), nullptr, nullptr);
+              sp.left = gl;
+              sp.right = gr;
+              sp.fp = ExprFingerprint(*sp.payload, {sp.left, sp.right});
+              p.splits.push_back(std::move(sp));
+            }
+          },
+          par);
+      // One rehash for the whole level instead of amortized growth during
+      // the serial commit (rehashing 100k+ expression entries mid-commit
+      // is a measurable chunk of large-star compile time).
+      size_t level_exprs = 0;
+      for (const MaskPlan& p : plans) level_exprs += p.splits.size();
+      expr_index_.reserve(expr_index_.size() + level_exprs);
+      for (MaskPlan& p : plans) {
+        GroupId gid = NewGroup(std::move(p.output), p.card, 0);
+        mutable_group(gid).row_width = p.row_width;
+        subset_store(p.mask, gid);
+        for (SplitPlan& sp : p.splits) {
+          AddExprWithFingerprint(std::move(sp.payload), {sp.left, sp.right},
+                                 sp.fp, gid);
         }
       }
     }
-    return subset_group[full];
+    return subset_lookup(full);
   }
 
-  // Seeded left-deep chain. Order: distribution-aware greedy (§3.1 seeding)
-  // or plain smallest-cardinality-first.
-  std::vector<int> order;
-  std::vector<bool> used(static_cast<size_t>(n), false);
-  int first = 0;
-  for (int i = 1; i < n; ++i) {
-    if (leaves[static_cast<size_t>(i)].card <
-        leaves[static_cast<size_t>(first)].card) {
-      first = i;
-    }
-  }
-  // Distribution-aware seeding starts from a collocated pair when one
-  // exists — "for PDW optimization we seed the MEMO with execution plans
-  // that consider distribution information of tables, for collocated
-  // operations" (§3.1).
-  int second = -1;
-  if (options_.seed_distribution_aware) {
-    double best_pair_card = 0;
-    for (size_t k = 0; k < conjuncts.size(); ++k) {
-      ColumnId a, b;
-      if (conjunct_masks[k] == 0 || Popcount(conjunct_masks[k]) != 2 ||
-          !IsColumnEquality(conjuncts[k], &a, &b)) {
-        continue;
-      }
-      int la = leaf_of_column(a);
-      int lb = leaf_of_column(b);
-      if (la < 0 || lb < 0 || la == lb) continue;
-      const Leaf& la_leaf = leaves[static_cast<size_t>(la)];
-      const Leaf& lb_leaf = leaves[static_cast<size_t>(lb)];
-      bool collocated =
-          (la_leaf.dist_cols.count(a) > 0 && lb_leaf.dist_cols.count(b) > 0) ||
-          la_leaf.replicated || lb_leaf.replicated;
-      if (!collocated) continue;
-      double pair_card = la_leaf.card + lb_leaf.card;
-      if (second == -1 || pair_card < best_pair_card) {
-        best_pair_card = pair_card;
-        first = la_leaf.card <= lb_leaf.card ? la : lb;
-        second = first == la ? lb : la;
+  // Greedy seed order (§3.1 seeding): distribution-aware collocated pair
+  // first when one exists, then connected / collocated / smallest-card
+  // next. Shared by the beam's spine and the left-deep fallback.
+  auto compute_seed_order = [&]() {
+    std::vector<int> order;
+    std::vector<bool> used(static_cast<size_t>(n), false);
+    int first = 0;
+    for (int i = 1; i < n; ++i) {
+      if (leaves[static_cast<size_t>(i)].card <
+          leaves[static_cast<size_t>(first)].card) {
+        first = i;
       }
     }
-  }
-  order.push_back(first);
-  used[static_cast<size_t>(first)] = true;
-  uint32_t acc_mask = 1u << first;
-  if (second >= 0) {
-    order.push_back(second);
-    used[static_cast<size_t>(second)] = true;
-    acc_mask |= 1u << second;
-  }
-  while (static_cast<int>(order.size()) < n) {
-    int best = -1;
-    double best_score = -1e18;
-    for (int i = 0; i < n; ++i) {
-      if (used[static_cast<size_t>(i)]) continue;
-      double score = 0;
-      uint32_t pair_mask = acc_mask | (1u << i);
-      bool connects = false;
-      bool collocated = false;
+    // Distribution-aware seeding starts from a collocated pair when one
+    // exists — "for PDW optimization we seed the MEMO with execution plans
+    // that consider distribution information of tables, for collocated
+    // operations" (§3.1).
+    int second = -1;
+    if (options_.seed_distribution_aware) {
+      double best_pair_card = 0;
       for (size_t k = 0; k < conjuncts.size(); ++k) {
-        uint32_t cm = conjunct_masks[k];
-        if (cm == 0 || (cm & (1u << i)) == 0 || (cm & acc_mask) == 0 ||
-            (cm & pair_mask) != cm) {
+        ColumnId a, b;
+        if (conjunct_masks[k] == 0 || Popcount(conjunct_masks[k]) != 2 ||
+            !IsColumnEquality(conjuncts[k], &a, &b)) {
           continue;
         }
-        connects = true;
-        if (options_.seed_distribution_aware) {
-          ColumnId a, b;
-          if (IsColumnEquality(conjuncts[k], &a, &b)) {
-            const Leaf& leaf = leaves[static_cast<size_t>(i)];
-            bool new_side_dist = leaf.dist_cols.count(a) > 0 ||
-                                 leaf.dist_cols.count(b) > 0;
-            ColumnId other = leaf.cols.count(a) > 0 ? b : a;
-            int other_leaf = leaf_of_column(other);
-            bool other_side_dist =
-                other_leaf >= 0 &&
-                leaves[static_cast<size_t>(other_leaf)].dist_cols.count(other) > 0;
-            if (new_side_dist && other_side_dist) collocated = true;
-            if (leaf.replicated ||
-                (other_leaf >= 0 &&
-                 leaves[static_cast<size_t>(other_leaf)].replicated)) {
-              collocated = true;
+        int la = leaf_of_column(a);
+        int lb = leaf_of_column(b);
+        if (la < 0 || lb < 0 || la == lb) continue;
+        const Leaf& la_leaf = leaves[static_cast<size_t>(la)];
+        const Leaf& lb_leaf = leaves[static_cast<size_t>(lb)];
+        bool collocated =
+            (la_leaf.dist_cols.count(a) > 0 &&
+             lb_leaf.dist_cols.count(b) > 0) ||
+            la_leaf.replicated || lb_leaf.replicated;
+        if (!collocated) continue;
+        double pair_card = la_leaf.card + lb_leaf.card;
+        if (second == -1 || pair_card < best_pair_card) {
+          best_pair_card = pair_card;
+          first = la_leaf.card <= lb_leaf.card ? la : lb;
+          second = first == la ? lb : la;
+        }
+      }
+    }
+    order.push_back(first);
+    used[static_cast<size_t>(first)] = true;
+    uint32_t acc_mask = 1u << first;
+    if (second >= 0) {
+      order.push_back(second);
+      used[static_cast<size_t>(second)] = true;
+      acc_mask |= 1u << second;
+    }
+    while (static_cast<int>(order.size()) < n) {
+      int best = -1;
+      double best_score = -1e18;
+      for (int i = 0; i < n; ++i) {
+        if (used[static_cast<size_t>(i)]) continue;
+        double score = 0;
+        uint32_t pair_mask = acc_mask | (1u << i);
+        bool connects = false;
+        bool collocated = false;
+        for (size_t k = 0; k < conjuncts.size(); ++k) {
+          uint32_t cm = conjunct_masks[k];
+          if (cm == 0 || (cm & (1u << i)) == 0 || (cm & acc_mask) == 0 ||
+              (cm & pair_mask) != cm) {
+            continue;
+          }
+          connects = true;
+          if (options_.seed_distribution_aware) {
+            ColumnId a, b;
+            if (IsColumnEquality(conjuncts[k], &a, &b)) {
+              const Leaf& leaf = leaves[static_cast<size_t>(i)];
+              bool new_side_dist = leaf.dist_cols.count(a) > 0 ||
+                                   leaf.dist_cols.count(b) > 0;
+              ColumnId other = leaf.cols.count(a) > 0 ? b : a;
+              int other_leaf = leaf_of_column(other);
+              bool other_side_dist =
+                  other_leaf >= 0 &&
+                  leaves[static_cast<size_t>(other_leaf)].dist_cols.count(
+                      other) > 0;
+              if (new_side_dist && other_side_dist) collocated = true;
+              if (leaf.replicated ||
+                  (other_leaf >= 0 &&
+                   leaves[static_cast<size_t>(other_leaf)].replicated)) {
+                collocated = true;
+              }
             }
           }
         }
+        if (connects) score += 1e12;
+        if (collocated) score += 1e13;
+        score -= leaves[static_cast<size_t>(i)].card;
+        if (score > best_score) {
+          best_score = score;
+          best = i;
+        }
       }
-      if (connects) score += 1e12;
-      if (collocated) score += 1e13;
-      score -= leaves[static_cast<size_t>(i)].card;
-      if (score > best_score) {
-        best_score = score;
-        best = i;
-      }
+      order.push_back(best);
+      used[static_cast<size_t>(best)] = true;
+      acc_mask |= 1u << best;
     }
-    order.push_back(best);
-    used[static_cast<size_t>(best)] = true;
-    acc_mask |= 1u << best;
+    return order;
+  };
+
+  const int beam = ResolveBeamWidth(options_.beam_width);
+  if (options_.enumerate_joins && graph_connected && beam > 0 && n <= 32) {
+    // Budget-bounded beam search over the DP levels: keep the top-k
+    // cheapest connected subsets per level instead of abandoning
+    // enumeration entirely (the graduated replacement for the old
+    // all-or-nothing cliff). Deterministic by construction — candidate
+    // generation fans out over the pool but merges in task order, and
+    // ranking ties break on the mask — so the memo is identical at every
+    // thread count.
+    int k = std::min(
+        beam, std::max(2, options_.expr_budget / std::max(1, 2 * n * n)));
+    constexpr size_t kMaxSplitsPerSubset = 8;
+
+    std::vector<int> seed = compute_seed_order();
+    // Prefix masks of the seeded chain, force-kept per level as the beam's
+    // spine: the final level then always has a candidate, so the beam can
+    // never do worse than the left-deep fallback.
+    std::vector<uint32_t> chain(static_cast<size_t>(n) + 1, 0);
+    for (int s = 1; s <= n; ++s) {
+      chain[static_cast<size_t>(s)] =
+          chain[static_cast<size_t>(s - 1)] |
+          (1u << seed[static_cast<size_t>(s - 1)]);
+    }
+
+    struct BeamPair {
+      uint32_t a = 0;
+      uint32_t b = 0;
+      std::vector<ScalarExprPtr> conds;
+    };
+    // surv[s]: masks kept at level s, in commit order. Singletons are
+    // never pruned, so every level has combination candidates.
+    std::vector<std::vector<uint32_t>> surv(static_cast<size_t>(n) + 1);
+    std::map<uint32_t, GroupId> subset_group;
+    for (int i = 0; i < n; ++i) {
+      subset_group[1u << i] = leaves[static_cast<size_t>(i)].gid;
+      surv[1].push_back(1u << i);
+    }
+
+    bool beam_failed = false;
+    for (int s = 2; s <= n && !beam_failed; ++s) {
+      // Candidates: disjoint survivor pairs from levels (i, s-i) joined by
+      // at least one conjunct. One task per left survivor.
+      std::vector<std::pair<int, size_t>> tasks;
+      for (int i = 1; i * 2 <= s; ++i) {
+        for (size_t ai = 0; ai < surv[static_cast<size_t>(i)].size(); ++ai) {
+          tasks.emplace_back(i, ai);
+        }
+      }
+      std::vector<std::vector<BeamPair>> task_pairs(tasks.size());
+      pool.ParallelFor(
+          static_cast<int>(tasks.size()),
+          [&](int ti) {
+            auto [i, ai] = tasks[static_cast<size_t>(ti)];
+            uint32_t a = surv[static_cast<size_t>(i)][ai];
+            auto& out = task_pairs[static_cast<size_t>(ti)];
+            for (uint32_t b : surv[static_cast<size_t>(s - i)]) {
+              if (i * 2 == s && b <= a) continue;  // unordered pair once
+              if ((a & b) != 0) continue;
+              std::vector<ScalarExprPtr> conds = split_conditions(a, b);
+              if (conds.empty()) continue;
+              out.push_back(BeamPair{a, b, std::move(conds)});
+            }
+          },
+          threads);
+      std::map<uint32_t, std::vector<BeamPair>> cands;
+      for (auto& tp : task_pairs) {
+        for (BeamPair& p : tp) {
+          std::vector<BeamPair>& v = cands[p.a | p.b];
+          if (v.size() < kMaxSplitsPerSubset) v.push_back(std::move(p));
+        }
+      }
+      if (cands.empty()) {
+        beam_failed = true;
+        break;
+      }
+      // Rank by estimated cardinality, mask as the deterministic tie-break.
+      std::vector<std::pair<double, uint32_t>> ranked;
+      ranked.reserve(cands.size());
+      for (const auto& [cand_mask, pairs] : cands) {
+        ranked.emplace_back(subset_cardinality(cand_mask), cand_mask);
+      }
+      std::sort(ranked.begin(), ranked.end());
+      std::vector<uint32_t> keep;
+      for (const auto& [card, cand_mask] : ranked) {
+        if (static_cast<int>(keep.size()) >= k) break;
+        keep.push_back(cand_mask);
+      }
+      uint32_t spine = chain[static_cast<size_t>(s)];
+      if (cands.count(spine) > 0 &&
+          std::find(keep.begin(), keep.end(), spine) == keep.end()) {
+        keep.push_back(spine);
+      }
+      for (uint32_t kept : keep) {
+        GroupId gid =
+            NewGroup(subset_output(kept), subset_cardinality(kept), 0);
+        mutable_group(gid).row_width = estimator_->RowWidth(group(gid).output);
+        subset_group[kept] = gid;
+        for (BeamPair& p : cands[kept]) {
+          GroupId ga = subset_group.at(p.a);
+          GroupId gb = subset_group.at(p.b);
+          AddExpr(std::make_shared<LogicalJoin>(LogicalJoinType::kInner,
+                                                p.conds, nullptr, nullptr),
+                  {ga, gb}, gid);
+          AddExpr(std::make_shared<LogicalJoin>(LogicalJoinType::kInner,
+                                                std::move(p.conds), nullptr,
+                                                nullptr),
+                  {gb, ga}, gid);
+        }
+        surv[static_cast<size_t>(s)].push_back(kept);
+      }
+      if (surv[static_cast<size_t>(s)].empty()) beam_failed = true;
+    }
+    auto it = subset_group.find(full);
+    if (!beam_failed && it != subset_group.end()) {
+      beam_used_ = true;
+      return it->second;
+    }
+    // A conjunct spanning 3+ leaves can starve the spine; the left-deep
+    // chain below still handles the cluster. Groups a partial beam already
+    // committed remain as unreachable alternatives.
   }
 
+  // Single seeded left-deep chain (beam disabled or infeasible).
+  std::vector<int> order = compute_seed_order();
   uint32_t mask = 1u << order[0];
   GroupId acc = leaves[static_cast<size_t>(order[0])].gid;
   for (size_t i = 1; i < order.size(); ++i) {
@@ -599,6 +877,65 @@ std::string Memo::ToString() const {
     }
   }
   return out;
+}
+
+Result<std::vector<std::vector<GroupId>>> MemoLevels(const Memo& memo,
+                                                     GroupId root) {
+  if (root == kInvalidGroupId || root >= memo.num_groups()) {
+    return Status::Internal("MemoLevels: invalid root group");
+  }
+  // Longest-path level of every reachable group via iterative DFS.
+  // state: 0 = unvisited, 1 = on stack (in progress), 2 = done.
+  std::vector<int8_t> state(static_cast<size_t>(memo.num_groups()), 0);
+  std::vector<int> level(static_cast<size_t>(memo.num_groups()), -1);
+  std::vector<std::pair<GroupId, size_t>> stack;  // (group, child cursor)
+  stack.emplace_back(root, 0);
+  state[static_cast<size_t>(root)] = 1;
+  auto children_of = [&memo](GroupId gid) {
+    std::vector<GroupId> out;
+    for (const GroupExpr& e : memo.group(gid).exprs) {
+      for (GroupId c : e.children) {
+        // Self-children arise from in-group alternatives (e.g. the
+        // semi-join rewrite's project back into its own group); the winner
+        // passes skip those expressions, so the level order does too.
+        if (c != gid) out.push_back(c);
+      }
+    }
+    return out;
+  };
+  std::vector<std::vector<GroupId>> adj(static_cast<size_t>(memo.num_groups()));
+  adj[static_cast<size_t>(root)] = children_of(root);
+  while (!stack.empty()) {
+    auto& [gid, cursor] = stack.back();
+    const auto& kids = adj[static_cast<size_t>(gid)];
+    if (cursor < kids.size()) {
+      GroupId c = kids[cursor++];
+      if (state[static_cast<size_t>(c)] == 1) {
+        return Status::Internal("MemoLevels: cross-group cycle in memo");
+      }
+      if (state[static_cast<size_t>(c)] == 0) {
+        state[static_cast<size_t>(c)] = 1;
+        adj[static_cast<size_t>(c)] = children_of(c);
+        stack.emplace_back(c, 0);
+      }
+      continue;
+    }
+    int lv = 0;
+    for (GroupId c : kids) {
+      lv = std::max(lv, level[static_cast<size_t>(c)] + 1);
+    }
+    level[static_cast<size_t>(gid)] = lv;
+    state[static_cast<size_t>(gid)] = 2;
+    stack.pop_back();
+  }
+  int max_level = level[static_cast<size_t>(root)];
+  std::vector<std::vector<GroupId>> levels(static_cast<size_t>(max_level) + 1);
+  for (GroupId g = 0; g < memo.num_groups(); ++g) {
+    if (state[static_cast<size_t>(g)] == 2) {
+      levels[static_cast<size_t>(level[static_cast<size_t>(g)])].push_back(g);
+    }
+  }
+  return levels;
 }
 
 }  // namespace pdw

@@ -44,7 +44,9 @@ struct Group {
 
 /// Exploration controls. `expr_budget` plays the role of the SQL Server
 /// optimizer timeout of §3.1: when the search space would exceed it, the
-/// memo falls back to a single seeded left-deep join order, so the seed
+/// memo degrades gracefully — first to a budget-bounded beam search over
+/// the DP levels (`beam_width` best subsets per level), and only with the
+/// beam disabled to a single seeded left-deep join order, so the seed
 /// determines the space considered — which is why PDW seeds with
 /// distribution-aware collocated orders.
 struct MemoOptions {
@@ -53,7 +55,26 @@ struct MemoOptions {
   bool seed_distribution_aware = true;
   bool enable_semijoin_to_join = true;
   bool enumerate_joins = true;  ///< false = keep the input join order only.
+  /// Threads fanning out the join-order DP (and the downstream cost
+  /// sweeps). -1 = PDW_OPT_THREADS env, else one per hardware core;
+  /// 1 = serial. The memo produced is byte-identical at every setting.
+  int opt_threads = -1;
+  /// Beam width of the degraded enumeration (top-K cheapest connected
+  /// subsets kept per DP level). -1 = PDW_OPT_BEAM env, else 64;
+  /// 0 = disable the beam (legacy left-deep cliff).
+  int beam_width = -1;
 };
+
+/// Effective thread cap for optimizer fan-out: `opt_threads` when >= 1,
+/// else PDW_OPT_THREADS when set, else hardware_concurrency. Optimizer
+/// work is CPU-bound, so the default never oversubscribes cores the way
+/// the (dispatch-latency-bound) executor pool deliberately does; on a
+/// single-core host it degrades to serial inline with zero overhead.
+int ResolveOptThreads(int opt_threads);
+
+/// Effective beam width: `beam_width` when >= 0, else PDW_OPT_BEAM when
+/// set, else 64.
+int ResolveBeamWidth(int beam_width);
 
 /// The optimizer search space: a DAG of groups. Construction inserts the
 /// normalized logical tree with full join-order enumeration inside each
@@ -77,8 +98,13 @@ class Memo {
   const Group& group(GroupId id) const { return groups_[static_cast<size_t>(id)]; }
   Group& mutable_group(GroupId id) { return groups_[static_cast<size_t>(id)]; }
 
-  /// True if the exploration budget was hit (the "timeout" path).
+  /// True if join enumeration was degraded for some cluster: the budget
+  /// was hit or the cluster exceeded max_dp_relations (the "timeout" path).
   bool budget_exhausted() const { return budget_exhausted_; }
+
+  /// True if the degraded enumeration ran as a beam search (rather than
+  /// the single seeded left-deep order).
+  bool beam_used() const { return beam_used_; }
 
   const CardinalityEstimator& estimator() const { return *estimator_; }
 
@@ -105,8 +131,11 @@ class Memo {
   GroupId InsertTreeInternal(const LogicalOpPtr& op);
   GroupId InsertJoinCluster(const LogicalOpPtr& top);
   void ComputeGroupProperties(Group* g, const GroupExpr& e);
-  GroupId FindExistingExpr(const LogicalOp& payload,
-                           const std::vector<GroupId>& children) const;
+  /// AddExpr with the fingerprint already computed (the parallel DP hashes
+  /// expressions off the commit thread); semantics identical to AddExpr.
+  GroupId AddExprWithFingerprint(LogicalOpPtr payload,
+                                 std::vector<GroupId> children, size_t fp,
+                                 GroupId target_group);
   void ExploreSemiJoinAlternatives();
 
   const CardinalityEstimator* estimator_;
@@ -115,9 +144,19 @@ class Memo {
   GroupId root_ = kInvalidGroupId;
   size_t num_exprs_ = 0;
   bool budget_exhausted_ = false;
+  bool beam_used_ = false;
   // Dedup: payload+children fingerprint -> (group, expr index).
   std::unordered_multimap<size_t, std::pair<GroupId, int>> expr_index_;
 };
+
+/// Groups reachable from `root`, bucketed by longest-path level over the
+/// memo DAG: every child of a level-L group sits strictly below L, so the
+/// levels can be processed bottom-up with a barrier between them and no
+/// synchronization inside one. Self-referencing children are ignored (the
+/// winner pass skips those expressions anyway). Fails if the reachable
+/// subgraph has a cross-group cycle.
+Result<std::vector<std::vector<GroupId>>> MemoLevels(const Memo& memo,
+                                                     GroupId root);
 
 }  // namespace pdw
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
 
@@ -44,6 +45,19 @@ Result<PdwCompilation> CompilePdwQuery(const Catalog& shell_catalog,
   for (const auto& phase : out.serial.phase_seconds) {
     out.phase_seconds.push_back(phase);
   }
+  out.memo_groups = out.serial.memo->num_groups();
+  out.memo_exprs = out.serial.memo->num_exprs();
+  out.budget_exhausted = out.serial.memo->budget_exhausted();
+  out.beam_used = out.serial.memo->beam_used();
+  if (out.budget_exhausted) {
+    // The old cliff degraded plan quality silently; make it observable.
+    obs::MetricsRegistry::Global().Count("optimizer.budget_exhausted");
+  }
+  // One thread knob steers the whole pipeline unless the PDW side is
+  // overridden explicitly.
+  if (effective.pdw.opt_threads < 0) {
+    effective.pdw.opt_threads = options.memo.opt_threads;
+  }
 
   // Components 3-4a: XML export and PDW-side memo parse. The PDW optimizer
   // always runs against the *imported* memo so the interface boundary is
@@ -84,7 +98,8 @@ Result<PdwCompilation> CompilePdwQuery(const Catalog& shell_catalog,
     t0 = NowSeconds();
     obs::TraceSpan span("compile.baseline");
     PDW_ASSIGN_OR_RETURN(out.serial_plan,
-                         ExtractBestSerialPlan(out.serial.memo.get()));
+                         ExtractBestSerialPlan(out.serial.memo.get(),
+                                               effective.pdw.opt_threads));
     PDW_ASSIGN_OR_RETURN(
         out.baseline_plan,
         ParallelizeSerialPlan(out.serial_plan->Clone(),

@@ -35,6 +35,11 @@ struct PdwCompilation {
   PlanNodePtr serial_plan;    ///< Best serial plan (if build_baseline).
   PlanNodePtr baseline_plan;  ///< Parallelized serial plan (if build_baseline).
   double baseline_cost = 0;   ///< Total DMS cost of baseline_plan.
+  /// Memo search-space stats, surfaced in DMVs and the profile JSON.
+  int memo_groups = 0;
+  size_t memo_exprs = 0;
+  bool budget_exhausted = false;  ///< Join enumeration was degraded.
+  bool beam_used = false;         ///< Degradation ran as a beam search.
   /// Wall seconds of every Fig. 2 component, in pipeline order (parse,
   /// bind, normalize, memo, xml_export, xml_import, pdw_optimize,
   /// baseline); the observability substrate of EXPLAIN ANALYZE.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "optimizer/serial_optimizer.h"
 
@@ -65,7 +66,7 @@ ColumnId PdwOptimizer::MemberInOutput(GroupId gid, ColumnId rep) const {
 }
 
 bool PdwOptimizer::Consider(GroupId gid, PdwOption option) {
-  ++considered_;
+  considered_.fetch_add(1, std::memory_order_relaxed);
   bool is_enforcer = option.is_enforcer;
   option.prop = option.prop.Canonical(props_.equivalence);
   std::vector<PdwOption>& opts = options_[gid];
@@ -74,21 +75,21 @@ bool PdwOptimizer::Consider(GroupId gid, PdwOption option) {
       if (opts[i].prop == option.prop) {
         if (option.cost < opts[i].cost) {
           opts[i] = std::move(option);
-          if (is_enforcer) ++enforcers_kept_;
+          if (is_enforcer) enforcers_kept_.fetch_add(1, std::memory_order_relaxed);
           return true;
         }
         return false;
       }
     }
     opts.push_back(std::move(option));
-    if (is_enforcer) ++enforcers_kept_;
+    if (is_enforcer) enforcers_kept_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   // No pruning (FIG4 ablation): keep every structurally distinct option up
   // to the safety cap.
   if (opts.size() >= opts_.max_options_per_group) return false;
   opts.push_back(std::move(option));
-  if (is_enforcer) ++enforcers_kept_;
+  if (is_enforcer) enforcers_kept_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -705,7 +706,40 @@ Result<PdwPlanResult> PdwOptimizer::Optimize() {
   if (memo_->root() == kInvalidGroupId) {
     return Status::Internal("memo has no root group");
   }
-  OptimizeGroup(memo_->root());
+  const int threads = ResolveOptThreads(opts_.opt_threads);
+  bool swept = false;
+  if (threads != 1) {
+    // Level-ordered parallel sweep: every child of a level-L group lives
+    // strictly below L, so its option table is complete before L starts.
+    // Falls back to the recursion when the memo can't be leveled.
+    Result<std::vector<std::vector<GroupId>>> levels =
+        MemoLevels(*memo_, memo_->root());
+    if (levels.ok()) {
+      // Pre-create every reachable group's table so the map's structure is
+      // frozen during the sweep — Consider then only mutates its own
+      // group's vector, and child lookups are pure reads.
+      for (const std::vector<GroupId>& level : *levels) {
+        for (GroupId gid : level) options_[gid];
+      }
+      ThreadPool& pool = ThreadPool::Global();
+      for (const std::vector<GroupId>& level : *levels) {
+        pool.ParallelFor(
+            static_cast<int>(level.size()),
+            [&](int i) {
+              GroupId gid = level[static_cast<size_t>(i)];
+              const Group& g = memo_->group(gid);
+              for (size_t ei = 0; ei < g.exprs.size(); ++ei) {
+                EnumerateExpr(gid, static_cast<int>(ei));
+              }
+              EnforcerStep(gid);
+            },
+            threads);
+        for (GroupId gid : level) done_.insert(gid);
+      }
+      swept = true;
+    }
+  }
+  if (!swept) OptimizeGroup(memo_->root());
 
   // The final Return operation streams per-node results back to the client
   // (paper §2.3: such queries involve no DMS), so the root may finish under

@@ -5,6 +5,7 @@
 #include "common/fault.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "optimizer/memo.h"
 
 namespace pdw {
 
@@ -41,13 +42,18 @@ std::string NormalizeSqlForPlanCache(const std::string& sql) {
 
 std::string FingerprintCompilerOptions(const PdwCompilerOptions& o) {
   // %a renders doubles exactly (hex float), so two λ sets that differ in
-  // any bit fingerprint differently.
+  // any bit fingerprint differently. The beam width is resolved before
+  // fingerprinting because the env default changes the plan shape just like
+  // an explicit option; opt_threads is deliberately excluded — parallel
+  // enumeration is byte-identical to serial, so thread count never changes
+  // the plan.
   return StringFormat(
-      "memo:%d,%d,%d,%d,%d|norm:%d,%d,%d,%d,%d,%d|"
+      "memo:%d,%d,%d,%d,%d,b%d|norm:%d,%d,%d,%d,%d,%d|"
       "pdw:%a,%a,%a,%a,%a,h%d,p%d,%zu,t%d,r%d,%a|xml:%d|base:%d",
       o.memo.max_dp_relations, o.memo.expr_budget,
       o.memo.seed_distribution_aware ? 1 : 0,
       o.memo.enable_semijoin_to_join ? 1 : 0, o.memo.enumerate_joins ? 1 : 0,
+      ResolveBeamWidth(o.memo.beam_width),
       o.normalizer.fold_constants ? 1 : 0, o.normalizer.push_predicates ? 1 : 0,
       o.normalizer.transitive_closure ? 1 : 0,
       o.normalizer.detect_contradictions ? 1 : 0,

@@ -1,0 +1,278 @@
+// The parallel optimizer (multi-threaded memo enumeration, level-parallel
+// cost sweeps) must be a pure speedup: at every thread count the memo, the
+// serial winners, and the PDW plan are byte-identical to the single-thread
+// run. Beam fallback must degrade gracefully — near-optimal where full DP
+// is feasible to compare, and able to order 20+-relation cliques that full
+// DP cannot touch. Also covers the ThreadPool nesting guard and the
+// budget/beam observability surface (EXPLAIN warning, DMV columns).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "appliance/appliance.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "optimizer/join_stress.h"
+#include "optimizer/serial_optimizer.h"
+#include "pdw/compiler.h"
+#include "tpch/tpch.h"
+
+namespace pdw {
+namespace {
+
+struct ShapeCase {
+  JoinStressShape shape;
+  int relations;
+};
+
+// Sizes chosen so full DP is exact but fast: a clique's expression count
+// grows ~3^n, a star's ~n*2^n, a chain's ~n^3.
+const ShapeCase kFullDpCases[] = {
+    {JoinStressShape::kStar, 12},
+    {JoinStressShape::kChain, 14},
+    {JoinStressShape::kClique, 10},
+};
+
+MemoOptions FullDpOptions(int threads) {
+  MemoOptions opts;
+  opts.max_dp_relations = 15;
+  opts.expr_budget = 10'000'000;
+  opts.opt_threads = threads;
+  return opts;
+}
+
+MemoOptions BeamOptions(int threads, int beam_width) {
+  MemoOptions opts;
+  opts.max_dp_relations = 4;  // force the beam path for every stress size
+  opts.beam_width = beam_width;
+  opts.opt_threads = threads;
+  return opts;
+}
+
+std::string MemoTextFor(const JoinStressQuery& q, const MemoOptions& opts) {
+  auto r = CompileQuery(q.catalog, q.sql, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r->memo->ToString() : "";
+}
+
+TEST(ParallelMemoTest, FullDpByteIdenticalAcrossThreadCounts) {
+  for (const ShapeCase& c : kFullDpCases) {
+    for (uint32_t seed : {1u, 7u}) {
+      JoinStressQuery q = MakeJoinStressQuery({c.shape, c.relations, seed});
+      std::string serial = MemoTextFor(q, FullDpOptions(1));
+      ASSERT_FALSE(serial.empty());
+      for (int threads : {2, 8}) {
+        std::string parallel = MemoTextFor(q, FullDpOptions(threads));
+        EXPECT_EQ(serial, parallel)
+            << JoinStressShapeName(c.shape) << "-" << c.relations << " seed "
+            << seed << " diverges at " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ParallelMemoTest, BeamByteIdenticalAcrossThreadCounts) {
+  for (const ShapeCase& c : kFullDpCases) {
+    for (uint32_t seed : {1u, 7u}) {
+      JoinStressQuery q = MakeJoinStressQuery({c.shape, c.relations, seed});
+      std::string serial = MemoTextFor(q, BeamOptions(1, 16));
+      ASSERT_FALSE(serial.empty());
+      for (int threads : {2, 8}) {
+        EXPECT_EQ(serial, MemoTextFor(q, BeamOptions(threads, 16)))
+            << JoinStressShapeName(c.shape) << "-" << c.relations << " seed "
+            << seed << " diverges at " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ParallelMemoTest, WinnerSweepMatchesRecursiveSerial) {
+  for (const ShapeCase& c : kFullDpCases) {
+    JoinStressQuery q = MakeJoinStressQuery({c.shape, c.relations, 3});
+    auto serial = CompileQuery(q.catalog, q.sql, FullDpOptions(1));
+    auto parallel = CompileQuery(q.catalog, q.sql, FullDpOptions(8));
+    ASSERT_TRUE(serial.ok() && parallel.ok());
+    auto serial_plan = ExtractBestSerialPlan(serial->memo.get(), 1);
+    auto parallel_plan = ExtractBestSerialPlan(parallel->memo.get(), 8);
+    ASSERT_TRUE(serial_plan.ok()) << serial_plan.status().ToString();
+    ASSERT_TRUE(parallel_plan.ok()) << parallel_plan.status().ToString();
+    EXPECT_EQ((*serial_plan)->ToString(), (*parallel_plan)->ToString());
+    EXPECT_DOUBLE_EQ(SerialWinnerCost(serial->memo.get(), serial->memo->root()),
+                     SerialWinnerCost(parallel->memo.get(),
+                                      parallel->memo->root()));
+  }
+}
+
+TEST(ParallelMemoTest, PdwPlanIdenticalAcrossThreadCounts) {
+  JoinStressQuery q = MakeJoinStressQuery({JoinStressShape::kChain, 10, 5});
+  PdwCompilerOptions serial_opts;
+  serial_opts.memo = FullDpOptions(1);
+  serial_opts.pdw.opt_threads = 1;
+  auto serial = CompilePdwQuery(q.catalog, q.sql, serial_opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (int threads : {2, 8}) {
+    PdwCompilerOptions par_opts;
+    par_opts.memo = FullDpOptions(threads);
+    par_opts.pdw.opt_threads = threads;
+    auto parallel = CompilePdwQuery(q.catalog, q.sql, par_opts);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_DOUBLE_EQ(serial->parallel.cost, parallel->parallel.cost);
+    EXPECT_EQ(serial->parallel.plan->ToString(),
+              parallel->parallel.plan->ToString());
+    EXPECT_EQ(serial->parallel.options_considered,
+              parallel->parallel.options_considered);
+  }
+}
+
+TEST(ParallelMemoTest, BeamPlanCostWithinTenPercentOfFullDp) {
+  // Shapes where a width-64 beam provably (chain: every interval survives)
+  // or reliably (clique: uniform keys) keeps the optimal split reachable.
+  const ShapeCase cases[] = {
+      {JoinStressShape::kChain, 12},
+      {JoinStressShape::kClique, 10},
+  };
+  for (const ShapeCase& c : cases) {
+    JoinStressQuery q = MakeJoinStressQuery({c.shape, c.relations, 11});
+    auto full = CompileQuery(q.catalog, q.sql, FullDpOptions(8));
+    auto beam = CompileQuery(q.catalog, q.sql, BeamOptions(8, 64));
+    ASSERT_TRUE(full.ok() && beam.ok());
+    EXPECT_FALSE(full->memo->budget_exhausted());
+    EXPECT_TRUE(beam->memo->budget_exhausted());
+    EXPECT_TRUE(beam->memo->beam_used());
+    ASSERT_TRUE(ExtractBestSerialPlan(full->memo.get(), 8).ok());
+    ASSERT_TRUE(ExtractBestSerialPlan(beam->memo.get(), 8).ok());
+    double full_cost = SerialWinnerCost(full->memo.get(), full->memo->root());
+    double beam_cost = SerialWinnerCost(beam->memo.get(), beam->memo->root());
+    EXPECT_GE(beam_cost, full_cost * 0.999)
+        << "beam cannot beat exhaustive DP";
+    EXPECT_LE(beam_cost, full_cost * 1.10)
+        << JoinStressShapeName(c.shape) << "-" << c.relations;
+  }
+}
+
+TEST(ParallelMemoTest, CliqueTwentyRelationsCompletesViaBeam) {
+  JoinStressQuery q = MakeJoinStressQuery({JoinStressShape::kClique, 20, 2});
+  MemoOptions opts;  // stock knobs: 20 > max_dp_relations forces the beam
+  opts.opt_threads = 8;
+  auto r = CompileQuery(q.catalog, q.sql, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->memo->budget_exhausted());
+  EXPECT_TRUE(r->memo->beam_used());
+  auto plan = ExtractBestSerialPlan(r->memo.get(), 8);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  double cost = SerialWinnerCost(r->memo.get(), r->memo->root());
+  EXPECT_GT(cost, 0);
+  EXPECT_LT(cost, 1e300);
+}
+
+TEST(ParallelMemoTest, BeamWidthZeroFallsBackToSeededChain) {
+  JoinStressQuery q = MakeJoinStressQuery({JoinStressShape::kClique, 12, 2});
+  MemoOptions opts;
+  opts.max_dp_relations = 4;
+  opts.beam_width = 0;  // beam off: the pre-existing single seeded order
+  auto r = CompileQuery(q.catalog, q.sql, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->memo->budget_exhausted());
+  EXPECT_FALSE(r->memo->beam_used());
+  EXPECT_TRUE(ExtractBestSerialPlan(r->memo.get(), 1).ok());
+}
+
+// --- ThreadPool nesting guard --------------------------------------------
+
+TEST(ThreadPoolNestingTest, DeepNestingClampsToSerialAndCounts) {
+  ThreadPool pool(4);
+  EXPECT_EQ(ThreadPool::nesting_depth(), 0);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    pool.ParallelFor(2, [&](int) { recurse(depth - 1); });
+  };
+  recurse(6);
+  EXPECT_EQ(leaves.load(), 64);  // 2^6: the clamp must not drop work
+  EXPECT_EQ(pool.max_nesting_depth(), 6);
+  EXPECT_GT(pool.nested_serial_fallbacks(), 0u);
+  EXPECT_EQ(ThreadPool::nesting_depth(), 0);  // restored after the batch
+}
+
+// --- observability: EXPLAIN warning + DMV columns ------------------------
+
+TEST(OptimizerObservabilityTest, BudgetWarningAndDmvColumns) {
+  auto appliance = std::make_unique<Appliance>(Topology{2});
+  ASSERT_TRUE(tpch::CreateTpchTables(appliance.get()).ok());
+  tpch::TpchConfig cfg;
+  cfg.scale = 0.01;
+  ASSERT_TRUE(tpch::LoadTpch(appliance.get(), cfg).ok());
+  Session session = appliance->Connect();
+
+  const std::string join_sql =
+      "SELECT c_name FROM customer, orders, lineitem "
+      "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey";
+
+  // A healthy compile: memo stats populated, no degradation.
+  auto healthy = session.Run(join_sql);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  {
+    auto rows = appliance->Run(
+        "SELECT memo_groups, memo_exprs, budget_exhausted, beam_used, "
+        "memo_ms FROM sys.dm_pdw_exec_requests WHERE request_id = " +
+        std::to_string(healthy->query_id));
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    ASSERT_EQ(rows->rows.size(), 1u);
+    EXPECT_GT(rows->rows[0][0].double_value(), 0);
+    EXPECT_GT(rows->rows[0][1].double_value(), 0);
+    EXPECT_FALSE(rows->rows[0][2].bool_value());
+    EXPECT_FALSE(rows->rows[0][3].bool_value());
+    EXPECT_GE(rows->rows[0][4].double_value(), 0);
+  }
+  EXPECT_EQ(healthy->profile.ToJson().find("\"budget_exhausted\":true"),
+            std::string::npos);
+
+  // Starve the budget: the beam engages and every surface reports it.
+  PdwCompilerOptions starved;
+  starved.memo.expr_budget = 10;
+  QueryOptions options;
+  options.WithCompilerOptions(starved).WithPlanCache(false);
+  auto degraded = session.Run(join_sql, options);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_NE(degraded->profile.ToText().find(
+                "WARNING: join enumeration degraded"),
+            std::string::npos)
+      << degraded->profile.ToText();
+  EXPECT_NE(degraded->profile.ToJson().find("\"budget_exhausted\":true"),
+            std::string::npos);
+  {
+    auto rows = appliance->Run(
+        "SELECT budget_exhausted, beam_used, bind_ms, normalize_ms "
+        "FROM sys.dm_pdw_exec_requests WHERE request_id = " +
+        std::to_string(degraded->query_id));
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    ASSERT_EQ(rows->rows.size(), 1u);
+    EXPECT_TRUE(rows->rows[0][0].bool_value());
+    EXPECT_TRUE(rows->rows[0][1].bool_value());
+  }
+
+  // EXPLAIN (compile-only) surfaces the same warning in the plan text.
+  QueryOptions explain = options;
+  explain.WithExplainOnly();
+  auto explained = session.Run(join_sql, explain);
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  EXPECT_NE(explained->explain_text.find(
+                "WARNING: join enumeration degraded"),
+            std::string::npos)
+      << explained->explain_text;
+
+  // The budget counter moved.
+  EXPECT_GE(
+      obs::MetricsRegistry::Global().counter("optimizer.budget_exhausted"), 2);
+}
+
+}  // namespace
+}  // namespace pdw
