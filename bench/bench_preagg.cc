@@ -1,0 +1,204 @@
+// Partial-aggregate pushdown benchmark: DMS bytes and wall time with the
+// rewrite off vs on, swept across reduction factors — from high-reduction
+// groups (hundreds of fact rows per partial group) down to the
+// adversarial near-unique regime where the cost model must decline the
+// pushed plan. `--json[=path]` writes the summary table as JSON (the
+// checked-in bench/BENCH_preagg.json).
+//
+// The schema is a dim/fact pair built for the pushdown regime: `fact`
+// (40000 rows) is distributed on a column unrelated to the join, so the
+// join always forces movement, and carries one join-key column per NDV
+// tier; `dim` (20000 rows) is too wide to broadcast for free. The plain
+// optimizer therefore moves the whole fact side, and the pushed plan
+// moves ~nodes x NDV partial rows instead.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "pdw/compiler.h"
+
+namespace pdw {
+namespace {
+
+constexpr int kNodes = 8;
+constexpr int kDimRows = 20000;
+constexpr int kFactRows = 40000;
+
+struct Config {
+  const char* name;
+  const char* key_col;  // fact join-key column of this NDV tier
+  int ndv;
+};
+
+const Config kConfigs[] = {
+    {"reduction_2000x", "f_k20", 20},
+    {"reduction_200x", "f_k200", 200},
+    {"reduction_20x", "f_k2000", 2000},
+    {"near_unique", "f_knu", kDimRows},
+};
+
+struct Measurement {
+  bool chosen = false;
+  double bytes = 0;
+  double wall_seconds = 0;
+  double rows_in = 0;   // actual partial-aggregate input rows (on only)
+  double rows_out = 0;  // rows the flagged DMS step actually moved
+};
+
+Measurement RunOnce(Appliance* appliance, Session* session,
+                    const std::string& sql, int enable_preagg) {
+  Measurement m;
+  PdwCompilerOptions compiler;
+  compiler.pdw.enable_preagg = enable_preagg;
+  auto comp = CompilePdwQuery(appliance->shell(), sql, compiler);
+  if (!comp.ok()) {
+    std::fprintf(stderr, "compile: %s\n", comp.status().ToString().c_str());
+    std::abort();
+  }
+  m.chosen = comp->parallel.preagg_chosen;
+
+  QueryOptions options = QueryOptions()
+                             .WithCompilerOptions(compiler)
+                             .WithPlanCache(false)
+                             .WithOperatorActuals();
+  // Best of three: the simulator's thread-pool scheduling adds noise.
+  for (int rep = 0; rep < 3; ++rep) {
+    auto run = session->Run(sql, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());
+      std::abort();
+    }
+    double wall = run->measured_seconds;
+    if (rep == 0 || wall < m.wall_seconds) m.wall_seconds = wall;
+    if (rep == 0) {
+      m.bytes = run->dms_metrics.network.bytes +
+                run->dms_metrics.bulkcopy.bytes;
+      for (const auto& step : run->profile.steps) {
+        if (!step.preagg) continue;
+        m.rows_in += step.preagg_rows_in_actual;
+        m.rows_out += step.rows_moved;
+      }
+    }
+  }
+  return m;
+}
+
+void Run(const std::string& json_path, bool json_enabled) {
+  bench::Header("PREAGG: partial-aggregate pushdown, DMS bytes off vs on");
+  auto appliance = std::make_unique<Appliance>(Topology{kNodes});
+  {
+    Status s = appliance->CreateTableSql(
+        "CREATE TABLE dim (d_key INT NOT NULL, d_grp INT, "
+        "d_name VARCHAR(16)) WITH (DISTRIBUTION = HASH(d_key))");
+    if (s.ok()) {
+      s = appliance->CreateTableSql(
+          "CREATE TABLE fact (f_k20 INT, f_k200 INT, f_k2000 INT, "
+          "f_knu INT, f_val DOUBLE, f_uniq INT) "
+          "WITH (DISTRIBUTION = HASH(f_uniq))");
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "ddl: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    RowVector dim;
+    dim.reserve(kDimRows);
+    for (int i = 0; i < kDimRows; ++i) {
+      dim.push_back({Datum::Int(i), Datum::Int(i % 10),
+                     Datum::Varchar("d" + std::to_string(i % 16))});
+    }
+    RowVector fact;
+    fact.reserve(kFactRows);
+    for (int i = 0; i < kFactRows; ++i) {
+      fact.push_back({Datum::Int(i % 20), Datum::Int(i % 200),
+                      Datum::Int(i % 2000), Datum::Int(i % kDimRows),
+                      Datum::Double(i % 90), Datum::Int(i)});
+    }
+    if (!appliance->LoadRows("dim", dim).ok() ||
+        !appliance->LoadRows("fact", fact).ok()) {
+      std::fprintf(stderr, "load failed\n");
+      std::abort();
+    }
+  }
+  Session session = appliance->Connect();
+
+  std::printf("\nfact=%d rows, dim=%d rows, %d nodes; partial keyed on "
+              "{join key}, group by d_grp\n",
+              kFactRows, kDimRows, kNodes);
+  std::printf("\n%-15s %6s | %6s | %11s %11s %7s | %8s %8s %7s | %8s %8s "
+              "%9s\n",
+              "config", "ndv", "chosen", "bytes off", "bytes on", "ratio",
+              "s off", "s on", "speedup", "rows in", "rows out", "reduction");
+
+  std::string json = "{\"bench\":\"preagg\",\"nodes\":" +
+                     std::to_string(kNodes) +
+                     ",\"fact_rows\":" + std::to_string(kFactRows) +
+                     ",\"dim_rows\":" + std::to_string(kDimRows) +
+                     ",\"configs\":[";
+  bool first = true;
+  for (const Config& cfg : kConfigs) {
+    std::string sql = std::string("SELECT d_grp, SUM(f_val) AS s, "
+                                  "COUNT(f_val) AS c FROM fact, dim WHERE ") +
+                      cfg.key_col + " = d_key GROUP BY d_grp";
+    Measurement off = RunOnce(appliance.get(), &session, sql, 0);
+    Measurement on = RunOnce(appliance.get(), &session, sql, 1);
+    double byte_ratio = on.bytes > 0 ? off.bytes / on.bytes : 1.0;
+    double speedup =
+        on.wall_seconds > 0 ? off.wall_seconds / on.wall_seconds : 1.0;
+    double reduction = on.rows_out > 0 ? on.rows_in / on.rows_out : 0.0;
+    std::printf("%-15s %6d | %6s | %11.0f %11.0f %6.1fx | %8.4f %8.4f %6.2fx"
+                " | %8.0f %8.0f %8.1fx\n",
+                cfg.name, cfg.ndv, on.chosen ? "YES" : "no", off.bytes,
+                on.bytes, byte_ratio, off.wall_seconds, on.wall_seconds,
+                speedup, on.rows_in, on.rows_out, reduction);
+    char rec[512];
+    std::snprintf(
+        rec, sizeof(rec),
+        "%s{\"config\":\"%s\",\"ndv\":%d,\"chosen\":%s,"
+        "\"bytes_off\":%.0f,\"bytes_on\":%.0f,\"byte_ratio\":%.2f,"
+        "\"wall_off_s\":%.4f,\"wall_on_s\":%.4f,\"speedup\":%.2f,"
+        "\"preagg_rows_in\":%.0f,\"preagg_rows_out\":%.0f,"
+        "\"reduction\":%.1f}",
+        first ? "" : ",", cfg.name, cfg.ndv, on.chosen ? "true" : "false",
+        off.bytes, on.bytes, byte_ratio, off.wall_seconds, on.wall_seconds,
+        speedup, on.rows_in, on.rows_out, reduction);
+    json += rec;
+    first = false;
+  }
+  json += "]}\n";
+
+  if (json_enabled) {
+    if (json_path.empty()) {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        return;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("\nwrote summary JSON to %s\n", json_path.c_str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdw
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      path = argv[i] + 7;
+    }
+  }
+  pdw::Run(path, json);
+  return 0;
+}

@@ -18,10 +18,10 @@ void Run(bench::ProfileJsonSink* sink) {
   Session session = appliance->Connect();
 
   std::printf("\n%-5s %5s | %11s %11s %7s | %11s %11s %7s | %8s %8s | %5s"
-              " | %9s %9s %4s\n",
+              " | %9s %9s %4s | %3s %11s %7s\n",
               "query", "steps", "pdw cost", "base cost", "ratio", "pdw bytes",
               "base bytes", "ratio", "pdw s", "base s", "match",
-              "compile1", "compile2", "hit");
+              "compile1", "compile2", "hit", "pa", "pa-off B", "ratio");
 
   double total_pdw_bytes = 0, total_base_bytes = 0;
   for (const auto& q : tpch::Queries()) {
@@ -65,9 +65,26 @@ void Run(bench::ProfileJsonSink* sink) {
                         base_run->dms_metrics.bulkcopy.bytes;
     total_pdw_bytes += pdw_bytes;
     total_base_bytes += base_bytes;
+
+    // DMS bytes with partial-aggregate pushdown forced off: how much of
+    // the movement reduction the default (pushdown-enabled) plan owes to
+    // the pre-aggregation enforcer on this query.
+    PdwCompilerOptions no_preagg;
+    no_preagg.pdw.enable_preagg = 0;
+    auto no_pa_run = session.Run(q.sql, QueryOptions()
+                                            .WithCompilerOptions(no_preagg)
+                                            .WithPlanCache(false));
+    double no_pa_bytes =
+        no_pa_run.ok() ? no_pa_run->dms_metrics.network.bytes +
+                             no_pa_run->dms_metrics.bulkcopy.bytes
+                       : 0;
+    double dist_bytes = dist.ok() ? dist->dms_metrics.network.bytes +
+                                        dist->dms_metrics.bulkcopy.bytes
+                                  : 0;
+
     std::printf(
         "%-5s %5zu | %11.6f %11.6f %6.2fx | %11.0f %11.0f %6.2fx | %8.3f "
-        "%8.3f | %5s | %8.2fms %8.2fms %4s\n",
+        "%8.3f | %5s | %8.2fms %8.2fms %4s | %3s %11.0f %6.2fx\n",
         q.name.c_str(), pdw_run->dsql.steps.size(), comp->parallel.cost,
         comp->baseline_cost,
         comp->parallel.cost > 0 ? comp->baseline_cost / comp->parallel.cost
@@ -75,7 +92,8 @@ void Run(bench::ProfileJsonSink* sink) {
         pdw_bytes, base_bytes, pdw_bytes > 0 ? base_bytes / pdw_bytes : 1.0,
         pdw_run->measured_seconds, base_run->measured_seconds,
         match ? "YES" : "NO", compile1 * 1e3, compile2 * 1e3,
-        hit ? "YES" : "NO");
+        hit ? "YES" : "NO", comp->parallel.preagg_chosen ? "YES" : "no",
+        no_pa_bytes, dist_bytes > 0 ? no_pa_bytes / dist_bytes : 1.0);
   }
   std::printf("\ntotal bytes moved: pdw=%.0f baseline=%.0f (%.2fx reduction)\n",
               total_pdw_bytes, total_base_bytes,

@@ -45,6 +45,15 @@ cmake --build build-asan -j
 (cd build-asan && PDW_ENGINE=batch ASAN_OPTIONS="halt_on_error=1" \
   ctest --output-on-failure -j)
 
+# Pre-aggregation leg: the pushdown differential sweep (preagg on/off x
+# row/batch engine x row/columnar DMS codec, all byte-compared against
+# the single-node row oracle) under ASan. Partial-aggregate kernels
+# index raw selection vectors and group tables, so both plan shapes of
+# every sweep query run instrumented; the env-knob test inside also
+# covers the PDW_OPT_PREAGG=0 kill switch.
+cmake --build build-asan -j --target preagg_test
+ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/preagg_test
+
 # Chaos leg: the seeded fault-injection differential suite under both
 # sanitizers, at a fixed seed so a CI failure reproduces exactly.
 # Override the seed (or widen the sweep) with PDW_CHAOS_SEED /

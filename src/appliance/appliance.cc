@@ -71,6 +71,21 @@ Status WrapNodeStatus(int node, const Status& s, const std::string& sql) {
                           ": " + s.ToString() + "\nSQL: " + sql);
 }
 
+/// Measured input rows of a pre-aggregating step: the step SQL's root
+/// aggregate sits first in the merged pre-order operator tree; its input is
+/// the next operator one level deeper. 0 when actuals were not collected.
+double PreaggActualRowsIn(const std::vector<obs::OperatorProfile>& ops) {
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].name.rfind("HashAggregate", 0) != 0) continue;
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      if (ops[j].depth == ops[i].depth + 1) return ops[j].actual_rows;
+      if (ops[j].depth <= ops[i].depth) break;
+    }
+    break;
+  }
+  return 0;
+}
+
 void FillComponents(const DmsRunMetrics& m, obs::StepProfile* sp) {
   sp->reader = {m.reader.bytes, m.reader.seconds};
   sp->network = {m.network.bytes, m.network.seconds};
@@ -661,12 +676,21 @@ Result<ApplianceResult> Appliance::ExecuteDsql(const DsqlPlan& dsql,
       sp.sql = step.sql;
       sp.estimated_rows = step.estimated_rows;
       sp.estimated_cost = step.estimated_cost;
+      sp.preagg = step.preagg;
+      sp.preagg_rows_in = step.preagg_rows_in;
       sp.retries = attempt;
       requests_.BeginStep(query_id, step_index, attempt);
       double step_start = NowSeconds();
       Status s = is_dms ? run_dms_step(step, &sp) : run_return_step(step, &sp);
       if (s.ok()) {
         sp.measured_seconds = NowSeconds() - step_start;
+        if (sp.preagg) {
+          sp.preagg_rows_in_actual = PreaggActualRowsIn(sp.operators);
+          obs::MetricsRegistry::Global().Count("dms.preagg.rows_in",
+                                               sp.preagg_rows_in_actual);
+          obs::MetricsRegistry::Global().Count("dms.preagg.rows_out",
+                                               sp.rows_moved);
+        }
         break;
       }
       if (!retry.IsRetryable(s) || attempt + 1 >= max_attempts) {

@@ -653,6 +653,7 @@ Result<BatchResult> ExecAggregate(const PlanNode& node, const BatchResult& input
     // aggregate — column-at-a-time, no per-row Datum materialization on
     // the numeric fast paths.
     size_t n = pb.sel.size();
+    local.table.Reserve(n);
     std::vector<uint32_t> gidx(n);
     for (size_t k = 0; k < n; ++k) {
       gidx[k] = static_cast<uint32_t>(
@@ -789,6 +790,22 @@ Result<BatchResult> ExecAggregate(const PlanNode& node, const BatchResult& input
   // stream order, first-seen group order here equals the row engine's.
   GroupTable global(key_types);
   std::vector<BatchAggState> states;
+  if (morsels.size() == 1) {
+    // Single-morsel fast path (the common shape for partial-aggregate
+    // steps over one temp-scan batch): the lone local table already IS the
+    // global result, in the right first-seen order — adopt it wholesale.
+    global = std::move(morsels[0].table);
+    states = std::move(morsels[0].states);
+    states.resize(global.num_groups() * num_aggs);
+    morsels.clear();
+  } else {
+    size_t max_local_groups = 0;
+    for (const MorselAgg& local : morsels) {
+      max_local_groups = std::max(max_local_groups, local.table.num_groups());
+    }
+    global.Reserve(max_local_groups);
+    states.reserve(max_local_groups * num_aggs);
+  }
   for (MorselAgg& local : morsels) {
     std::vector<const ColumnVector*> keys;
     keys.reserve(local.table.group_keys().size());

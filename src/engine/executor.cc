@@ -236,6 +236,10 @@ Result<RowVector> ExecuteAggregate(const PlanNode& node, RowVector input,
   };
   std::unordered_map<size_t, std::vector<GroupEntry>> groups;
   std::vector<std::pair<size_t, int>> order;  // insertion order
+  // Pre-size for the worst case (every row its own group) so rehashing
+  // never interleaves with the accumulation loop.
+  groups.reserve(input.size());
+  order.reserve(input.size());
 
   for (const Row& r : input) {
     size_t h = group_ords.empty() ? 0 : HashRowColumns(r, group_ords);

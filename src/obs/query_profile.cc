@@ -78,6 +78,15 @@ std::string QueryProfile::ToText(double misestimate_threshold) const {
                                    s.bulkcopy.seconds);
       out += StringFormat(" rows_moved=%s\n",
                           FormatCount(s.rows_moved).c_str());
+      if (s.preagg) {
+        double rows_in = s.preagg_rows_in_actual > 0 ? s.preagg_rows_in_actual
+                                                     : s.preagg_rows_in;
+        double rows_out = s.rows_moved > 0 ? s.rows_moved : s.estimated_rows;
+        out += StringFormat("  preagg: rows_in=%s rows_out=%s reduction=%.1fx\n",
+                            FormatCount(rows_in).c_str(),
+                            FormatCount(rows_out).c_str(),
+                            rows_in / std::max(1.0, rows_out));
+      }
     }
     if (!s.node_seconds.empty()) {
       out += "  nodes:";
@@ -174,6 +183,16 @@ std::string QueryProfile::ToJson() const {
            ComponentJson("network", s.network) + "," +
            ComponentJson("writer", s.writer) + "," +
            ComponentJson("bulkcopy", s.bulkcopy) + "}";
+    if (s.preagg) {
+      double rows_in = s.preagg_rows_in_actual > 0 ? s.preagg_rows_in_actual
+                                                   : s.preagg_rows_in;
+      double rows_out = s.rows_moved > 0 ? s.rows_moved : s.estimated_rows;
+      out += ",\"preagg\":{\"rows_in\":" + JsonNumber(rows_in);
+      out += ",\"rows_in_estimated\":" + JsonNumber(s.preagg_rows_in);
+      out += ",\"rows_out\":" + JsonNumber(rows_out);
+      out += ",\"reduction\":" + JsonNumber(rows_in / std::max(1.0, rows_out));
+      out += "}";
+    }
     out += ",\"node_seconds\":[";
     for (size_t j = 0; j < s.node_seconds.size(); ++j) {
       if (j > 0) out += ",";

@@ -54,6 +54,13 @@ struct StepProfile {
   double rows_moved = 0;
   ComponentProfile reader, network, writer, bulkcopy;
 
+  /// Pre-aggregation telemetry (PR 9): set when the step's source SQL is a
+  /// partial aggregate, so the move ships pre-aggregated rows. rows_out is
+  /// rows_moved; the reduction factor is rows_in / rows_out.
+  bool preagg = false;
+  double preagg_rows_in = 0;         ///< Compile-time input-row estimate.
+  double preagg_rows_in_actual = 0;  ///< Measured (when actuals collected).
+
   /// (node, seconds) wall time of the step's SQL on each node that ran it
   /// (control node = highest id). Under pooled execution these overlap, so
   /// their sum exceeds measured_seconds; the spread shows skew.

@@ -33,6 +33,15 @@ struct DmsCostParameters {
   /// Bulk-copy insert into the SQL Server temp table — typically the most
   /// expensive component ("materializing data to temp tables" dominates).
   double lambda_bulkcopy = 1.0e-8;
+  /// CPU charge per input byte of a pushed-down partial aggregate (the
+  /// pre-aggregation enforcer of PR 9). The DMS-only objective is blind to
+  /// local compute, but a partial aggregate that barely shrinks its input
+  /// (near-unique grouping keys) must lose to the plain plan on cost —
+  /// this term is what makes the optimizer *decline* pushdown when the
+  /// distinct-group estimate approaches the input cardinality. Fitted
+  /// below the movement λs: scanning+hashing a byte locally is cheaper
+  /// than shipping it.
+  double lambda_preagg = 1.5e-9;
 };
 
 /// Response-time cost model for the seven DMS operations (§3.3.2-3.3.3),

@@ -32,6 +32,11 @@ class DsqlSplitter {
     step.dest_distribution = node->distribution;
     step.estimated_rows = node->cardinality;
     step.estimated_cost = node->move_cost;
+    if (source.kind == PhysOpKind::kHashAggregate &&
+        source.agg_phase == AggPhase::kLocal && !source.children.empty()) {
+      step.preagg = true;
+      step.preagg_rows_in = source.children[0]->cardinality;
+    }
     for (size_t i = 0; i < source.output.size(); ++i) {
       step.dest_schema.AddColumn(
           ColumnDef{gen.column_names[i], source.output[i].type, true});

@@ -35,6 +35,12 @@ struct DsqlStep {
   /// Shuffle/Trim routing.
   std::vector<int> hash_column_ordinals;
   DistributionProperty dest_distribution;
+  /// The step's source SQL is a partial (local-phase) aggregate, i.e. the
+  /// move ships pre-aggregated rows — either the pushed-below-a-join
+  /// partial of PR 9 or the classic two-phase local aggregate. Profiles
+  /// report rows_in/rows_out/reduction for such steps.
+  bool preagg = false;
+  double preagg_rows_in = 0;  ///< Estimated global input rows of the partial.
 
   // --- kReturn only ---
   /// Global result finalization applied while assembling per-node streams:

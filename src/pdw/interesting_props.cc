@@ -63,11 +63,22 @@ InterestingProperties DeriveInterestingProperties(const Memo& memo) {
             changed |= add_interesting(gid, a);
           }
         }
-        // (b) group-by columns become interesting for the input.
+        // (b) group-by columns become interesting for the input — and,
+        // for the pre-aggregation pushdown (PR 9), directly for the join
+        // inputs below it: a side already hash-distributed on a group-by
+        // class feeds a pushed partial aggregate with no extra move. The
+        // general parent-to-child flow below reaches the same fixpoint;
+        // seeding it here makes the pushdown's property demand explicit.
         if (e.op->kind() == LogicalOpKind::kAggregate) {
           const auto& a = static_cast<const LogicalAggregate&>(*e.op);
           for (ColumnId col : a.group_by()) {
             changed |= add_interesting(e.children[0], col);
+            for (const auto& ce : memo.group(e.children[0]).exprs) {
+              if (ce.op->kind() != LogicalOpKind::kJoin) continue;
+              for (GroupId jc : ce.children) {
+                changed |= add_interesting(jc, col);
+              }
+            }
           }
         }
         // Parent-visible interesting columns flow down to any child whose

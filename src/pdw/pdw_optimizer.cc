@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -16,8 +17,10 @@ constexpr double kInfiniteCost = 1e300;
 
 /// Maps a partial-aggregate item to the matching global aggregate over the
 /// partial column (SUM->SUM, COUNT->SUM of partial counts, MIN/MAX
-/// idempotent). AVG never reaches here: the binder splits it.
-AggregateItem GlobalPhaseItem(const AggregateItem& item) {
+/// idempotent). The binder splits AVG into SUM/COUNT before optimization;
+/// an AVG reaching a split plan would silently re-aggregate partial
+/// averages as a SUM, so it is a hard compile error instead.
+Result<AggregateItem> GlobalPhaseItem(const AggregateItem& item) {
   AggregateItem global;
   global.output = item.output;
   global.distinct = false;
@@ -35,8 +38,9 @@ AggregateItem GlobalPhaseItem(const AggregateItem& item) {
       global.func = AggFunc::kMax;
       break;
     case AggFunc::kAvg:
-      global.func = AggFunc::kSum;  // unreachable (binder splits AVG)
-      break;
+      return Status::Internal(
+          "AVG survived binding into a split (local/global) aggregation "
+          "plan; partial averages cannot be re-aggregated");
   }
   return global;
 }
@@ -48,7 +52,38 @@ bool HasDistinctAggregate(const LogicalAggregate& agg) {
   return false;
 }
 
+/// Walks the built plan for the pushed-down shape: a join with a local
+/// partial aggregate feeding one input (possibly through a Move/Sort).
+bool PlanUsesPreagg(const PlanNode& node) {
+  if (node.kind == PhysOpKind::kHashJoin ||
+      node.kind == PhysOpKind::kNestedLoopJoin) {
+    for (const auto& c : node.children) {
+      const PlanNode* n = c.get();
+      while (n->kind == PhysOpKind::kMove || n->kind == PhysOpKind::kSort) {
+        n = n->children[0].get();
+      }
+      if (n->kind == PhysOpKind::kHashAggregate &&
+          n->agg_phase == AggPhase::kLocal) {
+        return true;
+      }
+    }
+  }
+  for (const auto& c : node.children) {
+    if (PlanUsesPreagg(*c)) return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+bool ResolvePreaggEnabled(int enable_preagg) {
+  if (enable_preagg >= 0) return enable_preagg != 0;
+  const char* env = std::getenv("PDW_OPT_PREAGG");
+  if (env == nullptr || *env == '\0') return true;
+  std::string v = env;
+  return !(v == "0" || EqualsIgnoreCase(v, "off") ||
+           EqualsIgnoreCase(v, "false"));
+}
 
 PdwOptimizer::PdwOptimizer(Memo* memo, const Topology& topology,
                            PdwOptimizerOptions options)
@@ -68,6 +103,8 @@ ColumnId PdwOptimizer::MemberInOutput(GroupId gid, ColumnId rep) const {
 bool PdwOptimizer::Consider(GroupId gid, PdwOption option) {
   considered_.fetch_add(1, std::memory_order_relaxed);
   bool is_enforcer = option.is_enforcer;
+  bool is_preagg = option.preagg != nullptr;
+  if (is_preagg) preagg_considered_.fetch_add(1, std::memory_order_relaxed);
   option.prop = option.prop.Canonical(props_.equivalence);
   std::vector<PdwOption>& opts = options_[gid];
   if (opts_.prune) {
@@ -76,6 +113,7 @@ bool PdwOptimizer::Consider(GroupId gid, PdwOption option) {
         if (option.cost < opts[i].cost) {
           opts[i] = std::move(option);
           if (is_enforcer) enforcers_kept_.fetch_add(1, std::memory_order_relaxed);
+          if (is_preagg) preagg_kept_.fetch_add(1, std::memory_order_relaxed);
           return true;
         }
         return false;
@@ -83,6 +121,7 @@ bool PdwOptimizer::Consider(GroupId gid, PdwOption option) {
     }
     opts.push_back(std::move(option));
     if (is_enforcer) enforcers_kept_.fetch_add(1, std::memory_order_relaxed);
+    if (is_preagg) preagg_kept_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   // No pruning (FIG4 ablation): keep every structurally distinct option up
@@ -90,6 +129,7 @@ bool PdwOptimizer::Consider(GroupId gid, PdwOption option) {
   if (opts.size() >= opts_.max_options_per_group) return false;
   opts.push_back(std::move(option));
   if (is_enforcer) enforcers_kept_.fetch_add(1, std::memory_order_relaxed);
+  if (is_preagg) preagg_kept_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -360,6 +400,297 @@ void PdwOptimizer::EnumerateAggregate(GroupId gid, int expr_index) {
       Consider(gid, std::move(o));
     }
   }
+
+  EnumeratePreagg(gid, expr_index);
+}
+
+std::vector<int> PdwOptimizer::FrontierOptions(GroupId gid) const {
+  const std::vector<PdwOption>& opts = options_.at(gid);
+  std::vector<int> out;
+  for (size_t i = 0; i < opts.size(); ++i) {
+    bool seen = false;
+    for (int& kept : out) {
+      if (opts[static_cast<size_t>(kept)].prop == opts[i].prop) {
+        seen = true;
+        if (opts[i].cost < opts[static_cast<size_t>(kept)].cost) {
+          kept = static_cast<int>(i);
+        }
+        break;
+      }
+    }
+    if (!seen) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+void PdwOptimizer::EnumeratePreagg(GroupId gid, int expr_index) {
+  if (!ResolvePreaggEnabled(opts_.enable_preagg)) return;
+  const Group& g = memo_->group(gid);
+  const GroupExpr& e = g.exprs[static_cast<size_t>(expr_index)];
+  const auto& agg = static_cast<const LogicalAggregate&>(*e.op);
+
+  // Duplicate-sensitivity gates (DESIGN.md §5i): DISTINCT aggregates are
+  // not decomposable, and scalar aggregates (empty GROUP BY) keep the
+  // existing at-the-aggregate two-phase path only.
+  if (HasDistinctAggregate(agg)) return;
+  if (agg.group_by().empty()) return;
+
+  GroupId child = e.children[0];
+  const Group& cg = memo_->group(child);
+  double n = cost_model_.num_nodes();
+
+  std::set<ColumnId> group_reps;
+  for (ColumnId c : agg.group_by()) {
+    group_reps.insert(props_.equivalence.Find(c));
+  }
+
+  for (size_t je = 0; je < cg.exprs.size(); ++je) {
+    const GroupExpr& jx = cg.exprs[je];
+    if (jx.op->kind() != LogicalOpKind::kJoin) continue;
+    const auto& j = static_cast<const LogicalJoin&>(*jx.op);
+    // Only inner joins whose every condition is a clean equi key: residual
+    // or non-equi predicates filter *after* the join, so pre-aggregated
+    // groups would fold rows such predicates later reject.
+    if (j.join_type() != LogicalJoinType::kInner) continue;
+    GroupId lg = jx.children[0];
+    GroupId rg = jx.children[1];
+    auto keys = j.EquiKeys(memo_->group(lg).output, memo_->group(rg).output);
+    if (keys.empty() || keys.size() != j.conditions().size()) continue;
+
+    std::set<ColumnId> pair_reps;
+    for (const auto& [a, b] : keys) {
+      pair_reps.insert(props_.equivalence.Find(a));
+    }
+
+    for (int side = 0; side < 2; ++side) {
+      GroupId sg = side == 0 ? lg : rg;
+      GroupId og = side == 0 ? rg : lg;
+      const Group& sgr = memo_->group(sg);
+      const Group& ogr = memo_->group(og);
+
+      // Every aggregate argument must come from the pushed side: partial
+      // SUM/COUNT/MIN/MAX folds rows *before* the join, so arguments off
+      // the other side do not exist yet. COUNT(*) is side-agnostic (the
+      // partial count times the uniform join multiplicity is exact).
+      bool args_on_side = true;
+      for (const auto& item : agg.aggregates()) {
+        if (item.arg == nullptr) continue;  // COUNT(*)
+        std::set<ColumnId> cols;
+        CollectColumns(item.arg, &cols);
+        for (ColumnId c : cols) {
+          if (FindBinding(sgr.output, c) < 0) args_on_side = false;
+        }
+      }
+      if (!args_on_side) continue;
+
+      // Partial grouping key K = {group-by ∩ side} ∪ {side's equi keys}.
+      // All rows in one partial group then share their join-key values, so
+      // they join with the same other-side rows (uniform multiplicity) —
+      // the soundness condition for SUM/COUNT through an inner equi join.
+      std::vector<ColumnId> partial_keys;
+      auto add_key = [&partial_keys](ColumnId c) {
+        for (ColumnId k : partial_keys) {
+          if (k == c) return;
+        }
+        partial_keys.push_back(c);
+      };
+      for (ColumnId gc : agg.group_by()) {
+        if (FindBinding(sgr.output, gc) >= 0) add_key(gc);
+      }
+      for (const auto& [a, b] : keys) add_key(side == 0 ? a : b);
+
+      std::set<ColumnId> key_reps;
+      for (ColumnId k : partial_keys) {
+        key_reps.insert(props_.equivalence.Find(k));
+      }
+
+      // Reduction factor: distinct-group estimate over the side's NDVs.
+      double d = memo_->estimator().GroupCardinality(partial_keys,
+                                                     sgr.cardinality);
+      double partial_rows =
+          std::min(sgr.cardinality, n * std::max(1.0, d));
+      std::vector<ColumnBinding> partial_out;
+      for (ColumnId k : partial_keys) {
+        int pos = FindBinding(sgr.output, k);
+        partial_out.push_back(sgr.output[static_cast<size_t>(pos)]);
+      }
+      for (const auto& item : agg.aggregates()) {
+        partial_out.push_back(item.output);
+      }
+      double partial_width = memo_->estimator().RowWidth(partial_out);
+      double join_rows = std::max(
+          1.0, cg.cardinality *
+                   std::min(1.0, partial_rows / std::max(1.0, sgr.cardinality)));
+      double join_width = partial_width + ogr.row_width;
+
+      PreaggRecipe base_recipe;
+      base_recipe.join_expr = static_cast<int>(je);
+      base_recipe.side = side;
+      base_recipe.partial_keys = partial_keys;
+      base_recipe.partial_rows = partial_rows;
+      base_recipe.partial_width = partial_width;
+      base_recipe.join_rows = join_rows;
+      base_recipe.join_width = join_width;
+
+      for (int si : FrontierOptions(sg)) {
+        const PdwOption& sopt = options_.at(sg)[static_cast<size_t>(si)];
+        if (sopt.prop.is_control()) continue;
+        // The reduction-factor CPU term: scanning and hashing the side's
+        // rows into partial groups, charged per input byte per node.
+        double side_bytes = sgr.cardinality * std::max(1.0, sgr.row_width);
+        double cpu = opts_.cost_params.lambda_preagg *
+                     (sopt.prop.is_replicated() ? side_bytes : side_bytes / n);
+
+        // The partial output keeps the side's hash distribution only when
+        // every hash-column class survives into K.
+        DistributionProperty pdist = sopt.prop;
+        if (pdist.kind == DistributionKind::kDistributed) {
+          for (ColumnId rep : pdist.columns) {
+            if (key_reps.count(props_.equivalence.Find(rep)) == 0) {
+              pdist = DistributionProperty::AnyDistributed();
+              break;
+            }
+          }
+        }
+
+        // Candidate moves of the (reduced) partial stream below the join.
+        struct PartialMove {
+          bool has = false;
+          DmsOpKind kind = DmsOpKind::kShuffle;
+          ColumnId col = kInvalidColumnId;
+          DistributionProperty dist;
+        };
+        std::vector<PartialMove> pmoves;
+        pmoves.push_back(PartialMove{false, DmsOpKind::kShuffle,
+                                     kInvalidColumnId, pdist});
+        if (pdist.kind == DistributionKind::kDistributed) {
+          if (opts_.hint != sql::DistributionHint::kForceBroadcast) {
+            for (ColumnId k : partial_keys) {
+              pmoves.push_back(
+                  PartialMove{true, DmsOpKind::kShuffle, k,
+                              DistributionProperty::Distributed({k})});
+            }
+          }
+          if (opts_.hint != sql::DistributionHint::kForceShuffle) {
+            pmoves.push_back(PartialMove{true, DmsOpKind::kBroadcastMove,
+                                         kInvalidColumnId,
+                                         DistributionProperty::Replicated()});
+          }
+        }
+
+        for (const PartialMove& pm : pmoves) {
+          double pmove_cost =
+              pm.has ? cost_model_.Cost(pm.kind, partial_rows, partial_width)
+                     : 0;
+          DistributionProperty P = pm.dist.Canonical(props_.equivalence);
+
+          for (int oi : FrontierOptions(og)) {
+            const PdwOption& oopt = options_.at(og)[static_cast<size_t>(oi)];
+            // Join validity — the same rules as EnumerateJoin, with the
+            // partial stream standing in for the pushed side.
+            const DistributionProperty& L = side == 0 ? P : oopt.prop;
+            const DistributionProperty& R = side == 0 ? oopt.prop : P;
+            bool l_dist = L.kind == DistributionKind::kDistributed;
+            bool r_dist = R.kind == DistributionKind::kDistributed;
+            DistributionProperty jdist;
+            bool valid = false;
+            if (L.is_replicated() && R.is_replicated()) {
+              jdist = DistributionProperty::Replicated();
+              valid = true;
+            } else if (l_dist && R.is_replicated()) {
+              jdist = L;
+              valid = true;
+            } else if (L.is_replicated() && r_dist) {
+              jdist = R;
+              valid = true;  // inner join: replicated side streams in place
+            } else if (l_dist && r_dist && !L.columns.empty() &&
+                       L.columns == R.columns) {
+              bool all_equated = true;
+              for (ColumnId rep : L.columns) {
+                if (pair_reps.count(rep) == 0) all_equated = false;
+              }
+              if (all_equated) {
+                jdist = L;
+                valid = true;
+              }
+            }
+            if (!valid) continue;
+
+            double base_cost = sopt.cost + oopt.cost + cpu + pmove_cost +
+                               RelationalCost(g, e, !jdist.is_replicated());
+
+            auto emit = [&](bool has_gmove, DmsOpKind gkind, ColumnId gcol,
+                            double gmove_cost, DistributionProperty final_prop,
+                            DistributionProperty global_dist) {
+              auto recipe = std::make_shared<PreaggRecipe>(base_recipe);
+              recipe->side_option = si;
+              recipe->other_option = oi;
+              recipe->partial_dist = pdist;
+              recipe->has_partial_move = pm.has;
+              recipe->partial_move_kind = pm.kind;
+              recipe->partial_shuffle_col = pm.col;
+              recipe->partial_move_cost = pmove_cost;
+              recipe->partial_moved_dist = pm.dist;
+              recipe->join_dist = jdist;
+              recipe->has_global_move = has_gmove;
+              recipe->global_move_kind = gkind;
+              recipe->global_shuffle_col = gcol;
+              recipe->global_move_cost = gmove_cost;
+              recipe->global_dist = global_dist;
+
+              PdwOption o;
+              o.expr_index = expr_index;
+              o.strategy = DistributedStrategy::kPreaggJoin;
+              o.preagg = std::move(recipe);
+              o.local_rows = partial_rows;
+              o.move_cost = pmove_cost + gmove_cost;
+              o.prop = final_prop;
+              o.cost = base_cost + gmove_cost;
+              Consider(gid, std::move(o));
+            };
+
+            if (jdist.is_replicated()) {
+              // Every node holds all partials and all other rows: the
+              // global aggregate runs in place, replicated.
+              emit(false, DmsOpKind::kShuffle, kInvalidColumnId, 0, jdist,
+                   jdist);
+              continue;
+            }
+            // In place when the join output is hash-distributed on group-by
+            // classes — each final group already lives on one node.
+            if (jdist.is_distributed_on_known_columns()) {
+              bool subset = true;
+              for (ColumnId rep : jdist.columns) {
+                if (group_reps.count(rep) == 0) subset = false;
+              }
+              if (subset) {
+                emit(false, DmsOpKind::kShuffle, kInvalidColumnId, 0, jdist,
+                     jdist);
+              }
+            }
+            // Shuffle the (reduced) join output on a group-by column.
+            if (opts_.hint != sql::DistributionHint::kForceBroadcast) {
+              for (ColumnId gcol : agg.group_by()) {
+                double gmove = cost_model_.Cost(DmsOpKind::kShuffle, join_rows,
+                                                join_width);
+                DistributionProperty gdist =
+                    DistributionProperty::Distributed({gcol});
+                emit(true, DmsOpKind::kShuffle, gcol, gmove, gdist, gdist);
+              }
+            }
+            // Gather the (reduced) join output to the control node.
+            {
+              double gmove = cost_model_.Cost(DmsOpKind::kPartitionMove,
+                                              join_rows, join_width);
+              emit(true, DmsOpKind::kPartitionMove, kInvalidColumnId, gmove,
+                   DistributionProperty::Control(),
+                   DistributionProperty::Control());
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 void PdwOptimizer::EnumerateLimit(GroupId gid, int expr_index) {
@@ -551,12 +882,13 @@ void PdwOptimizer::EnforcerStep(GroupId gid) {
   }
 }
 
-PlanNodePtr PdwOptimizer::BuildPlan(GroupId gid, int option_index) const {
+Result<PlanNodePtr> PdwOptimizer::BuildPlan(GroupId gid,
+                                            int option_index) const {
   const Group& g = memo_->group(gid);
   const PdwOption& o = options_.at(gid)[static_cast<size_t>(option_index)];
 
   if (o.is_enforcer) {
-    PlanNodePtr child = BuildPlan(gid, o.source_option);
+    PDW_ASSIGN_OR_RETURN(PlanNodePtr child, BuildPlan(gid, o.source_option));
     bool child_sorted = child->kind == PhysOpKind::kSort;
     std::vector<SortItem> sort_items = child->sort_items;
 
@@ -590,9 +922,108 @@ PlanNodePtr PdwOptimizer::BuildPlan(GroupId gid, int option_index) const {
   }
 
   const GroupExpr& e = g.exprs[static_cast<size_t>(o.expr_index)];
+
+  if (o.strategy == DistributedStrategy::kPreaggJoin) {
+    // Pushed-down shape: GlobalAgg -> [Move] -> Join -> [Move] ->
+    // PartialAgg(local) -> side, with the other join input built normally.
+    const auto& agg = static_cast<const LogicalAggregate&>(*e.op);
+    const Group& cg = memo_->group(e.children[0]);
+    const PreaggRecipe& r = *o.preagg;
+    const GroupExpr& jx = cg.exprs[static_cast<size_t>(r.join_expr)];
+    GroupId sg = jx.children[static_cast<size_t>(r.side)];
+    GroupId og = jx.children[static_cast<size_t>(1 - r.side)];
+    const Group& sgr = memo_->group(sg);
+    PDW_ASSIGN_OR_RETURN(PlanNodePtr side_plan, BuildPlan(sg, r.side_option));
+    PDW_ASSIGN_OR_RETURN(PlanNodePtr other_plan,
+                         BuildPlan(og, r.other_option));
+    DistributionProperty side_dist = side_plan->distribution;
+
+    auto partial = std::make_unique<PlanNode>();
+    partial->kind = PhysOpKind::kHashAggregate;
+    partial->agg_phase = AggPhase::kLocal;
+    partial->group_by = r.partial_keys;
+    partial->aggregates = agg.aggregates();
+    for (ColumnId k : r.partial_keys) {
+      int pos = FindBinding(sgr.output, k);
+      if (pos < 0) return Status::Internal("partial key missing from side");
+      partial->output.push_back(sgr.output[static_cast<size_t>(pos)]);
+    }
+    for (const auto& item : agg.aggregates()) {
+      partial->output.push_back(item.output);
+    }
+    partial->cardinality = r.partial_rows;
+    partial->row_width = r.partial_width;
+    // Prefer the concrete child distribution for display when preserved.
+    partial->distribution =
+        r.partial_dist.kind == DistributionKind::kDistributed &&
+                side_dist.kind == DistributionKind::kDistributed &&
+                !side_dist.columns.empty()
+            ? side_dist
+            : r.partial_dist;
+    partial->children.push_back(std::move(side_plan));
+
+    PlanNodePtr partial_top = std::move(partial);
+    if (r.has_partial_move) {
+      auto move = std::make_unique<PlanNode>();
+      move->kind = PhysOpKind::kMove;
+      move->move_kind = r.partial_move_kind;
+      if (r.partial_shuffle_col != kInvalidColumnId) {
+        move->shuffle_columns = {r.partial_shuffle_col};
+      }
+      move->output = partial_top->output;
+      move->cardinality = r.partial_rows;
+      move->row_width = r.partial_width;
+      move->move_cost = r.partial_move_cost;
+      move->distribution = r.partial_moved_dist;
+      move->children.push_back(std::move(partial_top));
+      partial_top = std::move(move);
+    }
+
+    std::vector<PlanNodePtr> join_children(2);
+    join_children[static_cast<size_t>(r.side)] = std::move(partial_top);
+    join_children[static_cast<size_t>(1 - r.side)] = std::move(other_plan);
+    PlanNodePtr join = PlanNodeFromPayload(*jx.op, std::move(join_children),
+                                           r.join_rows, r.join_width);
+    join->distribution = r.join_dist;
+
+    PlanNodePtr join_top = std::move(join);
+    if (r.has_global_move) {
+      auto move = std::make_unique<PlanNode>();
+      move->kind = PhysOpKind::kMove;
+      move->move_kind = r.global_move_kind;
+      if (r.global_shuffle_col != kInvalidColumnId) {
+        move->shuffle_columns = {r.global_shuffle_col};
+      }
+      move->output = join_top->output;
+      move->cardinality = r.join_rows;
+      move->row_width = r.join_width;
+      move->move_cost = r.global_move_cost;
+      move->distribution = r.global_dist;
+      move->children.push_back(std::move(join_top));
+      join_top = std::move(move);
+    }
+
+    auto global = std::make_unique<PlanNode>();
+    global->kind = PhysOpKind::kHashAggregate;
+    global->agg_phase = AggPhase::kGlobal;
+    global->group_by = agg.group_by();
+    for (const auto& item : agg.aggregates()) {
+      PDW_ASSIGN_OR_RETURN(AggregateItem gi, GlobalPhaseItem(item));
+      global->aggregates.push_back(std::move(gi));
+    }
+    global->output = g.output;
+    global->cardinality = g.cardinality;
+    global->row_width = g.row_width;
+    global->distribution = r.global_dist;
+    global->children.push_back(std::move(join_top));
+    return PlanNodePtr(std::move(global));
+  }
+
   std::vector<PlanNodePtr> children;
   for (size_t i = 0; i < e.children.size(); ++i) {
-    children.push_back(BuildPlan(e.children[i], o.child_options[i]));
+    PDW_ASSIGN_OR_RETURN(PlanNodePtr c,
+                         BuildPlan(e.children[i], o.child_options[i]));
+    children.push_back(std::move(c));
   }
 
   if (o.strategy == DistributedStrategy::kPlain) {
@@ -692,7 +1123,8 @@ PlanNodePtr PdwOptimizer::BuildPlan(GroupId gid, int option_index) const {
   global->agg_phase = AggPhase::kGlobal;
   global->group_by = agg.group_by();
   for (const auto& item : agg.aggregates()) {
-    global->aggregates.push_back(GlobalPhaseItem(item));
+    PDW_ASSIGN_OR_RETURN(AggregateItem gi, GlobalPhaseItem(item));
+    global->aggregates.push_back(std::move(gi));
   }
   global->output = move->output;
   global->cardinality = g.cardinality;
@@ -759,13 +1191,16 @@ Result<PdwPlanResult> PdwOptimizer::Optimize() {
   }
 
   PdwPlanResult result;
-  result.plan = BuildPlan(memo_->root(), best_idx);
+  PDW_ASSIGN_OR_RETURN(result.plan, BuildPlan(memo_->root(), best_idx));
   result.cost = best;
   result.options_considered = considered_;
   for (const auto& [gid, opts] : options_) result.options_kept += opts.size();
   result.options_pruned = considered_ - result.options_kept;
   result.enforcers_inserted = enforcers_kept_;
   result.groups_optimized = done_.size();
+  result.preagg_considered = preagg_considered_;
+  result.preagg_kept = preagg_kept_;
+  result.preagg_chosen = PlanUsesPreagg(*result.plan);
 
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.Count("optimizer.runs");
@@ -776,6 +1211,11 @@ Result<PdwPlanResult> PdwOptimizer::Optimize() {
             static_cast<double>(result.options_pruned));
   reg.Count("optimizer.enforcers_inserted",
             static_cast<double>(result.enforcers_inserted));
+  reg.Count("optimizer.preagg.considered",
+            static_cast<double>(result.preagg_considered));
+  reg.Count("optimizer.preagg.kept",
+            static_cast<double>(result.preagg_kept));
+  if (result.preagg_chosen) reg.Count("optimizer.preagg.chosen");
   return result;
 }
 

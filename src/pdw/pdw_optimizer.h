@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "optimizer/memo.h"
@@ -20,6 +21,38 @@ enum class DistributedStrategy {
                        ///< global agg.
   kLocalGlobalGather,  ///< Local partial agg, gather to control, global agg.
   kLocalLimitGather,   ///< Local top-N, gather, re-sort + global top-N.
+  kPreaggJoin,         ///< Partial agg pushed below a join of the input
+                       ///< group; global agg above the join (PR 9).
+};
+
+/// Everything BuildPlan needs to reconstruct one pushed-down partial
+/// aggregation alternative: the chosen join expression of the aggregate's
+/// input group, which side receives the partial aggregate, the partial
+/// grouping key {group-by ∩ side} ∪ {side's equi-join keys}, and the
+/// optional DMS moves below (partial stream) and above (join output) it.
+/// Held by shared_ptr on PdwOption so options stay cheap to copy.
+struct PreaggRecipe {
+  int join_expr = 0;    ///< Expr index within the aggregate's input group.
+  int side = 0;         ///< 0 = left join input pushed, 1 = right.
+  int side_option = 0;  ///< Option index of the pushed side's group.
+  int other_option = 0; ///< Option index of the other side's group.
+  std::vector<ColumnId> partial_keys;  ///< K, actual side-output columns.
+  double partial_rows = 0;   ///< Appliance-wide partial output rows.
+  double partial_width = 0;  ///< Row width of the partial stream.
+  DistributionProperty partial_dist;  ///< Partial output, before any move.
+  bool has_partial_move = false;      ///< Move partials before the join.
+  DmsOpKind partial_move_kind = DmsOpKind::kShuffle;
+  ColumnId partial_shuffle_col = kInvalidColumnId;
+  double partial_move_cost = 0;
+  DistributionProperty partial_moved_dist;  ///< Partial side at the join.
+  double join_rows = 0;               ///< Join output estimate (reduced).
+  double join_width = 0;
+  DistributionProperty join_dist;     ///< Join output property.
+  bool has_global_move = false;       ///< Move join output before global agg.
+  DmsOpKind global_move_kind = DmsOpKind::kShuffle;
+  ColumnId global_shuffle_col = kInvalidColumnId;
+  double global_move_cost = 0;
+  DistributionProperty global_dist;   ///< Property the global agg runs under.
 };
 
 /// One entry in a group's option table: a way of producing the group's
@@ -36,6 +69,8 @@ struct PdwOption {
   DistributedStrategy strategy = DistributedStrategy::kPlain;
   ColumnId shuffle_column = kInvalidColumnId;  ///< Actual hash column.
   double local_rows = 0;             ///< Partial-agg output rows (two-phase).
+  /// Pushed-down partial aggregation recipe (kPreaggJoin only).
+  std::shared_ptr<const PreaggRecipe> preagg;
 };
 
 /// Options and statistics of the PDW optimizer (Fig. 4).
@@ -62,7 +97,15 @@ struct PdwOptimizerOptions {
   /// setting: a group's table only depends on its children's completed
   /// tables, and within a group the expression order is fixed.
   int opt_threads = -1;
+  /// Partial-aggregate pushdown below joins (PR 9): -1 = PDW_OPT_PREAGG
+  /// env (default on), 0 = off, 1 = on. Resolved before plan-cache
+  /// fingerprinting, like the beam width.
+  int enable_preagg = -1;
 };
+
+/// Effective pushdown switch: `enable_preagg` when >= 0, else the
+/// PDW_OPT_PREAGG environment variable ("0"/"off" disables), else on.
+bool ResolvePreaggEnabled(int enable_preagg);
 
 /// Result of PDW optimization: the parallel plan (with Move nodes) plus
 /// search statistics used by the benches.
@@ -74,6 +117,10 @@ struct PdwPlanResult {
   size_t options_pruned = 0;      ///< considered - kept (step 06.ii effect).
   size_t enforcers_inserted = 0;  ///< Data-movement options kept (step 07).
   size_t groups_optimized = 0;
+  /// Pre-aggregation pushdown search statistics (PR 9).
+  size_t preagg_considered = 0;  ///< Pushdown options generated.
+  size_t preagg_kept = 0;        ///< Pushdown options surviving pruning.
+  bool preagg_chosen = false;    ///< Final plan contains a pushed partial agg.
 };
 
 /// The PDW parallel optimizer (paper §3, Fig. 4): bottom-up enumeration
@@ -100,9 +147,20 @@ class PdwOptimizer {
   void EnumerateExpr(GroupId gid, int expr_index);
   void EnumerateJoin(GroupId gid, int expr_index);
   void EnumerateAggregate(GroupId gid, int expr_index);
+  /// Pushdown variants for one aggregate expr: for every join expression
+  /// of the input group and every join side, a local partial aggregate on
+  /// that side keyed on {group-by ∩ side} ∪ {side's equi-join keys}, with
+  /// the global phase left above the join (PR 9).
+  void EnumeratePreagg(GroupId gid, int expr_index);
   void EnumerateLimit(GroupId gid, int expr_index);
   void EnumerateUnionAll(GroupId gid, int expr_index);
   void EnforcerStep(GroupId gid);
+
+  /// Indexes of the cheapest option per canonical distribution property
+  /// (first index wins ties — deterministic). With pruning on this is the
+  /// whole table; with pruning off it collapses the ablation's full table
+  /// so the pushdown sweep stays polynomial and picks the same winners.
+  std::vector<int> FrontierOptions(GroupId gid) const;
 
   /// Inserts a candidate option, applying cost-based pruning per canonical
   /// property. Returns true if kept.
@@ -116,7 +174,7 @@ class PdwOptimizer {
   /// Actual column of `group`'s output belonging to class `rep`.
   ColumnId MemberInOutput(GroupId gid, ColumnId rep) const;
 
-  PlanNodePtr BuildPlan(GroupId gid, int option_index) const;
+  Result<PlanNodePtr> BuildPlan(GroupId gid, int option_index) const;
 
   Memo* memo_;
   Topology topology_;
@@ -129,6 +187,8 @@ class PdwOptimizer {
   // Atomic: bumped from concurrent per-group tasks of the level sweep.
   std::atomic<size_t> considered_{0};
   std::atomic<size_t> enforcers_kept_{0};
+  std::atomic<size_t> preagg_considered_{0};
+  std::atomic<size_t> preagg_kept_{0};
 };
 
 }  // namespace pdw

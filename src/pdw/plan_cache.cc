@@ -47,9 +47,13 @@ std::string FingerprintCompilerOptions(const PdwCompilerOptions& o) {
   // an explicit option; opt_threads is deliberately excluded — parallel
   // enumeration is byte-identical to serial, so thread count never changes
   // the plan.
+  // The preagg switch is resolved like the beam width: the PDW_OPT_PREAGG
+  // env default changes the plan shape exactly as the explicit option does,
+  // so cached pushed-down plans never serve a pushdown-disabled query (or
+  // vice versa).
   return StringFormat(
       "memo:%d,%d,%d,%d,%d,b%d|norm:%d,%d,%d,%d,%d,%d|"
-      "pdw:%a,%a,%a,%a,%a,h%d,p%d,%zu,t%d,r%d,%a|xml:%d|base:%d",
+      "pdw:%a,%a,%a,%a,%a,%a,h%d,p%d,%zu,t%d,r%d,%a,pa%d|xml:%d|base:%d",
       o.memo.max_dp_relations, o.memo.expr_budget,
       o.memo.seed_distribution_aware ? 1 : 0,
       o.memo.enable_semijoin_to_join ? 1 : 0, o.memo.enumerate_joins ? 1 : 0,
@@ -61,9 +65,11 @@ std::string FingerprintCompilerOptions(const PdwCompilerOptions& o) {
       o.normalizer.prune_columns ? 1 : 0, o.pdw.cost_params.lambda_reader_direct,
       o.pdw.cost_params.lambda_reader_hash, o.pdw.cost_params.lambda_network,
       o.pdw.cost_params.lambda_writer, o.pdw.cost_params.lambda_bulkcopy,
+      o.pdw.cost_params.lambda_preagg,
       static_cast<int>(o.pdw.hint), o.pdw.prune ? 1 : 0,
       o.pdw.max_options_per_group, o.pdw.enable_trim_move ? 1 : 0,
       o.pdw.relational_costs ? 1 : 0, o.pdw.relational_lambda,
+      ResolvePreaggEnabled(o.pdw.enable_preagg) ? 1 : 0,
       o.use_xml_interface ? 1 : 0, o.build_baseline ? 1 : 0);
 }
 

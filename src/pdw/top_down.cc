@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "pdw/pdw_optimizer.h"
 
 namespace pdw {
 
@@ -332,6 +333,7 @@ double TopDownPdwOptimizer::DirectCost(GroupId gid,
             for (ColumnId rep : group_reps) try_rep(rep);
           }
         }
+        best = std::min(best, PreaggCost(gid, e, prop));
         break;
       }
       case LogicalOpKind::kLimit: {
@@ -386,6 +388,209 @@ double TopDownPdwOptimizer::DirectCost(GroupId gid,
           }
         }
         break;
+      }
+    }
+  }
+  return best;
+}
+
+double TopDownPdwOptimizer::PreaggCost(GroupId /*gid*/, const GroupExpr& e,
+                                       const DistributionProperty& prop) {
+  if (!ResolvePreaggEnabled(opts_.enable_preagg)) return kInfiniteCost;
+  const auto& agg = static_cast<const LogicalAggregate&>(*e.op);
+  // Same duplicate-sensitivity gates as the bottom-up enumerator: DISTINCT
+  // aggregates are not decomposable and scalar aggregates keep the
+  // at-the-aggregate two-phase path only.
+  if (HasDistinctAggregate(agg) || agg.group_by().empty()) return kInfiniteCost;
+
+  GroupId child = e.children[0];
+  const Group& cg = memo_->group(child);
+  double n = cost_model_.num_nodes();
+  bool want_any =
+      prop.kind == DistributionKind::kDistributed && prop.columns.empty();
+
+  std::set<ColumnId> group_reps;
+  for (ColumnId c : agg.group_by()) {
+    group_reps.insert(props_.equivalence.Find(c));
+  }
+
+  double best = kInfiniteCost;
+  // Accept an alternative whose global aggregate lands on `final_prop` when
+  // it satisfies the demanded property.
+  auto match = [&](const DistributionProperty& final_prop, double cost) {
+    DistributionProperty f = final_prop.Canonical(props_.equivalence);
+    if (f == prop || (want_any && f.kind == DistributionKind::kDistributed)) {
+      best = std::min(best, cost);
+    }
+  };
+
+  for (const GroupExpr& jx : cg.exprs) {
+    if (jx.op->kind() != LogicalOpKind::kJoin) continue;
+    const auto& j = static_cast<const LogicalJoin&>(*jx.op);
+    if (j.join_type() != LogicalJoinType::kInner) continue;
+    GroupId lg = jx.children[0];
+    GroupId rg = jx.children[1];
+    auto keys = j.EquiKeys(memo_->group(lg).output, memo_->group(rg).output);
+    if (keys.empty() || keys.size() != j.conditions().size()) continue;
+
+    std::set<ColumnId> pair_reps;
+    for (const auto& [a, b] : keys) {
+      pair_reps.insert(props_.equivalence.Find(a));
+    }
+
+    for (int side = 0; side < 2; ++side) {
+      GroupId sg = side == 0 ? lg : rg;
+      GroupId og = side == 0 ? rg : lg;
+      const Group& sgr = memo_->group(sg);
+      const Group& ogr = memo_->group(og);
+
+      bool args_on_side = true;
+      for (const auto& item : agg.aggregates()) {
+        if (item.arg == nullptr) continue;  // COUNT(*)
+        std::set<ColumnId> cols;
+        CollectColumns(item.arg, &cols);
+        for (ColumnId c : cols) {
+          if (FindBinding(sgr.output, c) < 0) args_on_side = false;
+        }
+      }
+      if (!args_on_side) continue;
+
+      // K = {group-by ∩ side} ∪ {side's equi keys}, in enumeration order.
+      std::vector<ColumnId> partial_keys;
+      auto add_key = [&partial_keys](ColumnId c) {
+        for (ColumnId k : partial_keys) {
+          if (k == c) return;
+        }
+        partial_keys.push_back(c);
+      };
+      for (ColumnId gc : agg.group_by()) {
+        if (FindBinding(sgr.output, gc) >= 0) add_key(gc);
+      }
+      for (const auto& [a, b] : keys) add_key(side == 0 ? a : b);
+      std::set<ColumnId> key_reps;
+      for (ColumnId k : partial_keys) {
+        key_reps.insert(props_.equivalence.Find(k));
+      }
+
+      double d = memo_->estimator().GroupCardinality(partial_keys,
+                                                     sgr.cardinality);
+      double partial_rows = std::min(sgr.cardinality, n * std::max(1.0, d));
+      std::vector<ColumnBinding> partial_out;
+      for (ColumnId k : partial_keys) {
+        int pos = FindBinding(sgr.output, k);
+        partial_out.push_back(sgr.output[static_cast<size_t>(pos)]);
+      }
+      for (const auto& item : agg.aggregates()) {
+        partial_out.push_back(item.output);
+      }
+      double partial_width = memo_->estimator().RowWidth(partial_out);
+      double join_rows = std::max(
+          1.0, cg.cardinality * std::min(1.0, partial_rows /
+                                                  std::max(1.0,
+                                                           sgr.cardinality)));
+      double join_width = partial_width + ogr.row_width;
+      double side_bytes = sgr.cardinality * std::max(1.0, sgr.row_width);
+
+      // Source properties of the pushed side. The bottom-up enumerator
+      // walks the side's whole option frontier; every frontier property on
+      // non-K classes costs downstream exactly like AnyDistributed and is
+      // dominated by it, so the candidate set (interesting + natural + any
+      // + replicated) covers the optimum.
+      for (const DistributionProperty& sp : CandidateProps(sg)) {
+        if (sp.is_control()) continue;
+        double s_cost = BestCost(sg, sp);
+        if (s_cost >= kInfiniteCost) continue;
+        double cpu = cost_model_.params().lambda_preagg *
+                     (sp.is_replicated() ? side_bytes : side_bytes / n);
+
+        DistributionProperty pdist = sp;
+        if (pdist.kind == DistributionKind::kDistributed) {
+          for (ColumnId rep : pdist.columns) {
+            if (key_reps.count(props_.equivalence.Find(rep)) == 0) {
+              pdist = DistributionProperty::AnyDistributed();
+              break;
+            }
+          }
+        }
+
+        struct PartialMove {
+          bool has = false;
+          DmsOpKind kind = DmsOpKind::kShuffle;
+          DistributionProperty dist;
+        };
+        std::vector<PartialMove> pmoves;
+        pmoves.push_back(PartialMove{false, DmsOpKind::kShuffle, pdist});
+        if (pdist.kind == DistributionKind::kDistributed) {
+          for (ColumnId k : partial_keys) {
+            pmoves.push_back(PartialMove{
+                true, DmsOpKind::kShuffle,
+                DistributionProperty::Distributed({k})});
+          }
+          pmoves.push_back(PartialMove{true, DmsOpKind::kBroadcastMove,
+                                       DistributionProperty::Replicated()});
+        }
+
+        for (const PartialMove& pm : pmoves) {
+          double pmove_cost =
+              pm.has ? cost_model_.Cost(pm.kind, partial_rows, partial_width)
+                     : 0;
+          DistributionProperty P = pm.dist.Canonical(props_.equivalence);
+
+          for (const DistributionProperty& op : CandidateProps(og)) {
+            if (op.is_control()) continue;
+            double o_cost = BestCost(og, op);
+            if (o_cost >= kInfiniteCost) continue;
+
+            const DistributionProperty& L = side == 0 ? P : op;
+            const DistributionProperty& R = side == 0 ? op : P;
+            bool l_dist = L.kind == DistributionKind::kDistributed;
+            bool r_dist = R.kind == DistributionKind::kDistributed;
+            DistributionProperty jdist;
+            bool valid = false;
+            if (L.is_replicated() && R.is_replicated()) {
+              jdist = DistributionProperty::Replicated();
+              valid = true;
+            } else if (l_dist && R.is_replicated()) {
+              jdist = L;
+              valid = true;
+            } else if (L.is_replicated() && r_dist) {
+              jdist = R;
+              valid = true;  // inner join: replicated side streams in place
+            } else if (l_dist && r_dist && !L.columns.empty() &&
+                       L.columns == R.columns) {
+              bool all_equated = true;
+              for (ColumnId rep : L.columns) {
+                if (pair_reps.count(rep) == 0) all_equated = false;
+              }
+              if (all_equated) {
+                jdist = L;
+                valid = true;
+              }
+            }
+            if (!valid) continue;
+
+            double base_cost = s_cost + o_cost + cpu + pmove_cost;
+            if (jdist.is_replicated()) {
+              match(jdist, base_cost);
+              continue;
+            }
+            if (jdist.is_distributed_on_known_columns()) {
+              bool subset = true;
+              for (ColumnId rep : jdist.columns) {
+                if (group_reps.count(rep) == 0) subset = false;
+              }
+              if (subset) match(jdist, base_cost);
+            }
+            for (ColumnId gcol : agg.group_by()) {
+              match(DistributionProperty::Distributed({gcol}),
+                    base_cost + cost_model_.Cost(DmsOpKind::kShuffle,
+                                                 join_rows, join_width));
+            }
+            match(DistributionProperty::Control(),
+                  base_cost + cost_model_.Cost(DmsOpKind::kPartitionMove,
+                                               join_rows, join_width));
+          }
+        }
       }
     }
   }

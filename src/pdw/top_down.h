@@ -35,6 +35,9 @@ class TopDownPdwOptimizer {
   struct Options {
     DmsCostParameters cost_params;
     bool enable_trim_move = true;
+    /// Partial-aggregate pushdown below joins (PR 9); same semantics as
+    /// PdwOptimizerOptions::enable_preagg (-1 = PDW_OPT_PREAGG env).
+    int enable_preagg = -1;
   };
 
   struct Stats {
@@ -69,6 +72,11 @@ class TopDownPdwOptimizer {
                   const DistributionProperty& target) const;
   /// Direct (non-enforcer) realizations of `prop` from the group's exprs.
   double DirectCost(GroupId gid, const DistributionProperty& prop);
+  /// Cheapest pre-aggregation pushdown realization of aggregate expr `e`
+  /// under `prop`: a partial aggregate below one join of the input group,
+  /// global phase above (mirrors PdwOptimizer::EnumeratePreagg, PR 9).
+  double PreaggCost(GroupId gid, const GroupExpr& e,
+                    const DistributionProperty& prop);
   /// Candidate source properties for enforcers and "any" demands.
   std::vector<DistributionProperty> CandidateProps(GroupId gid);
   /// Cheapest distributed realization (used for "any distribution works").

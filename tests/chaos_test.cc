@@ -163,6 +163,37 @@ class ChaosTest : public ::testing::Test {
     tpch::TpchConfig cfg;
     cfg.scale = 0.01;
     ASSERT_TRUE(tpch::LoadTpch(appliance_, cfg).ok());
+    // A dim/fact pair where partial-aggregate pushdown is actually chosen
+    // (TPC-H dimensions at this scale are cheap to broadcast, so TPC-H
+    // alone never exercises the pushed shape under faults): fact has 50
+    // distinct join keys over 6000 rows and is distributed on an
+    // unrelated column, dim is too wide to broadcast for free.
+    ASSERT_TRUE(appliance_
+                    ->CreateTableSql(
+                        "CREATE TABLE dim (d_key INT NOT NULL, d_grp INT, "
+                        "d_name VARCHAR(16)) "
+                        "WITH (DISTRIBUTION = HASH(d_key))")
+                    .ok());
+    ASSERT_TRUE(appliance_
+                    ->CreateTableSql(
+                        "CREATE TABLE fact (f_key INT, f_val DOUBLE, "
+                        "f_uniq INT) "
+                        "WITH (DISTRIBUTION = HASH(f_uniq))")
+                    .ok());
+    RowVector dim_rows;
+    for (int i = 0; i < 2000; ++i) {
+      dim_rows.push_back({Datum::Int(i), Datum::Int(i % 10),
+                          Datum::Varchar("d" + std::to_string(i % 16))});
+    }
+    ASSERT_TRUE(appliance_->LoadRows("dim", dim_rows).ok());
+    RowVector fact_rows;
+    for (int i = 0; i < 6000; ++i) {
+      fact_rows.push_back({i % 97 == 0 ? Datum::Null() : Datum::Int(i % 50),
+                           i % 23 == 0 ? Datum::Null()
+                                       : Datum::Double(i % 90),
+                           Datum::Int(i)});
+    }
+    ASSERT_TRUE(appliance_->LoadRows("fact", fact_rows).ok());
   }
   static void TearDownTestSuite() {
     delete session_;
@@ -212,6 +243,7 @@ TEST_F(ChaosTest, SeededDifferentialSweep) {
         rng() % 2 == 0 ? EngineKind::kRow : EngineKind::kBatch;
     options.execute.dms_codec = rng() % 2 == 0 ? DmsCodec::kRow : DmsCodec::kColumnar;
     options.compile.use_plan_cache = rng() % 4 == 0;
+    options.compile.compiler.pdw.enable_preagg = rng() % 2 == 0 ? 1 : 0;
     options.execute.retry.max_attempts = 3;
     options.execute.retry.sleep_fn = [](double) {};  // fake clock: no real backoff
 
@@ -221,6 +253,8 @@ TEST_F(ChaosTest, SeededDifferentialSweep) {
                  (options.execute.engine.engine == EngineKind::kRow ? "row" : "batch") +
                  " codec=" +
                  (options.execute.dms_codec == DmsCodec::kRow ? "row" : "columnar") +
+                 " preagg=" +
+                 std::to_string(options.compile.compiler.pdw.enable_preagg) +
                  "\nsql: " + sql);
 
     // Fault-free reference of the exact same configuration.
@@ -282,6 +316,69 @@ TEST_F(ChaosTest, SeededDifferentialSweep) {
   for (const Row& r : failed->rows) {
     EXPECT_FALSE(r[0].is_null()) << "failed request without an error";
   }
+}
+
+// Pushed partial-aggregate plans through the full fault matrix: with
+// pushdown enabled (and verified chosen for the high-reduction query),
+// every chaotic run must either byte-match its fault-free reference of
+// the identical configuration or fail with a clean classified Status —
+// and never leak a temp table. The split plan has more steps (partial
+// agg, its shuffle, the global phase) and therefore more distinct fault
+// interleavings than the classic shape.
+TEST_F(ChaosTest, PreaggPlansSurviveChaos) {
+  const char* kQueries[] = {
+      "SELECT d_grp, SUM(f_val) AS s, COUNT(f_val) AS c "
+      "FROM fact, dim WHERE f_key = d_key GROUP BY d_grp",
+      "SELECT d_grp, AVG(f_val) AS a FROM fact, dim "
+      "WHERE f_key = d_key GROUP BY d_grp",
+      "SELECT c_nationkey, COUNT(*) AS cnt FROM customer, orders "
+      "WHERE c_custkey = o_custkey GROUP BY c_nationkey",
+  };
+  PdwCompilerOptions compiler;
+  compiler.pdw.enable_preagg = 1;
+  // The pushed shape must actually be on the wire for the dim/fact query.
+  auto comp = CompilePdwQuery(appliance_->shell(), kQueries[0], compiler);
+  ASSERT_TRUE(comp.ok()) << comp.status().ToString();
+  ASSERT_TRUE(comp->parallel.preagg_chosen);
+
+  uint64_t base = BaseSeed() ^ 0x5ee0f1a7ull;
+  int failures = 0, matches = 0;
+  for (int run = 0; run < 60; ++run) {
+    uint64_t seed = base + static_cast<uint64_t>(run);
+    std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+    const char* sql = kQueries[rng() % 3];
+    QueryOptions options;
+    options.compile.compiler = compiler;
+    options.execute.engine.engine =
+        rng() % 2 == 0 ? EngineKind::kRow : EngineKind::kBatch;
+    options.execute.dms_codec =
+        rng() % 2 == 0 ? DmsCodec::kRow : DmsCodec::kColumnar;
+    options.execute.retry.max_attempts = 3;
+    options.execute.retry.sleep_fn = [](double) {};
+    FaultSchedule schedule = BuildRandomSchedule(seed);
+    SCOPED_TRACE("preagg chaos seed=" + std::to_string(seed) + " schedule=" +
+                 fault::FaultScheduleToString(schedule) + "\nsql: " + sql);
+
+    auto reference = session_->Run(sql, options);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    options.execute.faults = schedule;
+    auto chaotic = session_->Run(sql, options);
+    if (chaotic.ok()) {
+      ++matches;
+      EXPECT_TRUE(RowSetsEqual(chaotic->rows, reference->rows))
+          << "rows diverged from the fault-free reference";
+    } else {
+      ++failures;
+      EXPECT_FALSE(chaotic.status().message().empty());
+      StatusCode code = chaotic.status().code();
+      EXPECT_TRUE(code == StatusCode::kExecutionError ||
+                  code == StatusCode::kTransient)
+          << chaotic.status().ToString();
+    }
+    ExpectNoTempLitter("after preagg chaos run");
+  }
+  EXPECT_GT(failures, 0) << "no preagg chaos run failed: injection is dead";
+  EXPECT_GT(matches, 0) << "no preagg chaos run survived: recovery is dead";
 }
 
 TEST_F(ChaosTest, TransientStepFailureRetriesVisibly) {

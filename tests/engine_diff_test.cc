@@ -261,5 +261,54 @@ TEST_F(EngineDiffTest, BatchSizeOne) {
   ExpectEnginesAgree("SELECT a, y FROM ta JOIN tb ON a = x AND w > 10", 1);
 }
 
+// --- partial-aggregate step shapes (PR 9) ---
+//
+// Pushed-down partial aggregates reach the node-local engines as plain
+// GROUP BY steps keyed on {grouping cols ∩ side} ∪ {join keys} — wider,
+// NULL-heavier key sets than a final aggregate, typically followed by a
+// second aggregation of the partial output. Exercise those shapes through
+// both engines at adversarial batch sizes.
+
+TEST_F(EngineDiffTest, PartialAggregateKeyShapes) {
+  for (int batch : {1, 7, 256, 1024}) {
+    // Multi-key partial: join key + grouping key, NULLs group together.
+    ExpectEnginesAgree(
+        "SELECT a, b, COUNT(*) AS c, SUM(v) AS s, COUNT(v) AS cv "
+        "FROM ta GROUP BY a, b",
+        batch);
+    // MIN/MAX partials are idempotent under re-aggregation.
+    ExpectEnginesAgree(
+        "SELECT b, d, MIN(v) AS lo, MAX(v) AS hi FROM ta GROUP BY b, d",
+        batch);
+  }
+}
+
+TEST_F(EngineDiffTest, ReaggregationOfPartialOutput) {
+  // The global phase over a partial: SUM of partial sums / SUM of partial
+  // counts, written the way sql_gen renders the split phases.
+  ExpectEnginesAgree(
+      "SELECT b, SUM(s) AS s, SUM(c) AS c FROM "
+      "(SELECT a, b, SUM(v) AS s, COUNT(v) AS c FROM ta GROUP BY a, b) AS p "
+      "GROUP BY b",
+      64);
+  ExpectEnginesAgree(
+      "SELECT d, MIN(lo) AS lo, MAX(hi) AS hi FROM "
+      "(SELECT b, d, MIN(v) AS lo, MAX(v) AS hi FROM ta GROUP BY b, d) AS p "
+      "GROUP BY d",
+      3);
+}
+
+TEST_F(EngineDiffTest, PartialAggregateEmptyAndDistinct) {
+  // Empty input: a partial produces zero groups, not one.
+  ExpectEnginesAgree(
+      "SELECT a, b, COUNT(*) AS c, SUM(a) AS s FROM tempty GROUP BY a, b",
+      1024);
+  // DISTINCT aggregates never push down, but the enumerator's refusal
+  // must not be masked by an engine divergence on the un-pushed shape.
+  ExpectEnginesAgree(
+      "SELECT b, COUNT(DISTINCT v) AS dv, SUM(v) AS s FROM ta GROUP BY b",
+      17);
+}
+
 }  // namespace
 }  // namespace pdw
