@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "appliance/shared_step_registry.h"
 #include "appliance/workload_manager.h"
 #include "common/fault.h"
 #include "common/retry.h"
@@ -72,6 +73,13 @@ struct ExecutionOptions {
   /// Off by default: cached hits skip execution entirely, so profiles,
   /// step metrics, and fault points are not exercised on a hit.
   bool use_result_cache = false;
+  /// Share identical DSQL steps with concurrent queries through the
+  /// SharedStepRegistry: the first execution of a fingerprint-equal step
+  /// leads, others consume its materialized temp table (§ DESIGN.md 5j).
+  /// On by default; process-wide overridable via PDW_WLM_SHARE=0. The
+  /// resolved value is part of every step fingerprint, so only executions
+  /// that agree on the knob (and on engine + DMS codec) ever rendezvous.
+  bool share_steps = DefaultSharedSteps();
 };
 
 /// Observability knobs of one query.
@@ -141,6 +149,10 @@ struct QueryOptions {
     execute.use_result_cache = on;
     return *this;
   }
+  QueryOptions& WithSharedSteps(bool on = true) {
+    execute.share_steps = on;
+    return *this;
+  }
   QueryOptions& WithOperatorActuals(bool on = true) {
     observe.collect_operator_actuals = on;
     return *this;
@@ -183,6 +195,13 @@ struct ApplianceResult {
   std::string resource_class;
   /// Seconds spent waiting in the admission queue before execution.
   double queue_seconds = 0;
+  /// Sub-plan sharing outcome of this run: steps consumed from another
+  /// query's leader instead of executing (followed), steps this run led
+  /// that fed at least one waiting follower (led), and the DMS bytes the
+  /// followed steps would otherwise have moved.
+  int shared_steps_followed = 0;
+  int shared_steps_led = 0;
+  double shared_saved_bytes = 0;
   /// Estimated-vs-actual profile: compile-phase timings, optimizer search
   /// counters, and one StepProfile per DSQL step (per-component DMS bytes,
   /// modeled cost vs measured seconds, estimated vs actual rows, per-node
@@ -307,6 +326,10 @@ class Appliance {
   /// query from another session thread observes queries mid-flight.
   const obs::RequestRegistry& requests() const { return requests_; }
   obs::RequestRegistry& requests() { return requests_; }
+  /// The sub-plan sharing rendezvous behind sys.dm_pdw_shared_steps:
+  /// concurrent queries coalesce fingerprint-equal DSQL steps here.
+  const SharedStepRegistry& shared_steps() const { return shared_steps_; }
+  SharedStepRegistry& shared_steps() { return shared_steps_; }
 
  private:
   friend class Session;
@@ -337,6 +360,7 @@ class Appliance {
                                       const ExecOptions& exec,
                                       DmsCodec dms_codec,
                                       const RetryPolicy& retry,
+                                      bool share_steps,
                                       const std::atomic<bool>* cancel);
   /// Registers (and on destruction unregisters) a query's cancellation
   /// token so Appliance::Cancel can find it.
@@ -360,6 +384,8 @@ class Appliance {
   ResultCache result_cache_;
   WorkloadManager workload_;
   obs::RequestRegistry requests_;
+  /// Cross-query DSQL step rendezvous (sub-plan sharing, DESIGN.md §5j).
+  SharedStepRegistry shared_steps_;
   /// Per-execution id used to uniquify temp-table names so concurrent
   /// queries (and re-executions of one cached plan) never collide.
   std::atomic<uint64_t> next_query_id_{1};

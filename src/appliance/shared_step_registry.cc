@@ -1,0 +1,220 @@
+#include "appliance/shared_step_registry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace pdw {
+
+bool DefaultSharedSteps() {
+  const char* env = std::getenv("PDW_WLM_SHARE");
+  if (env == nullptr) return true;
+  std::string v = env;
+  return !(v == "0" || v == "off" || v == "false");
+}
+
+SharedStepRegistry::JoinOutcome SharedStepRegistry::JoinOrLead(
+    const std::string& key, const std::string& hex, uint64_t query_id,
+    int step_index, const std::atomic<bool>* cancel) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      auto e = std::make_shared<Entry>();
+      e->hex = hex;
+      e->leader_query = query_id;
+      entries_[key] = std::move(e);
+      ++stats_.leads;
+      reg.Count("wlm.shared_step.lead");
+      JoinOutcome out;
+      out.role = Role::kLeader;
+      out.leader_query = query_id;
+      return out;
+    }
+    std::shared_ptr<Entry> e = it->second;
+    if (e->published) {
+      // Afterglow join: the step is already materialized and still
+      // referenced; take our own reference immediately.
+      ++e->refcount;
+      ++e->follows;
+      ++stats_.follows;
+      stats_.saved_bytes += e->bytes_moved;
+      stats_.saved_rows += e->rows_moved;
+      reg.Count("wlm.shared_step.follow");
+      JoinOutcome out;
+      out.role = Role::kFollower;
+      out.temp_table = e->temp_table;
+      out.leader_query = e->leader_query;
+      out.saved_bytes = e->bytes_moved;
+      out.saved_rows = e->rows_moved;
+      out.wait_seconds = elapsed();
+      return out;
+    }
+    // A leader is executing this step right now: wait for it to resolve.
+    ++e->waiters;
+    e->waiter_steps.emplace_back(query_id, step_index);
+    auto drop_waiter = [&] {
+      --e->waiters;
+      auto ws = std::find(e->waiter_steps.begin(), e->waiter_steps.end(),
+                          std::make_pair(query_id, step_index));
+      if (ws != e->waiter_steps.end()) e->waiter_steps.erase(ws);
+    };
+    // `resolved` is checked BEFORE the cancel flag: once the leader
+    // published, our reference is already pre-granted, so we must take it
+    // (and release it through normal cleanup) — abandoning here would
+    // leak it. Cancellation of a published-step follower is handled at
+    // the next step boundary.
+    while (!e->resolved) {
+      if (cancel != nullptr && cancel->load()) {
+        drop_waiter();
+        ++stats_.cancel_skips;
+        reg.Count("wlm.shared_step.cancel_skip");
+        JoinOutcome out;
+        out.role = Role::kSkipped;
+        out.wait_seconds = elapsed();
+        return out;
+      }
+      cv_.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    drop_waiter();
+    if (e->published) {
+      // Publish counted us in the refcount it seeded — do not increment.
+      ++e->follows;
+      ++stats_.follows;
+      stats_.saved_bytes += e->bytes_moved;
+      stats_.saved_rows += e->rows_moved;
+      reg.Count("wlm.shared_step.follow");
+      JoinOutcome out;
+      out.role = Role::kFollower;
+      out.temp_table = e->temp_table;
+      out.leader_query = e->leader_query;
+      out.saved_bytes = e->bytes_moved;
+      out.saved_rows = e->rows_moved;
+      out.wait_seconds = elapsed();
+      return out;
+    }
+    // Leader failed: its FailFlight erased the map entry. Loop back —
+    // whoever re-finds the key missing becomes the new leader.
+  }
+}
+
+int SharedStepRegistry::Publish(const std::string& key,
+                                const std::string& temp_table,
+                                double rows_moved, double bytes_moved) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return 0;  // FailFlight raced us; caller keeps temp.
+  std::shared_ptr<Entry>& e = it->second;
+  e->resolved = true;
+  e->published = true;
+  e->temp_table = temp_table;
+  e->rows_moved = rows_moved;
+  e->bytes_moved = bytes_moved;
+  // One reference for the leader plus one pre-granted per blocked waiter,
+  // all under the lock that wakes them: a waiter can never observe the
+  // publish without its reference already counted, so the temp cannot be
+  // dropped out from under it.
+  const int granted = e->waiters;
+  e->refcount = 1 + granted;
+  ++stats_.publishes;
+  obs::MetricsRegistry::Global().Count("wlm.shared_step.publish");
+  cv_.notify_all();
+  return granted;
+}
+
+void SharedStepRegistry::FailFlight(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  it->second->resolved = true;
+  it->second->published = false;
+  entries_.erase(it);
+  ++stats_.failed_flights;
+  obs::MetricsRegistry::Global().Count("wlm.shared_step.fail_flight");
+  cv_.notify_all();
+}
+
+std::string SharedStepRegistry::Release(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return "";
+  std::shared_ptr<Entry>& e = it->second;
+  ++stats_.releases;
+  if (--e->refcount > 0) return "";
+  std::string temp = e->temp_table;
+  entries_.erase(it);
+  ++stats_.drops;
+  obs::MetricsRegistry::Global().Count("wlm.shared_step.drop");
+  return temp;
+}
+
+void SharedStepRegistry::Progress(const std::string& key, double rows,
+                                  double bytes) {
+  std::vector<std::pair<uint64_t, int>> waiters;
+  ProgressHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    it->second->rows_moved += rows;
+    it->second->bytes_moved += bytes;
+    waiters = it->second->waiter_steps;
+    hook = progress_hook_;
+  }
+  // Fan out outside the lock — the hook takes the request registry's own
+  // lock and must not nest under ours.
+  if (hook) {
+    for (const auto& [query, step] : waiters) hook(query, step, rows, bytes);
+  }
+}
+
+void SharedStepRegistry::Poke() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
+
+void SharedStepRegistry::set_progress_hook(ProgressHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  progress_hook_ = std::move(hook);
+}
+
+SharedStepRegistry::Stats SharedStepRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<SharedStepRegistry::EntryInfo> SharedStepRegistry::ListEntries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EntryInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    EntryInfo info;
+    info.fingerprint_hex = e->hex;
+    info.state = e->published ? "published" : "executing";
+    info.leader_query = e->leader_query;
+    info.temp_table = e->temp_table;
+    info.refcount = e->refcount;
+    info.waiters = e->waiters;
+    info.follows = e->follows;
+    info.rows_moved = e->rows_moved;
+    info.bytes_moved = e->bytes_moved;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+size_t SharedStepRegistry::active_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace pdw

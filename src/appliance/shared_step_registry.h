@@ -1,0 +1,170 @@
+#ifndef PDW_APPLIANCE_SHARED_STEP_REGISTRY_H_
+#define PDW_APPLIANCE_SHARED_STEP_REGISTRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdw {
+
+/// Resolved default of the PDW_WLM_SHARE knob: sub-plan sharing is on
+/// unless the env var says "0"/"off"/"false". The resolved value is baked
+/// into every step fingerprint (like PDW_OPT_PREAGG into plan-cache keys),
+/// so flipping the knob can never pair a sharing execution with a
+/// non-sharing one.
+bool DefaultSharedSteps();
+
+/// Rendezvous point where concurrent query executions share DSQL steps
+/// (ROADMAP item 1; grounding: Multi Query Optimization in GLADE).
+///
+/// Keys are full StepFingerprint texts — equal key means the two steps
+/// would materialize byte-identical temp tables. Protocol per step:
+///
+///  * JoinOrLead miss -> caller is the *leader*: it executes the step and
+///    then calls Publish (success) or FailFlight (failure/cancel) with the
+///    same key. Publish transfers ownership of the leader's temp table to
+///    the registry.
+///  * JoinOrLead hit on an executing entry -> caller is a *follower*: it
+///    blocks until the leader resolves, then consumes the leader's
+///    published temp table instead of re-running the move. A failed or
+///    cancelled leader erases the entry and releases followers to loop
+///    back — the first one in becomes the new leader, so sharing faults
+///    degrade to isolated execution, never to query failure.
+///  * JoinOrLead hit on an already-published entry (refcount still > 0,
+///    e.g. a later step of the same query, or a query arriving during the
+///    afterglow before the last consumer finished) -> immediate follower.
+///
+/// Temp lifetime is refcounted: Publish seeds the count with the leader's
+/// own reference plus one *pre-granted* reference per waiter already
+/// blocked (granting under the same lock that wakes them closes the
+/// publish/release race); late joiners take their reference themselves.
+/// Release decrements; the caller that drops the count to zero receives
+/// the temp table name and owns the physical DROP.
+///
+/// All methods are thread-safe. Waits are cooperative: a follower whose
+/// query is cancelled abandons the wait (Role::kSkipped) *unless* the
+/// leader already published — a pre-granted reference is always taken so
+/// it is always released. Counters mirror into obs metrics as
+/// wlm.shared_step.*.
+class SharedStepRegistry {
+ public:
+  enum class Role { kLeader, kFollower, kSkipped };
+
+  /// What JoinOrLead decided for one step of one execution.
+  struct JoinOutcome {
+    Role role = Role::kSkipped;
+    /// kFollower: the leader's materialized temp table to adopt.
+    std::string temp_table;
+    uint64_t leader_query = 0;
+    /// kFollower: DMS bytes/rows the leader moved that this execution now
+    /// skips (exec_steps saved_bytes column, bench shared-vs-isolated).
+    double saved_bytes = 0;
+    double saved_rows = 0;
+    double wait_seconds = 0;
+  };
+
+  struct Stats {
+    uint64_t leads = 0;
+    uint64_t follows = 0;
+    uint64_t publishes = 0;
+    uint64_t failed_flights = 0;  ///< Leader failures/cancels.
+    uint64_t releases = 0;
+    uint64_t drops = 0;         ///< Releases that hit zero (temp dropped).
+    uint64_t cancel_skips = 0;  ///< Followers that abandoned a wait.
+    double saved_bytes = 0;
+    double saved_rows = 0;
+  };
+
+  /// Introspection row for sys.dm_pdw_shared_steps.
+  struct EntryInfo {
+    std::string fingerprint_hex;
+    std::string state;  ///< "executing" | "published".
+    uint64_t leader_query = 0;
+    std::string temp_table;
+    int refcount = 0;
+    int waiters = 0;
+    uint64_t follows = 0;
+    double rows_moved = 0;
+    double bytes_moved = 0;
+  };
+
+  /// Live-progress fan-out: while the leader's DMS move runs, each blocked
+  /// follower's (query, step) is reported through this hook so its
+  /// exec_steps DMV row advances in real time, not just at adoption.
+  using ProgressHook = std::function<void(uint64_t query_id, int step_index,
+                                          double rows, double bytes)>;
+
+  /// See class comment. `cancel` (optional) makes the follower wait
+  /// cooperative; `step_index` is recorded for progress attribution.
+  JoinOutcome JoinOrLead(const std::string& key, const std::string& hex,
+                         uint64_t query_id, int step_index,
+                         const std::atomic<bool>* cancel);
+
+  /// Leader success: publishes `temp_table` under `key`, seeds the
+  /// refcount with the leader plus every currently blocked waiter, wakes
+  /// them. Returns the number of pre-granted waiter references (0 means
+  /// nobody was waiting — the leader may still get afterglow followers
+  /// until it releases its own reference).
+  int Publish(const std::string& key, const std::string& temp_table,
+              double rows_moved, double bytes_moved);
+
+  /// Leader failure or cancel before Publish: erases the entry and wakes
+  /// waiters to re-run JoinOrLead (first back leads). The leader's temp —
+  /// if any was created — stays private to the leader's own cleanup.
+  void FailFlight(const std::string& key);
+
+  /// Drops one reference. Returns the temp table name exactly when the
+  /// count hit zero — the caller then owns the physical drop; empty
+  /// string otherwise.
+  std::string Release(const std::string& key);
+
+  /// Leader-side DMS progress deltas for the in-flight step under `key`:
+  /// accumulated on the entry (Publish later replaces them with the
+  /// metered totals) and fanned out to every waiter via the progress hook.
+  void Progress(const std::string& key, double rows, double bytes);
+
+  /// Wakes all waiters to re-check their cancel flags (Appliance::Cancel).
+  void Poke();
+
+  void set_progress_hook(ProgressHook hook);
+  Stats stats() const;
+  std::vector<EntryInfo> ListEntries() const;
+  /// Entries currently live (executing or published-with-references);
+  /// zero once every query finished — the no-leak assertion in tests.
+  size_t active_entries() const;
+
+ private:
+  /// One shared step. Waiters hold the shared_ptr, so FailFlight erasing
+  /// the map entry never invalidates a blocked follower mid-wait.
+  struct Entry {
+    std::string hex;
+    uint64_t leader_query = 0;
+    bool resolved = false;   ///< Leader published or failed.
+    bool published = false;  ///< Valid once resolved.
+    std::string temp_table;
+    int refcount = 0;
+    int waiters = 0;      ///< Currently blocked followers.
+    uint64_t follows = 0; ///< Total followers ever served.
+    double rows_moved = 0;
+    double bytes_moved = 0;
+    /// (query, step) of each blocked waiter, for progress attribution.
+    std::vector<std::pair<uint64_t, int>> waiter_steps;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  Stats stats_;
+  ProgressHook progress_hook_;
+};
+
+}  // namespace pdw
+
+#endif  // PDW_APPLIANCE_SHARED_STEP_REGISTRY_H_

@@ -31,6 +31,11 @@ struct DmsRunMetrics {
   DmsComponentMetrics bulkcopy;
   double rows_moved = 0;
   double wall_seconds = 0;
+  /// Network bytes this query did NOT move because a step was adopted from
+  /// another query's shared execution (sub-plan sharing): the leader's
+  /// metered movement, credited here by the appliance's follower path so
+  /// query-level accounting shows what isolation would have cost.
+  double saved_bytes = 0;
 
   /// Folds another run's per-component meters (and wall time) into this.
   void Accumulate(const DmsRunMetrics& other);
@@ -67,7 +72,10 @@ struct DmsExecOptions {
   /// destination with (rows, wire bytes) of that chunk — on the columnar
   /// path from concurrent pipeline workers mid-flight, on the legacy row
   /// path per destination during bulk copy. Must be thread-safe and cheap;
-  /// feeds sys.dm_pdw_exec_requests' rows/bytes-moved-so-far columns.
+  /// feeds sys.dm_pdw_exec_requests' rows/bytes-moved-so-far columns. When
+  /// the step is a *shared* leader execution, the appliance's callback also
+  /// fans the same deltas out to every follower blocked on the step, so
+  /// their DMV rows advance with the one physical move.
   std::function<void(double rows_delta, double bytes_delta)> progress;
   /// Cooperative cancellation token (owned by the session that issued the
   /// query). Checked at every queue push — including inside the
